@@ -1,0 +1,1 @@
+examples/certificate_hunt.ml: Approx Array Cq Database Eval Format Ijp List Printf Problem Queries Relalg Resilience Solve

@@ -1,0 +1,1 @@
+examples/certificate_hunt.mli:

@@ -1,0 +1,1 @@
+examples/deletion_propagation.ml: Array Cq_parser Database Database_io Deletion_propagation List Printf Problem Relalg Resilience Solve String Symbol

@@ -1,0 +1,1 @@
+examples/deletion_propagation.mli:

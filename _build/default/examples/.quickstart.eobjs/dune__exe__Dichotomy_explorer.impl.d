@@ -1,0 +1,1 @@
+examples/dichotomy_explorer.ml: Analysis Array Cq Cq_parser Datagen Eval List Printf Problem Random Relalg Resilience Solve String

@@ -1,0 +1,1 @@
+examples/fairness_audit.ml: Analysis Array Cq Cq_parser Database Database_io Eval List Printf Problem Relalg Resilience Solve Symbol

@@ -1,0 +1,1 @@
+examples/movie_analysis.ml: Analysis Cq Database_io Datagen Eval List Printf Problem Relalg Resilience Solve

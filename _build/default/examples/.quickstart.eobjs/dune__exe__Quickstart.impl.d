@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Approx Cq Cq_parser Database Database_io Eval List Printf Problem Relalg Resilience Solve

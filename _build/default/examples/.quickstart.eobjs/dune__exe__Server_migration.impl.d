@@ -1,0 +1,1 @@
+examples/server_migration.ml: Cq Database Database_io Datagen Eval List Printf Problem Relalg Resilience Solve

@@ -1,0 +1,88 @@
+(* Auditing a decision pipeline with resilience and responsibility — the
+   fairness/explanation use case the paper's introduction motivates
+   (algorithmic fairness, query explanations, debugging).
+
+   A loan pipeline denies an applicant when some rule fires on some feature
+   of their record:
+
+     Denied() :- Applicant(a, g), Feature(a, f), Rule(f, r), Flags(r, g)
+
+   where Flags(r, g) says rule r flags group g.  Resilience measures how
+   entrenched the denials are (how many facts would have to change);
+   responsibility ranks the individual facts — features, rules, group flags
+   — by their causal contribution, surfacing e.g. a single rule that drives
+   most denials for one group.
+
+     dune exec examples/fairness_audit.exe
+*)
+
+open Relalg
+open Resilience
+
+let () =
+  let db = Database.create () in
+  let add rel row = ignore (Database.add_named db rel row) in
+  (* applicants with their group *)
+  add "Applicant" [| "p1"; "groupA" |];
+  add "Applicant" [| "p2"; "groupA" |];
+  add "Applicant" [| "p3"; "groupB" |];
+  (* features of each record *)
+  add "Feature" [| "p1"; "thin_file" |];
+  add "Feature" [| "p2"; "thin_file" |];
+  add "Feature" [| "p2"; "high_util" |];
+  add "Feature" [| "p3"; "high_util" |];
+  (* which rule reacts to which feature *)
+  add "Rule" [| "thin_file"; "r17" |];
+  add "Rule" [| "high_util"; "r9" |];
+  (* which rule flags which group *)
+  add "Flags" [| "r17"; "groupA" |];
+  add "Flags" [| "r9"; "groupB" |];
+  let q =
+    Cq_parser.parse_with db "Denied :- Applicant(a,g), Feature(a,f), Rule(f,r), Flags(r,g)"
+  in
+  let name c = Symbol.name (Database.symbols db) c in
+
+  Printf.printf "denial query: %s\n" (Cq.to_string_named (Database.symbols db) q);
+  Printf.printf "denial events (witnesses): %d\n\n" (List.length (Eval.witnesses q db));
+
+  (* Worst-case complexity vs this instance (Appendix J in action). *)
+  print_endline (Analysis.describe Problem.Set q);
+  print_newline ();
+
+  (* How entrenched are the denials? *)
+  (match Solve.resilience Problem.Set q db with
+  | Solve.Solved a ->
+    Printf.printf "resilience = %d: the smallest policy/data change ending all denials:\n"
+      a.Solve.res_value;
+    List.iter
+      (fun tid -> Printf.printf "  change %s\n" (Database_io.print_tuple db tid))
+      a.Solve.contingency
+  | _ -> print_endline "unexpected outcome");
+  print_newline ();
+
+  (* Which facts carry the most responsibility for the denials? *)
+  print_endline "facts ranked by causal responsibility:";
+  List.iter
+    (fun (tid, k, rho) ->
+      Printf.printf "  %.2f (contingency %d)  %s\n" rho k (Database_io.print_tuple db tid))
+    (Solve.responsibility_ranking Problem.Set q db);
+  print_newline ();
+
+  (* Drill into one group: are groupA's denials explained by a single rule?
+     Constants in the query make this a selection. *)
+  let qa =
+    Cq_parser.parse_with db
+      "DeniedA :- Applicant(a,'groupA'), Feature(a,f), Rule(f,r), Flags(r,'groupA')"
+  in
+  match Solve.resilience Problem.Set qa db with
+  | Solve.Solved a ->
+    Printf.printf "groupA-only denials: resilience %d via:\n" a.Solve.res_value;
+    List.iter
+      (fun tid -> Printf.printf "  %s\n" (Database_io.print_tuple db tid))
+      a.Solve.contingency;
+    (match a.Solve.contingency with
+    | [ tid ] ->
+      Printf.printf "=> a single fact (%s) accounts for every groupA denial\n"
+        (name (Database.tuple db tid).Database.args.(0))
+    | _ -> ())
+  | _ -> print_endline "unexpected outcome"

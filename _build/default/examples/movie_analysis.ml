@@ -1,0 +1,49 @@
+(* Exploratory data analysis with resilience and causal responsibility —
+   the paper's Examples 10 and 11 (Appendix B): how surprising is it that an
+   Oscar-winning actor appeared in a movie directed by their spouse?
+
+     dune exec examples/movie_analysis.exe
+*)
+
+open Relalg
+open Resilience
+
+let pp_tuple db tid = Database_io.print_tuple db tid
+
+let () =
+  let m = Datagen.Workloads.movies () in
+  let db = m.Datagen.Workloads.movie_db in
+
+  print_endline "How surprising is an Oscar winner acting in a spouse-directed movie?";
+  Printf.printf "query: %s\n\n" (Cq.to_string m.Datagen.Workloads.oscar_triangle);
+
+  (* Resilience = the minimum number of real-world facts that would have to
+     be different for the phenomenon to disappear.  Small resilience = a
+     small core of events explains everything. *)
+  (match Solve.resilience Problem.Set m.Datagen.Workloads.oscar_triangle db with
+  | Solve.Solved a ->
+    Printf.printf "resilience = %d: a single fact carries all %d query answers —\n"
+      a.Solve.res_value
+      (List.length (Eval.witnesses m.Datagen.Workloads.oscar_triangle db));
+    List.iter (fun tid -> Printf.printf "  %s\n" (pp_tuple db tid)) a.Solve.contingency
+  | _ -> print_endline "unexpected outcome");
+  print_newline ();
+
+  (* The dichotomy in action (Example 10's punchline): with the Oscar atom
+     the query is PTIME under set semantics; drop it and resilience becomes
+     NP-complete. *)
+  print_endline (Analysis.describe Problem.Set m.Datagen.Workloads.oscar_triangle);
+  print_endline (Analysis.describe Problem.Set m.Datagen.Workloads.plain_triangle);
+  print_endline (Analysis.describe Problem.Bag m.Datagen.Workloads.oscar_triangle);
+  print_newline ();
+
+  (* Example 11: responsibility ranks tuples as explanations.  We rank every
+     tuple by 1 / (1 + |contingency set|). *)
+  print_endline "tuples ranked by causal responsibility for the query answer:";
+  List.iter
+    (fun (tid, _, rho) -> Printf.printf "  %.2f  %s\n" rho (pp_tuple db tid))
+    (Solve.responsibility_ranking Problem.Set m.Datagen.Workloads.oscar_triangle db);
+  print_newline ();
+  print_endline
+    "(tuples absent from the list cannot be made counterfactual at all; the 1.0\n\
+     entries are counterfactual causes — deleting them alone kills every answer)"

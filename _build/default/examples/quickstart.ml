@@ -1,0 +1,67 @@
+(* Quickstart: build a database, parse a query, and compute resilience,
+   responsibility, the LP relaxation and the approximations — the whole
+   public API in one file.
+
+     dune exec examples/quickstart.exe
+*)
+
+open Relalg
+open Resilience
+
+let () =
+  (* 1. A database.  Constants are ints; [add_named] interns strings. *)
+  let db = Database.create () in
+  let _r12 = Database.add db "R" [| 1; 2 |] in
+  let s23 = Database.add db "S" [| 2; 3 |] in
+  let _s24 = Database.add db "S" [| 2; 4 |] in
+
+  (* 2. A Boolean conjunctive query, via the tiny parser. *)
+  let q = Cq_parser.parse "Q :- R(x,y), S(y,z)" in
+  Printf.printf "query: %s\n" (Cq.to_string q);
+  Printf.printf "true on the instance? %b\n" (Eval.holds q db);
+  Printf.printf "witnesses: %d\n\n" (List.length (Eval.witnesses q db));
+
+  (* 3. What does the dichotomy say?  (Table 1 of the paper.) *)
+  print_endline (Analysis.describe Problem.Set q);
+  print_endline (Analysis.describe Problem.Bag q);
+  print_newline ();
+
+  (* 4. Resilience: the minimum number of tuples to delete so the query
+     becomes false — solved through the unified ILP. *)
+  (match Solve.resilience Problem.Set q db with
+  | Solve.Solved a ->
+    Printf.printf "RES* = %d (root LP %.2f, integral: %b — solved at the root, as the\n"
+      a.Solve.res_value a.Solve.res_stats.Solve.root_lp a.Solve.res_stats.Solve.root_integral;
+    Printf.printf "dichotomy promises for this PTIME query)\ncontingency set:\n";
+    List.iter (fun tid -> Printf.printf "  %s\n" (Database_io.print_tuple db tid)) a.Solve.contingency
+  | _ -> print_endline "resilience: unexpected outcome");
+  print_newline ();
+
+  (* 5. The LP relaxation has the same optimum (Theorem 8.6). *)
+  (match Solve.resilience_lp Problem.Set q db with
+  | Some lp -> Printf.printf "LP[RES*] = %.2f  (equals the ILP: the paper's key theorem)\n\n" lp
+  | None -> ());
+
+  (* 6. Responsibility of one tuple: minimum deletions that make it
+     counterfactual (Section 5). *)
+  (match Solve.responsibility Problem.Set q db s23 with
+  | Solve.Solved a ->
+    Printf.printf "RSP*(S(2,3)) = %d  =>  responsibility 1/(1+%d) = %.2f\n" a.Solve.rsp_value
+      a.Solve.rsp_value
+      (1.0 /. (1.0 +. float_of_int a.Solve.rsp_value))
+  | Solve.No_contingency -> print_endline "S(2,3) cannot be made counterfactual"
+  | _ -> print_endline "responsibility: unexpected outcome");
+  print_newline ();
+
+  (* 7. Bag semantics: only the objective changes (Section 4). *)
+  let db_bag = Database.copy db in
+  Database.set_mult db_bag s23 5;
+  (match Solve.resilience Problem.Bag q db_bag with
+  | Solve.Solved a ->
+    Printf.printf "bag semantics with S(2,3) x5: RES* = %d (the cheap tuples win)\n" a.Solve.res_value
+  | _ -> ());
+
+  (* 8. Approximations (Section 9) — exact here, useful on NPC queries. *)
+  match Approx.lp_rounding_res Problem.Set q db with
+  | Some { Approx.value; _ } -> Printf.printf "LP-rounding upper bound: %d\n" value
+  | None -> ()

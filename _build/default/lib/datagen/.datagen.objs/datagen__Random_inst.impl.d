@@ -1,0 +1,1 @@
+lib/datagen/random_inst.ml: Array Cq Database Float Hashtbl List Random Relalg

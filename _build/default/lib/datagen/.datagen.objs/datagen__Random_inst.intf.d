@@ -1,0 +1,1 @@
+lib/datagen/random_inst.mli: Cq Database Random Relalg

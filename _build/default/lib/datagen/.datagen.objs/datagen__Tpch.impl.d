@@ -1,0 +1,1 @@
+lib/datagen/tpch.ml: Database List Random Relalg

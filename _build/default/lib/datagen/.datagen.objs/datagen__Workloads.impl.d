@@ -1,0 +1,1 @@
+lib/datagen/workloads.ml: Cq Cq_parser Database Relalg

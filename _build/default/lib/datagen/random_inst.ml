@@ -1,0 +1,56 @@
+open Relalg
+
+type spec = { rel : string; arity : int; count : int }
+
+let specs_of_query q ~count =
+  List.map (fun rel -> { rel; arity = Cq.arity q rel; count }) (Cq.rel_names q)
+
+type pool = { tuples : (string * int array * int) array list (* rel, args, mult *) }
+
+(* Sample [count] distinct tuples of the full domain^arity space by
+   rejection (the spaces here are far larger than the counts). *)
+let sample_relation rng ~domain ~max_bag spec =
+  let seen = Hashtbl.create (2 * spec.count) in
+  let out = ref [] in
+  let n = ref 0 in
+  let space = float_of_int domain ** float_of_int spec.arity in
+  let target = min spec.count (int_of_float space) in
+  let attempts = ref 0 in
+  while !n < target && !attempts < 100 * (target + 10) do
+    incr attempts;
+    let args = Array.init spec.arity (fun _ -> 1 + Random.State.int rng domain) in
+    let key = Array.to_list args in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      let mult = if max_bag <= 1 then 1 else 1 + Random.State.int rng max_bag in
+      out := (spec.rel, args, mult) :: !out;
+      incr n
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+let pool rng ~domain ?(max_bag = 1) specs =
+  { tuples = List.map (sample_relation rng ~domain ~max_bag) specs }
+
+let prefix_db p ~frac =
+  let db = Database.create () in
+  List.iter
+    (fun arr ->
+      let n = Array.length arr in
+      let take = max 1 (int_of_float (Float.round (frac *. float_of_int n))) in
+      for i = 0 to min take n - 1 do
+        let rel, args, mult = arr.(i) in
+        ignore (Database.add ~mult db rel args)
+      done)
+    p.tuples;
+  db
+
+let db rng ~domain ?max_bag specs = prefix_db (pool rng ~domain ?max_bag specs) ~frac:1.0
+
+let log_fractions n =
+  if n <= 1 then [ 1.0 ]
+  else
+    List.init n (fun i ->
+        (* from ~4% to 100%, log-spaced *)
+        let lo = log 0.04 and hi = log 1.0 in
+        exp (lo +. (float_of_int i /. float_of_int (n - 1) *. (hi -. lo))))

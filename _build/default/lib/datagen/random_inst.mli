@@ -1,0 +1,33 @@
+open! Relalg
+
+(** Synthetic random instances, following the paper's protocol (Section 10):
+    fix a maximum domain size, sample tuples uniformly without replacement,
+    and under bag semantics replicate each tuple by a random count below a
+    maximum bag size.  Growing instances are {e monotone}: the instance at
+    size n is a prefix of the instance at size n' > n, as required for the
+    per-plot "30 runs of logarithmically and monotonically increasing
+    database instances". *)
+
+type spec = { rel : string; arity : int; count : int }
+
+val specs_of_query : Cq.t -> count:int -> spec list
+(** One spec per relation symbol of the query, [count] tuples each. *)
+
+type pool
+(** A fixed random tuple order per relation, from which monotone prefixes
+    are drawn. *)
+
+val pool : Random.State.t -> domain:int -> ?max_bag:int -> spec list -> pool
+(** [spec.count] acts as the maximum size; asking a larger prefix saturates.
+    [max_bag > 1] assigns each tuple a random multiplicity in [1..max_bag]. *)
+
+val prefix_db : pool -> frac:float -> Database.t
+(** The database containing the first [frac] (in (0,1]) of every relation's
+    pool. *)
+
+val db : Random.State.t -> domain:int -> ?max_bag:int -> spec list -> Database.t
+(** One-shot instance ([prefix_db ~frac:1.0] of a fresh pool). *)
+
+val log_fractions : int -> float list
+(** [n] logarithmically spaced fractions ending at 1.0 (the growth schedule
+    of the experiments). *)

@@ -1,0 +1,50 @@
+open Relalg
+
+(* Key spaces are disjoint so that accidental cross-relation joins cannot
+   occur: custkey 1xxxxx, orderkey 2xxxxx, psid 3xxxxx, suppkey 4xxxxx,
+   custname 5xxxxx. *)
+let custkey i = 100_000 + i
+let orderkey i = 200_000 + i
+let psid i = 300_000 + i
+let suppkey i = 400_000 + i
+let custname i = 500_000 + i
+
+let generate rng ~scale =
+  let n_cust = max 2 (int_of_float (150.0 *. scale)) in
+  let n_orders = max 2 (int_of_float (1500.0 *. scale)) in
+  let n_lineitem = max 2 (int_of_float (6000.0 *. scale)) in
+  let n_partsupp = max 2 (int_of_float (800.0 *. scale)) in
+  let n_supp = max 2 (int_of_float (10.0 *. scale)) in
+  let db = Database.create () in
+  for i = 1 to n_cust do
+    ignore (Database.add db "Customer" [| custname i; custkey i |])
+  done;
+  for i = 1 to n_orders do
+    let c = 1 + Random.State.int rng n_cust in
+    ignore (Database.add db "Orders" [| custkey c; orderkey i |])
+  done;
+  for i = 1 to n_partsupp do
+    let s = 1 + Random.State.int rng n_supp in
+    ignore (Database.add db "Partsupp" [| psid i; suppkey s |])
+  done;
+  for _ = 1 to n_lineitem do
+    let o = 1 + Random.State.int rng n_orders in
+    let p = 1 + Random.State.int rng n_partsupp in
+    ignore (Database.add db "Lineitem" [| orderkey o; psid p |])
+  done;
+  for i = 1 to n_supp do
+    let c = 1 + Random.State.int rng n_cust in
+    ignore (Database.add db "Supplier" [| suppkey i; custname c |])
+  done;
+  db
+
+let scale_factors ?(from_sf = 0.01) ?(to_sf = 1.0) n =
+  if n <= 1 then [ to_sf ]
+  else
+    List.init n (fun i ->
+        exp (log from_sf +. (float_of_int i /. float_of_int (n - 1) *. (log to_sf -. log from_sf))))
+
+let responsibility_target db =
+  match Database.tuples_of db "Lineitem" with
+  | info :: _ -> Some info.Database.id
+  | [] -> None

@@ -1,0 +1,29 @@
+open! Relalg
+
+(** A TPC-H-shaped generator (substitute for the TPC-H dbgen tool, which is
+    not available offline — see DESIGN.md).
+
+    The schema is projected to the binary relations used by the paper's
+    Setting 2 queries:
+    {v
+      Customer(custname, custkey)   Orders(custkey, orderkey)
+      Lineitem(orderkey, psid)      Partsupp(psid, suppkey)
+      Supplier(suppkey, custname)
+    v}
+    Cardinalities follow TPC-H's ratios (scaled 1:1000): per unit scale
+    factor, 150 customers, 1500 orders, 6000 lineitems, 800 partsupp rows,
+    10 suppliers.  All joins are primary-key/foreign-key, which is the
+    property Setting 2 depends on: the data's functional dependencies make
+    even the NP-complete 5-cycle query behave in PTIME.  The cycle closes
+    through [custname] (the paper's query text leaves the closing join
+    implicit; Table 3 names it the 5-cycle). *)
+
+val generate : Random.State.t -> scale:float -> Database.t
+
+val scale_factors : ?from_sf:float -> ?to_sf:float -> int -> float list
+(** [n] logarithmically increasing scale factors, default 0.01 to 1.0 (the
+    paper's 18 databases). *)
+
+val responsibility_target : Database.t -> Database.tuple_id option
+(** A deterministic interesting responsibility tuple: the first Lineitem
+    row (mid-chain, so both flow and MILP paths are exercised). *)

@@ -1,0 +1,63 @@
+open Relalg
+
+type movie = {
+  movie_db : Database.t;
+  oscar_triangle : Cq.t;
+  plain_triangle : Cq.t;
+  mcdormand_oscar : Database.tuple_id;
+}
+
+let movies () =
+  let db = Database.create () in
+  let add rel row = ignore (Database.add_named db rel row) in
+  let mcdormand_oscar = Database.add_named db "Oscar" [| "Frances McDormand" |] in
+  add "ActsIn" [| "Frances McDormand"; "Blood Simple" |];
+  add "ActsIn" [| "Frances McDormand"; "Fargo" |];
+  add "ActsIn" [| "Frances McDormand"; "Raising Arizona" |];
+  add "ActsIn" [| "Frances McDormand"; "Nomadland" |];
+  add "ActsIn" [| "Helena Bonham Carter"; "Alice in Wonderland" |];
+  add "ActsIn" [| "Helena Bonham Carter"; "The King's Speech" |];
+  add "DirectedBy" [| "Joel Coen"; "Blood Simple" |];
+  add "DirectedBy" [| "Joel Coen"; "Fargo" |];
+  add "DirectedBy" [| "Joel Coen"; "Raising Arizona" |];
+  add "DirectedBy" [| "Tim Burton"; "Alice in Wonderland" |];
+  add "Spouse" [| "Frances McDormand"; "Joel Coen" |];
+  add "Spouse" [| "Helena Bonham Carter"; "Tim Burton" |];
+  let oscar_triangle =
+    Cq_parser.parse_with db
+      "Qoscar :- Oscar(actor), ActsIn(actor,movie), DirectedBy(dir,movie), Spouse(actor,dir)"
+  in
+  let plain_triangle =
+    Cq_parser.parse_with db
+      "Qtri :- ActsIn(actor,movie), DirectedBy(dir,movie), Spouse(actor,dir)"
+  in
+  { movie_db = db; oscar_triangle; plain_triangle; mcdormand_oscar }
+
+type migration = {
+  server_db : Database.t;
+  usage_query : Cq.t;
+  alice : Database.tuple_id;
+  db_requests : Database.tuple_id;
+}
+
+let migration () =
+  let db = Database.create () in
+  let add rel row = ignore (Database.add_named db rel row) in
+  let alice = Database.add_named db "Users" [| "1"; "Alice" |] in
+  add "Users" [| "2"; "Bob" |];
+  add "Users" [| "3"; "Charlie" |];
+  add "AccessLog" [| "1"; "IMAP"; "S" |];
+  add "AccessLog" [| "2"; "DB"; "S" |];
+  add "AccessLog" [| "1"; "SMTP"; "S" |];
+  add "AccessLog" [| "1"; "DB"; "S" |];
+  add "AccessLog" [| "3"; "IMAP"; "X" |];
+  add "AccessLog" [| "3"; "DB"; "S" |];
+  add "AccessLog" [| "2"; "SMTP"; "X" |];
+  add "AccessLog" [| "1"; "DB"; "T" |];
+  add "Requests" [| "IMAP"; "email (in)" |];
+  add "Requests" [| "SMTP"; "email (out)" |];
+  let db_requests = Database.add_named db "Requests" [| "DB"; "data access" |] in
+  let usage_query =
+    Cq_parser.parse_with db "Qs :- Users(x,n), AccessLog(x,y,'S'), Requests(y,d)"
+  in
+  { server_db = db; usage_query; alice; db_requests }

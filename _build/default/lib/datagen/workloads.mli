@@ -1,0 +1,27 @@
+open! Relalg
+
+(** The paper's worked real-world datasets (Appendix B): the movie
+    exploratory-data-analysis example (Fig. 8) and the server-migration
+    example (Fig. 9), with their queries.  Used by the runnable examples and
+    the test suite. *)
+
+type movie = {
+  movie_db : Database.t;
+  oscar_triangle : Cq.t;
+      (** Q△A over Oscar/ActsIn/DirectedBy/Spouse (Example 10). *)
+  plain_triangle : Cq.t;
+      (** The same query without the Oscar atom — NP-complete (Example 10). *)
+  mcdormand_oscar : Database.tuple_id;
+      (** The tuple whose responsibility Example 11 computes. *)
+}
+
+val movies : unit -> movie
+
+type migration = {
+  server_db : Database.t;
+  usage_query : Cq.t;  (** Q_s of Examples 12/13. *)
+  alice : Database.tuple_id;  (** Users(1, Alice). *)
+  db_requests : Database.tuple_id;  (** Requests(DB, data access). *)
+}
+
+val migration : unit -> migration

@@ -1,0 +1,1 @@
+lib/ijp/compose.ml: Database Join_path List Relalg Resilience

@@ -1,0 +1,1 @@
+lib/ijp/compose.mli: Database Join_path Relalg

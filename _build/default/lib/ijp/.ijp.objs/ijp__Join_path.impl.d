@@ -1,0 +1,1 @@
+lib/ijp/join_path.ml: Array Cq Database Eval Format Hashtbl List Option Printf Relalg Resilience Result String

@@ -1,0 +1,1 @@
+lib/ijp/join_path.mli: Cq Database Format Relalg Resilience Result

@@ -1,0 +1,1 @@
+lib/ijp/search.ml: Array Cq Database Hashtbl Join_path List Option Relalg Resilience Sys

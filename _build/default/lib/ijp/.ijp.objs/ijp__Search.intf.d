@@ -1,0 +1,1 @@
+lib/ijp/search.mli: Cq Join_path Relalg

@@ -1,0 +1,38 @@
+open Relalg
+
+let vertex_cover_instance (jp : Join_path.t) ~edges =
+  let f =
+    match Join_path.endpoint_isomorphism jp with
+    | Some f -> f
+    | None -> invalid_arg "Compose.vertex_cover_instance: not a valid join path"
+  in
+  let s_consts = List.map fst f in
+  let nodes = List.sort_uniq compare (List.concat_map (fun (u, v) -> [ u; v ]) edges) in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    !counter
+  in
+  (* Every node gets a start-shaped constant block. *)
+  let node_consts =
+    List.map (fun v -> (v, List.map (fun c -> (c, fresh ())) s_consts)) nodes
+  in
+  let db = Database.create () in
+  List.iter
+    (fun (u, v) ->
+      let smap = List.assoc u node_consts in
+      (* The terminal endpoint glues onto node v through the endpoint
+         isomorphism: terminal constant f(c) lands where node v put c. *)
+      let tmap = List.map (fun (c, fc) -> (fc, List.assoc c (List.assoc v node_consts))) f in
+      Join_path.instantiate jp ~smap ~tmap ~fresh db)
+    edges;
+  db
+
+let expected_resilience (jp : Join_path.t) ~edges ~vertex_cover =
+  match Join_path.resilience Resilience.Problem.Set jp with
+  | Some c -> vertex_cover + (List.length edges * (c - 1))
+  | None -> invalid_arg "Compose.expected_resilience: certificate has no finite resilience"
+
+let odd_cycle k =
+  let n = (2 * k) + 1 in
+  List.init n (fun i -> (i, (i + 1) mod n))

@@ -1,0 +1,22 @@
+open! Relalg
+
+(** Composing IJP certificates into hard database instances — the reduction
+    behind Theorem 7.4 (minimum vertex cover), usable as an adversarial data
+    generator.
+
+    Each graph node becomes an endpoint-shaped tuple set; each edge becomes a
+    fresh copy of the certificate glued to its two nodes.  The resulting
+    instance has RES* = VC(G) + |E|·(c−1), and for graphs with odd cycles
+    the LP relaxation is fractional — the generator used by Setting 5
+    (Fig. 14) to exhibit LP < ILP on a random-data-friendly query. *)
+
+val vertex_cover_instance : Join_path.t -> edges:(int * int) list -> Database.t
+(** Nodes are the integers mentioned in [edges] (arbitrary labels). *)
+
+val expected_resilience : Join_path.t -> edges:(int * int) list -> vertex_cover:int -> int
+(** [vertex_cover + |edges| * (c - 1)] with [c] the certificate's
+    resilience under set semantics. *)
+
+val odd_cycle : int -> (int * int) list
+(** Edge list of a cycle on [2k+1] nodes — minimal LP-fractional graph
+    (vertex cover (k+1), LP bound (2k+1)/2). *)

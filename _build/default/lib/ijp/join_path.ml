@@ -1,0 +1,252 @@
+open Relalg
+
+type t = {
+  q : Cq.t;
+  db : Database.t;
+  start : Database.tuple_id list;
+  terminal : Database.tuple_id list;
+}
+
+type check_error = string
+
+let consts_of db tids =
+  List.concat_map (fun tid -> Array.to_list (Database.tuple db tid).Database.args) tids
+  |> List.sort_uniq compare
+
+let reduced q db =
+  let used = Hashtbl.create 64 in
+  List.iter
+    (fun w -> List.iter (fun tid -> Hashtbl.replace used tid ()) (Eval.tuple_set w))
+    (Eval.witnesses q db);
+  List.for_all (fun info -> Hashtbl.mem used info.Database.id) (Database.tuples db)
+
+let witnesses_connected q db =
+  let sets = List.map Eval.tuple_set (Eval.witnesses q db) in
+  match sets with
+  | [] -> false
+  | first :: _ ->
+    let reach = Hashtbl.create 64 in
+    List.iter (fun tid -> Hashtbl.replace reach tid ()) first;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun ts ->
+          if List.exists (Hashtbl.mem reach) ts then
+            List.iter
+              (fun tid ->
+                if not (Hashtbl.mem reach tid) then begin
+                  Hashtbl.replace reach tid ();
+                  changed := true
+                end)
+              ts)
+        sets
+    done;
+    List.for_all (fun ts -> List.for_all (Hashtbl.mem reach) ts) sets
+
+(* Bijection between endpoint constants mapping start tuples onto terminal
+   tuples relation-wise: backtracking over tuple pairings carrying a
+   two-sided constant mapping. *)
+let endpoint_isomorphism jp =
+  let s_ids = List.sort_uniq compare jp.start and t_ids = List.sort_uniq compare jp.terminal in
+  if s_ids = t_ids || List.length s_ids <> List.length t_ids then None
+  else begin
+    let fwd = Hashtbl.create 8 and bwd = Hashtbl.create 8 in
+    let map_tuple a b =
+      let ia = Database.tuple jp.db a and ib = Database.tuple jp.db b in
+      if ia.Database.rel <> ib.Database.rel then None
+      else begin
+        let added = ref [] in
+        let ok = ref true in
+        Array.iteri
+          (fun i ca ->
+            if !ok then begin
+              let cb = ib.Database.args.(i) in
+              match (Hashtbl.find_opt fwd ca, Hashtbl.find_opt bwd cb) with
+              | Some cb', Some ca' -> if cb' <> cb || ca' <> ca then ok := false
+              | None, None ->
+                Hashtbl.add fwd ca cb;
+                Hashtbl.add bwd cb ca;
+                added := (ca, cb) :: !added
+              | _ -> ok := false
+            end)
+          ia.Database.args;
+        if !ok then Some !added
+        else begin
+          List.iter
+            (fun (ca, cb) ->
+              Hashtbl.remove fwd ca;
+              Hashtbl.remove bwd cb)
+            !added;
+          None
+        end
+      end
+    in
+    let undo added =
+      List.iter
+        (fun (ca, cb) ->
+          Hashtbl.remove fwd ca;
+          Hashtbl.remove bwd cb)
+        added
+    in
+    let rec go s_list t_avail =
+      match s_list with
+      | [] -> true
+      | a :: rest ->
+        let rec pick before = function
+          | [] -> false
+          | b :: after -> (
+            match map_tuple a b with
+            | Some added ->
+              if go rest (List.rev_append before after) then true
+              else begin
+                undo added;
+                pick (b :: before) after
+              end
+            | None -> pick (b :: before) after)
+        in
+        pick [] t_avail
+    in
+    if go s_ids t_ids then Some (Hashtbl.fold (fun k v acc -> (k, v) :: acc) fwd [])
+    else None
+  end
+
+(* Condition (3ii).  Composition glues two join paths at one endpoint with
+   all other constants fresh, so the tuples that would clash are exactly the
+   endogenous ones lying wholly inside a single endpoint's constants.  (The
+   paper's Definition 7.1 reads "subset of the constants of tuples in S ∪ T",
+   but its own Example 5 — where R(4,2) spans both endpoints and is fine —
+   shows the per-endpoint reading is the intended one.) *)
+let no_crowding jp =
+  let endpoint_ids = List.sort_uniq compare (jp.start @ jp.terminal) in
+  let s_consts = consts_of jp.db jp.start and t_consts = consts_of jp.db jp.terminal in
+  let inside consts info = Array.for_all (fun c -> List.mem c consts) info.Database.args in
+  List.for_all
+    (fun info ->
+      List.mem info.Database.id endpoint_ids
+      || Resilience.Problem.tuple_exo jp.q jp.db info.Database.id
+      || not (inside s_consts info || inside t_consts info))
+    (Database.tuples jp.db)
+
+let check jp =
+  let ( let* ) r f = Result.bind r f in
+  let ensure cond msg = if cond then Ok () else Error msg in
+  let* () = ensure (jp.start <> [] && jp.terminal <> []) "empty endpoint" in
+  let* () =
+    ensure
+      (List.for_all (Database.mem jp.db) (jp.start @ jp.terminal))
+      "endpoint tuple missing from the database"
+  in
+  let s_consts = consts_of jp.db jp.start and t_consts = consts_of jp.db jp.terminal in
+  let* () =
+    ensure
+      (not (List.exists (fun c -> List.mem c t_consts) s_consts))
+      "endpoint constant sets are not disjoint"
+  in
+  let* () = ensure (reduced jp.q jp.db) "condition (1): database is not reduced" in
+  let* () =
+    ensure (witnesses_connected jp.q jp.db) "condition (2): witness hypergraph disconnected"
+  in
+  let* () =
+    ensure (endpoint_isomorphism jp <> None) "condition (3i): endpoints not isomorphic"
+  in
+  ensure (no_crowding jp) "condition (3ii): endogenous tuple inside endpoint constants"
+
+let resilience semantics jp =
+  Option.map fst (Resilience.Hitting_set.resilience semantics jp.q jp.db)
+
+let without jp tids =
+  Database.restrict jp.db (fun info -> not (List.mem info.Database.id tids))
+
+let or_property semantics jp =
+  match resilience semantics jp with
+  | None -> Error "condition (4): resilience undefined on the full database"
+  | Some c ->
+    let res_without tids =
+      Option.map fst
+        (Resilience.Hitting_set.resilience semantics jp.q (without jp tids))
+    in
+    let expect label tids =
+      match res_without tids with
+      | Some v when v = c - 1 -> Ok ()
+      | Some v -> Error (Printf.sprintf "condition (4): resilience minus %s is %d, want %d" label v (c - 1))
+      | None ->
+        (* The query may already be false after the removal; that still
+           matches c-1 only when c = 1. *)
+        if c = 1 then Ok ()
+        else Error (Printf.sprintf "condition (4): query false after removing %s" label)
+    in
+    let ( let* ) r f = Result.bind r f in
+    let* () = expect "start" jp.start in
+    let* () = expect "terminal" jp.terminal in
+    let* () = expect "both endpoints" (jp.start @ jp.terminal) in
+    Ok c
+
+(* Add a renamed copy of the certificate database into [into]: endpoint
+   constants via the supplied finite maps, all other constants fresh. *)
+let instantiate jp ~smap ~tmap ~fresh into =
+  let s_consts = consts_of jp.db jp.start and t_consts = consts_of jp.db jp.terminal in
+  let internal = Hashtbl.create 8 in
+  let map_const c =
+    if List.mem c s_consts then List.assoc c smap
+    else if List.mem c t_consts then List.assoc c tmap
+    else begin
+      match Hashtbl.find_opt internal c with
+      | Some c' -> c'
+      | None ->
+        let c' = fresh () in
+        Hashtbl.add internal c c';
+        c'
+    end
+  in
+  List.iter
+    (fun info ->
+      ignore
+        (Database.add ~mult:info.Database.mult ~exo:info.Database.exo into info.Database.rel
+           (Array.map map_const info.Database.args)))
+    (Database.tuples jp.db)
+
+let triangle_nonleaking jp =
+  match endpoint_isomorphism jp with
+  | None -> Error "condition (3i): endpoints not isomorphic"
+  | Some f ->
+    let s_consts = consts_of jp.db jp.start and t_consts = consts_of jp.db jp.terminal in
+    let counter = ref (Database.max_const jp.db) in
+    let fresh () =
+      incr counter;
+      !counter
+    in
+    (* Third endpoint instance C: fresh constants for the terminal shape. *)
+    let g = List.map (fun c -> (c, fresh ())) t_consts in
+    let union = Database.create () in
+    let id_s = List.map (fun c -> (c, c)) s_consts in
+    let id_t = List.map (fun c -> (c, c)) t_consts in
+    (* Triangle of Fig. 2: A→B, B→C, A→C with A = 𝒮, B = 𝒯, C fresh. *)
+    instantiate jp ~smap:id_s ~tmap:id_t ~fresh union;
+    instantiate jp ~smap:f ~tmap:g ~fresh union;
+    instantiate jp ~smap:id_s ~tmap:g ~fresh union;
+    let base = Eval.count jp.q jp.db in
+    let composed = Eval.count jp.q union in
+    if composed = 3 * base then Ok ()
+    else
+      Error
+        (Printf.sprintf "condition (5): triangle composition leaks (%d witnesses, want %d)"
+           composed (3 * base))
+
+let check_ijp semantics jp =
+  let ( let* ) r f = Result.bind r f in
+  let* () = check jp in
+  let* c = or_property semantics jp in
+  let* () = triangle_nonleaking jp in
+  Ok c
+
+let pp fmt jp =
+  let name tid =
+    let info = Database.tuple jp.db tid in
+    Printf.sprintf "%s(%s)" info.Database.rel
+      (String.concat "," (Array.to_list info.Database.args |> List.map string_of_int))
+  in
+  Format.fprintf fmt "IJP for %s@.  S = {%s}  T = {%s}@.%a" (Cq.to_string jp.q)
+    (String.concat ", " (List.map name jp.start))
+    (String.concat ", " (List.map name jp.terminal))
+    Database.pp jp.db

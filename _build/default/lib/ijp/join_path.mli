@@ -1,0 +1,71 @@
+open! Relalg
+
+(** Join Paths and Independent Join Paths (Definitions 7.1 and 7.3) —
+    semantic hardness certificates for resilience.
+
+    A candidate certificate is a database with two designated endpoint tuple
+    sets.  {!check} verifies the Join Path conditions; {!check_ijp}
+    additionally verifies the OR-property (four exact resilience
+    computations) and non-leaking triangle composition (Proposition 7.2
+    reduces all compositions to that one check). *)
+
+type t = {
+  q : Cq.t;
+  db : Database.t;
+  start : Database.tuple_id list;  (** 𝒮 *)
+  terminal : Database.tuple_id list;  (** 𝒯 *)
+}
+
+type check_error = string
+(** Human-readable description of the violated condition. *)
+
+val reduced : Cq.t -> Database.t -> bool
+(** Condition (1): every tuple participates in some witness. *)
+
+val witnesses_connected : Cq.t -> Database.t -> bool
+(** Condition (2): the witness hypergraph (tuples as nodes, witnesses as
+    hyperedges) is connected. *)
+
+val endpoint_isomorphism : t -> (int * int) list option
+(** Condition (3i): a bijection between the endpoint constants mapping the
+    start tuples onto the terminal tuples (relation-wise); [None] if none
+    exists or the endpoints are identical. *)
+
+val no_crowding : t -> bool
+(** Condition (3ii): no endogenous tuple outside 𝒮 ∪ 𝒯 uses only constants
+    of 𝒮 ∪ 𝒯. *)
+
+val check : t -> (unit, check_error) Result.t
+(** Conditions (1)–(3) plus endpoint-constant disjointness (assumed by the
+    composition machinery, cf. the proof of Proposition 7.2). *)
+
+val resilience : Resilience.Problem.semantics -> t -> int option
+(** Exact resilience of the certificate database (they are tiny). *)
+
+val or_property : Resilience.Problem.semantics -> t -> (int, check_error) Result.t
+(** Condition (4): returns the resilience [c] of the full database after
+    verifying that removing 𝒮, 𝒯, or both drops it to exactly [c-1]. *)
+
+val triangle_nonleaking : t -> (unit, check_error) Result.t
+(** Condition (5) via Proposition 7.2: three isomorphic copies composed in a
+    triangle yield exactly three times the witnesses. *)
+
+val check_ijp : Resilience.Problem.semantics -> t -> (int, check_error) Result.t
+(** All conditions; returns the certificate's resilience [c] on success.
+    Per Theorem 7.4, success proves RES(Q) NP-complete under the given
+    semantics. *)
+
+val instantiate :
+  t ->
+  smap:(int * int) list ->
+  tmap:(int * int) list ->
+  fresh:(unit -> int) ->
+  Database.t ->
+  unit
+(** Add a renamed copy of the certificate database into the target: start /
+    terminal endpoint constants through the given finite maps, every other
+    constant through [fresh] (one fresh constant per distinct original).
+    This is the composition primitive behind condition (5) and the
+    vertex-cover reduction ({!Compose}). *)
+
+val pp : Format.formatter -> t -> unit

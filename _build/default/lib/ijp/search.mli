@@ -1,0 +1,51 @@
+open! Relalg
+
+(** Automatic construction of IJP hardness certificates — our stand-in for
+    the paper's DLP[RESIJP] + clingo pipeline (Section 7.2).
+
+    The search enumerates candidate certificates by iterative deepening on
+    the number of {e generator witnesses} k: a candidate is a set of k
+    valuations of the query variables over the bounded domain, with the
+    start endpoint pinned into the first valuation and the terminal endpoint
+    into another.  The induced database (the union of the valuations'
+    tuples, closed under query evaluation) is then checked semantically with
+    {!Join_path.check_ijp}.  Like the DLP, the procedure is one-sided: a
+    returned certificate proves NP-completeness (Corollary 7.8); exhausting
+    the space proves nothing. *)
+
+type config = {
+  domain : int;  (** Constants range over 1..domain. *)
+  max_generators : int;  (** Deepening limit on k (the paper's certificates
+                             all need 3–5). *)
+  exo_rels : string list;
+      (** Relations whose tuples are exogenous in candidates (e.g. [["A"]]
+          when reproducing Theorem 8.8-style gadgets). *)
+  work_limit : int;  (** Candidate budget; the search stops when spent. *)
+  time_limit : float;  (** Wall-clock budget in seconds. *)
+}
+
+val default_config : config
+(** domain 5, up to 4 generators, no exogenous relations, 2M candidates,
+    120 s. *)
+
+type stats = { candidates : int; checked : int; elapsed : float }
+
+type endpoint = (string * int array) list
+(** An endpoint is a {e set} of tuples (relation name and constants) — the
+    paper's gadgets need multi-tuple endpoints for queries like q^b_chain,
+    where a unary tuple necessarily accompanies the binary one. *)
+
+val endpoint_candidates : Cq.t -> (endpoint * endpoint) list
+(** Candidate endpoint pairs: subsets (size 1 or 2) of a canonical witness's
+    endogenous tuples, renamed to constants 1..k (start) and k+1..2k
+    (terminal) — isomorphic, non-identical and constant-disjoint by
+    construction (footnote 11 of the paper). *)
+
+val find : ?config:config -> Cq.t -> (Join_path.t * stats) option
+(** Search for an IJP certificate for the query under set semantics, trying
+    every candidate endpoint pair within the overall time budget.  Returns
+    the first certificate found. *)
+
+val find_with_endpoints :
+  ?config:config -> Cq.t -> s:endpoint -> t:endpoint -> (Join_path.t * stats) option
+(** Search with explicit endpoint tuple sets. *)

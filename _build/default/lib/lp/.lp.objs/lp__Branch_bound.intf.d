@@ -1,0 +1,1 @@
+lib/lp/branch_bound.mli: Model Numeric

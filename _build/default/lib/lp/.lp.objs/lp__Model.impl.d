@@ -1,0 +1,1 @@
+lib/lp/model.ml: Array Buffer Float Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/lp/simplex.ml: Array Fun List Model Numeric Option Printf Sys

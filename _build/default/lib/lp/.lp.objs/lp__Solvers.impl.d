@@ -1,0 +1,1 @@
+lib/lp/solvers.ml: Branch_bound Numeric Simplex

@@ -1,0 +1,155 @@
+module Make (F : Numeric.Field.S) = struct
+  module Lp = Simplex.Make (F)
+
+  type status = Optimal | Feasible | Infeasible | Unbounded | Limit_no_solution
+
+  type result = {
+    status : status;
+    objective : F.t option;
+    solution : F.t array option;
+    nodes : int;
+    root_objective : F.t option;
+    root_integral : bool;
+  }
+
+  (* When the objective touches only integer variables (and has integer
+     coefficients, always true for Model), any feasible integral point has an
+     integral objective, so a fractional LP bound can be rounded up. *)
+  let strengthen pure_int_obj bound =
+    if pure_int_obj && not (F.is_integral bound) then
+      F.of_int (int_of_float (Float.ceil (F.to_float bound -. 1e-6)))
+    else bound
+
+  (* Pick the integer variable whose LP value is farthest from an integer. *)
+  let most_fractional x int_vars =
+    let best = ref None in
+    let best_dist = ref (-1.0) in
+    List.iter
+      (fun v ->
+        if not (F.is_integral x.(v)) then begin
+          let f = F.to_float x.(v) in
+          let dist = Float.abs (f -. Float.round f) in
+          if dist > !best_dist then begin
+            best := Some v;
+            best_dist := dist
+          end
+        end)
+      int_vars;
+    !best
+
+  let solve ?node_limit ?time_limit ?(fixed = []) m =
+    let int_vars = Model.integer_vars m in
+    (* Branching fixes integer variables to 0/1, so they must be binary.  A
+       missing upper bound is accepted for covering-style models whose
+       optima are componentwise <= 1 anyway (declaring the bound would only
+       add a redundant LP row); an explicit bound other than 1 is refused. *)
+    List.iter
+      (fun v ->
+        match Model.upper m v with
+        | Some 1 | None -> ()
+        | Some _ -> invalid_arg "Branch_bound.solve: integer variables must be binary")
+      int_vars;
+    let pure_int_obj =
+      let ok = ref true in
+      for v = 0 to Model.num_vars m - 1 do
+        if Model.objective m v <> 0 && not (Model.is_integer m v) then ok := false
+      done;
+      (* A model with no integer variable at all is just an LP; treat its
+         objective as exact. *)
+      !ok && int_vars <> []
+    in
+    let t0 = Sys.time () in
+    let out_of_time () =
+      match time_limit with Some limit -> Sys.time () -. t0 > limit | None -> false
+    in
+    let nodes = ref 0 in
+    let incumbent_obj = ref None in
+    let incumbent_sol = ref None in
+    let objective_at x =
+      let acc = ref F.zero in
+      for v = 0 to Model.num_vars m - 1 do
+        let c = Model.objective m v in
+        if c <> 0 then acc := F.add !acc (F.mul (F.of_int c) x.(v))
+      done;
+      !acc
+    in
+    let offer_incumbent obj sol =
+      match !incumbent_obj with
+      | Some inc when F.compare obj inc >= 0 -> ()
+      | _ ->
+        incumbent_obj := Some obj;
+        incumbent_sol := Some sol
+    in
+    (* Primal heuristic: ceil every positive integer variable; in covering
+       programs this is always feasible, elsewhere the check filters. *)
+    let try_rounding solution =
+      let x = Array.copy solution in
+      List.iter
+        (fun v -> x.(v) <- (if F.to_float solution.(v) > 1e-6 then F.one else F.zero))
+        int_vars;
+      if Model.check_feasible m (Array.map F.to_float x) then offer_incumbent (objective_at x) x
+    in
+    let root_objective = ref None in
+    let root_integral = ref false in
+    let hit_limit = ref false in
+    let unbounded = ref false in
+    (* DFS over fixings; the x=1 child is pushed last so it is explored
+       first (covering problems find incumbents fast that way). *)
+    let stack = ref [ fixed ] in
+    let continue = ref true in
+    while !continue do
+      match !stack with
+      | [] -> continue := false
+      | node_fixed :: rest ->
+        stack := rest;
+        if (match node_limit with Some l -> !nodes >= l | None -> false) || out_of_time () then begin
+          hit_limit := true;
+          continue := false
+        end
+        else begin
+          incr nodes;
+          match Lp.solve ~fixed:node_fixed m with
+          | Infeasible -> ()
+          | Unbounded ->
+            (* An unbounded relaxation at the root means the MILP is
+               unbounded or infeasible; we report unbounded. *)
+            unbounded := true;
+            continue := false
+          | Optimal { objective; solution } ->
+            if !nodes = 1 then begin
+              root_objective := Some objective;
+              root_integral := Lp.integral_on solution int_vars
+            end;
+            let bound = strengthen pure_int_obj objective in
+            let pruned =
+              match !incumbent_obj with Some inc -> F.compare bound inc >= 0 | None -> false
+            in
+            if not pruned then begin
+              match most_fractional solution int_vars with
+              | None ->
+                (* Integral on all integer variables: new incumbent. *)
+                offer_incumbent objective solution
+              | Some v ->
+                try_rounding solution;
+                stack := ((v, 0) :: node_fixed) :: ((v, 1) :: node_fixed) :: !stack
+            end
+        end
+    done;
+    let status =
+      if !unbounded then Unbounded
+      else
+        match (!incumbent_obj, !hit_limit) with
+        | Some _, false -> Optimal
+        | Some _, true -> Feasible
+        | None, true -> Limit_no_solution
+        | None, false -> Infeasible
+    in
+    {
+      status;
+      objective = !incumbent_obj;
+      solution = !incumbent_sol;
+      nodes = !nodes;
+      root_objective = !root_objective;
+      root_integral = !root_integral;
+    }
+end

@@ -1,0 +1,38 @@
+(** LP-based branch-and-bound for ILPs and MILPs with binary integer variables.
+
+    This mirrors the mechanism the paper relies on in commercial solvers
+    (Section 3.2): the root LP relaxation is solved first, and when its
+    optimum is integral on the integer variables the search stops at the root
+    — which is exactly what happens, provably, for all the paper's PTIME
+    cases.  On hard instances the search branches, and the explored node
+    count is the observable "exponential blow-up" of the experiments.
+
+    Only binary integer variables are supported (all programs in this code
+    base are of that shape): branching fixes a variable to 0 or to 1 and the
+    child LP shrinks accordingly. *)
+
+module Make (F : Numeric.Field.S) : sig
+  type status =
+    | Optimal  (** Proved optimal. *)
+    | Feasible  (** A limit was hit; [objective] is the incumbent's value. *)
+    | Infeasible
+    | Unbounded
+    | Limit_no_solution  (** A limit was hit before any incumbent was found. *)
+
+  type result = {
+    status : status;
+    objective : F.t option;
+    solution : F.t array option;
+    nodes : int;  (** LP relaxations solved. *)
+    root_objective : F.t option;  (** Root LP relaxation value. *)
+    root_integral : bool;
+        (** Whether the root LP optimum was already integral on the integer
+            variables — the paper's LP=ILP condition observed in practice. *)
+  }
+
+  val solve :
+    ?node_limit:int -> ?time_limit:float -> ?fixed:(Model.var * int) list -> Model.t -> result
+  (** [time_limit] is in seconds of processor time (emulates the paper's
+      ILP(10) cutoff). @raise Invalid_argument if an integer variable lacks
+      an upper bound of 1. *)
+end

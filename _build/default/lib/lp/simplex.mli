@@ -1,0 +1,37 @@
+(** Two-phase primal simplex over an arbitrary ordered field.
+
+    The same algorithm instantiated at {!Numeric.Field.Float_field} gives the
+    production solver, and at {!Numeric.Field.Rat_field} an exact-arithmetic
+    oracle used in tests and to certify LP-relaxation integrality claims
+    (Theorems 8.6–8.13 of the paper).
+
+    The solver works on a {!Model.t}: minimize [c'x] subject to the model's
+    constraints, [x >= 0] and the per-variable upper bounds (handled as
+    explicit rows).  Integrality flags are ignored here — this is the
+    relaxation; see {!Branch_bound} for ILP/MILP solving. *)
+
+module Make (F : Numeric.Field.S) : sig
+  type outcome =
+    | Optimal of { objective : F.t; solution : F.t array }
+        (** [solution] is indexed by model variable (fixed variables included
+            at their fixed value). *)
+    | Infeasible
+    | Unbounded
+
+  val solve :
+    ?fixed:(Model.var * int) list -> ?method_:[ `Auto | `Primal | `Dual ] -> Model.t -> outcome
+  (** [solve ~fixed m] solves the LP relaxation of [m] with the variables in
+      [fixed] substituted by the given constant values (used by
+      branch-and-bound to branch binary variables without growing the LP).
+      Fixing a variable outside its bounds yields [Infeasible].
+
+      [method_] selects the algorithm: [`Auto] (default) runs the dual
+      simplex whenever the model qualifies (no equality rows, non-negative
+      objective — true of all of this paper's programs; covering LPs are
+      much less degenerate dually) and the two-phase primal otherwise;
+      [`Primal] forces the primal; [`Dual] forces the dual where
+      applicable. *)
+
+  val integral_on : F.t array -> Model.var list -> bool
+  (** Are all listed coordinates integral (within the field tolerance)? *)
+end

@@ -1,0 +1,11 @@
+(** Pre-instantiated solver stacks.
+
+    {!Float_simplex}/{!Float_bb} are the production solvers; the exact
+    variants run the identical algorithms over arbitrary-precision rationals
+    and serve as correctness oracles in the test suite and for certifying
+    LP-integrality claims on small instances. *)
+
+module Float_simplex = Simplex.Make (Numeric.Field.Float_field)
+module Exact_simplex = Simplex.Make (Numeric.Field.Rat_field)
+module Float_bb = Branch_bound.Make (Numeric.Field.Float_field)
+module Exact_bb = Branch_bound.Make (Numeric.Field.Rat_field)

@@ -1,0 +1,1 @@
+lib/netflow/flow_res.ml: Array Database Eval Hashtbl Linearize List Maxflow Relalg

@@ -1,0 +1,1 @@
+lib/netflow/flow_res.mli: Cq Database Eval Relalg

@@ -1,0 +1,1 @@
+lib/netflow/linearize.ml: Array Cq List Relalg

@@ -1,0 +1,1 @@
+lib/netflow/linearize.mli: Cq Relalg

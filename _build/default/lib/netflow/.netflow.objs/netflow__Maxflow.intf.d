@@ -1,0 +1,1 @@
+lib/netflow/maxflow.mli:

@@ -1,0 +1,54 @@
+open! Relalg
+
+(** Flow-graph encodings of resilience and responsibility.
+
+    Given an atom ordering, every witness becomes a source-to-sink path whose
+    edges are its tuples (at their ordered positions); the node between two
+    consecutive positions is keyed by the witness's values on a cut
+    signature:
+
+    - {!Spanning} keys use all variables spanning the cut.  Paths then
+      correspond exactly to the original witnesses; tuples whose atom does
+      not contain all spanning variables are {e dissociated} into several
+      edges.  With an ordering accepted by {!Linearize.order_exact} no
+      endogenous tuple dissociates and min-cut = resilience (the exact
+      baseline); with an arbitrary ordering this is the Flow-CW
+      approximation (constant witnesses, Section 9.2).
+    - {!Adjacent} keys use only the variables shared by the two adjacent
+      atoms.  No tuple ever dissociates, but recombined ({e spurious}) paths
+      may appear; this is the Flow-CT approximation (constant tuples).
+
+    Either way a cut maps back to a set of tuples whose deletion destroys
+    every original witness, so the reported value — the summed weight of the
+    distinct cut tuples — is always a valid upper bound on RES (and the
+    corresponding statement for RSP). *)
+
+type key_mode = Spanning | Adjacent
+
+type t
+(** A built flow graph, remembering the tuple behind every edge and the
+    edges of every witness. *)
+
+val build :
+  Cq.t ->
+  order:int array ->
+  weight:(Database.tuple_info -> int) ->
+  db:Database.t ->
+  witnesses:Eval.witness list ->
+  key_mode ->
+  t
+(** [weight] gives each tuple's deletion cost: 1 under set semantics, the
+    multiplicity under bag semantics, {!Maxflow.infinity} for exogenous
+    tuples. *)
+
+val resilience_cut : t -> int * Database.tuple_id list
+(** Minimum-cut upper bound on RES*: (summed weight of the distinct cut
+    tuples, the tuples).  [(0, [])] when there is no witness.  The value is
+    {!Maxflow.infinity}-sized when every cut must delete an exogenous tuple
+    (RES undefined). *)
+
+val responsibility_cut : t -> tuple:Database.tuple_id -> (int * Database.tuple_id list) option
+(** Upper bound on RSP* of [tuple]: minimum over the witnesses containing it
+    of the min-cut that preserves that witness (its edges made uncuttable)
+    after discarding all of [tuple]'s own edges.  [None] if the tuple is in
+    no witness or can never be made counterfactual. *)

@@ -1,0 +1,60 @@
+open Relalg
+
+let vars_at q i = Cq.vars_of_atom q.Cq.atoms.(i)
+
+let spanning_vars q order k =
+  let m = Array.length order in
+  let before = ref [] and after = ref [] in
+  for i = 0 to m - 1 do
+    let vs = vars_at q order.(i) in
+    if i <= k then before := vs @ !before else after := vs @ !after
+  done;
+  List.filter (fun v -> List.mem v !after) !before |> List.sort_uniq compare
+
+let adjacent_vars q order k =
+  let a = vars_at q order.(k) and b = vars_at q order.(k + 1) in
+  List.filter (fun v -> List.mem v b) a |> List.sort_uniq compare
+
+let order_exact q order =
+  let m = Array.length order in
+  let ok = ref true in
+  for i = 0 to m - 1 do
+    let a = q.Cq.atoms.(order.(i)) in
+    if not a.Cq.exo then begin
+      let atom_vars = vars_at q order.(i) in
+      let check_cut k =
+        if k >= 0 && k < m - 1 then
+          List.iter
+            (fun v -> if not (List.mem v atom_vars) then ok := false)
+            (spanning_vars q order k)
+      in
+      check_cut (i - 1);
+      check_cut i
+    end
+  done;
+  !ok
+
+(* All permutations of [0..m-1], keeping one representative per reversal
+   pair (the lexicographically smaller of the two). *)
+let permutations m =
+  let rec go acc avail prefix =
+    if avail = [] then Array.of_list (List.rev prefix) :: acc
+    else
+      List.fold_left
+        (fun acc x -> go acc (List.filter (fun y -> y <> x) avail) (x :: prefix))
+        acc avail
+  in
+  let all = go [] (List.init m (fun i -> i)) [] in
+  List.filter
+    (fun p ->
+      let r = Array.of_list (List.rev (Array.to_list p)) in
+      compare p r <= 0)
+    all
+
+let all_orders q = permutations (Array.length q.Cq.atoms)
+
+let exact_orders q = List.filter (order_exact q) (all_orders q)
+
+let is_linear q =
+  let all_endo = Cq.make ~name:q.Cq.name (Array.to_list q.Cq.atoms |> List.map (fun a -> { a with Cq.exo = false })) in
+  List.exists (order_exact all_endo) (all_orders all_endo)

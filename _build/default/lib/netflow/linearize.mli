@@ -1,0 +1,41 @@
+open! Relalg
+
+(** Atom orderings and the structural conditions under which a query's
+    witnesses embed exactly into a flow graph.
+
+    An ordering of the atoms induces, between consecutive positions, a
+    {e cut} whose {e spanning variables} are those occurring both before and
+    after it.  A flow graph built over such an ordering (see {!Flow_res})
+    keys its nodes by the witness's values on the spanning variables; an
+    endogenous tuple maps to a single edge iff the spanning variables of its
+    two adjacent cuts are contained in its atom's variables.  When that holds
+    at every endogenous position, min-cut equals resilience (the classical
+    encoding of Meliou et al. for linear queries, extended to exogenous atoms
+    which may split freely because their edges are uncuttable anyway).
+
+    All searches here are over permutations of the query's atoms — they are
+    exponential in the (fixed) query size only, never in the data. *)
+
+val spanning_vars : Cq.t -> int array -> int -> string list
+(** [spanning_vars q order k] — variables occurring both in
+    [order.(0..k)] and in [order.(k+1..)] (the cut after position [k]). *)
+
+val adjacent_vars : Cq.t -> int array -> int -> string list
+(** Variables shared by the two atoms adjacent to cut [k]:
+    [vars order.(k) ∩ vars order.(k+1)] — the Flow-CT node key. *)
+
+val order_exact : Cq.t -> int array -> bool
+(** Does the ordering satisfy the exactness condition above, given the
+    query's exogenous flags? *)
+
+val exact_orders : Cq.t -> int array list
+(** All exact orderings, one per reversal pair. *)
+
+val is_linear : Cq.t -> bool
+(** Is there an exact ordering when {e every} atom is treated as endogenous?
+    This coincides with triad-freeness on the paper's queries (checked in
+    the test suite against {!Resilience.Analysis}). *)
+
+val all_orders : Cq.t -> int array list
+(** All atom orderings, one per reversal pair — the m!/2 linearizations of
+    the Flow-CT/Flow-CW approximations (Section 9.2). *)

@@ -1,0 +1,186 @@
+(* Dinic's algorithm with adjacency lists of paired forward/backward arcs.
+   Arc 2k is the k-th user edge, arc 2k+1 its residual reverse. *)
+
+type edge_id = int
+
+let infinity = max_int / 4
+
+let is_infinite v = v >= infinity / 2
+
+type t = {
+  mutable nodes : int;
+  mutable dst : int array;  (* arc -> head node *)
+  mutable capacity : int array;  (* arc -> remaining capacity *)
+  mutable adj : int list array;  (* node -> arcs out of it *)
+  mutable narcs : int;
+  mutable base : int array;  (* edge_id -> nominal capacity, to reset flows *)
+}
+
+let create () =
+  {
+    nodes = 0;
+    dst = Array.make 16 0;
+    capacity = Array.make 16 0;
+    adj = Array.make 16 [];
+    narcs = 0;
+    base = Array.make 8 0;
+  }
+
+let add_node t =
+  let id = t.nodes in
+  if id >= Array.length t.adj then begin
+    let fresh = Array.make (2 * Array.length t.adj) [] in
+    Array.blit t.adj 0 fresh 0 id;
+    t.adj <- fresh
+  end;
+  t.adj.(id) <- [];
+  t.nodes <- id + 1;
+  id
+
+let num_nodes t = t.nodes
+
+let grow_arcs t =
+  if t.narcs + 2 > Array.length t.dst then begin
+    let n = 2 * Array.length t.dst in
+    let d = Array.make n 0 and c = Array.make n 0 in
+    Array.blit t.dst 0 d 0 t.narcs;
+    Array.blit t.capacity 0 c 0 t.narcs;
+    t.dst <- d;
+    t.capacity <- c
+  end
+
+let num_edges t = t.narcs / 2
+
+let add_edge t ~src ~dst ~cap =
+  if cap < 0 then invalid_arg "Maxflow.add_edge: negative capacity";
+  if src >= t.nodes || dst >= t.nodes then invalid_arg "Maxflow.add_edge: unknown node";
+  grow_arcs t;
+  let a = t.narcs in
+  t.dst.(a) <- dst;
+  t.capacity.(a) <- cap;
+  t.dst.(a + 1) <- src;
+  t.capacity.(a + 1) <- 0;
+  t.adj.(src) <- a :: t.adj.(src);
+  t.adj.(dst) <- (a + 1) :: t.adj.(dst);
+  t.narcs <- t.narcs + 2;
+  let id = a / 2 in
+  if id >= Array.length t.base then begin
+    let fresh = Array.make (2 * Array.length t.base) 0 in
+    Array.blit t.base 0 fresh 0 id;
+    t.base <- fresh
+  end;
+  t.base.(id) <- cap;
+  id
+
+let set_cap t id cap =
+  if cap < 0 then invalid_arg "Maxflow.set_cap: negative capacity";
+  if id < 0 || id >= num_edges t then invalid_arg "Maxflow.set_cap: unknown edge";
+  t.base.(id) <- cap;
+  t.capacity.(2 * id) <- cap;
+  t.capacity.((2 * id) + 1) <- 0
+
+let cap t id =
+  if id < 0 || id >= num_edges t then invalid_arg "Maxflow.cap: unknown edge";
+  t.base.(id)
+
+let reset_flows t =
+  for id = 0 to num_edges t - 1 do
+    t.capacity.(2 * id) <- t.base.(id);
+    t.capacity.((2 * id) + 1) <- 0
+  done
+
+(* BFS level graph; returns [true] when the sink is reachable. *)
+let levels t ~source ~sink dist =
+  Array.fill dist 0 t.nodes (-1);
+  dist.(source) <- 0;
+  let queue = Queue.create () in
+  Queue.push source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun a ->
+        let v = t.dst.(a) in
+        if t.capacity.(a) > 0 && dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.push v queue
+        end)
+      t.adj.(u)
+  done;
+  dist.(sink) >= 0
+
+let rec augment t dist iter ~sink u pushed =
+  if u = sink then pushed
+  else begin
+    let rec try_arcs () =
+      match iter.(u) with
+      | [] -> 0
+      | a :: rest ->
+        let v = t.dst.(a) in
+        if t.capacity.(a) > 0 && dist.(v) = dist.(u) + 1 then begin
+          let d = augment t dist iter ~sink v (min pushed t.capacity.(a)) in
+          if d > 0 then begin
+            t.capacity.(a) <- t.capacity.(a) - d;
+            t.capacity.(a lxor 1) <- t.capacity.(a lxor 1) + d;
+            d
+          end
+          else begin
+            iter.(u) <- rest;
+            try_arcs ()
+          end
+        end
+        else begin
+          iter.(u) <- rest;
+          try_arcs ()
+        end
+    in
+    try_arcs ()
+  end
+
+let max_flow t ~source ~sink =
+  reset_flows t;
+  if source = sink then 0
+  else begin
+    let dist = Array.make (max 1 t.nodes) (-1) in
+    let flow = ref 0 in
+    while levels t ~source ~sink dist do
+      let iter = Array.init t.nodes (fun u -> t.adj.(u)) in
+      let continue = ref true in
+      while !continue do
+        let d = augment t dist iter ~sink source infinity in
+        if d = 0 then continue := false else flow := !flow + d
+      done
+    done;
+    !flow
+  end
+
+let min_cut t ~source ~sink =
+  let value = max_flow t ~source ~sink in
+  if value = 0 then (0, [])
+  else begin
+    (* Residual reachability from the source; saturated crossing edges form
+       a minimum cut. *)
+    let reach = Array.make t.nodes false in
+    reach.(source) <- true;
+    let queue = Queue.create () in
+    Queue.push source queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun a ->
+          let v = t.dst.(a) in
+          if t.capacity.(a) > 0 && not reach.(v) then begin
+            reach.(v) <- true;
+            Queue.push v queue
+          end)
+        t.adj.(u)
+    done;
+    let cut = ref [] in
+    for id = 0 to num_edges t - 1 do
+      if t.base.(id) > 0 then begin
+        let a = 2 * id in
+        let u = t.dst.(a + 1) and v = t.dst.(a) in
+        if reach.(u) && not reach.(v) then cut := id :: !cut
+      end
+    done;
+    (value, !cut)
+  end

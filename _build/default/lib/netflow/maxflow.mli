@@ -1,0 +1,39 @@
+(** Integer max-flow / min-cut on directed graphs (Dinic's algorithm).
+
+    Capacities are non-negative ints; {!infinity} marks uncuttable edges
+    (exogenous tuples in the paper's encodings).  The graph is a mutable
+    builder; {!max_flow} may be called repeatedly after capacity updates
+    ({!set_cap} resets flows). *)
+
+type t
+
+type edge_id = int
+
+val infinity : int
+(** A capacity treated as unbounded (large enough to never be binding, small
+    enough that sums cannot overflow). *)
+
+val create : unit -> t
+
+val add_node : t -> int
+(** Fresh node id. *)
+
+val num_nodes : t -> int
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> edge_id
+(** Directed edge. @raise Invalid_argument on negative capacity. *)
+
+val set_cap : t -> edge_id -> int -> unit
+
+val cap : t -> edge_id -> int
+
+val max_flow : t -> source:int -> sink:int -> int
+(** Value of a maximum flow (resets any previous flow). *)
+
+val min_cut : t -> source:int -> sink:int -> int * edge_id list
+(** Max-flow value together with a minimum cut: the saturated edges crossing
+    from the source's residual-reachable side to the rest.  The edge list is
+    empty when the flow value is 0. *)
+
+val is_infinite : int -> bool
+(** Whether a flow/cut value should be read as "no finite cut". *)

@@ -1,0 +1,1 @@
+lib/numeric/bigint.ml: Array Buffer Format List Printf String

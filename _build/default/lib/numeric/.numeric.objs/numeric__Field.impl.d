@@ -1,0 +1,1 @@
+lib/numeric/field.ml: Array Bigint Float Rat

@@ -1,0 +1,1 @@
+lib/numeric/rat.ml: Bigint Format

@@ -1,0 +1,368 @@
+(* Sign-magnitude bignums over base-2^15 digits (little-endian int arrays).
+   Base 2^15 keeps digit products below 2^30, so schoolbook multiplication
+   accumulates safely in a native int. *)
+
+let base_bits = 15
+let base = 1 lsl base_bits (* 32768 *)
+let base_mask = base - 1
+
+type t = { sign : int; mag : int array }
+(* Invariants: sign ∈ {-1,0,1}; sign = 0 iff mag = [||];
+   mag has no trailing (most-significant) zero digit;
+   every digit is in [0, base). *)
+
+let zero = { sign = 0; mag = [||] }
+
+let normalize sign mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = 0 then zero
+  else if !n = Array.length mag then { sign; mag }
+  else { sign; mag = Array.sub mag 0 !n }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    (* Work with the negative absolute value: |min_int| overflows, -|x| never.
+       Peel least-significant digits: d ∈ [0, base) with (a + d) ≡ 0 mod base. *)
+    let sign = if n < 0 then -1 else 1 in
+    let a = ref (if n < 0 then n else -n) in
+    let buf = ref [] in
+    while !a <> 0 do
+      let d =
+        let m = -(!a mod base) in
+        if m < 0 then m + base else m
+      in
+      buf := d :: !buf;
+      a := (!a + d) / base
+    done;
+    normalize sign (Array.of_list (List.rev !buf))
+  end
+
+let sign x = x.sign
+let is_zero x = x.sign = 0
+
+let compare_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+
+let compare x y =
+  if x.sign <> y.sign then compare x.sign y.sign
+  else if x.sign >= 0 then compare_mag x.mag y.mag
+  else compare_mag y.mag x.mag
+
+let equal x y = compare x y = 0
+
+let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
+let abs x = if x.sign < 0 then neg x else x
+
+(* Magnitude addition: |a| + |b|. *)
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lmax = max la lb in
+  let out = Array.make (lmax + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to lmax - 1 do
+    let da = if i < la then a.(i) else 0 in
+    let db = if i < lb then b.(i) else 0 in
+    let s = da + db + !carry in
+    out.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  out.(lmax) <- !carry;
+  out
+
+(* Magnitude subtraction: |a| - |b|, requires |a| >= |b|. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let db = if i < lb then b.(i) else 0 in
+    let d = a.(i) - db - !borrow in
+    if d < 0 then begin
+      out.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  out
+
+let add x y =
+  if x.sign = 0 then y
+  else if y.sign = 0 then x
+  else if x.sign = y.sign then normalize x.sign (add_mag x.mag y.mag)
+  else
+    let c = compare_mag x.mag y.mag in
+    if c = 0 then zero
+    else if c > 0 then normalize x.sign (sub_mag x.mag y.mag)
+    else normalize y.sign (sub_mag y.mag x.mag)
+
+let sub x y = add x (neg y)
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb) 0 in
+  for i = 0 to la - 1 do
+    let carry = ref 0 in
+    let ai = a.(i) in
+    if ai <> 0 then begin
+      for j = 0 to lb - 1 do
+        let t = out.(i + j) + (ai * b.(j)) + !carry in
+        out.(i + j) <- t land base_mask;
+        carry := t lsr base_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let t = out.(!k) + !carry in
+        out.(!k) <- t land base_mask;
+        carry := t lsr base_bits;
+        incr k
+      done
+    end
+  done;
+  out
+
+let mul x y =
+  if x.sign = 0 || y.sign = 0 then zero
+  else normalize (x.sign * y.sign) (mul_mag x.mag y.mag)
+
+(* Short division of a magnitude by a small positive int (< 2^30).
+   Returns quotient magnitude and integer remainder. *)
+let divmod_small_mag a d =
+  let la = Array.length a in
+  let out = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    out.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (out, !rem)
+
+(* Compare |a| shifted... helper: does mag [a] (viewed from digit offset
+   [off]) dominate [b]?  Used by long division: compares b * q against the
+   running remainder window.  We instead implement division by the classic
+   shift-and-subtract over digits with a binary search for each quotient
+   digit, which only needs mul-by-small and compare/subtract at an offset. *)
+
+(* r := r - (b * q) shifted left by [off] digits; requires the result to be
+   non-negative.  [r] is a mutable working array with room to spare. *)
+let sub_scaled r b q off =
+  if q <> 0 then begin
+    let lb = Array.length b in
+    let borrow = ref 0 and carry = ref 0 in
+    for j = 0 to lb - 1 do
+      let prod = (q * b.(j)) + !carry in
+      carry := prod lsr base_bits;
+      let d = r.(off + j) - (prod land base_mask) - !borrow in
+      if d < 0 then begin
+        r.(off + j) <- d + base;
+        borrow := 1
+      end
+      else begin
+        r.(off + j) <- d;
+        borrow := 0
+      end
+    done;
+    let k = ref (off + lb) in
+    while !carry <> 0 || !borrow <> 0 do
+      let d = r.(!k) - (!carry land base_mask) - !borrow in
+      carry := !carry lsr base_bits;
+      if d < 0 then begin
+        r.(!k) <- d + base;
+        borrow := 1
+      end
+      else begin
+        r.(!k) <- d;
+        borrow := 0
+      end;
+      incr k
+    done
+  end
+
+(* Is b * q (shifted by off) <= the current remainder r?  Computes the
+   product digit-by-digit and compares from the most significant end.
+   To stay simple we materialize the product. *)
+let fits r b q off rlen =
+  if q = 0 then true
+  else begin
+    let lb = Array.length b in
+    let prod = Array.make (lb + 2) 0 in
+    let carry = ref 0 in
+    for j = 0 to lb - 1 do
+      let t = (q * b.(j)) + !carry in
+      prod.(j) <- t land base_mask;
+      carry := t lsr base_bits
+    done;
+    let j = ref lb in
+    while !carry <> 0 do
+      prod.(!j) <- !carry land base_mask;
+      carry := !carry lsr base_bits;
+      incr j
+    done;
+    let lp = ref (Array.length prod) in
+    while !lp > 0 && prod.(!lp - 1) = 0 do
+      decr lp
+    done;
+    (* Compare prod (at digit offset off) with r[0..rlen). *)
+    if off + !lp > rlen then
+      (* prod has digits above rlen: greater unless they are zero (they are
+         not, by construction of lp). *)
+      false
+    else begin
+      (* Check r's digits above off + lp are all zero; otherwise r larger. *)
+      let rec high_zero i = if i >= rlen then true else if r.(i) <> 0 then false else high_zero (i + 1) in
+      if not (high_zero (off + !lp)) then true
+      else
+        let rec cmp i =
+          if i < 0 then true (* equal *)
+          else
+            let rp = if i < !lp then prod.(i) else 0 in
+            if r.(off + i) <> rp then r.(off + i) > rp
+            else cmp (i - 1)
+        in
+        cmp (!lp - 1)
+    end
+  end
+
+(* Long division of magnitudes: |a| / |b| with |b| >= base (multi-digit or
+   large single digit handled by the small path).  Schoolbook with binary
+   search for each quotient digit. *)
+let divmod_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if compare_mag a b < 0 then (zero.mag, Array.copy a)
+  else if lb = 1 then
+    let q, r = divmod_small_mag a b.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  else begin
+    let r = Array.make (la + 1) 0 in
+    Array.blit a 0 r 0 la;
+    let rlen = la + 1 in
+    let qlen = la - lb + 1 in
+    let q = Array.make qlen 0 in
+    for off = qlen - 1 downto 0 do
+      (* Binary-search the digit d in [0, base) with b*d*B^off <= r. *)
+      let lo = ref 0 and hi = ref (base - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if fits r b mid off rlen then lo := mid else hi := mid - 1
+      done;
+      q.(off) <- !lo;
+      sub_scaled r b !lo off
+    done;
+    (q, r)
+  end
+
+let divmod x y =
+  if y.sign = 0 then raise Division_by_zero
+  else if x.sign = 0 then (zero, zero)
+  else begin
+    let qm, rm = divmod_mag x.mag y.mag in
+    let q = normalize (x.sign * y.sign) qm in
+    let r = normalize x.sign rm in
+    (q, r)
+  end
+
+let div x y = fst (divmod x y)
+let rem x y = snd (divmod x y)
+
+let rec gcd x y =
+  let x = abs x and y = abs y in
+  if is_zero y then x else gcd y (rem x y)
+
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let pow x n =
+  if n < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b n =
+    if n = 0 then acc
+    else
+      let acc = if n land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (n lsr 1)
+  in
+  go one x n
+
+let to_int_opt x =
+  (* Accumulate in the negative range (it is one wider, covering min_int)
+     and bail out on overflow. *)
+  let la = Array.length x.mag in
+  let rec go i acc =
+    if i < 0 then Some acc
+    else
+      let shifted = acc * base in
+      if shifted / base <> acc then None
+      else
+        let v = shifted - x.mag.(i) in
+        if v > shifted then None else go (i - 1) v
+  in
+  if x.sign = 0 then Some 0
+  else
+    match go (la - 1) 0 with
+    | None -> None
+    | Some m ->
+      if x.sign < 0 then Some m
+      else if m = min_int then None (* +|min_int| does not fit *)
+      else Some (-m)
+
+let to_float x =
+  let acc = ref 0.0 in
+  for i = Array.length x.mag - 1 downto 0 do
+    acc := (!acc *. float_of_int base) +. float_of_int x.mag.(i)
+  done;
+  if x.sign < 0 then -. !acc else !acc
+
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 16 in
+    let chunks = ref [] in
+    let m = ref x.mag in
+    while Array.length !m > 0 && not (Array.for_all (fun d -> d = 0) !m) do
+      let q, r = divmod_small_mag !m 10000 in
+      chunks := r :: !chunks;
+      let n = ref (Array.length q) in
+      while !n > 0 && q.(!n - 1) = 0 do
+        decr n
+      done;
+      m := Array.sub q 0 !n
+    done;
+    if x.sign < 0 then Buffer.add_char buf '-';
+    (match !chunks with
+    | [] -> Buffer.add_char buf '0'
+    | first :: rest ->
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%04d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Bigint.of_string: empty string";
+  let sign, start =
+    match s.[0] with '-' -> (-1, 1) | '+' -> (1, 1) | _ -> (1, 0)
+  in
+  if start >= n then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  let i = ref start in
+  while !i < n do
+    let stop = min n (!i + 4) in
+    let chunk = String.sub s !i (stop - !i) in
+    String.iter (fun c -> if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit") chunk;
+    let mult = pow (of_int 10) (stop - !i) in
+    acc := add (mul !acc mult) (of_int (int_of_string chunk));
+    i := stop
+  done;
+  if sign < 0 then neg !acc else !acc
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)

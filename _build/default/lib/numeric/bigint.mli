@@ -1,0 +1,67 @@
+(** Arbitrary-precision signed integers.
+
+    This module backs the exact-rational instantiation of the simplex solver
+    ({!Simplex} in the [lp] library).  The representation is sign-magnitude
+    with base-2{^15} digits, which keeps every intermediate product inside
+    OCaml's native [int] on 64-bit platforms.
+
+    All values are immutable and in canonical form (no leading zero digits;
+    zero has sign [0]).  Structural equality [( = )] is therefore valid, but
+    prefer {!equal} and {!compare}. *)
+
+type t
+
+(** {1 Constructors} *)
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+(** Exact conversion; handles [min_int]. *)
+
+val of_string : string -> t
+(** Parses an optional sign followed by decimal digits.
+    @raise Invalid_argument on malformed input. *)
+
+(** {1 Predicates and comparisons} *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], truncated toward zero
+    (so [sign r = sign a] or [r = zero]), like OCaml's [/] and [mod].
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val gcd : t -> t -> t
+(** Greatest common divisor of the absolute values; [gcd zero zero = zero]. *)
+
+val pow : t -> int -> t
+(** [pow x n] for [n >= 0]. @raise Invalid_argument on negative exponent. *)
+
+(** {1 Conversions} *)
+
+val to_int_opt : t -> int option
+(** [Some n] iff the value fits in a native [int]. *)
+
+val to_float : t -> float
+(** Nearest float (may overflow to infinity). *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+type t = { num : Bigint.t; den : Bigint.t }
+(* Invariants: den > 0; gcd(|num|, den) = 1; zero is 0/1. *)
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero
+  else if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let num, den = if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
+    let g = Bigint.gcd num den in
+    if Bigint.equal g Bigint.one then { num; den }
+    else { num = Bigint.div num g; den = Bigint.div den g }
+  end
+
+let zero = { num = Bigint.zero; den = Bigint.one }
+let one = { num = Bigint.one; den = Bigint.one }
+let minus_one = { num = Bigint.minus_one; den = Bigint.one }
+
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints n d = make (Bigint.of_int n) (Bigint.of_int d)
+
+let num x = x.num
+let den x = x.den
+
+let sign x = Bigint.sign x.num
+let is_zero x = Bigint.is_zero x.num
+let is_integer x = Bigint.equal x.den Bigint.one
+
+let compare x y =
+  (* num_x/den_x ? num_y/den_y  <=>  num_x*den_y ? num_y*den_x (dens > 0). *)
+  Bigint.compare (Bigint.mul x.num y.den) (Bigint.mul y.num x.den)
+
+let equal x y = Bigint.equal x.num y.num && Bigint.equal x.den y.den
+
+let neg x = { x with num = Bigint.neg x.num }
+let abs x = if sign x < 0 then neg x else x
+
+let inv x =
+  if is_zero x then raise Division_by_zero
+  else if Bigint.sign x.num > 0 then { num = x.den; den = x.num }
+  else { num = Bigint.neg x.den; den = Bigint.neg x.num }
+
+let add x y =
+  make (Bigint.add (Bigint.mul x.num y.den) (Bigint.mul y.num x.den)) (Bigint.mul x.den y.den)
+
+let sub x y = add x (neg y)
+let mul x y = make (Bigint.mul x.num y.num) (Bigint.mul x.den y.den)
+let div x y = mul x (inv y)
+
+let min x y = if compare x y <= 0 then x else y
+let max x y = if compare x y >= 0 then x else y
+
+let floor x =
+  let q, r = Bigint.divmod x.num x.den in
+  if Bigint.sign r < 0 then Bigint.sub q Bigint.one else q
+
+let ceil x =
+  let q, r = Bigint.divmod x.num x.den in
+  if Bigint.sign r > 0 then Bigint.add q Bigint.one else q
+
+let to_float x = Bigint.to_float x.num /. Bigint.to_float x.den
+
+let to_string x =
+  if is_integer x then Bigint.to_string x.num
+  else Bigint.to_string x.num ^ "/" ^ Bigint.to_string x.den
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)

@@ -1,0 +1,1 @@
+lib/relalg/cq.ml: Array Format Hashtbl List Printf Queue Symbol

@@ -1,0 +1,1 @@
+lib/relalg/cq.mli: Format Symbol

@@ -1,0 +1,1 @@
+lib/relalg/cq_parser.ml: Cq Database List Printf String Symbol

@@ -1,0 +1,1 @@
+lib/relalg/cq_parser.mli: Cq Database Symbol

@@ -1,0 +1,1 @@
+lib/relalg/database.ml: Array Format Hashtbl List Printf String Symbol

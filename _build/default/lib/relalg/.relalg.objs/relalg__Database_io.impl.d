@@ -1,0 +1,1 @@
+lib/relalg/database_io.ml: Array Cq Cq_parser Database In_channel List Printf String Symbol

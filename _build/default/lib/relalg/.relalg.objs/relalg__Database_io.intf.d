@@ -1,0 +1,1 @@
+lib/relalg/database_io.mli: Database

@@ -1,0 +1,1 @@
+lib/relalg/eval.ml: Array Cq Database Hashtbl List

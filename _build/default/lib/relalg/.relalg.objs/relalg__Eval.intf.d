@@ -1,0 +1,1 @@
+lib/relalg/eval.mli: Cq Database

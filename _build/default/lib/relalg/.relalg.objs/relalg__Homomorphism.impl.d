@@ -1,0 +1,1 @@
+lib/relalg/homomorphism.ml: Array Cq Database Hashtbl List

@@ -1,0 +1,1 @@
+lib/relalg/homomorphism.mli: Cq Database

@@ -1,0 +1,1 @@
+lib/relalg/provenance.ml: Array Database Database_io Eval Format List Option Printf

@@ -1,0 +1,1 @@
+lib/relalg/provenance.mli: Cq Database Format

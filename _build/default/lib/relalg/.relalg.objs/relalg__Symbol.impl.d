@@ -1,0 +1,1 @@
+lib/relalg/symbol.ml: Array Hashtbl

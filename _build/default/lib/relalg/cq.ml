@@ -1,0 +1,192 @@
+type term = Var of string | Const of int
+
+type atom = { rel : string; terms : term array; exo : bool }
+
+type t = { name : string; atoms : atom array }
+
+let atom ?(exo = false) rel terms = { rel; terms = Array.of_list terms; exo }
+
+let make ?(name = "Q") atoms =
+  if atoms = [] then invalid_arg "Cq.make: empty query";
+  let arities = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      let ar = Array.length a.terms in
+      match Hashtbl.find_opt arities a.rel with
+      | Some ar' when ar' <> ar ->
+        invalid_arg (Printf.sprintf "Cq.make: relation %s used with arities %d and %d" a.rel ar' ar)
+      | _ -> Hashtbl.replace arities a.rel ar)
+    atoms;
+  { name; atoms = Array.of_list atoms }
+
+let dedup_keep_order xs =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    xs
+
+let vars_of_atom a =
+  Array.to_list a.terms
+  |> List.filter_map (function Var v -> Some v | Const _ -> None)
+  |> dedup_keep_order
+
+let vars q = Array.to_list q.atoms |> List.concat_map vars_of_atom |> dedup_keep_order
+
+let arity q rel =
+  let found = Array.to_list q.atoms |> List.find_opt (fun a -> a.rel = rel) in
+  match found with Some a -> Array.length a.terms | None -> raise Not_found
+
+let rel_names q = Array.to_list q.atoms |> List.map (fun a -> a.rel) |> dedup_keep_order
+
+let self_join_free q = List.length (rel_names q) = Array.length q.atoms
+
+let endogenous_atoms q =
+  Array.to_list q.atoms
+  |> List.mapi (fun i a -> (i, a))
+  |> List.filter_map (fun (i, a) -> if a.exo then None else Some i)
+
+let atoms_sharing q v =
+  Array.to_list q.atoms
+  |> List.mapi (fun i a -> (i, a))
+  |> List.filter_map (fun (i, a) -> if List.mem v (vars_of_atom a) then Some i else None)
+
+(* BFS between atoms where an edge requires a shared variable outside
+   [avoid]. *)
+let atoms_connected_avoiding q i j ~avoid =
+  let n = Array.length q.atoms in
+  let allowed_vars a = List.filter (fun v -> not (List.mem v avoid)) (vars_of_atom q.atoms.(a)) in
+  let adj a b = List.exists (fun v -> List.mem v (allowed_vars b)) (allowed_vars a) in
+  if i = j then true
+  else begin
+    let visited = Array.make n false in
+    let queue = Queue.create () in
+    Queue.push i queue;
+    visited.(i) <- true;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let a = Queue.pop queue in
+      for b = 0 to n - 1 do
+        if (not visited.(b)) && adj a b then begin
+          if b = j then found := true;
+          visited.(b) <- true;
+          Queue.push b queue
+        end
+      done
+    done;
+    !found
+  end
+
+let connected q =
+  let n = Array.length q.atoms in
+  if n <= 1 then true
+  else
+    let rec all i = i >= n || (atoms_connected_avoiding q 0 i ~avoid:[] && all (i + 1)) in
+    all 1
+
+let components q =
+  let n = Array.length q.atoms in
+  let shares a b =
+    List.exists (fun v -> List.mem v (vars_of_atom q.atoms.(b))) (vars_of_atom q.atoms.(a))
+  in
+  let comp = Array.make n (-1) in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    if comp.(i) < 0 then begin
+      let c = !next in
+      incr next;
+      comp.(i) <- c;
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        for a = 0 to n - 1 do
+          if comp.(a) = c then
+            for b = 0 to n - 1 do
+              if comp.(b) < 0 && shares a b then begin
+                comp.(b) <- c;
+                changed := true
+              end
+            done
+        done
+      done
+    end
+  done;
+  List.init !next (fun c ->
+      let atoms =
+        Array.to_list q.atoms
+        |> List.mapi (fun i a -> (i, a))
+        |> List.filter_map (fun (i, a) -> if comp.(i) = c then Some a else None)
+      in
+      { name = Printf.sprintf "%s_c%d" q.name c; atoms = Array.of_list atoms })
+
+(* Variable-level BFS: from [v], step to any co-occurring variable that is
+   not blocked; the target atom counts as reached when we stand on one of
+   its variables. *)
+let var_reaches_atom_avoiding q v target ~blocked =
+  let target_vars = vars_of_atom q.atoms.(target) in
+  if List.mem v target_vars then true
+  else begin
+    let visited = Hashtbl.create 8 in
+    Hashtbl.add visited v ();
+    let queue = Queue.create () in
+    Queue.push v queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let x = Queue.pop queue in
+      Array.iter
+        (fun a ->
+          let avs = vars_of_atom a in
+          if List.mem x avs then
+            List.iter
+              (fun y ->
+                if (not (Hashtbl.mem visited y)) && not (List.mem y blocked) then begin
+                  Hashtbl.add visited y ();
+                  if List.mem y target_vars then found := true;
+                  Queue.push y queue
+                end)
+              avs)
+        q.atoms
+    done;
+    !found
+  end
+
+let rename_rel q old_name new_name =
+  {
+    q with
+    atoms = Array.map (fun a -> if a.rel = old_name then { a with rel = new_name } else a) q.atoms;
+  }
+
+let set_exo q i exo =
+  let atoms = Array.copy q.atoms in
+  atoms.(i) <- { atoms.(i) with exo };
+  { q with atoms }
+
+let equal a b =
+  a.atoms = b.atoms
+
+let pp_term name fmt = function
+  | Var v -> Format.pp_print_string fmt v
+  | Const c -> Format.fprintf fmt "'%s'" (name c)
+
+let pp_atom name fmt a =
+  Format.fprintf fmt "%s%s(%a)" a.rel
+    (if a.exo then "!" else "")
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ",") (pp_term name))
+    (Array.to_list a.terms)
+
+let pp_with name fmt q =
+  Format.fprintf fmt "%s :- %a" q.name
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") (pp_atom name))
+    (Array.to_list q.atoms)
+
+let pp fmt q = pp_with string_of_int fmt q
+
+let pp_named syms fmt q = pp_with (Symbol.name syms) fmt q
+
+let to_string q = Format.asprintf "%a" pp q
+
+let to_string_named syms q = Format.asprintf "%a" (pp_named syms) q

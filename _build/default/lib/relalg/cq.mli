@@ -1,0 +1,85 @@
+(** Boolean conjunctive queries (with self-joins and constants).
+
+    A query is a list of atoms over relation names; argument terms are
+    variables or constants.  Following the paper (Definition 3.3 and prior
+    work), an atom may be flagged {e exogenous}: tuples of exogenous atoms
+    never participate in contingency sets.
+
+    Queries are Boolean: all variables are existential.  Non-Boolean
+    resilience questions reduce to the Boolean variant (footnote 1 of the
+    paper). *)
+
+type term = Var of string | Const of int
+
+type atom = {
+  rel : string;  (** Relation symbol; repeated symbols are self-joins. *)
+  terms : term array;
+  exo : bool;  (** Exogenous atoms cannot contribute contingency tuples. *)
+}
+
+type t = { name : string; atoms : atom array }
+
+val make : ?name:string -> atom list -> t
+(** @raise Invalid_argument on an empty atom list or on two atoms with the
+    same relation symbol but different arities. *)
+
+val atom : ?exo:bool -> string -> term list -> atom
+
+(** {1 Structure} *)
+
+val vars_of_atom : atom -> string list
+(** Distinct variables, in first-occurrence order. *)
+
+val vars : t -> string list
+(** Distinct variables of the whole query, in first-occurrence order. *)
+
+val arity : t -> string -> int
+(** Arity of a relation symbol appearing in the query. @raise Not_found *)
+
+val rel_names : t -> string list
+(** Distinct relation symbols, in first-occurrence order. *)
+
+val self_join_free : t -> bool
+
+val endogenous_atoms : t -> int list
+(** Indices of non-exogenous atoms. *)
+
+val atoms_sharing : t -> string -> int list
+(** Indices of atoms containing the given variable. *)
+
+val connected : t -> bool
+(** Is the query hypergraph connected (atoms as nodes, shared variables as
+    edges)?  The paper treats only connected queries; disconnected ones are
+    handled component-wise by callers. *)
+
+val components : t -> t list
+(** Connected components, each as a query (atom order preserved). *)
+
+val atoms_connected_avoiding : t -> int -> int -> avoid:string list -> bool
+(** Is there a path between the two atoms (indices) in the hypergraph that
+    shares only variables outside [avoid] along the way?  This is the "path
+    that uses no variable occurring in the third atom" test of the triad
+    definition (Definition 8.2). *)
+
+val var_reaches_atom_avoiding : t -> string -> int -> blocked:string list -> bool
+(** Can variable [v] reach the atom (index) through co-occurrence steps that
+    never pass through a variable of [blocked] (the test behind solitary
+    variables, Definition 8.3)?  [v] itself may be in [blocked]. *)
+
+val rename_rel : t -> string -> string -> t
+(** Rename a relation symbol (used by linearization / dissociation). *)
+
+val set_exo : t -> int -> bool -> t
+(** Copy of the query with the exogenous flag of atom [i] replaced. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Constants print as raw integers; use {!pp_named} to resolve interned
+    string constants. *)
+
+val pp_named : Symbol.t -> Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val to_string_named : Symbol.t -> t -> string

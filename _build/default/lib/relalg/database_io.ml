@@ -1,0 +1,70 @@
+let strip s = String.trim s
+
+(* R('a', 2) x3 !  — reuse the query-term lexer by parsing the tuple as a
+   one-atom query with constant arguments only. *)
+let parse_line db line =
+  let line = match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line in
+  let line = strip line in
+  if line = "" then None
+  else begin
+    (* Split off trailing '!' and 'xN' markers. *)
+    let exo = ref false in
+    let mult = ref 1 in
+    let body = ref line in
+    let continue = ref true in
+    while !continue do
+      let b = strip !body in
+      let n = String.length b in
+      if n > 0 && b.[n - 1] = '!' then begin
+        exo := true;
+        body := String.sub b 0 (n - 1)
+      end
+      else begin
+        match String.rindex_opt b 'x' with
+        | Some i
+          when i > 0
+               && b.[i - 1] = ' '
+               && i + 1 < n
+               && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub b (i + 1) (n - i - 1))
+          ->
+          mult := int_of_string (String.sub b (i + 1) (n - i - 1));
+          body := String.sub b 0 i
+        | _ -> continue := false
+      end
+    done;
+    let q = Cq_parser.parse ~symbols:(Database.symbols db) (strip !body) in
+    if Array.length q.Cq.atoms <> 1 then invalid_arg "Database_io: one tuple per line";
+    let atom = q.Cq.atoms.(0) in
+    let args =
+      Array.map
+        (function
+          | Cq.Const c -> c
+          | Cq.Var v -> invalid_arg (Printf.sprintf "Database_io: variable %S in data" v))
+        atom.Cq.terms
+    in
+    Some (Database.add ~mult:!mult ~exo:!exo db atom.Cq.rel args)
+  end
+
+let parse_string ?db s =
+  let db = match db with Some d -> d | None -> Database.create () in
+  String.split_on_char '\n' s |> List.iter (fun line -> ignore (parse_line db line));
+  db
+
+let load ?db path =
+  let ic = open_in path in
+  let contents = In_channel.input_all ic in
+  close_in ic;
+  parse_string ?db contents
+
+let print_tuple db tid =
+  let info = Database.tuple db tid in
+  let syms = Database.symbols db in
+  let name c =
+    let s = Symbol.name syms c in
+    if String.length s > 0 && String.for_all (fun ch -> ch >= '0' && ch <= '9') s then s
+    else "'" ^ s ^ "'"
+  in
+  Printf.sprintf "%s(%s)%s%s" info.Database.rel
+    (String.concat ", " (Array.to_list info.Database.args |> List.map name))
+    (if info.Database.mult > 1 then Printf.sprintf " x%d" info.Database.mult else "")
+    (if info.Database.exo then " !" else "")

@@ -1,0 +1,25 @@
+(** A small text format for database instances, used by the CLI and the
+    examples.
+
+    One tuple per line:
+    {v
+      R(1, 2)            # a tuple of relation R
+      S('alice', 7) x3   # three copies (bag semantics)
+      A(1) !             # exogenous tuple
+      # comments and blank lines are ignored
+    v}
+    Constants are integers or single-quoted strings (interned through the
+    database's symbol table). *)
+
+val parse_line : Database.t -> string -> Database.tuple_id option
+(** Adds one line's tuple; [None] for blank/comment lines.
+    @raise Invalid_argument on malformed input. *)
+
+val parse_string : ?db:Database.t -> string -> Database.t
+
+val load : ?db:Database.t -> string -> Database.t
+(** Reads a file. @raise Sys_error / Invalid_argument. *)
+
+val print_tuple : Database.t -> Database.tuple_id -> string
+(** One tuple in the same format (names resolved through the symbol
+    table). *)

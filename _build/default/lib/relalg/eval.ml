@@ -1,0 +1,153 @@
+type witness = { valuation : (string * int) list; tuples : Database.tuple_id array }
+
+(* Greedy join order: repeatedly pick the atom with the most already-bound
+   variables, breaking ties toward smaller relations.  Returns the atom
+   indices in execution order. *)
+let join_order q db =
+  let n = Array.length q.Cq.atoms in
+  let rel_size =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun rel -> Hashtbl.replace tbl rel (List.length (Database.tuples_of db rel)))
+      (Cq.rel_names q);
+    fun rel -> try Hashtbl.find tbl rel with Not_found -> 0
+  in
+  let chosen = Array.make n false in
+  let bound = Hashtbl.create 16 in
+  let order = ref [] in
+  for _ = 1 to n do
+    let best = ref (-1) in
+    let best_key = ref (-1, max_int) in
+    for i = 0 to n - 1 do
+      if not chosen.(i) then begin
+        let a = q.Cq.atoms.(i) in
+        let nbound =
+          List.length (List.filter (fun v -> Hashtbl.mem bound v) (Cq.vars_of_atom a))
+        in
+        let better =
+          let bn, bs = !best_key in
+          nbound > bn || (nbound = bn && rel_size a.Cq.rel < bs)
+        in
+        if !best < 0 || better then begin
+          best := i;
+          best_key := (nbound, rel_size a.Cq.rel)
+        end
+      end
+    done;
+    chosen.(!best) <- true;
+    List.iter (fun v -> Hashtbl.replace bound v ()) (Cq.vars_of_atom q.Cq.atoms.(!best));
+    order := !best :: !order
+  done;
+  Array.of_list (List.rev !order)
+
+(* For each execution position, precompute which term positions are bound
+   (constants, repeated variables within the atom, or variables bound by
+   earlier atoms) and build a hash index of the relation on those columns. *)
+type plan_step = {
+  atom_idx : int;
+  rel : string;
+  terms : Cq.term array;
+  bound_cols : int list;  (* positions used as the index key *)
+  index : (int list, Database.tuple_info list) Hashtbl.t;
+}
+
+let build_plan q db order =
+  let bound_vars = Hashtbl.create 16 in
+  Array.to_list order
+  |> List.map (fun atom_idx ->
+         let a = q.Cq.atoms.(atom_idx) in
+         (* Only constants and variables bound by earlier atoms can key the
+            index; a variable repeated within this same atom is checked by
+            the per-tuple consistency scan instead (its value is unknown
+            until the tuple is picked). *)
+         let bound_cols = ref [] in
+         Array.iteri
+           (fun pos term ->
+             match term with
+             | Cq.Const _ -> bound_cols := pos :: !bound_cols
+             | Cq.Var v -> if Hashtbl.mem bound_vars v then bound_cols := pos :: !bound_cols)
+           a.Cq.terms;
+         let bound_cols = List.rev !bound_cols in
+         let index = Hashtbl.create 64 in
+         List.iter
+           (fun info ->
+             let key = List.map (fun pos -> info.Database.args.(pos)) bound_cols in
+             let cur = try Hashtbl.find index key with Not_found -> [] in
+             Hashtbl.replace index key (info :: cur))
+           (Database.tuples_of db a.Cq.rel);
+         List.iter (fun v -> Hashtbl.replace bound_vars v ()) (Cq.vars_of_atom a);
+         { atom_idx; rel = a.Cq.rel; terms = a.Cq.terms; bound_cols; index })
+
+let enumerate q db ~stop_after_first =
+  let order = join_order q db in
+  let plan = build_plan q db order in
+  let qvars = Cq.vars q in
+  let valuation = Hashtbl.create 16 in
+  let chosen = Array.make (Array.length q.Cq.atoms) (-1) in
+  let out = ref [] in
+  let exception Done in
+  let rec go steps =
+    match steps with
+    | [] ->
+      let v = List.map (fun x -> (x, Hashtbl.find valuation x)) qvars in
+      out := { valuation = v; tuples = Array.copy chosen } :: !out;
+      if stop_after_first then raise Done
+    | step :: rest ->
+      let key =
+        List.map
+          (fun pos ->
+            match step.terms.(pos) with
+            | Cq.Const c -> c
+            | Cq.Var v -> Hashtbl.find valuation v)
+          step.bound_cols
+      in
+      let matches = try Hashtbl.find step.index key with Not_found -> [] in
+      List.iter
+        (fun info ->
+          (* Bind the free positions; check intra-tuple consistency for
+             repeated new variables. *)
+          let newly = ref [] in
+          let ok = ref true in
+          Array.iteri
+            (fun pos term ->
+              if !ok then
+                match term with
+                | Cq.Const c -> if info.Database.args.(pos) <> c then ok := false
+                | Cq.Var v -> (
+                  match Hashtbl.find_opt valuation v with
+                  | Some value -> if info.Database.args.(pos) <> value then ok := false
+                  | None ->
+                    Hashtbl.add valuation v info.Database.args.(pos);
+                    newly := v :: !newly))
+            step.terms;
+          if !ok then begin
+            chosen.(step.atom_idx) <- info.Database.id;
+            go rest
+          end;
+          List.iter (Hashtbl.remove valuation) !newly)
+        matches
+  in
+  (try go plan with Done -> ());
+  List.rev !out
+
+let witnesses q db = enumerate q db ~stop_after_first:false
+
+let holds q db = enumerate q db ~stop_after_first:true <> []
+
+let tuple_set w = Array.to_list w.tuples |> List.sort_uniq compare
+
+let unique_tuple_sets ws =
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun w ->
+      let ts = tuple_set w in
+      if Hashtbl.mem seen ts then None
+      else begin
+        Hashtbl.add seen ts ();
+        Some ts
+      end)
+    ws
+
+let witnesses_with ws id = List.filter (fun w -> List.mem id (tuple_set w)) ws
+
+let count q db = List.length (witnesses q db)

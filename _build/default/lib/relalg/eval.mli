@@ -1,0 +1,35 @@
+(** Witness computation: evaluating a Boolean CQ over a database.
+
+    A witness (Section 3.1) is a valuation of the query variables permitted
+    by the database that makes the query true.  Each witness determines the
+    set of tuples it uses — for self-join queries this set can be smaller
+    than the number of atoms (a tuple may serve several atoms).
+
+    Evaluation is a backtracking join: atoms are reordered greedily to bind
+    variables early, and each atom position is served by a hash index on its
+    bound columns, built once per evaluation. *)
+
+type witness = {
+  valuation : (string * int) list;  (** Variable bindings, query-var order. *)
+  tuples : Database.tuple_id array;  (** Aligned with the query's atoms. *)
+}
+
+val witnesses : Cq.t -> Database.t -> witness list
+(** All witnesses, in deterministic order. *)
+
+val holds : Cq.t -> Database.t -> bool
+(** [true] iff the query has at least one witness (early exit). *)
+
+val tuple_set : witness -> Database.tuple_id list
+(** The witness's distinct tuple ids, sorted. *)
+
+val unique_tuple_sets : witness list -> Database.tuple_id list list
+(** Distinct tuple sets over all witnesses — the rows of the ILP constraint
+    matrix (Section 4). *)
+
+val witnesses_with : witness list -> Database.tuple_id -> witness list
+(** Witnesses whose tuple set contains the given tuple. *)
+
+val count : Cq.t -> Database.t -> int
+(** Number of witnesses (valuations), as used by the non-leaking-composition
+    check of Definition 7.3. *)

@@ -1,0 +1,94 @@
+(* A homomorphism from query [src] to query [dst] maps each variable of
+   [src] to a term of [dst] (variable or constant) so that every atom of
+   [src] becomes an atom of [dst].  Found by backtracking over src's atoms. *)
+
+let exists src dst =
+  let dst_atoms = Array.to_list dst.Cq.atoms in
+  let mapping : (string, Cq.term) Hashtbl.t = Hashtbl.create 8 in
+  let match_term s_term d_term =
+    match s_term with
+    | Cq.Const c -> ( match d_term with Cq.Const c' -> c = c' | Cq.Var _ -> false)
+    | Cq.Var v -> (
+      match Hashtbl.find_opt mapping v with
+      | Some t -> t = d_term
+      | None ->
+        Hashtbl.add mapping v d_term;
+        true)
+  in
+  let rec go atoms =
+    match atoms with
+    | [] -> true
+    | (a : Cq.atom) :: rest ->
+      List.exists
+        (fun (b : Cq.atom) ->
+          if a.Cq.rel <> b.Cq.rel || Array.length a.Cq.terms <> Array.length b.Cq.terms then false
+          else begin
+            let added = ref [] in
+            let ok = ref true in
+            Array.iteri
+              (fun i s_term ->
+                if !ok then begin
+                  let had =
+                    match s_term with Cq.Var v -> Hashtbl.mem mapping v | Cq.Const _ -> true
+                  in
+                  if match_term s_term b.Cq.terms.(i) then begin
+                    if not had then
+                      match s_term with
+                      | Cq.Var v -> added := v :: !added
+                      | Cq.Const _ -> ()
+                  end
+                  else ok := false
+                end)
+              a.Cq.terms;
+            let result = !ok && go rest in
+            if not result then List.iter (Hashtbl.remove mapping) !added;
+            result
+          end)
+        dst_atoms
+  in
+  go (Array.to_list src.Cq.atoms)
+
+let drop_atom q i =
+  let atoms = Array.to_list q.Cq.atoms |> List.filteri (fun j _ -> j <> i) in
+  Cq.make ~name:q.Cq.name atoms
+
+(* Folding an atom away is sound iff there is a homomorphism from Q to the
+   sub-query (the sub-query trivially maps into Q), i.e. Q is equivalent to
+   Q minus the atom. *)
+let rec minimize q =
+  let n = Array.length q.Cq.atoms in
+  if n <= 1 then q
+  else begin
+    let rec try_drop i =
+      if i >= n then None
+      else
+        let q' = drop_atom q i in
+        if exists q q' then Some q' else try_drop (i + 1)
+    in
+    match try_drop 0 with Some q' -> minimize q' | None -> q
+  end
+
+let is_minimal q = Array.length (minimize q).Cq.atoms = Array.length q.Cq.atoms
+
+let canonical_db ?(first_const = 1) q =
+  let db = Database.create () in
+  let assign = Hashtbl.create 8 in
+  let next = ref first_const in
+  let const_of_var v =
+    match Hashtbl.find_opt assign v with
+    | Some c -> c
+    | None ->
+      let c = !next in
+      incr next;
+      Hashtbl.add assign v c;
+      c
+  in
+  Array.iter
+    (fun (a : Cq.atom) ->
+      let args =
+        Array.map (function Cq.Const c -> c | Cq.Var v -> const_of_var v) a.Cq.terms
+      in
+      ignore (Database.add ~exo:a.Cq.exo db a.Cq.rel args))
+    q.Cq.atoms;
+  let mapping = List.map (fun v -> (v, Hashtbl.find assign v)) (Cq.vars q) in
+  (db, mapping)

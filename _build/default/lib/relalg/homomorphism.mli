@@ -1,0 +1,25 @@
+(** Homomorphisms between conjunctive queries, query minimization, and
+    canonical databases (Chandra–Merlin machinery).
+
+    The paper assumes minimal queries throughout (Section 3.1) and builds
+    Join Paths out of canonical databases (Section 7.1); this module supplies
+    both operations. *)
+
+val exists : Cq.t -> Cq.t -> bool
+(** [exists src dst]: is there a homomorphism from [src] to [dst], i.e. a
+    mapping of [src]'s variables to [dst]'s terms such that every atom of
+    [src] maps onto an atom of [dst] (same relation symbol)?  Constants map
+    to themselves. *)
+
+val minimize : Cq.t -> Cq.t
+(** The core of the query: a minimal equivalent sub-query obtained by
+    repeatedly dropping atoms that are retractable. *)
+
+val is_minimal : Cq.t -> bool
+
+val canonical_db : ?first_const:int -> Cq.t -> Database.t * (string * int) list
+(** The canonical database: one tuple per atom, each variable replaced by a
+    distinct fresh constant (starting at [first_const], default 1).
+    Constants of the query map to themselves.  Also returns the
+    variable-to-constant assignment.  Exogenous atoms yield exogenous
+    tuples. *)

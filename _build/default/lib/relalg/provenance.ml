@@ -1,0 +1,206 @@
+type expr = Tuple of Database.tuple_id | And of expr list | Or of expr list
+
+let why q db =
+  let sets = Eval.unique_tuple_sets (Eval.witnesses q db) in
+  (* Irredundant DNF: drop clauses that contain another clause. *)
+  List.filter
+    (fun c ->
+      not
+        (List.exists
+           (fun c' -> c' <> c && List.for_all (fun t -> List.mem t c) c')
+           sets))
+    sets
+
+let vars_of clauses = List.concat clauses |> List.sort_uniq compare
+
+(* Connected components of clauses under variable sharing: the OR-partition. *)
+let or_partition clauses =
+  let arr = Array.of_list clauses in
+  let n = Array.length arr in
+  let comp = Array.make n (-1) in
+  let next = ref 0 in
+  let shares a b = List.exists (fun t -> List.mem t arr.(b)) arr.(a) in
+  for i = 0 to n - 1 do
+    if comp.(i) < 0 then begin
+      let c = !next in
+      incr next;
+      comp.(i) <- c;
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        for a = 0 to n - 1 do
+          if comp.(a) = c then
+            for b = 0 to n - 1 do
+              if comp.(b) < 0 && shares a b then begin
+                comp.(b) <- c;
+                changed := true
+              end
+            done
+        done
+      done
+    end
+  done;
+  List.init !next (fun c ->
+      Array.to_list arr |> List.filteri (fun i _ -> comp.(i) = c))
+
+(* The AND-partition at a node with no common variable and a single OR
+   component: group variables whose clause sets are disjoint (they belong to
+   different branches of the same factor), take connected components, and
+   verify the clause set is the exact cross product of the component
+   projections. *)
+let and_partition clauses =
+  let vars = Array.of_list (vars_of clauses) in
+  let n = Array.length vars in
+  if n < 2 then None
+  else begin
+    let clause_set v = List.filter (fun c -> List.mem v c) clauses in
+    let sets = Array.map clause_set vars in
+    let disjoint a b = not (List.exists (fun c -> List.mem c sets.(b)) sets.(a)) in
+    let comp = Array.make n (-1) in
+    let next = ref 0 in
+    for i = 0 to n - 1 do
+      if comp.(i) < 0 then begin
+        let c = !next in
+        incr next;
+        comp.(i) <- c;
+        let changed = ref true in
+        while !changed do
+          changed := false;
+          for a = 0 to n - 1 do
+            if comp.(a) = c then
+              for b = 0 to n - 1 do
+                if comp.(b) < 0 && disjoint a b then begin
+                  comp.(b) <- c;
+                  changed := true
+                end
+              done
+          done
+        done
+      end
+    done;
+    if !next < 2 then None
+    else begin
+      let group c =
+        Array.to_list vars |> List.filteri (fun i _ -> comp.(i) = c)
+      in
+      let groups = List.init !next group in
+      let projections =
+        List.map
+          (fun g ->
+            List.map (fun clause -> List.filter (fun t -> List.mem t g) clause) clauses
+            |> List.map (List.sort compare)
+            |> List.sort_uniq compare)
+          groups
+      in
+      (* Cross-product check.  A clause is determined by its per-group
+         projections, so the clause set injects into the product of the
+         projection sets; equal cardinalities then mean every combination is
+         present.  A clause with an empty projection in some group breaks
+         the split outright. *)
+      if List.exists (List.exists (fun c -> c = [])) projections then None
+      else begin
+        let product_size =
+          List.fold_left (fun acc p -> acc * List.length p) 1 projections
+        in
+        if product_size <> List.length clauses then None else Some projections
+      end
+    end
+  end
+
+let rec factor clauses =
+  match clauses with
+  | [] -> None
+  | [ clause ] -> Some (And (List.map (fun t -> Tuple t) clause))
+  | _ -> (
+    match or_partition clauses with
+    | [] -> None
+    | [ _single ] -> (
+      (* One OR component: factor out the common variables, if any. *)
+      let common =
+        List.fold_left
+          (fun acc c -> List.filter (fun t -> List.mem t c) acc)
+          (List.hd clauses) (List.tl clauses)
+      in
+      if common <> [] then begin
+        let residual =
+          List.map (fun c -> List.filter (fun t -> not (List.mem t common)) c) clauses
+        in
+        if List.exists (fun c -> c = []) residual then
+          (* a clause equalled the common part; with irredundant input this
+             only happens for a lone clause, handled above *)
+          None
+        else
+          match factor residual with
+          | Some sub -> Some (And (List.map (fun t -> Tuple t) common @ [ sub ]))
+          | None -> None
+      end
+      else begin
+        match and_partition clauses with
+        | None -> None
+        | Some projections ->
+          let subs = List.map factor projections in
+          if List.for_all Option.is_some subs then
+            Some (And (List.map Option.get subs))
+          else None
+      end)
+    | components ->
+      let subs = List.map factor components in
+      if List.for_all Option.is_some subs then Some (Or (List.map Option.get subs))
+      else None)
+
+(* Flatten nested And/Or for readability. *)
+let rec simplify = function
+  | Tuple t -> Tuple t
+  | And es -> (
+    let es =
+      List.concat_map
+        (fun e -> match simplify e with And inner -> inner | other -> [ other ])
+        es
+    in
+    match es with [ single ] -> single | es -> And es)
+  | Or es -> (
+    let es =
+      List.concat_map
+        (fun e -> match simplify e with Or inner -> inner | other -> [ other ])
+        es
+    in
+    match es with [ single ] -> single | es -> Or es)
+
+let factorize clauses = Option.map simplify (factor clauses)
+
+let read_once q db = factorize (why q db)
+
+let rec eval e assignment =
+  match e with
+  | Tuple t -> assignment t
+  | And es -> List.for_all (fun e -> eval e assignment) es
+  | Or es -> List.exists (fun e -> eval e assignment) es
+
+let eval_dnf clauses assignment =
+  List.exists (fun c -> List.for_all assignment c) clauses
+
+let rec tuples_of_acc e acc =
+  match e with
+  | Tuple t -> t :: acc
+  | And es | Or es -> List.fold_left (fun acc e -> tuples_of_acc e acc) acc es
+
+let tuples_of e = List.sort_uniq compare (tuples_of_acc e [])
+
+let pp ?db fmt e =
+  let name t =
+    match db with
+    | Some db -> Database_io.print_tuple db t
+    | None -> Printf.sprintf "t%d" t
+  in
+  let rec go fmt = function
+    | Tuple t -> Format.pp_print_string fmt (name t)
+    | And es ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt " * ") go)
+        es
+    | Or es ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt " + ") go)
+        es
+  in
+  go fmt e

@@ -1,0 +1,41 @@
+(** Why-provenance of Boolean conjunctive queries, and read-once
+    factorization.
+
+    The provenance of [Q] over [D] is the positive Boolean expression (in
+    DNF: one conjunct per witness) over tuple variables that is true exactly
+    when the query is.  An instance is {e read-once} for [Q] when this
+    expression factorizes so that every tuple appears once — the
+    instance-tractability condition of the paper's Appendix J (Theorem J.1:
+    read-once instances have integral LP relaxations).
+
+    {!factorize} implements a complete read-once factorization for
+    irredundant DNFs by recursive decomposition: variable-disjoint clause
+    groups become [Or] nodes, variables common to every clause factor out
+    into [And] nodes, and clause sets that are exact cross products of
+    projections split into independent [And] factors. *)
+
+type expr =
+  | Tuple of Database.tuple_id
+  | And of expr list
+  | Or of expr list
+
+val why : Cq.t -> Database.t -> Database.tuple_id list list
+(** The witness DNF: one clause (set of tuple ids) per distinct witness
+    tuple set, subsumed clauses removed (irredundant form). *)
+
+val factorize : Database.tuple_id list list -> expr option
+(** Read-once factorization of an irredundant DNF; [None] when the
+    expression is not read-once. *)
+
+val read_once : Cq.t -> Database.t -> expr option
+(** [factorize (why q db)]. *)
+
+val eval : expr -> (Database.tuple_id -> bool) -> bool
+
+val eval_dnf : Database.tuple_id list list -> (Database.tuple_id -> bool) -> bool
+
+val tuples_of : expr -> Database.tuple_id list
+(** Distinct tuples, sorted; in a factorization each appears exactly once. *)
+
+val pp : ?db:Database.t -> Format.formatter -> expr -> unit
+(** Render with tuple names when a database is supplied. *)

@@ -1,0 +1,22 @@
+type t = { by_name : (string, int) Hashtbl.t; mutable by_id : string array; mutable next : int }
+
+let create () = { by_name = Hashtbl.create 64; by_id = Array.make 64 ""; next = 0 }
+
+let intern t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id -> id
+  | None ->
+    let id = t.next in
+    if id >= Array.length t.by_id then begin
+      let fresh = Array.make (2 * Array.length t.by_id) "" in
+      Array.blit t.by_id 0 fresh 0 id;
+      t.by_id <- fresh
+    end;
+    t.by_id.(id) <- name;
+    Hashtbl.add t.by_name name id;
+    t.next <- id + 1;
+    id
+
+let name t id = if id >= 0 && id < t.next && t.by_id.(id) <> "" then t.by_id.(id) else string_of_int id
+let mem t n = Hashtbl.mem t.by_name n
+let size t = t.next

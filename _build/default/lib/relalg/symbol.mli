@@ -1,0 +1,22 @@
+(** String interning: a bijection between external constant names and the
+    dense integer constants used everywhere else in the engine.
+
+    A database's constants are plain [int]s; a symbol table is an optional
+    naming layer on top (used by the parser, the example datasets and pretty
+    printers).  Mixing raw integer constants and interned constants in one
+    database is allowed but then names are only available for the interned
+    ones. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> string -> int
+(** Returns the existing id for the name, or assigns the next free one. *)
+
+val name : t -> int -> string
+(** The name of an id; falls back to the decimal form of the id itself for
+    constants that were never interned. *)
+
+val mem : t -> string -> bool
+val size : t -> int

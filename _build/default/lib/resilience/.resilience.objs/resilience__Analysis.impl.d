@@ -1,0 +1,1 @@
+lib/resilience/analysis.ml: Array Cq Hashtbl List Printf Problem Queries Relalg

@@ -1,0 +1,1 @@
+lib/resilience/analysis.mli: Cq Problem Relalg

@@ -1,0 +1,1 @@
+lib/resilience/approx.ml: Array Cq Database Encode Eval List Lp Netflow Problem Relalg

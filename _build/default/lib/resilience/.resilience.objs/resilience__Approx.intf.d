@@ -1,0 +1,1 @@
+lib/resilience/approx.mli: Cq Database Problem Relalg

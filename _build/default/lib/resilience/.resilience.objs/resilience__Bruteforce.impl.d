@@ -1,0 +1,1 @@
+lib/resilience/bruteforce.ml: Array Database Eval List Problem Relalg

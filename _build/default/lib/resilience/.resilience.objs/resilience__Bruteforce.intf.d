@@ -1,0 +1,1 @@
+lib/resilience/bruteforce.mli: Cq Database Problem Relalg

@@ -1,0 +1,1 @@
+lib/resilience/deletion_propagation.ml: Array Cq Database Eval Hashtbl List Lp Numeric Printf Problem Relalg Solve String

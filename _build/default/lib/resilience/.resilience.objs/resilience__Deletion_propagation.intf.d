@@ -1,0 +1,1 @@
+lib/resilience/deletion_propagation.mli: Cq Database Problem Relalg Solve

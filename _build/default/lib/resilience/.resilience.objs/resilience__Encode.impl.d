@@ -1,0 +1,1 @@
+lib/resilience/encode.ml: Array Database Eval Hashtbl List Lp Printf Problem Relalg

@@ -1,0 +1,1 @@
+lib/resilience/encode.mli: Cq Database Eval Hashtbl Lp Problem Relalg

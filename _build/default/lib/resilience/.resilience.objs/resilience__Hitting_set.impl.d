@@ -1,0 +1,1 @@
+lib/resilience/hitting_set.ml: Database Eval Hashtbl List Problem Relalg

@@ -1,0 +1,1 @@
+lib/resilience/hitting_set.mli: Cq Database Problem Relalg

@@ -1,0 +1,1 @@
+lib/resilience/instance.ml: Analysis Array Buffer Cq Database Eval Fun Hashtbl List Printf Relalg

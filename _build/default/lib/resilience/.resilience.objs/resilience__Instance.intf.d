@@ -1,0 +1,1 @@
+lib/resilience/instance.mli: Cq Database Eval Problem Relalg

@@ -1,0 +1,1 @@
+lib/resilience/problem.ml: Array Cq Database Format List Netflow Relalg

@@ -1,0 +1,1 @@
+lib/resilience/problem.mli: Cq Database Format Relalg

@@ -1,0 +1,1 @@
+lib/resilience/queries.ml: Array Cq Cq_parser Relalg

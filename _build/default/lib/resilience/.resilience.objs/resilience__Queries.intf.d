@@ -1,0 +1,1 @@
+lib/resilience/queries.mli: Cq Relalg

@@ -1,0 +1,1 @@
+lib/resilience/solve.ml: Analysis Array Cq Database Encode Eval Float List Lp Netflow Numeric Option Problem Relalg Sys

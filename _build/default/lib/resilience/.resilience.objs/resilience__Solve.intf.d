@@ -1,0 +1,1 @@
+lib/resilience/solve.mli: Cq Database Encode Problem Relalg

@@ -1,0 +1,177 @@
+open Relalg
+
+let var_set q i = List.sort_uniq compare (Cq.vars_of_atom q.Cq.atoms.(i))
+
+let strict_subset a b = a <> b && List.for_all (fun v -> List.mem v b) a
+
+let endo q i = not q.Cq.atoms.(i).Cq.exo
+
+let dominates q a b = endo q a && endo q b && a <> b && strict_subset (var_set q a) (var_set q b)
+
+let atom_indices q = List.init (Array.length q.Cq.atoms) (fun i -> i)
+
+let dominated_atoms q =
+  List.filter (fun b -> List.exists (fun a -> dominates q a b) (atom_indices q)) (atom_indices q)
+
+let solitary q v a =
+  let blocked = List.filter (fun x -> x <> v) (var_set q a) in
+  not
+    (List.exists
+       (fun b -> b <> a && endo q b && Cq.var_reaches_atom_avoiding q v b ~blocked)
+       (atom_indices q))
+
+let fully_dominated q a =
+  endo q a
+  && List.for_all
+       (fun v ->
+         solitary q v a
+         || List.exists
+              (fun b ->
+                b <> a && endo q b && List.mem v (var_set q b) && strict_subset (var_set q b) (var_set q a))
+              (atom_indices q))
+       (var_set q a)
+
+type triad_status = Active | Deactivated | Fully_deactivated
+
+type triad = { atoms : int * int * int; status : triad_status }
+
+let is_triad q (a, b, c) =
+  let check x y z = Cq.atoms_connected_avoiding q x y ~avoid:(var_set q z) in
+  check a b c && check b c a && check a c b
+
+let classify q (a, b, c) =
+  let members = [ a; b; c ] in
+  if List.exists (fun x -> fully_dominated q x) members then Fully_deactivated
+  else if
+    List.exists (fun x -> List.exists (fun y -> dominates q y x) (atom_indices q)) members
+  then Deactivated
+  else Active
+
+let triads q =
+  let idx = List.filter (endo q) (atom_indices q) in
+  let rec pairs = function
+    | [] -> []
+    | b :: rest -> List.map (fun c -> (b, c)) rest @ pairs rest
+  in
+  let rec triples = function
+    | [] -> []
+    | a :: rest -> List.map (fun (b, c) -> (a, b, c)) (pairs rest) @ triples rest
+  in
+  triples idx
+  |> List.filter (is_triad q)
+  |> List.map (fun t -> { atoms = t; status = classify q t })
+
+let has_triad q = triads q <> []
+
+let has_active_triad q = List.exists (fun t -> t.status = Active) (triads q)
+
+let is_linear q = not (has_triad q)
+
+let is_linearizable q = not (has_active_triad q)
+
+type complexity = Ptime | Npc | Unknown
+
+(* Query isomorphism: a bijective variable renaming matching atoms (with exo
+   flags) one-to-one.  Queries here are tiny, so plain backtracking. *)
+let isomorphic qa qb =
+  let a_atoms = Array.to_list qa.Cq.atoms and b_atoms = Array.to_list qb.Cq.atoms in
+  if List.length a_atoms <> List.length b_atoms then false
+  else begin
+    let fwd = Hashtbl.create 8 and bwd = Hashtbl.create 8 in
+    let match_terms (ta : Cq.term array) (tb : Cq.term array) k =
+      let added = ref [] in
+      let ok = ref true in
+      Array.iteri
+        (fun i t ->
+          if !ok then
+            match (t, tb.(i)) with
+            | Cq.Const c, Cq.Const c' -> if c <> c' then ok := false
+            | Cq.Var v, Cq.Var w -> (
+              match (Hashtbl.find_opt fwd v, Hashtbl.find_opt bwd w) with
+              | Some w', Some v' -> if w' <> w || v' <> v then ok := false
+              | None, None ->
+                Hashtbl.add fwd v w;
+                Hashtbl.add bwd w v;
+                added := (v, w) :: !added
+              | _ -> ok := false)
+            | Cq.Const _, Cq.Var _ | Cq.Var _, Cq.Const _ -> ok := false)
+        ta;
+      let result = !ok && k () in
+      if not result then
+        List.iter
+          (fun (v, w) ->
+            Hashtbl.remove fwd v;
+            Hashtbl.remove bwd w)
+          !added;
+      result
+    in
+    let rec go remaining_a available_b =
+      match remaining_a with
+      | [] -> true
+      | (a : Cq.atom) :: rest ->
+        let rec pick before = function
+          | [] -> false
+          | (b : Cq.atom) :: after ->
+            (a.Cq.rel = b.Cq.rel && a.Cq.exo = b.Cq.exo
+             && Array.length a.Cq.terms = Array.length b.Cq.terms
+             && match_terms a.Cq.terms b.Cq.terms (fun () -> go rest (List.rev_append before after)))
+            || pick (b :: before) after
+        in
+        pick [] available_b
+    in
+    go a_atoms b_atoms
+  end
+
+let known_hard_self_join q =
+  (* The self-join queries proven NP-complete in the paper: the 2-chain
+     (Fig. 15), z6 (Setting 5), and the Appendix G chains. *)
+  let hard =
+    [ Queries.q2_chain_sj (); Queries.q_z6 (); Queries.q_chain_b_sj (); Queries.q_chain_abc_sj () ]
+  in
+  List.exists (isomorphic q) hard
+
+let res_complexity semantics q =
+  if Cq.self_join_free q then begin
+    match semantics with
+    | Problem.Set -> if has_active_triad q then Npc else Ptime
+    | Problem.Bag -> if has_triad q then Npc else Ptime
+  end
+  else if known_hard_self_join q then Npc
+  else Unknown
+
+let rsp_complexity semantics q ~t_atom =
+  if not (Cq.self_join_free q) then if known_hard_self_join q then Npc else Unknown
+  else begin
+    match semantics with
+    | Problem.Bag -> if has_triad q then Npc else Ptime
+    | Problem.Set ->
+      let ts = triads q in
+      if List.exists (fun t -> t.status = Active) ts then Npc
+      else begin
+        let ok_triad t =
+          let a, b, c = t.atoms in
+          t.status = Fully_deactivated
+          || List.exists (fun x -> dominates q t_atom x) [ a; b; c ]
+        in
+        if List.for_all ok_triad ts then Ptime else Npc
+      end
+  end
+
+let describe semantics q =
+  let sj = if Cq.self_join_free q then "SJ-free" else "self-join" in
+  let ts = triads q in
+  let triad_desc =
+    if ts = [] then "linear (no triad)"
+    else
+      let count st = List.length (List.filter (fun t -> t.status = st) ts) in
+      Printf.sprintf "%d triad(s): %d active, %d deactivated, %d fully deactivated"
+        (List.length ts) (count Active)
+        (count Deactivated)
+        (count Fully_deactivated)
+  in
+  let res =
+    match res_complexity semantics q with Ptime -> "PTIME" | Npc -> "NP-complete" | Unknown -> "open"
+  in
+  Printf.sprintf "%s | %s | %s | RES under %s semantics: %s" (Cq.to_string q) sj triad_desc
+    (match semantics with Problem.Set -> "set" | Problem.Bag -> "bag")
+    res

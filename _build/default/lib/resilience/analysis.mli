@@ -1,0 +1,66 @@
+open! Relalg
+
+(** Structural analysis of self-join-free queries: domination, solitary
+    variables, triads, and the dichotomy classification of Table 1
+    (Definitions 8.1–8.5, Corollaries 8.9/8.10/8.16/8.17).
+
+    Atom arguments are indices into [q.atoms].  The classification functions
+    implement the paper's SJ-free dichotomies; on queries with self-joins
+    they return [Unknown] unless a special case applies (linearity gives
+    PTIME for any query by Theorem 8.6). *)
+
+val dominates : Cq.t -> int -> int -> bool
+(** [dominates q a b] — both endogenous and [var(a) ⊊ var(b)]
+    (Definition 8.1). *)
+
+val dominated_atoms : Cq.t -> int list
+(** Endogenous atoms dominated by some other endogenous atom. *)
+
+val solitary : Cq.t -> string -> int -> bool
+(** [solitary q v a] — variable [v] of atom [a] cannot reach another
+    endogenous atom without passing through [var(a) - v]
+    (Definition 8.3). *)
+
+val fully_dominated : Cq.t -> int -> bool
+(** Every non-solitary variable of the atom appears in another atom with a
+    strictly smaller variable set (Definition 8.4). *)
+
+type triad_status = Active | Deactivated | Fully_deactivated
+
+type triad = { atoms : int * int * int; status : triad_status }
+
+val triads : Cq.t -> triad list
+(** All triads among endogenous atoms: triples pairwise connected by paths
+    avoiding the third atom's variables (Definition 8.2), classified per
+    Definition 8.5. *)
+
+val has_triad : Cq.t -> bool
+val has_active_triad : Cq.t -> bool
+
+val is_linear : Cq.t -> bool
+(** Triad-free ("linear", Section 8.1). *)
+
+val is_linearizable : Cq.t -> bool
+(** No {e active} triad. *)
+
+type complexity = Ptime | Npc | Unknown
+
+val res_complexity : Problem.semantics -> Cq.t -> complexity
+(** RES dichotomy: under sets PTIME iff no active triad (Corollary 8.9);
+    under bags PTIME iff no triad (Corollary 8.10).  SJ-free only —
+    self-join queries yield [Unknown] unless linear (then [Ptime]) or one of
+    the paper's proven-hard self-join queries. *)
+
+val rsp_complexity : Problem.semantics -> Cq.t -> t_atom:int -> complexity
+(** RSP dichotomy for a responsibility tuple from atom [t_atom]: under sets,
+    PTIME iff the query has no active triad and every triad is either fully
+    deactivated or contains an atom dominated by [t_atom]'s atom
+    (Corollary 8.16); under bags PTIME iff no triad (Corollary 8.17). *)
+
+val known_hard_self_join : Cq.t -> bool
+(** Does the query match (up to variable renaming) one of the self-join
+    queries proven NP-complete in the paper (Section 7.2, Appendix G)? *)
+
+val describe : Problem.semantics -> Cq.t -> string
+(** One-line human-readable classification, used by the CLI and Table 1
+    bench. *)

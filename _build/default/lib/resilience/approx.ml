@@ -1,0 +1,75 @@
+open Relalg
+
+type result = { value : int; tuples : Database.tuple_id list }
+
+let weight_sum semantics db tids =
+  List.fold_left (fun acc tid -> acc + Problem.weight semantics (Database.tuple db tid)) 0 tids
+
+(* Round every tuple variable at threshold 1/m (Theorem 9.1). *)
+let round_tuples semantics db (enc : Encode.encoding) solution m =
+  let threshold = (1.0 /. float_of_int m) -. 1e-9 in
+  let tids =
+    List.filter_map
+      (fun (v, tid) -> if solution.(v) >= threshold then Some tid else None)
+      enc.Encode.tuple_of_var
+  in
+  { value = weight_sum semantics db tids; tuples = tids }
+
+let lp_rounding_res semantics q db =
+  let m = Array.length q.Cq.atoms in
+  match Encode.res Encode.Lp semantics q db with
+  | Encode.Trivial _ | Encode.Impossible -> None
+  | Encode.Encoded enc -> (
+    match Lp.Solvers.Float_simplex.solve enc.Encode.model with
+    | Optimal { solution; _ } -> Some (round_tuples semantics db enc solution m)
+    | Infeasible | Unbounded -> None)
+
+let lp_rounding_rsp semantics q db t =
+  let m = Array.length q.Cq.atoms in
+  match Encode.rsp Encode.Milp semantics q db t with
+  | Encode.Trivial _ | Encode.Impossible -> None
+  | Encode.Encoded enc -> (
+    let r = Lp.Solvers.Float_bb.solve enc.Encode.model in
+    match r.Lp.Solvers.Float_bb.solution with
+    | Some solution -> Some (round_tuples semantics db enc solution m)
+    | None -> None)
+
+(* Sweep all m!/2 orderings with the given key mode and keep the cheapest
+   finite cut. *)
+let flow_sweep mode solve_one q db =
+  let witnesses = Eval.witnesses q db in
+  if witnesses = [] then None
+  else begin
+    let best = ref None in
+    List.iter
+      (fun order ->
+        match solve_one ~order ~witnesses mode with
+        | Some (value, tids) when not (Netflow.Maxflow.is_infinite value) -> (
+          match !best with
+          | Some { value = bv; _ } when bv <= value -> ()
+          | _ -> best := Some { value; tuples = tids })
+        | Some _ | None -> ())
+      (Netflow.Linearize.all_orders q);
+    !best
+  end
+
+let flow_res mode semantics q db =
+  let weight = Problem.weight_fn semantics q db in
+  flow_sweep mode
+    (fun ~order ~witnesses mode ->
+      let graph = Netflow.Flow_res.build q ~order ~weight ~db ~witnesses mode in
+      Some (Netflow.Flow_res.resilience_cut graph))
+    q db
+
+let flow_rsp mode semantics q db t =
+  let weight = Problem.weight_fn semantics q db in
+  flow_sweep mode
+    (fun ~order ~witnesses mode ->
+      let graph = Netflow.Flow_res.build q ~order ~weight ~db ~witnesses mode in
+      Netflow.Flow_res.responsibility_cut graph ~tuple:t)
+    q db
+
+let flow_ct_res semantics q db = flow_res Netflow.Flow_res.Adjacent semantics q db
+let flow_cw_res semantics q db = flow_res Netflow.Flow_res.Spanning semantics q db
+let flow_ct_rsp semantics q db t = flow_rsp Netflow.Flow_res.Adjacent semantics q db t
+let flow_cw_rsp semantics q db t = flow_rsp Netflow.Flow_res.Spanning semantics q db t

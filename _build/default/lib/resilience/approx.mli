@@ -1,0 +1,33 @@
+open! Relalg
+
+(** The paper's three approximation algorithms (Section 9), for both
+    resilience and responsibility, under set or bag semantics:
+
+    - {!lp_rounding_res}/{!lp_rounding_rsp}: round the LP (resp. MILP)
+      relaxation at threshold 1/m — a guaranteed m-factor approximation for
+      {e every} CQ, self-joins and bags included (Theorem 9.1);
+    - {!flow_ct_res}/...: Flow-CT, constant-tuple linearization — minimum
+      over all m!/2 atom orderings of the min-cut of the adjacent-key flow
+      graph (spurious witnesses may appear);
+    - {!flow_cw_res}/...: Flow-CW, constant-witness linearization — same
+      sweep with spanning-key graphs (tuples may dissociate).
+
+    All three return upper bounds witnessed by an actual deletion set. *)
+
+type result = { value : int; tuples : Database.tuple_id list }
+
+val lp_rounding_res : Problem.semantics -> Cq.t -> Database.t -> result option
+(** [None] when the query is false or no contingency exists. *)
+
+val lp_rounding_rsp :
+  Problem.semantics -> Cq.t -> Database.t -> Database.tuple_id -> result option
+
+val flow_ct_res : Problem.semantics -> Cq.t -> Database.t -> result option
+
+val flow_cw_res : Problem.semantics -> Cq.t -> Database.t -> result option
+
+val flow_ct_rsp :
+  Problem.semantics -> Cq.t -> Database.t -> Database.tuple_id -> result option
+
+val flow_cw_rsp :
+  Problem.semantics -> Cq.t -> Database.t -> Database.tuple_id -> result option

@@ -1,0 +1,50 @@
+open Relalg
+
+(* Enumerate subsets of the endogenous tuples by bitmask, tracking the best
+   total weight.  A simple weight-based prune keeps this usable up to ~20
+   tuples. *)
+
+let subsets_best candidates cost accept =
+  let arr = Array.of_list candidates in
+  let n = Array.length arr in
+  let best = ref None in
+  let total = 1 lsl n in
+  for mask = 0 to total - 1 do
+    let rec weight i acc =
+      if i >= n then acc
+      else if mask land (1 lsl i) <> 0 then weight (i + 1) (acc + cost arr.(i))
+      else weight (i + 1) acc
+    in
+    let w = weight 0 0 in
+    let promising = match !best with Some b -> w < b | None -> true in
+    if promising then begin
+      let chosen =
+        List.filteri (fun i _ -> mask land (1 lsl i) <> 0) (Array.to_list arr)
+      in
+      if accept chosen then best := Some w
+    end
+  done;
+  !best
+
+let resilience semantics q db =
+  if not (Eval.holds q db) then None
+  else begin
+    let endo = Problem.endogenous_tuples q db in
+    let cost tid = Problem.weight semantics (Database.tuple db tid) in
+    subsets_best endo cost (fun gamma ->
+        let db' = Database.restrict db (fun info -> not (List.mem info.Database.id gamma)) in
+        not (Eval.holds q db'))
+  end
+
+let responsibility semantics q db t =
+  if not (Eval.holds q db) then None
+  else begin
+    let endo = List.filter (fun tid -> tid <> t) (Problem.endogenous_tuples q db) in
+    let cost tid = Problem.weight semantics (Database.tuple db tid) in
+    subsets_best endo cost (fun gamma ->
+        let db' = Database.restrict db (fun info -> not (List.mem info.Database.id gamma)) in
+        Eval.holds q db'
+        &&
+        let db'' = Database.restrict db' (fun info -> info.Database.id <> t) in
+        not (Eval.holds q db''))
+  end

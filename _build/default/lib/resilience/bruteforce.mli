@@ -1,0 +1,15 @@
+open! Relalg
+
+(** Exhaustive-search oracles for tiny instances.  Used by the test suite to
+    validate every other solver, and by the IJP search to certify the
+    OR-property on candidate gadgets. *)
+
+val resilience : Problem.semantics -> Cq.t -> Database.t -> int option
+(** Minimum total weight of an endogenous tuple set whose deletion falsifies
+    the query; [None] when the query is already false or no such set
+    exists.  Exponential in the number of endogenous tuples — keep instances
+    under ~20 tuples. *)
+
+val responsibility : Problem.semantics -> Cq.t -> Database.t -> Database.tuple_id -> int option
+(** Minimum total weight of a contingency set making the tuple
+    counterfactual; [None] when impossible. *)

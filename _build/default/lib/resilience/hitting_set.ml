@@ -1,0 +1,84 @@
+open Relalg
+
+(* Branch-and-bound for weighted hitting set:
+   - state: deleted tuples (the partial contingency) and forbidden tuples
+     (excluded so sibling branches never overlap);
+   - branching: pick an uncovered witness with the fewest usable tuples and
+     branch on deleting each, forbidding the earlier alternatives;
+   - bound: current weight + a greedy packing of pairwise-disjoint uncovered
+     witnesses, each contributing its cheapest usable tuple's weight. *)
+
+let resilience ?(node_limit = max_int) semantics q db =
+  if not (Eval.holds q db) then None
+  else begin
+    let witnesses = Eval.witnesses q db in
+    let sets =
+      Eval.unique_tuple_sets witnesses
+      |> List.map (fun ts -> List.filter (fun tid -> not (Problem.tuple_exo q db tid)) ts)
+    in
+    if List.exists (fun ts -> ts = []) sets then None
+    else begin
+      let cost tid = Problem.weight semantics (Database.tuple db tid) in
+      let sets = List.map (fun ts -> List.sort (fun a b -> compare (cost a) (cost b)) ts) sets in
+      let best_value = ref max_int in
+      let best_set = ref [] in
+      let nodes = ref 0 in
+      let rec search deleted forbidden weight remaining =
+        incr nodes;
+        if !nodes > node_limit then ()
+        else begin
+          let uncovered =
+            List.filter (fun ts -> not (List.exists (fun t -> List.mem t deleted) ts)) remaining
+          in
+          if uncovered = [] then begin
+            if weight < !best_value then begin
+              best_value := weight;
+              best_set := deleted
+            end
+          end
+          else begin
+            let usable ts = List.filter (fun t -> not (List.mem t forbidden)) ts in
+            let usable_sets = List.map usable uncovered in
+            if List.exists (fun ts -> ts = []) usable_sets then () (* dead end *)
+            else begin
+              (* Greedy disjoint packing as an admissible lower bound. *)
+              let bound =
+                let used = Hashtbl.create 16 in
+                List.fold_left
+                  (fun acc ts ->
+                    if List.exists (Hashtbl.mem used) ts then acc
+                    else begin
+                      List.iter (fun t -> Hashtbl.replace used t ()) ts;
+                      acc + (match ts with t :: _ -> cost t | [] -> 0)
+                    end)
+                  0 usable_sets
+              in
+              if weight + bound < !best_value then begin
+                (* Branch on the smallest uncovered witness. *)
+                let pick =
+                  List.fold_left
+                    (fun acc ts ->
+                      match acc with
+                      | None -> Some ts
+                      | Some cur -> if List.length ts < List.length cur then Some ts else acc)
+                    None usable_sets
+                in
+                match pick with
+                | None -> ()
+                | Some ts ->
+                  let rec branch earlier = function
+                    | [] -> ()
+                    | t :: rest ->
+                      search (t :: deleted) (earlier @ forbidden) (weight + cost t) uncovered;
+                      branch (t :: earlier) rest
+                  in
+                  branch [] ts
+              end
+            end
+          end
+        end
+      in
+      search [] [] 0 sets;
+      if !best_value = max_int then None else Some (!best_value, List.sort compare !best_set)
+    end
+  end

@@ -1,0 +1,18 @@
+open! Relalg
+
+(** A dedicated weighted-hitting-set branch-and-bound for resilience.
+
+    Resilience is minimum hitting set over the witness hypergraph (the view
+    the ILP takes, Section 4).  This solver branches on the tuples of an
+    uncovered witness directly instead of on LP variables, and lower-bounds
+    with a greedy disjoint-witness packing.  It serves as (a) an independent
+    exact oracle for the test suite at sizes brute force cannot reach, and
+    (b) the "dedicated combinatorial solver" ablation of the bench suite —
+    quantifying what the unified ILP costs/gains against a purpose-built
+    algorithm. *)
+
+val resilience :
+  ?node_limit:int -> Problem.semantics -> Cq.t -> Database.t -> (int * Database.tuple_id list) option
+(** Optimal resilience value and one optimal contingency set; [None] when
+    the query is false or no contingency exists.  [node_limit] bounds the
+    search (returns the incumbent if hit — may then be suboptimal). *)

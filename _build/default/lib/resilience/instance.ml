@@ -1,0 +1,174 @@
+open Relalg
+
+(* The P4 test from Theorem J.1's proof: witnesses w1, w2, w3 with
+   t1 ∈ w1 ∩ w2, t1 ∉ w3, t2 ∈ w2 ∩ w3, t2 ∉ w1 witness an odd unbalanced
+   submatrix.  Checked pairwise through each middle witness w2; tuple sets
+   here are small (≤ #atoms), so the inner scans are cheap even though the
+   witness loop is cubic in the worst case. *)
+let read_once witnesses =
+  let sets = Array.of_list (List.map Eval.tuple_set witnesses) in
+  let n = Array.length sets in
+  let shares_exclusively a b other =
+    (* a tuple in both a and b but not in other *)
+    List.exists (fun t -> List.mem t b && not (List.mem t other)) a
+  in
+  let found = ref false in
+  for mid = 0 to n - 1 do
+    if not !found then
+      for i = 0 to n - 1 do
+        if (not !found) && i <> mid then
+          for j = i + 1 to n - 1 do
+            if (not !found) && j <> mid then
+              if
+                shares_exclusively sets.(i) sets.(mid) sets.(j)
+                && shares_exclusively sets.(j) sets.(mid) sets.(i)
+              then found := true
+          done
+      done
+  done;
+  not !found
+
+type fd = { rel : string; determinant : int; determined : int }
+
+let functional_dependencies db =
+  List.concat_map
+    (fun rel ->
+      let tuples = Database.tuples_of db rel in
+      match tuples with
+      | [] -> []
+      | first :: _ ->
+        let arity = Array.length first.Database.args in
+        let holds i j =
+          let map = Hashtbl.create 64 in
+          List.for_all
+            (fun info ->
+              let k = info.Database.args.(i) and v = info.Database.args.(j) in
+              match Hashtbl.find_opt map k with
+              | Some v' -> v = v'
+              | None ->
+                Hashtbl.add map k v;
+                true)
+            tuples
+        in
+        List.concat_map
+          (fun i ->
+            List.filter_map
+              (fun j -> if i <> j && holds i j then Some { rel; determinant = i; determined = j } else None)
+              (List.init arity Fun.id))
+          (List.init arity Fun.id))
+    (Database.rel_names db)
+
+let keys db =
+  let fds = functional_dependencies db in
+  List.concat_map
+    (fun rel ->
+      let tuples = Database.tuples_of db rel in
+      match tuples with
+      | [] -> []
+      | first :: _ ->
+        let arity = Array.length first.Database.args in
+        if arity = 1 then [ (rel, 0) ]
+        else
+          List.filter_map
+            (fun i ->
+              let determines_all =
+                List.for_all
+                  (fun j ->
+                    i = j
+                    || List.exists (fun fd -> fd.rel = rel && fd.determinant = i && fd.determined = j) fds)
+                  (List.init arity Fun.id)
+              in
+              if determines_all then Some (rel, i) else None)
+            (List.init arity Fun.id))
+    (Database.rel_names db)
+
+let explain_base semantics q db =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Analysis.describe semantics q);
+  Buffer.add_char buf '\n';
+  let witnesses = Eval.witnesses q db in
+  if witnesses = [] then Buffer.add_string buf "instance: query is false here\n"
+  else begin
+    if read_once witnesses then
+      Buffer.add_string buf
+        "instance: read-once (no P4 among witnesses) => LP[RES*] is integral here\n\
+         regardless of the query's worst-case complexity (Theorem J.1)\n";
+    let fds = functional_dependencies db in
+    if fds <> [] then begin
+      Buffer.add_string buf "instance: functional dependencies in the data:\n";
+      List.iter
+        (fun fd ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s: column %d -> column %d\n" fd.rel fd.determinant fd.determined))
+        fds
+    end
+  end;
+  Buffer.contents buf
+
+let var_fds q db =
+  let fds = functional_dependencies db in
+  Array.to_list q.Cq.atoms
+  |> List.concat_map (fun (a : Cq.atom) ->
+         List.filter_map
+           (fun fd ->
+             if fd.rel <> a.Cq.rel then None
+             else
+               match (a.Cq.terms.(fd.determinant), a.Cq.terms.(fd.determined)) with
+               | Cq.Var x, Cq.Var y when x <> y -> Some (x, y)
+               | _ -> None)
+           fds)
+  |> List.sort_uniq compare
+
+let induced_rewrite q fds =
+  (* Per atom, close its variable set under the dependencies, then extend
+     the atom with the new variables.  Extended atoms get fresh relation
+     names (the arity changed; with self-joins differently-extended
+     occurrences must not collide). *)
+  let closure vars =
+    let set = ref (List.sort_uniq compare vars) in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (x, y) ->
+          if List.mem x !set && not (List.mem y !set) then begin
+            set := y :: !set;
+            changed := true
+          end)
+        fds
+    done;
+    !set
+  in
+  let atoms =
+    Array.to_list q.Cq.atoms
+    |> List.mapi (fun i (a : Cq.atom) ->
+           let own = Cq.vars_of_atom a in
+           let extra =
+             List.filter (fun v -> not (List.mem v own)) (closure own) |> List.sort compare
+           in
+           if extra = [] then a
+           else
+             {
+               a with
+               Cq.rel = Printf.sprintf "%s_fd%d" a.Cq.rel i;
+               terms =
+                 Array.append a.Cq.terms (Array.of_list (List.map (fun y -> Cq.Var y) extra));
+             })
+  in
+  Cq.make ~name:(q.Cq.name ^ "_fd") atoms
+
+let explain semantics q db =
+  let base = explain_base semantics q db in
+  let vfds = var_fds q db in
+  if vfds = [] then base
+  else begin
+    let q' = induced_rewrite q vfds in
+    match Analysis.res_complexity semantics q' with
+    | Analysis.Ptime ->
+      base
+      ^ Printf.sprintf
+          "instance: the induced rewrite under these dependencies (%s) is PTIME --\n\
+           the ILP is guaranteed easy on this data (Theorem J.2)\n"
+          (Cq.to_string q')
+    | Analysis.Npc | Analysis.Unknown -> base
+  end

@@ -1,0 +1,58 @@
+open! Relalg
+
+(** Instance-based tractability (Appendix J of the paper): properties of the
+    {e data} — rather than the query — that make the unified ILP provably
+    easy.  The solver needs none of this as input (it "automatically
+    leverages" the structure, Appendix J); these analyses exist to predict
+    and explain that behaviour, as Setting 2 does with TPC-H's key/FK
+    structure.
+
+    Two checks are provided:
+
+    - {!read_once}: the sufficient condition behind Theorem J.1 — if no
+      three witnesses form the P4 pattern (w1, w2 share a tuple that w3
+      lacks, while w2, w3 share a tuple that w1 lacks), the ILP constraint
+      matrix is balanced, hence LP[RES*] = ILP[RES*] on the instance no
+      matter the query's worst-case complexity.
+    - {!functional_dependencies}: unary FDs that actually hold in a
+      relation's data (e.g. TPC-H's [orderkey -> custkey]); the presence of
+      key/FK-style FDs is what makes Setting 2's NPC 5-cycle behave in
+      PTIME (Theorem J.2 via the induced-rewrite argument). *)
+
+val read_once : Eval.witness list -> bool
+(** No P4 pattern among the witness tuple sets.  [true] guarantees an
+    integral LP relaxation (balanced constraint matrix); [false] proves
+    nothing — notably, cross-product provenance (e.g. a 2x2 witness grid)
+    contains the pattern yet is genuinely read-once; use
+    {!Relalg.Provenance.factorize} for the exact notion. *)
+
+type fd = { rel : string; determinant : int; determined : int }
+(** A unary functional dependency between two column positions. *)
+
+val functional_dependencies : Database.t -> fd list
+(** All unary FDs holding in the instance (per relation, between distinct
+    column positions).  Data-level only — no schema knowledge required. *)
+
+val keys : Database.t -> (string * int) list
+(** Column positions that are keys of their relation (determine every other
+    column). *)
+
+val var_fds : Cq.t -> Database.t -> (string * string) list
+(** Variable-level functional dependencies induced by the data: [(x, y)]
+    when some atom places [x] on a determinant column and [y] on the
+    column it determines.  Only variable-to-variable dependencies are
+    kept. *)
+
+val induced_rewrite : Cq.t -> (string * string) list -> Cq.t
+(** The induced-rewrites procedure of Freire et al. (Theorem J.2): as long
+    as some dependency [x -> y] has an atom containing [x] but not [y],
+    extend that atom with [y] (its relation symbol gets a ['] since the
+    arity changes).  Under instances satisfying the dependencies, the
+    rewritten query has the same resilience/responsibility, so a PTIME
+    verdict for it explains PTIME behaviour of the original on this data —
+    the mechanism behind Setting 2's easy 5-cycle. *)
+
+val explain : Problem.semantics -> Cq.t -> Database.t -> string
+(** Human-readable summary: query-level dichotomy verdict plus any
+    instance-level structure (read-once, FDs) that predicts easy solving
+    anyway — the story of Settings 2 and 5. *)

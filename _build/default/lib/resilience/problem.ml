@@ -1,0 +1,25 @@
+open Relalg
+
+type semantics = Set | Bag
+
+let tuple_exo q db tid =
+  let info = Database.tuple db tid in
+  if info.Database.exo then true
+  else begin
+    let atoms = Array.to_list q.Cq.atoms |> List.filter (fun a -> a.Cq.rel = info.Database.rel) in
+    atoms <> [] && List.for_all (fun a -> a.Cq.exo) atoms
+  end
+
+let weight semantics info = match semantics with Set -> 1 | Bag -> info.Database.mult
+
+let weight_fn semantics q db info =
+  if tuple_exo q db info.Database.id then Netflow.Maxflow.infinity else weight semantics info
+
+let endogenous_tuples q db =
+  Database.tuples db
+  |> List.filter_map (fun info ->
+         if tuple_exo q db info.Database.id then None else Some info.Database.id)
+
+let pp_semantics fmt = function
+  | Set -> Format.pp_print_string fmt "set"
+  | Bag -> Format.pp_print_string fmt "bag"

@@ -1,0 +1,25 @@
+open! Relalg
+
+(** Problem statements shared across the library: semantics, tuple weights,
+    exogeneity. *)
+
+type semantics = Set | Bag
+
+val weight : semantics -> Database.tuple_info -> int
+(** Deletion cost of one {e distinct} non-exogenous tuple: 1 under set
+    semantics, its multiplicity under bag semantics (Lemma 4.1). *)
+
+val weight_fn : semantics -> Cq.t -> Database.t -> Database.tuple_info -> int
+(** Like {!weight} but returning {!Netflow.Maxflow.infinity} on tuples that
+    are exogenous per {!tuple_exo} — the capacity function of the flow
+    encodings. *)
+
+val tuple_exo : Cq.t -> Database.t -> Database.tuple_id -> bool
+(** A tuple is exogenous when flagged so in the database (Definition 3.3's
+    tuple-level generalisation) or when every atom of its relation in the
+    query is exogenous (the classical relation-level notion). *)
+
+val endogenous_tuples : Cq.t -> Database.t -> Database.tuple_id list
+(** Live tuples that may participate in contingency sets. *)
+
+val pp_semantics : Format.formatter -> semantics -> unit

@@ -1,0 +1,67 @@
+open Relalg
+
+let p s = Cq_parser.parse s
+
+let q2_chain () = Cq.make ~name:"Q2chain" (Array.to_list (p "R(x,y), S(y,z)").Cq.atoms)
+let q3_chain () = Cq.make ~name:"Q3chain" (Array.to_list (p "R(x,y), S(y,z), T(z,u)").Cq.atoms)
+
+let q4_chain () =
+  Cq.make ~name:"Q4chain" (Array.to_list (p "P(u,x), R(x,y), S(y,z), T(z,v)").Cq.atoms)
+
+let q5_chain () =
+  Cq.make ~name:"Q5chain" (Array.to_list (p "L(a,u), P(u,x), R(x,y), S(y,z), T(z,v)").Cq.atoms)
+
+let q2_star () = Cq.make ~name:"Q2star" (Array.to_list (p "R(x), S(y), W(x,y)").Cq.atoms)
+
+let q3_star () = Cq.make ~name:"Q3star" (Array.to_list (p "R(x), S(y), T(z), W(x,y,z)").Cq.atoms)
+
+let q_triangle () = Cq.make ~name:"Qtriangle" (Array.to_list (p "R(x,y), S(y,z), T(z,x)").Cq.atoms)
+
+let q_triangle_a () =
+  Cq.make ~name:"QtriangleA" (Array.to_list (p "A(x), R(x,y), S(y,z), T(z,x)").Cq.atoms)
+
+let q_triangle_ab () =
+  Cq.make ~name:"QtriangleAB" (Array.to_list (p "A(x), R(x,y), S(y,z), T(z,x), B(z)").Cq.atoms)
+
+let q2_chain_sj () = Cq.make ~name:"Q2chainSJ" (Array.to_list (p "R(x,y), R(y,z)").Cq.atoms)
+
+let q_conf_sj () = Cq.make ~name:"SJconf" (Array.to_list (p "R(x,y), R(x,z), A(x), C(z)").Cq.atoms)
+
+let q_confluence () =
+  Cq.make ~name:"Qconfluence" (Array.to_list (p "A(x), R(x,y), S(z,y), B(z)").Cq.atoms)
+
+let q_z6 () = Cq.make ~name:"Qz6" (Array.to_list (p "A(x), R(x,y), R(y,y), R(y,z), C(z)").Cq.atoms)
+
+let q_chain_b_sj () = Cq.make ~name:"QchainB" (Array.to_list (p "R(x,y), B(y), R(y,z)").Cq.atoms)
+
+let q_chain_abc_sj () =
+  Cq.make ~name:"QchainABC" (Array.to_list (p "A(x), R(x,y), B(y), R(y,z), C(z)").Cq.atoms)
+
+let q_tpch_5chain () =
+  Cq.make ~name:"Qtpch5chain"
+    (Array.to_list
+       (p "Customer(cn,ck), Orders(ck,ok), Lineitem(ok,ps), Partsupp(ps,sk), Supplier(sk,sn)")
+      .Cq.atoms)
+
+let q_tpch_5cycle () =
+  Cq.make ~name:"Qtpch5cycle"
+    (Array.to_list
+       (p "Customer(cn,ck), Orders(ck,ok), Lineitem(ok,ps), Partsupp(ps,sk), Supplier(sk,cn)")
+      .Cq.atoms)
+
+let all_named () =
+  [
+    ("Q2chain", q2_chain ());
+    ("Q3chain", q3_chain ());
+    ("Q4chain", q4_chain ());
+    ("Q5chain", q5_chain ());
+    ("Q2star", q2_star ());
+    ("Q3star", q3_star ());
+    ("Qtriangle", q_triangle ());
+    ("QtriangleA", q_triangle_a ());
+    ("QtriangleAB", q_triangle_ab ());
+    ("Qconfluence", q_confluence ());
+    ("Q2chainSJ", q2_chain_sj ());
+    ("SJconf", q_conf_sj ());
+    ("Qz6", q_z6 ());
+  ]

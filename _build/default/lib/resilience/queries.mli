@@ -1,0 +1,64 @@
+(** The paper's named example queries (Table 3, Section 10 and Appendix G),
+    ready-made.  Each value is freshly constructed, so callers may rename or
+    re-flag atoms without aliasing. *)
+
+open! Relalg
+
+val q2_chain : unit -> Cq.t
+(** Q∞2 :- R(x,y), S(y,z) *)
+
+val q3_chain : unit -> Cq.t
+(** Q∞3 :- R(x,y), S(y,z), T(z,u) *)
+
+val q4_chain : unit -> Cq.t
+(** Q∞4 :- P(u,x), R(x,y), S(y,z), T(z,v) *)
+
+val q5_chain : unit -> Cq.t
+(** Q∞5 :- L(a,u), P(u,x), R(x,y), S(y,z), T(z,v) *)
+
+val q2_star : unit -> Cq.t
+(** Q*2 :- R(x), S(y), W(x,y) *)
+
+val q3_star : unit -> Cq.t
+(** Q*3 :- R(x), S(y), T(z), W(x,y,z) — active triad, hard (Setting 1). *)
+
+val q_triangle : unit -> Cq.t
+(** Q△ :- R(x,y), S(y,z), T(z,x) — active triad. *)
+
+val q_triangle_a : unit -> Cq.t
+(** Q△A :- A(x), R(x,y), S(y,z), T(z,x) — deactivated triad: easy/sets,
+    hard/bags (Setting 4). *)
+
+val q_triangle_ab : unit -> Cq.t
+(** Q△AB :- A(x), R(x,y), S(y,z), T(z,x), B(z) — fully deactivated triad. *)
+
+val q2_chain_sj : unit -> Cq.t
+(** Q∞2−SJ :- R(x,y), R(y,z) — the hard self-join chain (Setting 3). *)
+
+val q_conf_sj : unit -> Cq.t
+(** SJ-conf :- R(x,y), R(x,z), A(x), C(z) — the easy self-join query of
+    Setting 3 (Fig. 7a). *)
+
+val q_confluence : unit -> Cq.t
+(** Q∼2−SJ of Table 3: A(x), R(x,y), S(z,y), B(z) — the (SJ-free)
+    2-confluence query. *)
+
+val q_z6 : unit -> Cq.t
+(** Qz6 :- A(x), R(x,y), R(y,y), R(y,z), C(z) — newly proven hard
+    (Setting 5). *)
+
+val q_chain_b_sj : unit -> Cq.t
+(** q^b_chain :- R(x,y), B(y), R(y,z) (Appendix G). *)
+
+val q_chain_abc_sj : unit -> Cq.t
+(** q^abc_chain :- A(x), R(x,y), B(y), R(y,z), C(z) (Appendix G). *)
+
+val q_tpch_5chain : unit -> Cq.t
+(** The 5-chain over the TPC-H-shaped schema of Setting 2. *)
+
+val q_tpch_5cycle : unit -> Cq.t
+(** The 5-cycle over the TPC-H-shaped schema of Setting 2. *)
+
+val all_named : unit -> (string * Cq.t) list
+(** Every query above, keyed by the paper's name — drives the Table 1
+    bench. *)

@@ -1,0 +1,199 @@
+open Relalg
+
+type stats = { nodes : int; root_lp : float; root_integral : bool; solve_time : float }
+
+type 'a outcome =
+  | Solved of 'a
+  | Query_false
+  | No_contingency
+  | Budget_exhausted of int option
+
+type res_answer = { res_value : int; contingency : Database.tuple_id list; res_stats : stats }
+
+type rsp_answer = {
+  rsp_value : int;
+  responsibility_set : Database.tuple_id list;
+  rsp_stats : stats;
+}
+
+(* Run branch-and-bound over the chosen field and normalise the result. *)
+let run_bb ~exact ?node_limit ?time_limit (enc : Encode.encoding) =
+  let t0 = Sys.time () in
+  let finish nodes root_lp root_integral objective solution =
+    let solve_time = Sys.time () -. t0 in
+    (objective, solution, { nodes; root_lp; root_integral; solve_time })
+  in
+  if exact then begin
+    let open Lp.Solvers.Exact_bb in
+    let r = solve ?node_limit ?time_limit enc.Encode.model in
+    let root = match r.root_objective with Some o -> Numeric.Rat.to_float o | None -> nan in
+    match r.status with
+    | Optimal ->
+      let obj = Numeric.Rat.to_float (Option.get r.objective) in
+      let sol = Array.map Numeric.Rat.to_float (Option.get r.solution) in
+      `Ok (finish r.nodes root r.root_integral obj sol)
+    | Infeasible -> `Infeasible
+    | Unbounded -> `Infeasible
+    | Feasible -> `Budget (Option.map (fun o -> Numeric.Rat.to_float o) r.objective)
+    | Limit_no_solution -> `Budget None
+  end
+  else begin
+    let open Lp.Solvers.Float_bb in
+    let r = solve ?node_limit ?time_limit enc.Encode.model in
+    let root = match r.root_objective with Some o -> o | None -> nan in
+    match r.status with
+    | Optimal ->
+      `Ok (finish r.nodes root r.root_integral (Option.get r.objective) (Option.get r.solution))
+    | Infeasible -> `Infeasible
+    | Unbounded -> `Infeasible
+    | Feasible -> `Budget r.objective
+    | Limit_no_solution -> `Budget None
+  end
+
+let round_value x = int_of_float (Float.round x)
+
+let resilience ?(exact = false) ?node_limit ?time_limit semantics q db =
+  let witnesses = Eval.witnesses q db in
+  if witnesses = [] then Query_false
+  else begin
+    match Encode.res_of_witnesses Encode.Ilp semantics q db witnesses with
+    | Encode.Trivial _ -> Query_false
+    | Encode.Impossible -> No_contingency
+    | Encode.Encoded enc -> (
+      match run_bb ~exact ?node_limit ?time_limit enc with
+      | `Infeasible -> No_contingency
+      | `Budget incumbent -> Budget_exhausted (Option.map round_value incumbent)
+      | `Ok (obj, sol, stats) ->
+        Solved
+          { res_value = round_value obj; contingency = Encode.contingency enc sol; res_stats = stats })
+  end
+
+let lp_optimum ~exact (enc : Encode.encoding) =
+  if exact then begin
+    match Lp.Solvers.Exact_simplex.solve enc.Encode.model with
+    | Optimal { objective; solution } ->
+      Some (Numeric.Rat.to_float objective, Array.map Numeric.Rat.to_float solution)
+    | Infeasible | Unbounded -> None
+  end
+  else begin
+    match Lp.Solvers.Float_simplex.solve enc.Encode.model with
+    | Optimal { objective; solution } -> Some (objective, solution)
+    | Infeasible | Unbounded -> None
+  end
+
+let resilience_lp_solution ?(exact = false) semantics q db =
+  match Encode.res Encode.Lp semantics q db with
+  | Encode.Trivial _ | Encode.Impossible -> None
+  | Encode.Encoded enc -> (
+    match lp_optimum ~exact enc with
+    | None -> None
+    | Some (obj, sol) -> Some (obj, enc, sol))
+
+let resilience_lp ?exact semantics q db =
+  Option.map (fun (obj, _, _) -> obj) (resilience_lp_solution ?exact semantics q db)
+
+let responsibility ?(exact = false) ?node_limit ?time_limit ?(relaxation = Encode.Ilp) semantics
+    q db t =
+  let witnesses = Eval.witnesses q db in
+  if witnesses = [] then Query_false
+  else begin
+    match Encode.rsp_of_witnesses relaxation semantics q db witnesses t with
+    | Encode.Trivial _ -> Query_false
+    | Encode.Impossible -> No_contingency
+    | Encode.Encoded enc -> (
+      match run_bb ~exact ?node_limit ?time_limit enc with
+      | `Infeasible -> No_contingency
+      | `Budget incumbent -> Budget_exhausted (Option.map round_value incumbent)
+      | `Ok (obj, sol, stats) ->
+        Solved
+          {
+            rsp_value = round_value obj;
+            responsibility_set = Encode.contingency enc sol;
+            rsp_stats = stats;
+          })
+  end
+
+let responsibility_lp ?(exact = false) semantics q db t =
+  match Encode.rsp Encode.Lp semantics q db t with
+  | Encode.Trivial _ | Encode.Impossible -> None
+  | Encode.Encoded enc -> Option.map fst (lp_optimum ~exact enc)
+
+let responsibility_ranking ?exact semantics q db =
+  Database.tuples db
+  |> List.filter_map (fun info ->
+         match responsibility ?exact semantics q db info.Database.id with
+         | Solved a ->
+           let k = a.rsp_value in
+           Some (info.Database.id, k, 1.0 /. (1.0 +. float_of_int k))
+         | Query_false | No_contingency | Budget_exhausted _ -> None)
+  |> List.stable_sort (fun (_, a, _) (_, b, _) -> compare a b)
+
+(* --- Flow baseline ------------------------------------------------------ *)
+
+let linearize_by_domination semantics q =
+  match semantics with
+  | Problem.Bag -> q
+  | Problem.Set ->
+    List.fold_left (fun q' i -> Cq.set_exo q' i true) q (Analysis.dominated_atoms q)
+
+(* Fully dominated atoms may be made exogenous for responsibility
+   (Theorem 8.12). *)
+let linearize_for_rsp semantics q =
+  match semantics with
+  | Problem.Bag -> q
+  | Problem.Set ->
+    List.fold_left
+      (fun q' i -> if Analysis.fully_dominated q i then Cq.set_exo q' i true else q')
+      q
+      (List.init (Array.length q.Cq.atoms) (fun i -> i))
+
+let flow_stats t0 = { nodes = 1; root_lp = nan; root_integral = true; solve_time = Sys.time () -. t0 }
+
+let resilience_flow semantics q db =
+  let q' = linearize_by_domination semantics q in
+  match Netflow.Linearize.exact_orders q' with
+  | [] -> None
+  | order :: _ ->
+    let t0 = Sys.time () in
+    let witnesses = Eval.witnesses q' db in
+    if witnesses = [] then Some Query_false
+    else begin
+      let weight = Problem.weight_fn semantics q' db in
+      let graph = Netflow.Flow_res.build q' ~order ~weight ~db ~witnesses Netflow.Flow_res.Spanning in
+      let value, cut = Netflow.Flow_res.resilience_cut graph in
+      if Netflow.Maxflow.is_infinite value then Some No_contingency
+      else Some (Solved { res_value = value; contingency = cut; res_stats = flow_stats t0 })
+    end
+
+let responsibility_flow semantics q db t =
+  let q' = linearize_for_rsp semantics q in
+  match Netflow.Linearize.exact_orders q' with
+  | [] -> None
+  | order :: _ ->
+    let t0 = Sys.time () in
+    let witnesses = Eval.witnesses q' db in
+    if witnesses = [] then Some Query_false
+    else begin
+      let weight = Problem.weight_fn semantics q' db in
+      let graph = Netflow.Flow_res.build q' ~order ~weight ~db ~witnesses Netflow.Flow_res.Spanning in
+      match Netflow.Flow_res.responsibility_cut graph ~tuple:t with
+      | None -> Some No_contingency
+      | Some (value, cut) ->
+        if Netflow.Maxflow.is_infinite value then Some No_contingency
+        else Some (Solved { rsp_value = value; responsibility_set = cut; rsp_stats = flow_stats t0 })
+    end
+
+(* --- Verification helpers ----------------------------------------------- *)
+
+let verify_contingency _semantics q db gamma =
+  let db' = Database.restrict db (fun info -> not (List.mem info.Database.id gamma)) in
+  not (Eval.holds q db')
+
+let verify_responsibility_set q db t gamma =
+  (not (List.mem t gamma))
+  &&
+  let db' = Database.restrict db (fun info -> not (List.mem info.Database.id gamma)) in
+  Eval.holds q db'
+  &&
+  let db'' = Database.restrict db' (fun info -> info.Database.id <> t) in
+  not (Eval.holds q db'')

@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Cq_parser Database Datagen Eval Hashtbl List Random Relalg Resilience

@@ -1,0 +1,1 @@
+test/test_ijp.ml: Alcotest Cq Cq_parser Database Eval Format Ijp List Problem QCheck QCheck_alcotest Queries Random Relalg Resilience Solve String

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Fun List Lp Numeric Option QCheck QCheck_alcotest

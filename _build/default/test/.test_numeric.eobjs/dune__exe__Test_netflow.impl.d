@@ -1,0 +1,1 @@
+test/test_netflow.ml: Alcotest Array Cq Cq_parser Database List Netflow QCheck QCheck_alcotest Random Relalg Resilience

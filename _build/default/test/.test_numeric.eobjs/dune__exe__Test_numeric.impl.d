@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Array Bigint Field Fmt List Numeric QCheck QCheck_alcotest Rat

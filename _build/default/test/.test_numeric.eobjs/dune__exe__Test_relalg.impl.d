@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Array Cq Cq_parser Database Database_io Eval Float Homomorphism List Provenance QCheck QCheck_alcotest Random Relalg Resilience Symbol

@@ -1,0 +1,132 @@
+(* Tests for the data generators: monotone random instances, the
+   TPC-H-shaped generator's key/FK structure, and the Appendix B workloads. *)
+
+open Relalg
+
+let test_specs_of_query () =
+  let q = Cq_parser.parse "R(x,y), S(y), R(y,z)" in
+  let specs = Datagen.Random_inst.specs_of_query q ~count:10 in
+  Alcotest.(check int) "one spec per relation" 2 (List.length specs);
+  let r = List.find (fun s -> s.Datagen.Random_inst.rel = "R") specs in
+  Alcotest.(check int) "arity" 2 r.Datagen.Random_inst.arity
+
+let test_monotone_prefixes () =
+  let rng = Random.State.make [| 1 |] in
+  let specs = [ { Datagen.Random_inst.rel = "R"; arity = 2; count = 50 } ] in
+  let pool = Datagen.Random_inst.pool rng ~domain:40 specs in
+  let small = Datagen.Random_inst.prefix_db pool ~frac:0.3 in
+  let large = Datagen.Random_inst.prefix_db pool ~frac:1.0 in
+  Alcotest.(check bool) "smaller" true (Database.num_tuples small < Database.num_tuples large);
+  (* every tuple of the prefix appears in the larger instance *)
+  List.iter
+    (fun info ->
+      Alcotest.(check bool) "monotone" true
+        (Database.find large info.Database.rel info.Database.args <> None))
+    (Database.tuples small)
+
+let test_no_duplicates_and_bag_bounds () =
+  let rng = Random.State.make [| 2 |] in
+  let specs = [ { Datagen.Random_inst.rel = "R"; arity = 2; count = 60 } ] in
+  let db = Datagen.Random_inst.db rng ~domain:30 ~max_bag:4 specs in
+  List.iter
+    (fun info ->
+      Alcotest.(check bool) "mult in range" true
+        (info.Database.mult >= 1 && info.Database.mult <= 4))
+    (Database.tuples db);
+  Alcotest.(check int) "distinct count" 60 (Database.num_tuples db)
+
+let test_small_domain_saturates () =
+  let rng = Random.State.make [| 3 |] in
+  let specs = [ { Datagen.Random_inst.rel = "R"; arity = 1; count = 100 } ] in
+  let db = Datagen.Random_inst.db rng ~domain:5 specs in
+  Alcotest.(check int) "at most domain tuples" 5 (Database.num_tuples db)
+
+let test_log_fractions () =
+  let fs = Datagen.Random_inst.log_fractions 10 in
+  Alcotest.(check int) "count" 10 (List.length fs);
+  Alcotest.(check (float 1e-9)) "ends at 1" 1.0 (List.nth fs 9);
+  let sorted = List.sort compare fs in
+  Alcotest.(check bool) "increasing" true (sorted = fs)
+
+(* --- TPC-H ------------------------------------------------------------------ *)
+
+let test_tpch_structure () =
+  let rng = Random.State.make [| 4 |] in
+  let db = Datagen.Tpch.generate rng ~scale:0.1 in
+  let count rel = List.length (Database.tuples_of db rel) in
+  Alcotest.(check int) "customers" 15 (count "Customer");
+  Alcotest.(check int) "suppliers" 2 (count "Supplier");
+  Alcotest.(check bool) "lineitems largest" true (count "Lineitem" >= count "Orders");
+  (* key structure: orderkey is a key of Orders (orderkey -> custkey FD) *)
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun info ->
+      let ok = info.Database.args.(1) in
+      Alcotest.(check bool) "orderkey unique" false (Hashtbl.mem seen ok);
+      Hashtbl.add seen ok ())
+    (Database.tuples_of db "Orders");
+  (* referential integrity: every Lineitem orderkey exists in Orders *)
+  let orders = Hashtbl.create 64 in
+  List.iter
+    (fun info -> Hashtbl.replace orders info.Database.args.(1) ())
+    (Database.tuples_of db "Orders");
+  List.iter
+    (fun info ->
+      Alcotest.(check bool) "lineitem FK" true (Hashtbl.mem orders info.Database.args.(0)))
+    (Database.tuples_of db "Lineitem")
+
+let test_tpch_queries_run () =
+  let rng = Random.State.make [| 5 |] in
+  let db = Datagen.Tpch.generate rng ~scale:0.05 in
+  let q5 = Resilience.Queries.q_tpch_5chain () in
+  Alcotest.(check bool) "5-chain has witnesses" true (Eval.holds q5 db);
+  match Datagen.Tpch.responsibility_target db with
+  | Some t -> Alcotest.(check bool) "target live" true (Database.mem db t)
+  | None -> Alcotest.fail "no responsibility target"
+
+let test_tpch_scale_factors () =
+  let sfs = Datagen.Tpch.scale_factors 18 in
+  Alcotest.(check int) "18 databases" 18 (List.length sfs);
+  Alcotest.(check (float 1e-9)) "starts at 0.01" 0.01 (List.hd sfs);
+  Alcotest.(check (float 1e-9)) "ends at 1.0" 1.0 (List.nth sfs 17)
+
+(* --- Workloads ------------------------------------------------------------------ *)
+
+let test_movies_dataset () =
+  let m = Datagen.Workloads.movies () in
+  Alcotest.(check int) "13 tuples" 13 (Database.num_tuples m.Datagen.Workloads.movie_db);
+  Alcotest.(check int) "3 Oscar-triangle witnesses" 3
+    (Eval.count m.Datagen.Workloads.oscar_triangle m.Datagen.Workloads.movie_db);
+  Alcotest.(check int) "4 plain-triangle witnesses (Bonham Carter too)" 4
+    (Eval.count m.Datagen.Workloads.plain_triangle m.Datagen.Workloads.movie_db)
+
+let test_migration_dataset () =
+  let mig = Datagen.Workloads.migration () in
+  (* Qs true via Alice's email requests and several DB accesses (Fig. 9):
+     AccessLog rows on server S with a matching request type. *)
+  Alcotest.(check int) "witnesses" 5
+    (Eval.count mig.Datagen.Workloads.usage_query mig.Datagen.Workloads.server_db)
+
+let () =
+  Alcotest.run "datagen"
+    [
+      ( "random",
+        [
+          Alcotest.test_case "specs of query" `Quick test_specs_of_query;
+          Alcotest.test_case "monotone prefixes" `Quick test_monotone_prefixes;
+          Alcotest.test_case "distinct tuples, bag bounds" `Quick test_no_duplicates_and_bag_bounds;
+          Alcotest.test_case "domain saturation" `Quick test_small_domain_saturates;
+          Alcotest.test_case "log fractions" `Quick test_log_fractions;
+        ] );
+      ( "tpch",
+        [
+          Alcotest.test_case "cardinalities and keys" `Quick test_tpch_structure;
+          Alcotest.test_case "queries run" `Quick test_tpch_queries_run;
+          Alcotest.test_case "scale factors" `Quick test_tpch_scale_factors;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "movies" `Quick test_movies_dataset;
+          Alcotest.test_case "migration" `Quick test_migration_dataset;
+        ] );
+    ]

@@ -1,0 +1,281 @@
+(* Tests for Independent Join Paths: the semantic checks of Definitions
+   7.1/7.3 (including every negative direction), the automatic certificate
+   search, and the vertex-cover composition of Theorem 7.4. *)
+
+open Relalg
+open Resilience
+
+let set = Problem.Set
+
+(* Fig. 1a: the IJP for the triangle-unary query. *)
+let fig1a () =
+  let q = Queries.q_triangle_a () in
+  let db = Database.create () in
+  ignore (Database.add ~exo:true db "A" [| 1 |]);
+  ignore (Database.add ~exo:true db "A" [| 4 |]);
+  let r12 = Database.add db "R" [| 1; 2 |] in
+  ignore (Database.add db "R" [| 4; 2 |]);
+  let r45 = Database.add db "R" [| 4; 5 |] in
+  ignore (Database.add db "S" [| 2; 3 |]);
+  ignore (Database.add db "S" [| 5; 3 |]);
+  ignore (Database.add db "T" [| 3; 1 |]);
+  ignore (Database.add db "T" [| 3; 4 |]);
+  { Ijp.Join_path.q; db; start = [ r12 ]; terminal = [ r45 ] }
+
+let test_fig1a_is_ijp () =
+  let jp = fig1a () in
+  match Ijp.Join_path.check_ijp set jp with
+  | Ok c -> Alcotest.(check int) "resilience 2" 2 c
+  | Error e -> Alcotest.fail e
+
+let test_fig1a_witnesses () =
+  let jp = fig1a () in
+  Alcotest.(check int) "three witnesses" 3 (Eval.count jp.Ijp.Join_path.q jp.Ijp.Join_path.db);
+  Alcotest.(check bool) "reduced" true
+    (Ijp.Join_path.reduced jp.Ijp.Join_path.q jp.Ijp.Join_path.db);
+  Alcotest.(check bool) "connected" true
+    (Ijp.Join_path.witnesses_connected jp.Ijp.Join_path.q jp.Ijp.Join_path.db)
+
+let test_endpoint_isomorphism () =
+  let jp = fig1a () in
+  match Ijp.Join_path.endpoint_isomorphism jp with
+  | Some f ->
+    Alcotest.(check (option int)) "1 -> 4" (Some 4) (List.assoc_opt 1 f);
+    Alcotest.(check (option int)) "2 -> 5" (Some 5) (List.assoc_opt 2 f)
+  | None -> Alcotest.fail "endpoints should be isomorphic"
+
+(* Negative directions: each IJP condition can fail. *)
+
+let test_reject_endogenous_endpoint_neighbor () =
+  (* Making A endogenous: A(1) sits inside the start endpoint's constants. *)
+  let jp = fig1a () in
+  let db = Database.copy jp.Ijp.Join_path.db in
+  List.iter (fun info -> Database.set_exo db info.Database.id false) (Database.tuples_of db "A");
+  match Ijp.Join_path.check_ijp set { jp with Ijp.Join_path.db } with
+  | Error msg -> Alcotest.(check bool) "3ii cited" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "should be rejected"
+
+let test_reject_not_reduced () =
+  let jp = fig1a () in
+  let db = Database.copy jp.Ijp.Join_path.db in
+  ignore (Database.add db "S" [| 77; 78 |]);
+  (* joins nothing *)
+  match Ijp.Join_path.check_ijp set { jp with Ijp.Join_path.db } with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unreduced database accepted"
+
+let test_reject_identical_endpoints () =
+  let jp = fig1a () in
+  match
+    Ijp.Join_path.check_ijp set { jp with Ijp.Join_path.terminal = jp.Ijp.Join_path.start }
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "identical endpoints accepted"
+
+let test_reject_disconnected () =
+  (* Two far-apart witnesses: connected fails. *)
+  let q = Queries.q2_chain () in
+  let db = Database.create () in
+  let r1 = Database.add db "R" [| 1; 2 |] in
+  ignore (Database.add db "S" [| 2; 3 |]);
+  let r2 = Database.add db "R" [| 11; 12 |] in
+  ignore (Database.add db "S" [| 12; 13 |]);
+  match Ijp.Join_path.check_ijp set { Ijp.Join_path.q; db; start = [ r1 ]; terminal = [ r2 ] } with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "disconnected witnesses accepted"
+
+let test_reject_no_or_property () =
+  (* A 2-chain instance shaped like a path: valid JP conditions but removing
+     an endpoint does not always drop resilience. *)
+  let q = Queries.q2_chain () in
+  let db = Database.create () in
+  let r12 = Database.add db "R" [| 1; 2 |] in
+  ignore (Database.add db "S" [| 2; 3 |]);
+  ignore (Database.add db "R" [| 5; 2 |]);
+  let r56 = Database.add db "R" [| 5; 6 |] in
+  ignore (Database.add db "S" [| 6; 7 |]);
+  match Ijp.Join_path.check_ijp set { Ijp.Join_path.q; db; start = [ r12 ]; terminal = [ r56 ] } with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "OR property should fail for a linear query gadget"
+
+(* --- Search -------------------------------------------------------------------- *)
+
+let test_search_sj_chain () =
+  match Ijp.Search.find (Queries.q2_chain_sj ()) with
+  | Some (jp, stats) ->
+    Alcotest.(check bool) "fast" true (stats.Ijp.Search.elapsed < 30.0);
+    (match Ijp.Join_path.check_ijp set jp with
+    | Ok c -> Alcotest.(check bool) "resilience >= 1" true (c >= 1)
+    | Error e -> Alcotest.fail e);
+    (* certificate is small, like the paper's (Appendix M found 3 witnesses) *)
+    Alcotest.(check bool) "small certificate" true
+      (Eval.count jp.Ijp.Join_path.q jp.Ijp.Join_path.db <= 6);
+    (* Conjecture 7.7: certificates exist within domain 7 * |var(Q)| *)
+    let domain = Database.max_const jp.Ijp.Join_path.db in
+    Alcotest.(check bool) "Conjecture 7.7 domain bound" true
+      (domain <= 7 * List.length (Cq.vars jp.Ijp.Join_path.q))
+  | None -> Alcotest.fail "certificate must exist for the hard SJ chain"
+
+let test_search_chain_b () =
+  (* q^b_chain :- R(x,y), B(y), R(y,z) — hard (Appendix G, Fig. 10).  The
+     small certificate uses exogenous B tuples, the paper's tuple-level
+     exogeneity device (Definition 3.3, Section 7). *)
+  let q = Queries.q_chain_b_sj () in
+  let config = { Ijp.Search.default_config with exo_rels = [ "B" ]; time_limit = 60.0 } in
+  match Ijp.Search.find ~config q with
+  | Some (jp, _) -> (
+    match Ijp.Join_path.check_ijp set jp with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e)
+  | None -> Alcotest.fail "certificate must exist for q^b_chain"
+
+let test_search_none_for_easy () =
+  (* The 2-chain is PTIME: no certificate should exist at small domain
+     (Conjecture 7.6 direction: absence proves nothing but must hold here). *)
+  let config =
+    { Ijp.Search.default_config with domain = 4; max_generators = 3; time_limit = 60.0 }
+  in
+  match Ijp.Search.find ~config (Queries.q2_chain ()) with
+  | None -> ()
+  | Some (jp, _) ->
+    Alcotest.failf "unexpected certificate for a PTIME query: %s"
+      (Format.asprintf "%a" Ijp.Join_path.pp jp)
+
+let test_endpoint_candidates () =
+  let q = Queries.q2_chain_sj () in
+  let cands = Ijp.Search.endpoint_candidates q in
+  (* singleton R endpoints must be among the candidates, shaped (1,2)/(3,4) *)
+  Alcotest.(check bool) "singleton R pair present" true
+    (List.mem ([ ("R", [| 1; 2 |]) ], [ ("R", [| 3; 4 |]) ]) cands);
+  (* exogenous atoms contribute no endpoint tuples *)
+  let qe = Cq_parser.parse "A!(x), R(x,y)" in
+  List.iter
+    (fun (s, t) ->
+      List.iter (fun (rel, _) -> Alcotest.(check bool) "no exo endpoint" true (rel <> "A")) s;
+      List.iter (fun (rel, _) -> Alcotest.(check bool) "no exo endpoint" true (rel <> "A")) t)
+    (Ijp.Search.endpoint_candidates qe);
+  (* multi-tuple endpoints exist for q_chain^b (the B tuple must tag along) *)
+  let qb = Queries.q_chain_b_sj () in
+  Alcotest.(check bool) "two-tuple endpoints offered" true
+    (List.exists (fun (s, _) -> List.length s = 2) (Ijp.Search.endpoint_candidates qb))
+
+(* --- Composition ----------------------------------------------------------------- *)
+
+let test_vertex_cover_reduction () =
+  let q = Queries.q2_chain_sj () in
+  match Ijp.Search.find q with
+  | None -> Alcotest.fail "certificate must exist"
+  | Some (jp, _) ->
+    (* cycles C3, C5, and a path P3 (VC: 2, 3, 1) *)
+    let cases =
+      [
+        (Ijp.Compose.odd_cycle 1, 2);
+        (Ijp.Compose.odd_cycle 2, 3);
+        ([ (0, 1); (1, 2) ], 1);
+      ]
+    in
+    List.iter
+      (fun (edges, vc) ->
+        let db = Ijp.Compose.vertex_cover_instance jp ~edges in
+        let expected = Ijp.Compose.expected_resilience jp ~edges ~vertex_cover:vc in
+        match Solve.resilience set q db with
+        | Solve.Solved a -> Alcotest.(check int) "RES = VC + m(c-1)" expected a.Solve.res_value
+        | _ -> Alcotest.fail "solve failed")
+      cases
+
+let prop_vertex_cover_random_graphs =
+  (* Theorem 7.4 on random graphs: RES of the composed instance equals
+     VC(G) + |E|(c-1), with VC computed exhaustively. *)
+  QCheck.Test.make ~name:"RES(composition) = VC + |E|(c-1) on random graphs" ~count:40
+    (QCheck.int_range 0 1_000_000) (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      match Ijp.Search.find (Queries.q2_chain_sj ()) with
+      | None -> false
+      | Some (jp, _) ->
+        let n = 3 + Random.State.int rng 3 in
+        let edges =
+          List.init n (fun u -> List.init n (fun v -> (u, v)))
+          |> List.concat
+          |> List.filter (fun (u, v) -> u < v && Random.State.int rng 3 = 0)
+        in
+        if edges = [] then true
+        else begin
+          let vc =
+            (* exhaustive minimum vertex cover *)
+            let best = ref max_int in
+            for mask = 0 to (1 lsl n) - 1 do
+              let covers =
+                List.for_all
+                  (fun (u, v) -> mask land (1 lsl u) <> 0 || mask land (1 lsl v) <> 0)
+                  edges
+              in
+              if covers then begin
+                let size = ref 0 in
+                for i = 0 to n - 1 do
+                  if mask land (1 lsl i) <> 0 then incr size
+                done;
+                if !size < !best then best := !size
+              end
+            done;
+            !best
+          in
+          let db = Ijp.Compose.vertex_cover_instance jp ~edges in
+          let expected = Ijp.Compose.expected_resilience jp ~edges ~vertex_cover:vc in
+          match Solve.resilience set (Queries.q2_chain_sj ()) db with
+          | Solve.Solved a -> a.Solve.res_value = expected
+          | _ -> false
+        end)
+
+let test_triangle_composition_counts () =
+  let jp = fig1a () in
+  match Ijp.Join_path.triangle_nonleaking jp with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_instantiate_respects_flags () =
+  let jp = fig1a () in
+  let target = Database.create () in
+  let counter = ref 100 in
+  let fresh () =
+    incr counter;
+    !counter
+  in
+  let id_map consts = List.map (fun c -> (c, c)) consts in
+  Ijp.Join_path.instantiate jp ~smap:(id_map [ 1; 2 ]) ~tmap:(id_map [ 4; 5 ]) ~fresh target;
+  Alcotest.(check int) "copy size" 9 (Database.num_tuples target);
+  let exo_count =
+    List.length (List.filter (fun info -> info.Database.exo) (Database.tuples target))
+  in
+  Alcotest.(check int) "exogenous flags copied" 2 exo_count
+
+let () =
+  Alcotest.run "ijp"
+    [
+      ( "join_path",
+        [
+          Alcotest.test_case "Fig 1a is an IJP" `Quick test_fig1a_is_ijp;
+          Alcotest.test_case "Fig 1a witnesses" `Quick test_fig1a_witnesses;
+          Alcotest.test_case "endpoint isomorphism" `Quick test_endpoint_isomorphism;
+          Alcotest.test_case "reject crowded endpoints" `Quick
+            test_reject_endogenous_endpoint_neighbor;
+          Alcotest.test_case "reject unreduced" `Quick test_reject_not_reduced;
+          Alcotest.test_case "reject identical endpoints" `Quick test_reject_identical_endpoints;
+          Alcotest.test_case "reject disconnected" `Quick test_reject_disconnected;
+          Alcotest.test_case "reject missing OR property" `Quick test_reject_no_or_property;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "finds SJ-chain certificate" `Quick test_search_sj_chain;
+          Alcotest.test_case "finds q^b_chain certificate" `Slow test_search_chain_b;
+          Alcotest.test_case "nothing for the easy 2-chain" `Slow test_search_none_for_easy;
+          Alcotest.test_case "endpoint candidates" `Quick test_endpoint_candidates;
+        ] );
+      ( "compose",
+        [
+          Alcotest.test_case "vertex-cover reduction values" `Quick test_vertex_cover_reduction;
+          QCheck_alcotest.to_alcotest prop_vertex_cover_random_graphs;
+          Alcotest.test_case "triangle composition non-leaking" `Quick
+            test_triangle_composition_counts;
+          Alcotest.test_case "instantiate copies flags" `Quick test_instantiate_respects_flags;
+        ] );
+    ]

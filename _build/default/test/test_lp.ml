@@ -1,0 +1,324 @@
+(* Tests for the LP/ILP solver stack: model building, primal and dual
+   simplex (differential against each other and against the exact rational
+   instantiation), and branch-and-bound. *)
+
+module M = Lp.Model
+module FS = Lp.Solvers.Float_simplex
+module ES = Lp.Solvers.Exact_simplex
+module FB = Lp.Solvers.Float_bb
+module EB = Lp.Solvers.Exact_bb
+
+let objective_of = function FS.Optimal { objective; _ } -> Some objective | _ -> None
+
+let solution_of = function FS.Optimal { solution; _ } -> Some solution | _ -> None
+
+(* --- Model --------------------------------------------------------------- *)
+
+let test_model_building () =
+  let m = M.create () in
+  let x = M.add_var ~name:"x" ~obj:3 m in
+  let y = M.add_var ~integer:true ~upper:1 m in
+  M.add_constr m [ (x, 1); (y, 2); (x, 1) ] M.Geq 2;
+  Alcotest.(check int) "vars" 2 (M.num_vars m);
+  Alcotest.(check int) "constrs" 1 (M.num_constrs m);
+  Alcotest.(check int) "objective" 3 (M.objective m x);
+  Alcotest.(check bool) "integer flag" true (M.is_integer m y);
+  Alcotest.(check (option int)) "upper" (Some 1) (M.upper m y);
+  Alcotest.(check string) "default name" "x1" (M.var_name m y);
+  (* duplicate coefficients are merged *)
+  let c = (M.constraints m).(0) in
+  Alcotest.(check (list (pair int int))) "merged expr" [ (x, 2); (y, 2) ] c.M.expr;
+  Alcotest.check_raises "unknown var" (Invalid_argument "Model.add_constr: unknown variable")
+    (fun () -> M.add_constr m [ (99, 1) ] M.Leq 0)
+
+let test_check_feasible () =
+  let m = M.create () in
+  let x = M.add_var ~upper:2 m in
+  M.add_constr m [ (x, 1) ] M.Geq 1;
+  Alcotest.(check bool) "feasible" true (M.check_feasible m [| 1.5 |]);
+  Alcotest.(check bool) "below" false (M.check_feasible m [| 0.5 |]);
+  Alcotest.(check bool) "above upper" false (M.check_feasible m [| 2.5 |])
+
+(* --- Simplex on known programs ------------------------------------------- *)
+
+let mk_lp () =
+  (* min 2x + 3y  s.t.  x+y >= 4, x-y <= 2, 3x+y >= 6  ->  obj 9 at (3,1) *)
+  let m = M.create () in
+  let x = M.add_var ~obj:2 m in
+  let y = M.add_var ~obj:3 m in
+  M.add_constr m [ (x, 1); (y, 1) ] M.Geq 4;
+  M.add_constr m [ (x, 1); (y, -1) ] M.Leq 2;
+  M.add_constr m [ (x, 3); (y, 1) ] M.Geq 6;
+  (m, x, y)
+
+let test_simplex_known () =
+  let m, x, y = mk_lp () in
+  List.iter
+    (fun meth ->
+      match FS.solve ~method_:meth m with
+      | FS.Optimal { objective; solution } ->
+        Alcotest.(check (float 1e-6)) "objective" 9.0 objective;
+        Alcotest.(check (float 1e-6)) "x" 3.0 solution.(x);
+        Alcotest.(check (float 1e-6)) "y" 1.0 solution.(y)
+      | FS.Infeasible | FS.Unbounded -> Alcotest.fail "expected optimal")
+    [ `Primal; `Dual; `Auto ]
+
+let test_simplex_exact_known () =
+  let m, _, _ = mk_lp () in
+  match ES.solve m with
+  | ES.Optimal { objective; _ } ->
+    Alcotest.(check bool) "exact 9" true (Numeric.Rat.equal objective (Numeric.Rat.of_int 9))
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_infeasible () =
+  let m = M.create () in
+  let x = M.add_var ~upper:1 m in
+  M.add_constr m [ (x, 1) ] M.Geq 2;
+  (match FS.solve ~method_:`Primal m with
+  | FS.Infeasible -> ()
+  | _ -> Alcotest.fail "primal should be infeasible");
+  match FS.solve ~method_:`Auto m with
+  | FS.Infeasible -> ()
+  | _ -> Alcotest.fail "dual should be infeasible"
+
+let test_simplex_unbounded () =
+  (* min -x (negative cost forces the primal path), x unconstrained above *)
+  let m = M.create () in
+  let x = M.add_var ~obj:(-1) m in
+  M.add_constr m [ (x, 1) ] M.Geq 0;
+  match FS.solve m with
+  | FS.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_simplex_degenerate_equalities () =
+  (* equality rows force the primal path *)
+  let m = M.create () in
+  let x = M.add_var ~obj:1 m in
+  let y = M.add_var ~obj:1 m in
+  M.add_constr m [ (x, 1); (y, 1) ] M.Eq 3;
+  M.add_constr m [ (x, 1); (y, -1) ] M.Eq 1;
+  match FS.solve m with
+  | FS.Optimal { objective; solution } ->
+    Alcotest.(check (float 1e-6)) "objective" 3.0 objective;
+    Alcotest.(check (float 1e-6)) "x" 2.0 solution.(x);
+    Alcotest.(check (float 1e-6)) "y" 1.0 solution.(y)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_fixed () =
+  let m, x, y = mk_lp () in
+  (match FS.solve ~fixed:[ (x, 4) ] m with
+  | FS.Optimal { objective; solution } ->
+    Alcotest.(check (float 1e-6)) "x pinned" 4.0 solution.(x);
+    (* with x=4: y >= 0, y >= 2 from x - y <= 2, obj = 8 + 3*2 = 14 *)
+    Alcotest.(check (float 1e-6)) "y" 2.0 solution.(y);
+    Alcotest.(check (float 1e-6)) "objective" 14.0 objective
+  | _ -> Alcotest.fail "expected optimal");
+  match FS.solve ~fixed:[ (x, -1) ] m with
+  | FS.Infeasible -> ()
+  | _ -> Alcotest.fail "negative fix must be infeasible"
+
+let test_fractional_covering () =
+  (* the triangle vertex-cover LP has optimum 1.5 *)
+  let m = M.create () in
+  let v = Array.init 3 (fun _ -> M.add_var ~obj:1 m) in
+  M.add_constr m [ (v.(0), 1); (v.(1), 1) ] M.Geq 1;
+  M.add_constr m [ (v.(1), 1); (v.(2), 1) ] M.Geq 1;
+  M.add_constr m [ (v.(0), 1); (v.(2), 1) ] M.Geq 1;
+  match FS.solve m with
+  | FS.Optimal { objective; _ } -> Alcotest.(check (float 1e-6)) "LP" 1.5 objective
+  | _ -> Alcotest.fail "expected optimal"
+
+(* --- Differential property: primal = dual = exact ------------------------- *)
+
+let arb_model =
+  let gen =
+    QCheck.Gen.(
+      let* nv = int_range 2 7 in
+      let* nc = int_range 1 7 in
+      let* objs = list_repeat nv (int_range 0 5) in
+      let* uppers = list_repeat nv (opt (int_range 1 3)) in
+      let* rows =
+        list_repeat nc
+          (let* coeffs = list_repeat nv (int_range (-1) 3) in
+           let* geq = bool in
+           let* rhs = int_range 0 6 in
+           return (coeffs, geq, rhs))
+      in
+      return (objs, uppers, rows))
+  in
+  QCheck.make gen
+
+let build_model (objs, uppers, rows) =
+  let m = M.create () in
+  let vars =
+    List.map2 (fun obj upper -> M.add_var ?upper ~obj m) objs uppers
+  in
+  List.iter
+    (fun (coeffs, geq, rhs) ->
+      let expr =
+        List.map2 (fun v c -> (v, max 0 c)) vars coeffs |> List.filter (fun (_, c) -> c <> 0)
+      in
+      if expr <> [] then M.add_constr m expr (if geq then M.Geq else M.Leq) rhs)
+    rows;
+  m
+
+let prop_primal_dual_exact_agree =
+  QCheck.Test.make ~name:"primal = dual = exact on random nonneg models" ~count:400 arb_model
+    (fun spec ->
+      let m = build_model spec in
+      let a = objective_of (FS.solve ~method_:`Primal m) in
+      let b = objective_of (FS.solve ~method_:`Auto m) in
+      let c =
+        match ES.solve m with
+        | ES.Optimal { objective; _ } -> Some (Numeric.Rat.to_float objective)
+        | _ -> None
+      in
+      let close x y =
+        match (x, y) with
+        | Some a, Some b -> Float.abs (a -. b) < 1e-5
+        | None, None -> true
+        | _ -> false
+      in
+      close a b && close a c)
+
+let prop_solution_feasible =
+  QCheck.Test.make ~name:"returned solutions satisfy the model" ~count:400 arb_model (fun spec ->
+      let m = build_model spec in
+      match solution_of (FS.solve m) with
+      | Some x -> M.check_feasible m x
+      | None -> true)
+
+(* --- Branch and bound ------------------------------------------------------ *)
+
+let triangle_vc () =
+  let m = M.create () in
+  let v = Array.init 3 (fun _ -> M.add_var ~integer:true ~upper:1 ~obj:1 m) in
+  M.add_constr m [ (v.(0), 1); (v.(1), 1) ] M.Geq 1;
+  M.add_constr m [ (v.(1), 1); (v.(2), 1) ] M.Geq 1;
+  M.add_constr m [ (v.(0), 1); (v.(2), 1) ] M.Geq 1;
+  m
+
+let test_bb_triangle () =
+  let r = FB.solve (triangle_vc ()) in
+  Alcotest.(check bool) "optimal" true (r.FB.status = FB.Optimal);
+  Alcotest.(check (float 1e-6)) "objective 2" 2.0 (Option.get r.FB.objective);
+  Alcotest.(check (float 1e-6)) "fractional root" 1.5 (Option.get r.FB.root_objective);
+  Alcotest.(check bool) "root not integral" false r.FB.root_integral;
+  Alcotest.(check bool) "needed branching" true (r.FB.nodes > 1)
+
+let test_bb_integral_root () =
+  (* a bipartite-cover-ish model whose LP optimum is already integral *)
+  let m = M.create () in
+  let x = M.add_var ~integer:true ~upper:1 ~obj:1 m in
+  let y = M.add_var ~integer:true ~upper:1 ~obj:2 m in
+  M.add_constr m [ (x, 1); (y, 1) ] M.Geq 1;
+  let r = FB.solve m in
+  Alcotest.(check (float 1e-6)) "objective 1" 1.0 (Option.get r.FB.objective);
+  Alcotest.(check bool) "root integral" true r.FB.root_integral;
+  Alcotest.(check int) "single node" 1 r.FB.nodes
+
+let test_bb_infeasible () =
+  let m = M.create () in
+  let x = M.add_var ~integer:true ~upper:1 m in
+  M.add_constr m [ (x, 1) ] M.Geq 2;
+  let r = FB.solve m in
+  Alcotest.(check bool) "infeasible" true (r.FB.status = FB.Infeasible)
+
+let test_bb_node_limit () =
+  let r = FB.solve ~node_limit:1 (triangle_vc ()) in
+  Alcotest.(check bool) "limit status" true
+    (match r.FB.status with FB.Feasible | FB.Limit_no_solution -> true | _ -> false)
+
+let test_bb_rejects_general_integers () =
+  let m = M.create () in
+  let x = M.add_var ~integer:true ~upper:5 ~obj:1 m in
+  M.add_constr m [ (x, 1) ] M.Geq 1;
+  Alcotest.check_raises "non-binary" (Invalid_argument "Branch_bound.solve: integer variables must be binary")
+    (fun () -> ignore (FB.solve m))
+
+let test_bb_exact_matches_float () =
+  let m = triangle_vc () in
+  let rf = FB.solve m in
+  let re = EB.solve m in
+  Alcotest.(check (float 1e-9)) "same optimum" (Option.get rf.FB.objective)
+    (Numeric.Rat.to_float (Option.get re.EB.objective))
+
+(* Random set-cover ILPs: branch-and-bound equals exhaustive search. *)
+let arb_cover =
+  let gen =
+    QCheck.Gen.(
+      let* nv = int_range 2 8 in
+      let* nc = int_range 1 6 in
+      let* weights = list_repeat nv (int_range 1 4) in
+      let* rows = list_repeat nc (list_repeat nv bool) in
+      return (weights, rows))
+  in
+  QCheck.make gen
+
+let prop_bb_matches_bruteforce =
+  QCheck.Test.make ~name:"B&B = exhaustive on random covers" ~count:200 arb_cover
+    (fun (weights, rows) ->
+      let nv = List.length weights in
+      let warr = Array.of_list weights in
+      let rows = List.filter (List.exists Fun.id) rows in
+      let m = M.create () in
+      let vars = List.map (fun w -> M.add_var ~integer:true ~upper:1 ~obj:w m) weights in
+      List.iter
+        (fun row ->
+          let expr = List.map2 (fun v inc -> (v, if inc then 1 else 0)) vars row in
+          M.add_constr m (List.filter (fun (_, c) -> c <> 0) expr) M.Geq 1)
+        rows;
+      let best = ref max_int in
+      for mask = 0 to (1 lsl nv) - 1 do
+        let covers =
+          List.for_all
+            (fun row ->
+              List.exists2 (fun i inc -> inc && mask land (1 lsl i) <> 0)
+                (List.init nv Fun.id) row)
+            rows
+        in
+        if covers then begin
+          let w = ref 0 in
+          for i = 0 to nv - 1 do
+            if mask land (1 lsl i) <> 0 then w := !w + warr.(i)
+          done;
+          if !w < !best then best := !w
+        end
+      done;
+      let r = FB.solve m in
+      match r.FB.objective with
+      | Some obj -> int_of_float (Float.round obj) = !best
+      | None -> false)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "lp"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "building" `Quick test_model_building;
+          Alcotest.test_case "check_feasible" `Quick test_check_feasible;
+        ] );
+      ( "simplex",
+        [
+          Alcotest.test_case "known LP, all methods" `Quick test_simplex_known;
+          Alcotest.test_case "exact instance" `Quick test_simplex_exact_known;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "equalities (primal path)" `Quick test_simplex_degenerate_equalities;
+          Alcotest.test_case "fixed variables" `Quick test_simplex_fixed;
+          Alcotest.test_case "fractional covering" `Quick test_fractional_covering;
+          q prop_primal_dual_exact_agree;
+          q prop_solution_feasible;
+        ] );
+      ( "branch_bound",
+        [
+          Alcotest.test_case "triangle vertex cover" `Quick test_bb_triangle;
+          Alcotest.test_case "integral root stops at node 1" `Quick test_bb_integral_root;
+          Alcotest.test_case "infeasible" `Quick test_bb_infeasible;
+          Alcotest.test_case "node limit" `Quick test_bb_node_limit;
+          Alcotest.test_case "rejects general integers" `Quick test_bb_rejects_general_integers;
+          Alcotest.test_case "exact = float" `Quick test_bb_exact_matches_float;
+          q prop_bb_matches_bruteforce;
+        ] );
+    ]

@@ -1,0 +1,270 @@
+(* Tests for max-flow/min-cut and the flow encodings of resilience. *)
+
+open Relalg
+
+(* --- Maxflow ---------------------------------------------------------------- *)
+
+let test_maxflow_basic () =
+  let g = Netflow.Maxflow.create () in
+  let s = Netflow.Maxflow.add_node g in
+  let t = Netflow.Maxflow.add_node g in
+  let a = Netflow.Maxflow.add_node g in
+  let b = Netflow.Maxflow.add_node g in
+  ignore (Netflow.Maxflow.add_edge g ~src:s ~dst:a ~cap:3);
+  ignore (Netflow.Maxflow.add_edge g ~src:s ~dst:b ~cap:2);
+  ignore (Netflow.Maxflow.add_edge g ~src:a ~dst:t ~cap:2);
+  ignore (Netflow.Maxflow.add_edge g ~src:b ~dst:t ~cap:3);
+  ignore (Netflow.Maxflow.add_edge g ~src:a ~dst:b ~cap:5);
+  Alcotest.(check int) "max flow" 5 (Netflow.Maxflow.max_flow g ~source:s ~sink:t)
+
+let test_maxflow_disconnected () =
+  let g = Netflow.Maxflow.create () in
+  let s = Netflow.Maxflow.add_node g in
+  let t = Netflow.Maxflow.add_node g in
+  Alcotest.(check int) "no path" 0 (Netflow.Maxflow.max_flow g ~source:s ~sink:t)
+
+let test_min_cut () =
+  let g = Netflow.Maxflow.create () in
+  let s = Netflow.Maxflow.add_node g in
+  let t = Netflow.Maxflow.add_node g in
+  let mid = Netflow.Maxflow.add_node g in
+  let e1 = Netflow.Maxflow.add_edge g ~src:s ~dst:mid ~cap:10 in
+  let e2 = Netflow.Maxflow.add_edge g ~src:mid ~dst:t ~cap:3 in
+  let v, cut = Netflow.Maxflow.min_cut g ~source:s ~sink:t in
+  Alcotest.(check int) "cut value" 3 v;
+  Alcotest.(check (list int)) "bottleneck edge" [ e2 ] cut;
+  ignore e1
+
+let test_set_cap_reset () =
+  let g = Netflow.Maxflow.create () in
+  let s = Netflow.Maxflow.add_node g in
+  let t = Netflow.Maxflow.add_node g in
+  let e = Netflow.Maxflow.add_edge g ~src:s ~dst:t ~cap:5 in
+  Alcotest.(check int) "first" 5 (Netflow.Maxflow.max_flow g ~source:s ~sink:t);
+  Netflow.Maxflow.set_cap g e 2;
+  Alcotest.(check int) "after set_cap" 2 (Netflow.Maxflow.max_flow g ~source:s ~sink:t);
+  Alcotest.(check int) "cap read" 2 (Netflow.Maxflow.cap g e)
+
+let test_infinite_cap () =
+  let g = Netflow.Maxflow.create () in
+  let s = Netflow.Maxflow.add_node g in
+  let t = Netflow.Maxflow.add_node g in
+  ignore (Netflow.Maxflow.add_edge g ~src:s ~dst:t ~cap:Netflow.Maxflow.infinity);
+  Alcotest.(check bool) "infinite flow" true
+    (Netflow.Maxflow.is_infinite (Netflow.Maxflow.max_flow g ~source:s ~sink:t))
+
+(* Property: on random DAG-ish graphs, the reported cut is valid (removing it
+   disconnects s from t) and its capacity equals the flow value. *)
+let arb_graph =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 2 8 in
+      let* m = int_range 1 16 in
+      let* edges = list_repeat m (triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (int_range 1 5)) in
+      return (n, edges))
+  in
+  QCheck.make gen
+
+let prop_mincut_valid =
+  QCheck.Test.make ~name:"min cut disconnects and matches flow value" ~count:300 arb_graph
+    (fun (n, edges) ->
+      let g = Netflow.Maxflow.create () in
+      let nodes = Array.init n (fun _ -> Netflow.Maxflow.add_node g) in
+      let eids =
+        List.filter_map
+          (fun (u, v, c) ->
+            if u = v then None
+            else Some ((u, v, c), Netflow.Maxflow.add_edge g ~src:nodes.(u) ~dst:nodes.(v) ~cap:c))
+          edges
+      in
+      let v, cut = Netflow.Maxflow.min_cut g ~source:nodes.(0) ~sink:nodes.(n - 1) in
+      let cut_cap =
+        List.fold_left (fun acc ((_, _, c), id) -> if List.mem id cut then acc + c else acc) 0 eids
+      in
+      (* reachability without cut edges *)
+      let adj = Array.make n [] in
+      List.iter
+        (fun ((u, w, _), id) -> if not (List.mem id cut) then adj.(u) <- w :: adj.(u))
+        eids;
+      let seen = Array.make n false in
+      let rec dfs u =
+        if not seen.(u) then begin
+          seen.(u) <- true;
+          List.iter dfs adj.(u)
+        end
+      in
+      dfs 0;
+      cut_cap = v && ((v = 0 && cut = []) || not seen.(n - 1)))
+
+(* --- Linearize ---------------------------------------------------------------- *)
+
+let parse = Cq_parser.parse
+
+let test_linear_queries () =
+  List.iter
+    (fun (s, expect) ->
+      Alcotest.(check bool) s expect (Netflow.Linearize.is_linear (parse s)))
+    [
+      ("R(x,y), S(y,z)", true);
+      ("R(x,y), S(y,z), T(z,u)", true);
+      ("R(x), S(y), W(x,y)", true);
+      ("R(x), S(y), T(z), W(x,y,z)", false);
+      ("R(x,y), S(y,z), T(z,x)", false);
+      ("A(x), R(x,y), S(y,z), T(z,x)", false);
+    ]
+
+let test_exact_orders_respect_exo () =
+  (* Q triangle-unary is not linear, but with the dominated R exogenous an
+     exact ordering exists (see Flow_res docs). *)
+  let q = parse "A(x), R(x,y), S(y,z), T(z,x)" in
+  Alcotest.(check bool) "no exact order all-endogenous" true
+    (Netflow.Linearize.exact_orders q = []);
+  let q' = Cq.set_exo q 1 true in
+  Alcotest.(check bool) "exact order with R exogenous" true
+    (Netflow.Linearize.exact_orders q' <> [])
+
+let test_all_orders_count () =
+  let q = parse "R(x,y), S(y,z), T(z,u)" in
+  (* 3! / 2 = 3 orderings up to reversal *)
+  Alcotest.(check int) "m!/2" 3 (List.length (Netflow.Linearize.all_orders q))
+
+let test_spanning_vs_adjacent () =
+  let q = parse "R(x,y), S(y,z), T(z,x)" in
+  let order = [| 0; 1; 2 |] in
+  Alcotest.(check (list string)) "spanning cut 0" [ "x"; "y" ]
+    (Netflow.Linearize.spanning_vars q order 0);
+  Alcotest.(check (list string)) "adjacent cut 0" [ "y" ]
+    (Netflow.Linearize.adjacent_vars q order 0)
+
+(* --- Flow encodings: differential against brute force -------------------------- *)
+
+let random_db rng rels nmax dom =
+  let db = Database.create () in
+  List.iter
+    (fun (rel, arity) ->
+      for _ = 1 to 1 + Random.State.int rng nmax do
+        ignore
+          (Database.add
+             ~mult:(1 + Random.State.int rng 2)
+             db rel
+             (Array.init arity (fun _ -> Random.State.int rng dom)))
+      done)
+    rels;
+  db
+
+let flow_resilience sem q db =
+  match Resilience.Solve.resilience_flow sem q db with
+  | Some (Resilience.Solve.Solved a) -> Some a.Resilience.Solve.res_value
+  | Some Resilience.Solve.Query_false -> None
+  | _ -> Some (-1)
+
+let prop_flow_exact_linear sem name =
+  QCheck.Test.make ~name ~count:150 (QCheck.int_range 0 100000) (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let q = parse "R(x,y), S(y,z)" in
+      let db = random_db rng [ ("R", 2); ("S", 2) ] 6 4 in
+      flow_resilience sem q db = Resilience.Bruteforce.resilience sem q db)
+
+let prop_flow_exact_linearizable =
+  (* triangle-unary under set semantics: flow after domination-linearization *)
+  QCheck.Test.make ~name:"flow = brute force on linearizable QtriangleA (set)" ~count:100
+    (QCheck.int_range 0 100000) (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let q = parse "A(x), R(x,y), S(y,z), T(z,x)" in
+      let db = random_db rng [ ("A", 1); ("R", 2); ("S", 2); ("T", 2) ] 4 3 in
+      flow_resilience Resilience.Problem.Set q db
+      = Resilience.Bruteforce.resilience Resilience.Problem.Set q db)
+
+let prop_flow_ct_cw_upper_bound =
+  QCheck.Test.make ~name:"Flow-CT and Flow-CW upper-bound RES on the hard triangle" ~count:80
+    (QCheck.int_range 0 100000) (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let q = parse "R(x,y), S(y,z), T(z,x)" in
+      let db = random_db rng [ ("R", 2); ("S", 2); ("T", 2) ] 4 3 in
+      match Resilience.Bruteforce.resilience Resilience.Problem.Set q db with
+      | None -> true
+      | Some exact ->
+        let check = function
+          | Some { Resilience.Approx.value; tuples } ->
+            value >= exact
+            && Resilience.Solve.verify_contingency Resilience.Problem.Set q db tuples
+          | None -> false
+        in
+        check (Resilience.Approx.flow_ct_res Resilience.Problem.Set q db)
+        && check (Resilience.Approx.flow_cw_res Resilience.Problem.Set q db))
+
+let prop_flow_rsp_exact =
+  QCheck.Test.make ~name:"flow RSP = brute force on the 2-chain" ~count:100
+    (QCheck.int_range 0 100000) (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let q = parse "R(x,y), S(y,z)" in
+      let db = random_db rng [ ("R", 2); ("S", 2) ] 5 3 in
+      List.for_all
+        (fun info ->
+          let t = info.Database.id in
+          let flow =
+            match Resilience.Solve.responsibility_flow Resilience.Problem.Set q db t with
+            | Some (Resilience.Solve.Solved a) -> Some a.Resilience.Solve.rsp_value
+            | _ -> None
+          in
+          flow = Resilience.Bruteforce.responsibility Resilience.Problem.Set q db t)
+        (Database.tuples db))
+
+let prop_flow_rsp_exact_bag =
+  QCheck.Test.make ~name:"flow RSP = brute force on the 2-chain (bag)" ~count:80
+    (QCheck.int_range 0 100000) (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let q = parse "R(x,y), S(y,z)" in
+      let db = random_db rng [ ("R", 2); ("S", 2) ] 4 3 in
+      List.for_all
+        (fun info ->
+          let t = info.Database.id in
+          let flow =
+            match Resilience.Solve.responsibility_flow Resilience.Problem.Bag q db t with
+            | Some (Resilience.Solve.Solved a) -> Some a.Resilience.Solve.rsp_value
+            | _ -> None
+          in
+          flow = Resilience.Bruteforce.responsibility Resilience.Problem.Bag q db t)
+        (Database.tuples db))
+
+let test_flow_exogenous_infinite () =
+  (* all witnesses blocked by exogenous tuples: resilience undefined *)
+  let db = Database.create () in
+  ignore (Database.add ~exo:true db "R" [| 1; 2 |]);
+  ignore (Database.add ~exo:true db "S" [| 2; 3 |]);
+  let q = parse "R(x,y), S(y,z)" in
+  match Resilience.Solve.resilience_flow Resilience.Problem.Set q db with
+  | Some Resilience.Solve.No_contingency -> ()
+  | _ -> Alcotest.fail "expected No_contingency"
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "netflow"
+    [
+      ( "maxflow",
+        [
+          Alcotest.test_case "basic" `Quick test_maxflow_basic;
+          Alcotest.test_case "disconnected" `Quick test_maxflow_disconnected;
+          Alcotest.test_case "min cut edges" `Quick test_min_cut;
+          Alcotest.test_case "set_cap reset" `Quick test_set_cap_reset;
+          Alcotest.test_case "infinite capacity" `Quick test_infinite_cap;
+          q prop_mincut_valid;
+        ] );
+      ( "linearize",
+        [
+          Alcotest.test_case "linear queries" `Quick test_linear_queries;
+          Alcotest.test_case "exogenous-aware exact orders" `Quick test_exact_orders_respect_exo;
+          Alcotest.test_case "orders count" `Quick test_all_orders_count;
+          Alcotest.test_case "spanning vs adjacent" `Quick test_spanning_vs_adjacent;
+        ] );
+      ( "flow_res",
+        [
+          q (prop_flow_exact_linear Resilience.Problem.Set "flow = brute force 2-chain (set)");
+          q (prop_flow_exact_linear Resilience.Problem.Bag "flow = brute force 2-chain (bag)");
+          q prop_flow_exact_linearizable;
+          q prop_flow_ct_cw_upper_bound;
+          q prop_flow_rsp_exact;
+          q prop_flow_rsp_exact_bag;
+          Alcotest.test_case "exogenous blocks cut" `Quick test_flow_exogenous_infinite;
+        ] );
+    ]

@@ -1,0 +1,213 @@
+(* Tests for the bignum / rational substrate. *)
+
+open Numeric
+
+let bi = Bigint.of_int
+
+let check_bigint_int msg expected actual =
+  Alcotest.(check (option int)) msg expected (Bigint.to_int_opt actual)
+
+(* --- Bigint units -------------------------------------------------------- *)
+
+let test_of_int_roundtrip () =
+  List.iter
+    (fun n ->
+      check_bigint_int (string_of_int n) (Some n) (bi n);
+      Alcotest.(check string) ("to_string " ^ string_of_int n) (string_of_int n)
+        (Bigint.to_string (bi n)))
+    [ 0; 1; -1; 42; -42; 32767; 32768; -32768; 1_000_000_007; max_int; min_int; min_int + 1 ]
+
+let test_add_sub () =
+  check_bigint_int "1+1" (Some 2) (Bigint.add Bigint.one Bigint.one);
+  check_bigint_int "5-7" (Some (-2)) (Bigint.sub (bi 5) (bi 7));
+  check_bigint_int "x + (-x)" (Some 0) (Bigint.add (bi 123456789) (bi (-123456789)));
+  check_bigint_int "carry" (Some 65536) (Bigint.add (bi 32768) (bi 32768))
+
+let test_mul () =
+  check_bigint_int "6*7" (Some 42) (Bigint.mul (bi 6) (bi 7));
+  check_bigint_int "neg" (Some (-42)) (Bigint.mul (bi (-6)) (bi 7));
+  check_bigint_int "zero" (Some 0) (Bigint.mul (bi 0) (bi 999999));
+  let big = Bigint.pow (bi 10) 30 in
+  Alcotest.(check string) "10^30" "1000000000000000000000000000000" (Bigint.to_string big)
+
+let test_divmod () =
+  let q, r = Bigint.divmod (bi 17) (bi 5) in
+  check_bigint_int "17/5" (Some 3) q;
+  check_bigint_int "17 mod 5" (Some 2) r;
+  let q, r = Bigint.divmod (bi (-17)) (bi 5) in
+  check_bigint_int "-17/5 truncates" (Some (-3)) q;
+  check_bigint_int "-17 mod 5" (Some (-2)) r;
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Bigint.divmod Bigint.one Bigint.zero))
+
+let test_big_division () =
+  (* (x*y + r) / y = x with multi-digit operands *)
+  let x = Bigint.of_string "123456789012345678901234567890" in
+  let y = Bigint.of_string "98765432109876543210" in
+  let q, r = Bigint.divmod (Bigint.add (Bigint.mul x y) (bi 77)) y in
+  Alcotest.(check bool) "quotient" true (Bigint.equal q x);
+  check_bigint_int "remainder" (Some 77) r
+
+let test_of_string () =
+  Alcotest.(check bool) "roundtrip" true
+    (Bigint.equal
+       (Bigint.of_string "-123456789012345678901234567890")
+       (Bigint.neg (Bigint.of_string "123456789012345678901234567890")));
+  Alcotest.(check bool) "plus sign" true (Bigint.equal (Bigint.of_string "+42") (bi 42));
+  List.iter
+    (fun s ->
+      Alcotest.check_raises ("bad " ^ s) (Invalid_argument "Bigint.of_string: bad digit")
+        (fun () -> ignore (Bigint.of_string s)))
+    [ "12a3"; "1 2" ]
+
+let test_gcd_pow () =
+  check_bigint_int "gcd" (Some 6) (Bigint.gcd (bi 12) (bi 18));
+  check_bigint_int "gcd neg" (Some 6) (Bigint.gcd (bi (-12)) (bi 18));
+  check_bigint_int "gcd zero" (Some 5) (Bigint.gcd (bi 0) (bi 5));
+  check_bigint_int "pow" (Some 1024) (Bigint.pow (bi 2) 10);
+  check_bigint_int "pow 0" (Some 1) (Bigint.pow (bi 7) 0)
+
+let test_compare () =
+  Alcotest.(check int) "lt" (-1) (Bigint.compare (bi (-5)) (bi 3));
+  Alcotest.(check int) "eq" 0 (Bigint.compare (bi 7) (bi 7));
+  Alcotest.(check int) "gt magnitude" 1 (Bigint.compare (bi 100000) (bi 99999));
+  Alcotest.(check int) "neg order" 1 (Bigint.compare (bi (-1)) (bi (-2)))
+
+let test_to_float () =
+  Alcotest.(check (float 1e-6)) "small" 42.0 (Bigint.to_float (bi 42));
+  Alcotest.(check (float 1e20)) "large" 1e30 (Bigint.to_float (Bigint.pow (bi 10) 30))
+
+(* --- Bigint properties --------------------------------------------------- *)
+
+let arb_small = QCheck.int_range (-1_000_000_000) 1_000_000_000
+
+let prop_arith_matches_int =
+  QCheck.Test.make ~name:"bigint arithmetic matches int" ~count:2000
+    (QCheck.pair arb_small arb_small)
+    (fun (a, b) ->
+      Bigint.to_int_opt (Bigint.add (bi a) (bi b)) = Some (a + b)
+      && Bigint.to_int_opt (Bigint.sub (bi a) (bi b)) = Some (a - b)
+      && Bigint.to_int_opt (Bigint.mul (bi a) (bi b)) = Some (a * b)
+      && (b = 0
+         || Bigint.to_int_opt (Bigint.div (bi a) (bi b)) = Some (a / b)
+            && Bigint.to_int_opt (Bigint.rem (bi a) (bi b)) = Some (a mod b)))
+
+let arb_digits = QCheck.string_gen_of_size (QCheck.Gen.int_range 1 60) (QCheck.Gen.char_range '0' '9')
+
+let prop_divmod_identity =
+  QCheck.Test.make ~name:"a = q*b + r, |r| < |b|" ~count:500
+    (QCheck.pair arb_digits arb_digits)
+    (fun (sa, sb) ->
+      let a = Bigint.of_string ("1" ^ sa) in
+      let b = Bigint.of_string ("1" ^ sb) in
+      let q, r = Bigint.divmod a b in
+      Bigint.equal a (Bigint.add (Bigint.mul q b) r)
+      && Bigint.compare (Bigint.abs r) (Bigint.abs b) < 0)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"of_string . to_string = id" ~count:500 arb_digits (fun s ->
+      let x = Bigint.of_string ("9" ^ s) in
+      Bigint.equal (Bigint.of_string (Bigint.to_string x)) x)
+
+(* --- Rat ------------------------------------------------------------------ *)
+
+let rat = Alcotest.testable (Fmt.of_to_string Rat.to_string) Rat.equal
+
+let test_rat_canonical () =
+  Alcotest.check rat "reduction" (Rat.of_ints 1 2) (Rat.of_ints 17 34);
+  Alcotest.check rat "sign normalisation" (Rat.of_ints (-1) 2) (Rat.of_ints 1 (-2));
+  Alcotest.check rat "zero" Rat.zero (Rat.of_ints 0 99);
+  Alcotest.check_raises "zero denominator" Division_by_zero (fun () -> ignore (Rat.of_ints 1 0))
+
+let test_rat_arith () =
+  Alcotest.check rat "1/2 + 1/3" (Rat.of_ints 5 6) (Rat.add (Rat.of_ints 1 2) (Rat.of_ints 1 3));
+  Alcotest.check rat "mul" (Rat.of_ints 1 3) (Rat.mul (Rat.of_ints 2 3) (Rat.of_ints 1 2));
+  Alcotest.check rat "div" (Rat.of_ints 4 3) (Rat.div (Rat.of_ints 2 3) (Rat.of_ints 1 2));
+  Alcotest.check rat "inv" (Rat.of_ints (-3) 2) (Rat.inv (Rat.of_ints (-2) 3))
+
+let test_rat_floor_ceil () =
+  let check_fc v fl ce =
+    Alcotest.(check (option int)) "floor" (Some fl) (Bigint.to_int_opt (Rat.floor v));
+    Alcotest.(check (option int)) "ceil" (Some ce) (Bigint.to_int_opt (Rat.ceil v))
+  in
+  check_fc (Rat.of_ints 7 2) 3 4;
+  check_fc (Rat.of_ints (-7) 2) (-4) (-3);
+  check_fc (Rat.of_int 5) 5 5
+
+let test_rat_compare () =
+  Alcotest.(check int) "1/3 < 1/2" (-1) (Rat.compare (Rat.of_ints 1 3) (Rat.of_ints 1 2));
+  Alcotest.(check bool) "is_integer" true (Rat.is_integer (Rat.of_ints 6 3));
+  Alcotest.(check bool) "not integer" false (Rat.is_integer (Rat.of_ints 5 3))
+
+let arb_rat =
+  QCheck.map
+    (fun (n, d) -> Rat.of_ints n (if d = 0 then 1 else d))
+    (QCheck.pair (QCheck.int_range (-10000) 10000) (QCheck.int_range (-100) 100))
+
+let prop_rat_field =
+  QCheck.Test.make ~name:"rat field axioms" ~count:1000 (QCheck.triple arb_rat arb_rat arb_rat)
+    (fun (a, b, c) ->
+      Rat.equal (Rat.add a b) (Rat.add b a)
+      && Rat.equal (Rat.mul a (Rat.add b c)) (Rat.add (Rat.mul a b) (Rat.mul a c))
+      && Rat.equal (Rat.sub (Rat.add a b) b) a
+      && (Rat.is_zero c || Rat.equal (Rat.div (Rat.mul a c) c) a))
+
+let prop_rat_floor =
+  QCheck.Test.make ~name:"floor <= x < floor + 1" ~count:1000 arb_rat (fun x ->
+      let fl = Rat.of_bigint (Rat.floor x) in
+      Rat.compare fl x <= 0 && Rat.compare x (Rat.add fl Rat.one) < 0)
+
+(* --- Field instances ------------------------------------------------------ *)
+
+let test_field_kernels () =
+  let y = [| 1.0; 2.0; 3.0 |] in
+  Field.Float_field.axpy 2.0 [| 1.0; 1.0; 1.0 |] y;
+  Alcotest.(check (array (float 1e-9))) "float axpy" [| 3.0; 4.0; 5.0 |] y;
+  Field.Float_field.div_inplace y 2.0;
+  Alcotest.(check (array (float 1e-9))) "float div" [| 1.5; 2.0; 2.5 |] y;
+  Alcotest.(check (float 1e-9)) "float dot" 10.5 (Field.Float_field.dot y [| 2.0; 0.0; 3.0 |]);
+  let ry = [| Rat.of_int 1; Rat.of_int 2 |] in
+  Field.Rat_field.axpy (Rat.of_ints 1 2) [| Rat.of_int 2; Rat.of_int 4 |] ry;
+  Alcotest.check rat "rat axpy" (Rat.of_int 2) ry.(0);
+  Alcotest.check rat "rat axpy 2" (Rat.of_int 4) ry.(1)
+
+let test_field_rounding () =
+  Alcotest.(check bool) "float integral" true (Field.Float_field.is_integral 3.0000001);
+  Alcotest.(check bool) "float fractional" false (Field.Float_field.is_integral 3.4);
+  Alcotest.(check int) "rat round half up" 3 (Field.Rat_field.round (Rat.of_ints 5 2));
+  Alcotest.(check int) "rat round down" 2 (Field.Rat_field.round (Rat.of_ints 9 4))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "numeric"
+    [
+      ( "bigint",
+        [
+          Alcotest.test_case "of_int roundtrip" `Quick test_of_int_roundtrip;
+          Alcotest.test_case "add/sub" `Quick test_add_sub;
+          Alcotest.test_case "mul" `Quick test_mul;
+          Alcotest.test_case "divmod" `Quick test_divmod;
+          Alcotest.test_case "big division" `Quick test_big_division;
+          Alcotest.test_case "of_string" `Quick test_of_string;
+          Alcotest.test_case "gcd/pow" `Quick test_gcd_pow;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "to_float" `Quick test_to_float;
+          q prop_arith_matches_int;
+          q prop_divmod_identity;
+          q prop_string_roundtrip;
+        ] );
+      ( "rat",
+        [
+          Alcotest.test_case "canonical form" `Quick test_rat_canonical;
+          Alcotest.test_case "arithmetic" `Quick test_rat_arith;
+          Alcotest.test_case "floor/ceil" `Quick test_rat_floor_ceil;
+          Alcotest.test_case "compare" `Quick test_rat_compare;
+          q prop_rat_field;
+          q prop_rat_floor;
+        ] );
+      ( "field",
+        [
+          Alcotest.test_case "bulk kernels" `Quick test_field_kernels;
+          Alcotest.test_case "rounding" `Quick test_field_rounding;
+        ] );
+    ]
