@@ -533,13 +533,23 @@ let run_micro () =
     | Encode.Encoded e -> e
     | _ -> failwith "encode failed"
   in
+  let presolved =
+    match Lp.Presolve.presolve enc.Encode.model with
+    | Lp.Presolve.Reduced (m, _) -> m
+    | _ -> failwith "presolve failed"
+  in
   let tests =
     Test.make_grouped ~name:"resilience"
       [
         Test.make ~name:"witnesses" (Staged.stage (fun () -> ignore (Eval.witnesses q db)));
         Test.make ~name:"encode-ilp"
           (Staged.stage (fun () -> ignore (Encode.res Encode.Ilp set q db)));
+        Test.make ~name:"presolve"
+          (Staged.stage (fun () -> ignore (Lp.Presolve.presolve enc.Encode.model)));
         Test.make ~name:"lp-dual"
+          (* the production path: the dual simplex sees the presolved model *)
+          (Staged.stage (fun () -> ignore (Lp.Solvers.Float_simplex.solve presolved)));
+        Test.make ~name:"lp-dual-raw"
           (Staged.stage (fun () -> ignore (Lp.Solvers.Float_simplex.solve enc.Encode.model)));
         Test.make ~name:"flow-baseline"
           (Staged.stage (fun () -> ignore (Solve.resilience_flow set q db)));

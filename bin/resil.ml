@@ -25,6 +25,58 @@ let parse_query db s =
 let pp_tuples db tids =
   List.iter (fun tid -> Printf.printf "  %s\n" (Database_io.print_tuple db tid)) tids
 
+(* ----- lint helpers ------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let diag_json (d : Lp.Lint.diag) =
+  Printf.sprintf {|{"code":"%s","severity":"%s","message":"%s"}|} d.Lp.Lint.code
+    (Lp.Lint.severity_name d.Lp.Lint.severity)
+    (json_escape d.Lp.Lint.message)
+
+let diags_json ds = "[" ^ String.concat "," (List.map diag_json ds) ^ "]"
+
+let stats_json (s : Lp.Lint.stats) =
+  Printf.sprintf
+    {|{"vars":%d,"constraints":%d,"nonzeros":%d,"integer":%d,"bounded":%d,"min_abs_coeff":%d,"max_abs_coeff":%d,"unit_covering":%b}|}
+    s.Lp.Lint.nvars s.Lp.Lint.nconstrs s.Lp.Lint.nnz s.Lp.Lint.integer_count
+    s.Lp.Lint.bounded_count s.Lp.Lint.min_abs_coeff s.Lp.Lint.max_abs_coeff
+    s.Lp.Lint.unit_covering
+
+let presolve_json (s : Lp.Presolve.summary) =
+  Printf.sprintf {|{"rows_removed":%d,"vars_fixed":%d,"bounds_stripped":%d,"passes":%d}|}
+    s.Lp.Presolve.rows_removed s.Lp.Presolve.vars_fixed s.Lp.Presolve.bounds_stripped
+    s.Lp.Presolve.passes
+
+let pp_diags header ds =
+  Printf.printf "%s:\n" header;
+  if ds = [] then print_endline "  (none)"
+  else List.iter (fun d -> Format.printf "  %a@." Lp.Lint.pp_diag d) ds
+
+(* The [--lint] pre-pass of the solving subcommands: diagnostics go to stderr
+   so stdout stays the solver's. *)
+let lint_to_stderr sem q db =
+  List.iter
+    (fun d -> Format.eprintf "%a@." Lp.Lint.pp_diag d)
+    (Query_lint.lint_query sem q @ Query_lint.lint_instance sem q db)
+
+let lint_arg =
+  Arg.(
+    value & flag
+    & info [ "lint" ] ~doc:"Print query/instance diagnostics (to stderr) before solving")
+
 (* ----- classify --------------------------------------------------------- *)
 
 let classify_cmd =
@@ -69,8 +121,10 @@ let bag_arg = Arg.(value & flag & info [ "bag" ] ~doc:"Bag semantics (multiplici
 
 let exact_arg = Arg.(value & flag & info [ "exact" ] ~doc:"Exact rational arithmetic (slow)")
 
-let resilience_cmd =
-  let run data bag exact lp query =
+(* ----- lint -------------------------------------------------------------- *)
+
+let lint_cmd =
+  let run data bag json query =
     let db = load_db data in
     match parse_query db query with
     | Error msg ->
@@ -78,6 +132,84 @@ let resilience_cmd =
       1
     | Ok q ->
       let sem = semantics_of_bag bag in
+      let query_diags = Query_lint.lint_query sem q in
+      let have_db = data <> None in
+      let instance_diags = if have_db then Query_lint.lint_instance sem q db else [] in
+      (* Model-level view: build ILP[RES*] and lint/presolve it without
+         solving. *)
+      let model_part =
+        if not have_db then None
+        else
+          match Encode.res Encode.Ilp sem q db with
+          | Encode.Trivial _ | Encode.Impossible -> None
+          | Encode.Encoded enc ->
+            let m = enc.Encode.model in
+            let summary =
+              match Lp.Presolve.presolve m with
+              | Lp.Presolve.Reduced (_, vm) -> Some (Lp.Presolve.summary vm)
+              | Lp.Presolve.Infeasible | Lp.Presolve.Unbounded -> None
+            in
+            Some (Lp.Lint.lint m, Lp.Lint.stats m, summary)
+      in
+      if json then
+        print_endline
+          (Printf.sprintf
+             {|{"query":"%s","semantics":"%s","diagnostics":{"query":%s,"instance":%s,"model":%s},"model_stats":%s,"presolve":%s}|}
+             (json_escape (Cq.to_string q))
+             (if bag then "bag" else "set")
+             (diags_json query_diags) (diags_json instance_diags)
+             (match model_part with Some (md, _, _) -> diags_json md | None -> "[]")
+             (match model_part with Some (_, st, _) -> stats_json st | None -> "null")
+             (match model_part with
+             | Some (_, _, Some ps) -> presolve_json ps
+             | Some (_, _, None) | None -> "null"))
+      else begin
+        Printf.printf "query: %s\n" (Cq.to_string q);
+        pp_diags "query diagnostics" query_diags;
+        if have_db then begin
+          pp_diags "instance diagnostics" instance_diags;
+          match model_part with
+          | None -> print_endline "ILP[RES*] model: none (query trivial or no contingency)"
+          | Some (model_diags, st, summary) ->
+            Printf.printf "ILP[RES*] model: %d vars (%d integer), %d rows, %d nonzeros%s\n"
+              st.Lp.Lint.nvars st.Lp.Lint.integer_count st.Lp.Lint.nconstrs st.Lp.Lint.nnz
+              (if st.Lp.Lint.unit_covering then ", unit covering" else "");
+            pp_diags "model diagnostics" model_diags;
+            (match summary with
+            | Some s ->
+              Printf.printf
+                "presolve: %d rows removed, %d vars fixed, %d bounds stripped, %d passes\n"
+                s.Lp.Presolve.rows_removed s.Lp.Presolve.vars_fixed
+                s.Lp.Presolve.bounds_stripped s.Lp.Presolve.passes
+            | None -> print_endline "presolve: model decided without solving")
+        end
+      end;
+      let all =
+        query_diags @ instance_diags
+        @ match model_part with Some (md, _, _) -> md | None -> []
+      in
+      if Lp.Lint.errors all <> [] then 1 else 0
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output") in
+  let query = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Lint a query (and, with $(b,--data), an instance): structural defects, dichotomy \
+          advisories, ILP model diagnostics and the presolve summary. Exits 1 if any error \
+          is found.")
+    Term.(const run $ data_arg $ bag_arg $ json $ query)
+
+let resilience_cmd =
+  let run data bag exact lp lint query =
+    let db = load_db data in
+    match parse_query db query with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok q ->
+      let sem = semantics_of_bag bag in
+      if lint then lint_to_stderr sem q db;
       if lp then begin
         match Solve.resilience_lp ~exact sem q db with
         | Some v ->
@@ -112,12 +244,12 @@ let resilience_cmd =
   let query = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
   Cmd.v
     (Cmd.info "resilience" ~doc:"Minimum tuple deletions falsifying the query (ILP[RES*])")
-    Term.(const run $ data_arg $ bag_arg $ exact_arg $ lp $ query)
+    Term.(const run $ data_arg $ bag_arg $ exact_arg $ lp $ lint_arg $ query)
 
 (* ----- responsibility --------------------------------------------------- *)
 
 let responsibility_cmd =
-  let run data bag exact tuple query =
+  let run data bag exact lint tuple query =
     let db = load_db data in
     match parse_query db query with
     | Error msg ->
@@ -141,6 +273,7 @@ let responsibility_cmd =
         1
       | Some tid -> (
         let sem = semantics_of_bag bag in
+        if lint then lint_to_stderr sem q db;
         match Solve.responsibility ~exact sem q db tid with
         | Solve.Solved a ->
           Printf.printf "RSP* = %d  (responsibility %g)\n" a.Solve.rsp_value
@@ -168,7 +301,7 @@ let responsibility_cmd =
   Cmd.v
     (Cmd.info "responsibility"
        ~doc:"Minimum contingency set making a tuple counterfactual (ILP[RSP*])")
-    Term.(const run $ data_arg $ bag_arg $ exact_arg $ tuple $ query)
+    Term.(const run $ data_arg $ bag_arg $ exact_arg $ lint_arg $ tuple $ query)
 
 (* ----- explain ----------------------------------------------------------- *)
 
@@ -235,5 +368,14 @@ let certificate_cmd =
 let () =
   let doc = "resilience and causal responsibility via ILP (SIGMOD 2023 reproduction)" in
   let info = Cmd.info "resil" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info
-       [ classify_cmd; resilience_cmd; responsibility_cmd; explain_cmd; certificate_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            classify_cmd;
+            lint_cmd;
+            resilience_cmd;
+            responsibility_cmd;
+            explain_cmd;
+            certificate_cmd;
+          ]))

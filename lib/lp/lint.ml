@@ -1,0 +1,267 @@
+type severity = Error | Warning | Note
+
+type diag = { code : string; severity : severity; message : string }
+
+type stats = {
+  nvars : int;
+  nconstrs : int;
+  nnz : int;
+  integer_count : int;
+  bounded_count : int;
+  min_abs_coeff : int;
+  max_abs_coeff : int;
+  unit_covering : bool;
+}
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Note -> "note"
+
+let pp_diag fmt d =
+  Format.fprintf fmt "%s %s: %s" d.code (severity_name d.severity) d.message
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+
+(* Activity bounds of a row under the variable bounds [0, upper]; [None]
+   stands for the relevant infinity. *)
+let min_activity m (c : Model.constr) =
+  List.fold_left
+    (fun acc (v, k) ->
+      match acc with
+      | None -> None
+      | Some a ->
+        if k >= 0 then Some a
+        else (match Model.upper m v with Some u -> Some (a + (k * u)) | None -> None))
+    (Some 0) c.Model.expr
+
+let max_activity m (c : Model.constr) =
+  List.fold_left
+    (fun acc (v, k) ->
+      match acc with
+      | None -> None
+      | Some a ->
+        if k <= 0 then Some a
+        else (match Model.upper m v with Some u -> Some (a + (k * u)) | None -> None))
+    (Some 0) c.Model.expr
+
+(* Can the row be violated / satisfied at all within the bounds? *)
+let statically_infeasible m (c : Model.constr) =
+  match c.Model.sense with
+  | Model.Geq -> ( match max_activity m c with Some a -> a < c.Model.rhs | None -> false)
+  | Model.Leq -> ( match min_activity m c with Some a -> a > c.Model.rhs | None -> false)
+  | Model.Eq -> (
+    (match max_activity m c with Some a -> a < c.Model.rhs | None -> false)
+    || match min_activity m c with Some a -> a > c.Model.rhs | None -> false)
+
+let trivially_satisfied m (c : Model.constr) =
+  match c.Model.sense with
+  | Model.Geq -> ( match min_activity m c with Some a -> a >= c.Model.rhs | None -> false)
+  | Model.Leq -> ( match max_activity m c with Some a -> a <= c.Model.rhs | None -> false)
+  | Model.Eq -> (
+    match (min_activity m c, max_activity m c) with
+    | Some a, Some b -> a = c.Model.rhs && b = c.Model.rhs
+    | _ -> false)
+
+let unit_geq (c : Model.constr) =
+  c.Model.sense = Model.Geq && List.for_all (fun (_, k) -> k = 1) c.Model.expr
+
+(* [support ⊆ support'] for var lists sorted ascending (normalize_expr sorts
+   every row). *)
+let rec subset xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: xs', y :: ys' ->
+    if x = y then subset xs' ys' else if x > y then subset xs ys' else false
+
+let stats m =
+  let cs = Model.constraints m in
+  let nnz = ref 0 in
+  let min_c = ref 0 and max_c = ref 0 in
+  let unit_covering = ref (Array.length cs > 0) in
+  Array.iter
+    (fun (c : Model.constr) ->
+      if not (unit_geq c) then unit_covering := false;
+      List.iter
+        (fun (_, k) ->
+          incr nnz;
+          let a = abs k in
+          if a > 0 then begin
+            if !min_c = 0 || a < !min_c then min_c := a;
+            if a > !max_c then max_c := a
+          end)
+        c.Model.expr)
+    cs;
+  let integer_count = List.length (Model.integer_vars m) in
+  let bounded_count = ref 0 in
+  for v = 0 to Model.num_vars m - 1 do
+    if Model.upper m v <> None then incr bounded_count
+  done;
+  {
+    nvars = Model.num_vars m;
+    nconstrs = Model.num_constrs m;
+    nnz = !nnz;
+    integer_count;
+    bounded_count = !bounded_count;
+    min_abs_coeff = !min_c;
+    max_abs_coeff = !max_c;
+    unit_covering = !unit_covering;
+  }
+
+let lint m =
+  let cs = Model.constraints m in
+  let nrows = Array.length cs in
+  let diags = ref [] in
+  let emit code severity message = diags := { code; severity; message } :: !diags in
+  (* --- variable checks --------------------------------------------------- *)
+  let occupied = Array.make (Model.num_vars m) false in
+  Array.iter
+    (fun (c : Model.constr) -> List.iter (fun (v, _) -> occupied.(v) <- true) c.Model.expr)
+    cs;
+  for v = 0 to Model.num_vars m - 1 do
+    let name = Model.var_name m v in
+    if Model.is_integer m v then begin
+      match Model.upper m v with
+      | None ->
+        emit "M102" Error
+          (Printf.sprintf
+             "integer variable %s has no upper bound; branch-and-bound branches between bounds"
+             name)
+      | Some 1 -> ()
+      | Some u ->
+        emit "M103" Error
+          (Printf.sprintf
+             "integer variable %s has upper bound %d; branch-and-bound only branches binaries"
+             name u)
+    end;
+    if not occupied.(v) then
+      if Model.objective m v = 0 then
+        emit "M206" Warning
+          (Printf.sprintf "variable %s has no constraint and no objective weight" name)
+      else
+        emit "M205" Warning
+          (Printf.sprintf
+             "variable %s appears in no constraint; its value is decided by its objective sign"
+             name)
+  done;
+  (* --- row checks -------------------------------------------------------- *)
+  for i = 0 to nrows - 1 do
+    let c = cs.(i) in
+    if statically_infeasible m c then
+      emit "M101" Error
+        (Printf.sprintf "row c%d cannot be satisfied within the variable bounds" i)
+    else if trivially_satisfied m c then
+      emit "M204" Warning
+        (Printf.sprintf "row c%d holds for every point within the variable bounds" i)
+  done;
+  (* Duplicate / parallel / conflicting rows, grouped by left-hand side. *)
+  let by_lhs : (Model.linexpr, (int * Model.sense * int) list ref) Hashtbl.t =
+    Hashtbl.create (max 16 nrows)
+  in
+  Array.iteri
+    (fun i (c : Model.constr) ->
+      match Hashtbl.find_opt by_lhs c.Model.expr with
+      | Some l -> l := (i, c.Model.sense, c.Model.rhs) :: !l
+      | None -> Hashtbl.add by_lhs c.Model.expr (ref [ (i, c.Model.sense, c.Model.rhs) ]))
+    cs;
+  let groups =
+    Hashtbl.fold (fun _ l acc -> List.rev !l :: acc) by_lhs []
+    |> List.filter (fun g -> List.length g > 1)
+    |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+  in
+  List.iter
+    (fun group ->
+      let name (i, _, _) = Printf.sprintf "c%d" i in
+      (* exact duplicates *)
+      let seen = Hashtbl.create 4 in
+      List.iter
+        (fun (i, s, r) ->
+          match Hashtbl.find_opt seen (s, r) with
+          | Some j ->
+            emit "M201" Warning (Printf.sprintf "row c%d duplicates row c%d" i j)
+          | None -> Hashtbl.add seen (s, r) i)
+        group;
+      (* same sense, different rhs *)
+      List.iter
+        (fun sense ->
+          let rhss =
+            List.filter (fun (_, s, _) -> s = sense) group
+            |> List.map (fun (_, _, r) -> r)
+            |> List.sort_uniq compare
+          in
+          if List.length rhss > 1 then
+            emit "M202" Warning
+              (Printf.sprintf "rows %s share a left-hand side; only the tightest can bind"
+                 (String.concat ", "
+                    (List.filter (fun (_, s, _) -> s = sense) group |> List.map name))))
+        [ Model.Geq; Model.Leq; Model.Eq ];
+      (* conflicting constants: >= a with <= b, a > b, or two different = *)
+      let lo =
+        List.filter_map
+          (fun (_, s, r) -> match s with Model.Geq | Model.Eq -> Some r | Model.Leq -> None)
+          group
+      and hi =
+        List.filter_map
+          (fun (_, s, r) -> match s with Model.Leq | Model.Eq -> Some r | Model.Geq -> None)
+          group
+      in
+      match (lo, hi) with
+      | _ :: _, _ :: _ when List.fold_left max min_int lo > List.fold_left min max_int hi ->
+        emit "M104" Error
+          (Printf.sprintf "rows %s bound the same expression to an empty interval"
+             (String.concat ", " (List.map name group)))
+      | _ -> ())
+    groups;
+  (* Dominated covering rows: unit-coefficient >= rows implied by a subset
+     row with an equal-or-larger right-hand side. *)
+  let covering =
+    Array.to_list (Array.mapi (fun i c -> (i, c)) cs)
+    |> List.filter (fun (_, c) -> unit_geq c && c.Model.expr <> [])
+  in
+  let rows_of_var = Hashtbl.create 64 in
+  List.iter
+    (fun (i, (c : Model.constr)) ->
+      List.iter
+        (fun (v, _) ->
+          let l = try Hashtbl.find rows_of_var v with Not_found -> [] in
+          Hashtbl.replace rows_of_var v ((i, c) :: l))
+        c.Model.expr)
+    covering;
+  List.iter
+    (fun (i, (c : Model.constr)) ->
+      let vars_i = List.map fst c.Model.expr in
+      let candidates =
+        List.concat_map
+          (fun v -> try Hashtbl.find rows_of_var v with Not_found -> [])
+          vars_i
+        |> List.sort_uniq (fun (a, _) (b, _) -> compare a b)
+      in
+      let dominator =
+        List.find_opt
+          (fun (j, (c' : Model.constr)) ->
+            j <> i
+            && c'.Model.rhs >= c.Model.rhs
+            && List.length c'.Model.expr <= List.length c.Model.expr
+            && subset (List.map fst c'.Model.expr) vars_i
+            (* break ties between identical supports deterministically *)
+            && (List.length c'.Model.expr < List.length c.Model.expr
+               || c'.Model.rhs > c.Model.rhs || j < i))
+          candidates
+      in
+      match dominator with
+      | Some (j, _) ->
+        emit "M203" Warning (Printf.sprintf "row c%d is dominated by row c%d" i j)
+      | None -> ())
+    covering;
+  (* --- whole-model notes ------------------------------------------------- *)
+  let s = stats m in
+  if s.nnz > 0 && s.max_abs_coeff >= 1_000_000 * max 1 s.min_abs_coeff then
+    emit "M301" Note
+      (Printf.sprintf "coefficient magnitudes span [%d, %d]; expect conditioning trouble"
+         s.min_abs_coeff s.max_abs_coeff);
+  let any_obj = ref false in
+  for v = 0 to Model.num_vars m - 1 do
+    if Model.objective m v <> 0 then any_obj := true
+  done;
+  if Model.num_vars m > 0 && not !any_obj then
+    emit "M302" Note "objective is identically zero; every feasible point is optimal";
+  let rank d = match d.severity with Error -> 0 | Warning -> 1 | Note -> 2 in
+  List.stable_sort (fun a b -> compare (rank a, a.code) (rank b, b.code)) (List.rev !diags)

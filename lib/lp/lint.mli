@@ -1,0 +1,68 @@
+(** Static analysis of LP/ILP models: structured diagnostics emitted without
+    solving anything.
+
+    The paper's central observation is that hardness and solver behaviour are
+    decided by {e structure} — of the query (triads, Table 1) and of the
+    generated program (integrality of the relaxation).  This linter covers
+    the program side: it inspects a {!Model.t} for defects that would make
+    the solvers fail late ([M1xx] errors), rows and columns that are pure
+    overhead ([M2xx] warnings), and numerical/shape properties worth knowing
+    ([M3xx] notes).  {!Presolve} repairs the subset of these that can be
+    repaired without changing the optimum.
+
+    Diagnostic codes (stable identifiers, used by tests and the [--json]
+    CLI output):
+
+    - [M101] statically infeasible row — no assignment within the variable
+      bounds can satisfy it (includes degenerate rows like [0 >= 1]).
+    - [M102] integer variable without an upper bound: {!Branch_bound}
+      branches between bounds and would fail on it.
+    - [M103] integer variable with an upper bound other than 1:
+      {!Branch_bound} only branches binaries.
+    - [M104] conflicting constant rows — two rows with identical
+      left-hand sides whose right-hand sides cannot both hold ([= 1] and
+      [= 2]).
+    - [M201] duplicate row (same expression, sense and right-hand side).
+    - [M202] parallel rows (same expression and sense, different right-hand
+      side) — only the tighter one can bind.
+    - [M203] dominated covering row — a unit-coefficient [>=] row whose
+      variable set contains another such row with an equal-or-larger
+      right-hand side, hence implied by it.
+    - [M204] trivial row — satisfied by every point within the bounds
+      (e.g. a sum of non-negative variables [>= 0]).
+    - [M205] empty column — a variable appearing in no constraint (its
+      optimal value is decided by its objective sign alone).
+    - [M206] idle variable — no constraint {e and} no objective weight;
+      it plays no role in the program at all.
+    - [M301] wide coefficient range (conditioning note).
+    - [M302] zero objective — every feasible point is optimal. *)
+
+type severity = Error | Warning | Note
+
+type diag = { code : string; severity : severity; message : string }
+
+type stats = {
+  nvars : int;
+  nconstrs : int;
+  nnz : int;  (** Non-zero constraint coefficients. *)
+  integer_count : int;
+  bounded_count : int;  (** Variables with a finite upper bound. *)
+  min_abs_coeff : int;  (** 0 when the model has no constraints. *)
+  max_abs_coeff : int;
+  unit_covering : bool;
+      (** All rows are [>=] with coefficients exactly 1 — the set-covering
+          shape of ILP[RES*] (Section 4), for which the whole dichotomy
+          machinery applies. *)
+}
+
+val stats : Model.t -> stats
+
+val lint : Model.t -> diag list
+(** All diagnostics, errors first, in stable order. *)
+
+val errors : diag list -> diag list
+
+val severity_name : severity -> string
+
+val pp_diag : Format.formatter -> diag -> unit
+(** [M203 warning: row c7 is dominated by row c2]-style one-liner. *)

@@ -31,12 +31,19 @@ let grow_constrs t =
   end
 
 let add_var ?name ?(integer = false) ?upper ?(obj = 0) t =
+  (match upper with
+  | Some u when u < 0 -> invalid_arg "Model.add_var: negative upper bound"
+  | _ -> ());
+  if integer && upper = None then
+    invalid_arg "Model.add_var: integer variable requires an upper bound";
   grow_vars t;
   let v = t.nvars in
   let name = match name with Some n -> n | None -> Printf.sprintf "x%d" v in
   t.vars.(t.nvars) <- { name; integer; upper; obj };
   t.nvars <- t.nvars + 1;
   v
+
+let relax_upper t v = t.vars.(v) <- { (t.vars.(v)) with upper = None }
 
 (* Sum duplicate variable occurrences so the simplex sees one coefficient
    per column. *)

@@ -8,8 +8,7 @@ type t = {
   sink : int;
   edge_tuple : (Maxflow.edge_id, Database.tuple_id) Hashtbl.t;
   tuple_edges : (Database.tuple_id, Maxflow.edge_id list) Hashtbl.t;
-  witness_edges : Maxflow.edge_id list array;  (* aligned with input witnesses *)
-  witness_tuples : Database.tuple_id list array;
+  witness_tuples : Database.tuple_id list array;  (* aligned with input witnesses *)
   weight_of : Database.tuple_id -> int;
 }
 
@@ -40,38 +39,30 @@ let build q ~order ~weight ~db ~witnesses mode =
   let edge_tuple = Hashtbl.create 256 in
   let tuple_edges = Hashtbl.create 256 in
   let nw = List.length witnesses in
-  let witness_edges = Array.make nw [] in
   let witness_tuples = Array.make nw [] in
   let weight_of tid = weight (Database.tuple db tid) in
   List.iteri
     (fun wi w ->
       let value_of v = List.assoc v w.Eval.valuation in
       let key cut = List.map value_of keys.(cut) in
-      let edges = ref [] in
       for pos = 0 to m - 1 do
         let tid = w.Eval.tuples.(order.(pos)) in
         let left_key = if pos = 0 then [] else key (pos - 1) in
         let right_key = if pos = m - 1 then [] else key pos in
         let ident = (pos, tid, left_key, right_key) in
-        let eid =
-          match Hashtbl.find_opt edge_tbl ident with
-          | Some e -> e
-          | None ->
-            let src = if pos = 0 then source else node_at (pos - 1) left_key in
-            let dst = if pos = m - 1 then sink else node_at pos right_key in
-            let e = Maxflow.add_edge graph ~src ~dst ~cap:(weight_of tid) in
-            Hashtbl.add edge_tbl ident e;
-            Hashtbl.add edge_tuple e tid;
-            let cur = try Hashtbl.find tuple_edges tid with Not_found -> [] in
-            Hashtbl.replace tuple_edges tid (e :: cur);
-            e
-        in
-        edges := eid :: !edges
+        if not (Hashtbl.mem edge_tbl ident) then begin
+          let src = if pos = 0 then source else node_at (pos - 1) left_key in
+          let dst = if pos = m - 1 then sink else node_at pos right_key in
+          let e = Maxflow.add_edge graph ~src ~dst ~cap:(weight_of tid) in
+          Hashtbl.add edge_tbl ident e;
+          Hashtbl.add edge_tuple e tid;
+          let cur = try Hashtbl.find tuple_edges tid with Not_found -> [] in
+          Hashtbl.replace tuple_edges tid (e :: cur)
+        end
       done;
-      witness_edges.(wi) <- List.sort_uniq compare !edges;
       witness_tuples.(wi) <- Eval.tuple_set w)
     witnesses;
-  { graph; source; sink; edge_tuple; tuple_edges; witness_edges; witness_tuples; weight_of }
+  { graph; source; sink; edge_tuple; tuple_edges; witness_tuples; weight_of }
 
 (* Sum the weights of the distinct tuples behind a cut's edges. *)
 let tuples_of_cut t cut_edges =

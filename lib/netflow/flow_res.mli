@@ -27,7 +27,7 @@ type key_mode = Spanning | Adjacent
 
 type t
 (** A built flow graph, remembering the tuple behind every edge and the
-    edges of every witness. *)
+    tuple set of every witness. *)
 
 val build :
   Cq.t ->

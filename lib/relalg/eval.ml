@@ -45,7 +45,6 @@ let join_order q db =
    earlier atoms) and build a hash index of the relation on those columns. *)
 type plan_step = {
   atom_idx : int;
-  rel : string;
   terms : Cq.term array;
   bound_cols : int list;  (* positions used as the index key *)
   index : (int list, Database.tuple_info list) Hashtbl.t;
@@ -76,7 +75,7 @@ let build_plan q db order =
              Hashtbl.replace index key (info :: cur))
            (Database.tuples_of db a.Cq.rel);
          List.iter (fun v -> Hashtbl.replace bound_vars v ()) (Cq.vars_of_atom a);
-         { atom_idx; rel = a.Cq.rel; terms = a.Cq.terms; bound_cols; index })
+         { atom_idx; terms = a.Cq.terms; bound_cols; index })
 
 let enumerate q db ~stop_after_first =
   let order = join_order q db in

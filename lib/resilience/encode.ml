@@ -18,11 +18,14 @@ let tuple_var model semantics db integer var_of_tuple tuple_of_var tid =
   | None ->
     let info = Database.tuple db tid in
     let name = Printf.sprintf "X_%s_%d" info.Database.rel tid in
-    (* No explicit upper bound: in these covering programs any solution can
-       be capped at 1 without losing feasibility or raising cost (Section 4
-       of DESIGN.md), and leaving the bound off keeps the LP rows to exactly
-       one per witness. *)
-    let v = Lp.Model.add_var ~name ~integer ~obj:(Problem.weight semantics info) model in
+    (* The binary bound is declared honestly (Model rejects unbounded
+       integer variables); Presolve re-proves it redundant — in these
+       covering programs any solution can be capped at 1 without losing
+       feasibility or raising cost (Section 5 of DESIGN.md) — and strips it
+       again, so the dual simplex still sees exactly one row per witness. *)
+    let v =
+      Lp.Model.add_var ~name ~integer ~upper:1 ~obj:(Problem.weight semantics info) model
+    in
     Hashtbl.add var_of_tuple tid v;
     tuple_of_var := (v, tid) :: !tuple_of_var;
     v

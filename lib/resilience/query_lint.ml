@@ -1,0 +1,206 @@
+open Relalg
+open Lp.Lint
+
+let diag code severity message = { code; severity; message }
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Note -> 2
+
+let sort diags =
+  List.stable_sort
+    (fun a b ->
+      match compare (severity_rank a.severity) (severity_rank b.severity) with
+      | 0 -> compare a.code b.code
+      | c -> c)
+    diags
+
+let atom_to_string (a : Cq.atom) =
+  let term = function Cq.Var v -> v | Cq.Const c -> string_of_int c in
+  Printf.sprintf "%s(%s)"
+    a.Cq.rel
+    (String.concat ", " (Array.to_list (Array.map term a.Cq.terms)))
+
+(* --- Query-level checks -------------------------------------------------- *)
+
+let all_exogenous q =
+  if Array.for_all (fun a -> a.Cq.exo) q.Cq.atoms then
+    [
+      diag "Q101" Error
+        "every atom is exogenous: no tuple can be deleted, resilience is \
+         undefined whenever the query is true";
+    ]
+  else []
+
+let duplicate_atoms q =
+  let n = Array.length q.Cq.atoms in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = q.Cq.atoms.(i) and b = q.Cq.atoms.(j) in
+      if a.Cq.rel = b.Cq.rel && a.Cq.terms = b.Cq.terms then
+        out :=
+          diag "Q201" Warning
+            (Printf.sprintf "atoms %d and %d are identical: %s" i j (atom_to_string a))
+          :: !out
+    done
+  done;
+  List.rev !out
+
+let disconnected q =
+  if Cq.connected q then []
+  else begin
+    let parts = Cq.components q in
+    [
+      diag "Q202" Warning
+        (Printf.sprintf
+           "query is disconnected (%d components): its witness set is the cartesian \
+            product of the components'"
+           (List.length parts));
+    ]
+  end
+
+let non_minimal q =
+  if Homomorphism.is_minimal q then []
+  else
+    let core = Homomorphism.minimize q in
+    [
+      diag "Q203" Warning
+        (Printf.sprintf
+           "query is not minimal; its core has %d of %d atoms: %s"
+           (Array.length core.Cq.atoms) (Array.length q.Cq.atoms) (Cq.to_string core));
+    ]
+
+let constant_only_atoms q =
+  Array.to_list q.Cq.atoms
+  |> List.filteri (fun _ a ->
+         Array.for_all (function Cq.Const _ -> true | Cq.Var _ -> false) a.Cq.terms)
+  |> List.map (fun a ->
+         diag "Q204" Warning
+           (Printf.sprintf
+              "atom %s has no variables: it is a data-dependent switch for the whole query"
+              (atom_to_string a)))
+
+let wildcard_vars q =
+  let count = Hashtbl.create 16 in
+  Array.iter
+    (fun a ->
+      Array.iter
+        (function
+          | Cq.Var v ->
+            Hashtbl.replace count v (1 + Option.value ~default:0 (Hashtbl.find_opt count v))
+          | Cq.Const _ -> ())
+        a.Cq.terms)
+    q.Cq.atoms;
+  let once = List.filter (fun v -> Hashtbl.find count v = 1) (Cq.vars q) in
+  if once = [] then []
+  else
+    [
+      diag "Q301" Note
+        (Printf.sprintf "variable%s %s occur%s only once (pure projection)"
+           (if List.length once = 1 then "" else "s")
+           (String.concat ", " once)
+           (if List.length once = 1 then "s" else ""));
+    ]
+
+let dichotomy_advisory semantics q =
+  match Analysis.res_complexity semantics q with
+  | Analysis.Ptime ->
+    [
+      diag "Q302" Note
+        (Printf.sprintf
+           "%s — LP[RES*] is integral (Theorems 8.6/8.7); lp mode suffices, \
+            branch-and-bound is unnecessary"
+           (Analysis.describe semantics q));
+    ]
+  | Analysis.Npc ->
+    [
+      diag "Q303" Note
+        (Printf.sprintf "%s — expect branch-and-bound; consider a node or time limit"
+           (Analysis.describe semantics q));
+    ]
+  | Analysis.Unknown ->
+    if Cq.self_join_free q then []
+    else
+      [
+        diag "Q304" Note
+          "self-join query outside the SJ-free dichotomy: complexity unknown, ILP mode \
+           recommended";
+      ]
+
+let lint_query semantics q =
+  sort
+    (all_exogenous q
+    @ duplicate_atoms q
+    @ disconnected q
+    @ non_minimal q
+    @ constant_only_atoms q
+    @ wildcard_vars q
+    @ dichotomy_advisory semantics q)
+
+(* --- Instance-level checks ----------------------------------------------- *)
+
+let empty_relations q db =
+  Cq.rel_names q
+  |> List.filter (fun r -> Database.tuples_of db r = [])
+  |> List.map (fun r ->
+         diag "I201" Warning
+           (Printf.sprintf "relation %s is referenced by the query but holds no tuples" r))
+
+let unsatisfiable_constants q db =
+  Array.to_list q.Cq.atoms
+  |> List.concat_map (fun a ->
+         let consts =
+           Array.to_list (Array.mapi (fun i t -> (i, t)) a.Cq.terms)
+           |> List.filter_map (function i, Cq.Const c -> Some (i, c) | _, Cq.Var _ -> None)
+         in
+         let tuples = Database.tuples_of db a.Cq.rel in
+         if consts = [] || tuples = [] then []
+         else begin
+           let matches info =
+             List.for_all (fun (i, c) -> info.Database.args.(i) = c) consts
+           in
+           if List.exists matches tuples then []
+           else
+             [
+               diag "I202" Warning
+                 (Printf.sprintf
+                    "constant join is unsatisfiable: no tuple of %s matches atom %s"
+                    a.Cq.rel (atom_to_string a));
+             ]
+         end)
+
+let lint_instance _semantics q db =
+  let witnesses = Eval.witnesses q db in
+  let structural = empty_relations q db @ unsatisfiable_constants q db in
+  let diags =
+    if witnesses = [] then
+      diag "I203" Warning
+        "the query is false on this instance: resilience is trivially undefined"
+      :: structural
+    else begin
+      let sets = Eval.unique_tuple_sets witnesses in
+      let blocked =
+        List.exists
+          (fun set -> List.for_all (fun tid -> Problem.tuple_exo q db tid) set)
+          sets
+      in
+      let impossible =
+        if blocked then
+          [
+            diag "I101" Error
+              "a witness consists solely of exogenous tuples: no contingency set \
+               exists (resilience is infinite)";
+          ]
+        else []
+      in
+      let endo = List.length (Problem.endogenous_tuples q db) in
+      let note =
+        diag "I301" Note
+          (Printf.sprintf
+             "%d witnesses over %d distinct tuple sets (ILP rows), %d endogenous \
+              tuples (ILP columns)"
+             (List.length witnesses) (List.length sets) endo)
+      in
+      impossible @ structural @ [ note ]
+    end
+  in
+  sort diags

@@ -1,0 +1,47 @@
+open! Relalg
+
+(** Static analysis of queries and instances before solving.
+
+    Complements {!Lp.Lint} (which inspects the finished LP model): these
+    checks run on the conjunctive query and the database, where the cause of
+    a defect is still visible — a duplicate ILP row is a symptom, a duplicate
+    atom is the defect.  Diagnostics reuse {!Lp.Lint.diag} so the CLI can
+    render all three layers uniformly.
+
+    Query-level codes (no database needed):
+
+    - [Q101] (error) every atom is exogenous — no tuple can ever be deleted,
+      so resilience is undefined whenever the query is true;
+    - [Q201] (warning) duplicate atom — the same relation with the same
+      argument list appears twice;
+    - [Q202] (warning) disconnected query — the atom hypergraph has several
+      components, so the witness set is their cartesian product;
+    - [Q203] (warning) non-minimal query — a strict sub-query is equivalent
+      (Chandra–Merlin); the paper's dichotomies assume minimal queries;
+    - [Q204] (warning) constant-only atom — an atom without variables acts as
+      a data-dependent on/off switch for the whole query;
+    - [Q301] (note) wildcard variable — occurs in exactly one atom position,
+      i.e. is pure projection;
+    - [Q302] (note) dichotomy advisory, PTIME side — LP[RES*] is integral
+      (Theorems 8.6/8.7), branch-and-bound is unnecessary;
+    - [Q303] (note) dichotomy advisory, NP-complete side — expect branching;
+    - [Q304] (note) self-join query outside the SJ-free dichotomy.
+
+    Instance-level codes (query plus database):
+
+    - [I101] (error) some witness consists solely of exogenous tuples — no
+      contingency set exists (the encoder's [Impossible] outcome);
+    - [I201] (warning) the query references a relation with no tuples;
+    - [I202] (warning) unsatisfiable constant join — an atom's constant
+      positions match no tuple of its relation;
+    - [I203] (warning) the query is false on the instance — resilience is
+      trivially undefined/0;
+    - [I301] (note) instance size summary: witnesses, distinct tuple sets
+      (= ILP rows), endogenous tuples (= ILP columns). *)
+
+val lint_query : Problem.semantics -> Cq.t -> Lp.Lint.diag list
+(** Query-only diagnostics, errors first, deterministic order. *)
+
+val lint_instance : Problem.semantics -> Cq.t -> Database.t -> Lp.Lint.diag list
+(** Instance diagnostics (I-codes only — combine with {!lint_query} for the
+    full report), errors first, deterministic order. *)

@@ -16,43 +16,72 @@ type rsp_answer = {
   rsp_stats : stats;
 }
 
+(* Presolve front-end shared by every solve: shrink the model (or decide it
+   outright), remembering how to lift reduced solutions and objectives back
+   to the original encoding's variables. *)
+let prepare ~presolve model =
+  if presolve then
+    match Lp.Presolve.presolve model with
+    | Lp.Presolve.Reduced (reduced, vm) -> `Model (reduced, Some vm)
+    | Lp.Presolve.Infeasible | Lp.Presolve.Unbounded ->
+      (* The covering encodings are never unbounded (non-negative costs);
+         an unbounded verdict can only mean no contingency exists. *)
+      `Infeasible
+  else `Model (model, None)
+
+let lift_sol vm ~of_int sol =
+  match vm with Some vm -> Lp.Presolve.lift vm ~of_int sol | None -> sol
+
+let offset_of vm = match vm with Some vm -> Lp.Presolve.obj_offset vm | None -> 0
+
 (* Run branch-and-bound over the chosen field and normalise the result. *)
-let run_bb ~exact ?node_limit ?time_limit (enc : Encode.encoding) =
+let run_bb ~exact ~presolve ?node_limit ?time_limit (enc : Encode.encoding) =
   let t0 = Sys.time () in
-  let finish nodes root_lp root_integral objective solution =
-    let solve_time = Sys.time () -. t0 in
-    (objective, solution, { nodes; root_lp; root_integral; solve_time })
-  in
-  if exact then begin
-    let open Lp.Solvers.Exact_bb in
-    let r = solve ?node_limit ?time_limit enc.Encode.model in
-    let root = match r.root_objective with Some o -> Numeric.Rat.to_float o | None -> nan in
-    match r.status with
-    | Optimal ->
-      let obj = Numeric.Rat.to_float (Option.get r.objective) in
-      let sol = Array.map Numeric.Rat.to_float (Option.get r.solution) in
-      `Ok (finish r.nodes root r.root_integral obj sol)
-    | Infeasible -> `Infeasible
-    | Unbounded -> `Infeasible
-    | Feasible -> `Budget (Option.map (fun o -> Numeric.Rat.to_float o) r.objective)
-    | Limit_no_solution -> `Budget None
-  end
-  else begin
-    let open Lp.Solvers.Float_bb in
-    let r = solve ?node_limit ?time_limit enc.Encode.model in
-    let root = match r.root_objective with Some o -> o | None -> nan in
-    match r.status with
-    | Optimal ->
-      `Ok (finish r.nodes root r.root_integral (Option.get r.objective) (Option.get r.solution))
-    | Infeasible -> `Infeasible
-    | Unbounded -> `Infeasible
-    | Feasible -> `Budget r.objective
-    | Limit_no_solution -> `Budget None
-  end
+  match prepare ~presolve enc.Encode.model with
+  | `Infeasible -> `Infeasible
+  | `Model (model, vm) ->
+    let offset = offset_of vm in
+    let foffset = float_of_int offset in
+    let finish nodes root_lp root_integral objective solution =
+      let solve_time = Sys.time () -. t0 in
+      (objective, solution, { nodes; root_lp; root_integral; solve_time })
+    in
+    if exact then begin
+      let open Lp.Solvers.Exact_bb in
+      let r = solve ?node_limit ?time_limit model in
+      let root =
+        match r.root_objective with Some o -> Numeric.Rat.to_float o +. foffset | None -> nan
+      in
+      match r.status with
+      | Optimal ->
+        let obj = Numeric.Rat.to_float (Option.get r.objective) +. foffset in
+        let sol =
+          lift_sol vm ~of_int:Numeric.Rat.of_int (Option.get r.solution)
+          |> Array.map Numeric.Rat.to_float
+        in
+        `Ok (finish r.nodes root r.root_integral obj sol)
+      | Infeasible -> `Infeasible
+      | Unbounded -> `Infeasible
+      | Feasible -> `Budget (Option.map (fun o -> Numeric.Rat.to_float o +. foffset) r.objective)
+      | Limit_no_solution -> `Budget None
+    end
+    else begin
+      let open Lp.Solvers.Float_bb in
+      let r = solve ?node_limit ?time_limit model in
+      let root = match r.root_objective with Some o -> o +. foffset | None -> nan in
+      match r.status with
+      | Optimal ->
+        let sol = lift_sol vm ~of_int:float_of_int (Option.get r.solution) in
+        `Ok (finish r.nodes root r.root_integral (Option.get r.objective +. foffset) sol)
+      | Infeasible -> `Infeasible
+      | Unbounded -> `Infeasible
+      | Feasible -> `Budget (Option.map (fun o -> o +. foffset) r.objective)
+      | Limit_no_solution -> `Budget None
+    end
 
 let round_value x = int_of_float (Float.round x)
 
-let resilience ?(exact = false) ?node_limit ?time_limit semantics q db =
+let resilience ?(exact = false) ?(presolve = true) ?node_limit ?time_limit semantics q db =
   let witnesses = Eval.witnesses q db in
   if witnesses = [] then Query_false
   else begin
@@ -60,7 +89,7 @@ let resilience ?(exact = false) ?node_limit ?time_limit semantics q db =
     | Encode.Trivial _ -> Query_false
     | Encode.Impossible -> No_contingency
     | Encode.Encoded enc -> (
-      match run_bb ~exact ?node_limit ?time_limit enc with
+      match run_bb ~exact ~presolve ?node_limit ?time_limit enc with
       | `Infeasible -> No_contingency
       | `Budget incumbent -> Budget_exhausted (Option.map round_value incumbent)
       | `Ok (obj, sol, stats) ->
@@ -68,32 +97,40 @@ let resilience ?(exact = false) ?node_limit ?time_limit semantics q db =
           { res_value = round_value obj; contingency = Encode.contingency enc sol; res_stats = stats })
   end
 
-let lp_optimum ~exact (enc : Encode.encoding) =
-  if exact then begin
-    match Lp.Solvers.Exact_simplex.solve enc.Encode.model with
-    | Optimal { objective; solution } ->
-      Some (Numeric.Rat.to_float objective, Array.map Numeric.Rat.to_float solution)
-    | Infeasible | Unbounded -> None
-  end
-  else begin
-    match Lp.Solvers.Float_simplex.solve enc.Encode.model with
-    | Optimal { objective; solution } -> Some (objective, solution)
-    | Infeasible | Unbounded -> None
-  end
+let lp_optimum ~exact ~presolve (enc : Encode.encoding) =
+  match prepare ~presolve enc.Encode.model with
+  | `Infeasible -> None
+  | `Model (model, vm) ->
+    let foffset = float_of_int (offset_of vm) in
+    if exact then begin
+      match Lp.Solvers.Exact_simplex.solve model with
+      | Optimal { objective; solution } ->
+        let sol =
+          lift_sol vm ~of_int:Numeric.Rat.of_int solution |> Array.map Numeric.Rat.to_float
+        in
+        Some (Numeric.Rat.to_float objective +. foffset, sol)
+      | Infeasible | Unbounded -> None
+    end
+    else begin
+      match Lp.Solvers.Float_simplex.solve model with
+      | Optimal { objective; solution } ->
+        Some (objective +. foffset, lift_sol vm ~of_int:float_of_int solution)
+      | Infeasible | Unbounded -> None
+    end
 
-let resilience_lp_solution ?(exact = false) semantics q db =
+let resilience_lp_solution ?(exact = false) ?(presolve = true) semantics q db =
   match Encode.res Encode.Lp semantics q db with
   | Encode.Trivial _ | Encode.Impossible -> None
   | Encode.Encoded enc -> (
-    match lp_optimum ~exact enc with
+    match lp_optimum ~exact ~presolve enc with
     | None -> None
     | Some (obj, sol) -> Some (obj, enc, sol))
 
-let resilience_lp ?exact semantics q db =
-  Option.map (fun (obj, _, _) -> obj) (resilience_lp_solution ?exact semantics q db)
+let resilience_lp ?exact ?presolve semantics q db =
+  Option.map (fun (obj, _, _) -> obj) (resilience_lp_solution ?exact ?presolve semantics q db)
 
-let responsibility ?(exact = false) ?node_limit ?time_limit ?(relaxation = Encode.Ilp) semantics
-    q db t =
+let responsibility ?(exact = false) ?(presolve = true) ?node_limit ?time_limit
+    ?(relaxation = Encode.Ilp) semantics q db t =
   let witnesses = Eval.witnesses q db in
   if witnesses = [] then Query_false
   else begin
@@ -101,7 +138,7 @@ let responsibility ?(exact = false) ?node_limit ?time_limit ?(relaxation = Encod
     | Encode.Trivial _ -> Query_false
     | Encode.Impossible -> No_contingency
     | Encode.Encoded enc -> (
-      match run_bb ~exact ?node_limit ?time_limit enc with
+      match run_bb ~exact ~presolve ?node_limit ?time_limit enc with
       | `Infeasible -> No_contingency
       | `Budget incumbent -> Budget_exhausted (Option.map round_value incumbent)
       | `Ok (obj, sol, stats) ->
@@ -113,15 +150,15 @@ let responsibility ?(exact = false) ?node_limit ?time_limit ?(relaxation = Encod
           })
   end
 
-let responsibility_lp ?(exact = false) semantics q db t =
+let responsibility_lp ?(exact = false) ?(presolve = true) semantics q db t =
   match Encode.rsp Encode.Lp semantics q db t with
   | Encode.Trivial _ | Encode.Impossible -> None
-  | Encode.Encoded enc -> Option.map fst (lp_optimum ~exact enc)
+  | Encode.Encoded enc -> Option.map fst (lp_optimum ~exact ~presolve enc)
 
-let responsibility_ranking ?exact semantics q db =
+let responsibility_ranking ?exact ?presolve semantics q db =
   Database.tuples db
   |> List.filter_map (fun info ->
-         match responsibility ?exact semantics q db info.Database.id with
+         match responsibility ?exact ?presolve semantics q db info.Database.id with
          | Solved a ->
            let k = a.rsp_value in
            Some (info.Database.id, k, 1.0 /. (1.0 +. float_of_int k))

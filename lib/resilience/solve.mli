@@ -5,7 +5,15 @@ open! Relalg
     back as tuples.
 
     Every function has a [`Float] fast path (the default) and an [`Exact]
-    path running the identical pipeline over arbitrary-precision rationals. *)
+    path running the identical pipeline over arbitrary-precision rationals.
+
+    Every solve runs {!Lp.Presolve} first ([?presolve], on by default): the
+    model is shrunk by optimum-preserving reductions — duplicate and
+    dominated witness rows dropped, forced deletions fixed, redundant binary
+    bounds stripped — and solutions are lifted back to the full encoding, so
+    answers (values {e and} contingency sets) are unchanged; pass
+    [~presolve:false] to solve the raw encoding, e.g. when differential
+    testing the presolver itself. *)
 
 type stats = {
   nodes : int;  (** Branch-and-bound nodes (LPs solved). *)
@@ -30,6 +38,7 @@ type rsp_answer = { rsp_value : int; responsibility_set : Database.tuple_id list
 
 val resilience :
   ?exact:bool ->
+  ?presolve:bool ->
   ?node_limit:int ->
   ?time_limit:float ->
   Problem.semantics ->
@@ -38,12 +47,14 @@ val resilience :
   res_answer outcome
 (** RES*(Q, D) by ILP[RES*] (Theorem 4.2). *)
 
-val resilience_lp : ?exact:bool -> Problem.semantics -> Cq.t -> Database.t -> float option
+val resilience_lp :
+  ?exact:bool -> ?presolve:bool -> Problem.semantics -> Cq.t -> Database.t -> float option
 (** LP[RES*] optimum ([None] when the query is false or no program exists).
     Equal to RES* on every PTIME case (Theorems 8.6/8.7). *)
 
 val resilience_lp_solution :
   ?exact:bool ->
+  ?presolve:bool ->
   Problem.semantics ->
   Cq.t ->
   Database.t ->
@@ -53,6 +64,7 @@ val resilience_lp_solution :
 
 val responsibility :
   ?exact:bool ->
+  ?presolve:bool ->
   ?node_limit:int ->
   ?time_limit:float ->
   ?relaxation:Encode.relaxation ->
@@ -66,12 +78,19 @@ val responsibility :
     in PTIME, Lemma 6.1). *)
 
 val responsibility_lp :
-  ?exact:bool -> Problem.semantics -> Cq.t -> Database.t -> Database.tuple_id -> float option
+  ?exact:bool ->
+  ?presolve:bool ->
+  Problem.semantics ->
+  Cq.t ->
+  Database.t ->
+  Database.tuple_id ->
+  float option
 (** LP[RSP*] — a lower bound that is {e not} exact even on easy queries
     (Example 4). *)
 
 val responsibility_ranking :
   ?exact:bool ->
+  ?presolve:bool ->
   Problem.semantics ->
   Cq.t ->
   Database.t ->

@@ -1,0 +1,225 @@
+(* Linter fixtures: every diagnostic code, seeded deliberately. *)
+
+open Relalg
+open Resilience
+
+let has code diags = List.exists (fun d -> d.Lp.Lint.code = code) diags
+
+let codes diags = List.map (fun d -> d.Lp.Lint.code) diags
+
+let check_has diags code = Alcotest.(check bool) code true (has code diags)
+
+let check_not diags code = Alcotest.(check bool) ("no " ^ code) false (has code diags)
+
+(* --- Model linter --------------------------------------------------------- *)
+
+let test_m101_infeasible_rows () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var ~integer:true ~upper:1 ~obj:1 m in
+  let y = Lp.Model.add_var ~integer:true ~upper:1 ~obj:1 m in
+  Lp.Model.add_constr m [ (x, 1); (y, 1) ] Lp.Model.Geq 3;
+  Lp.Model.add_constr m [] Lp.Model.Geq 1;
+  let diags = Lp.Lint.lint m in
+  Alcotest.(check int) "two M101" 2
+    (List.length (List.filter (fun d -> d.Lp.Lint.code = "M101") diags));
+  Alcotest.(check bool) "M101 is an error" true
+    (List.for_all
+       (fun d -> d.Lp.Lint.severity = Lp.Lint.Error)
+       (List.filter (fun d -> d.Lp.Lint.code = "M101") diags));
+  (* Errors sort first. *)
+  match Lp.Lint.lint m with
+  | d :: _ -> Alcotest.(check string) "errors first" "M101" d.Lp.Lint.code
+  | [] -> Alcotest.fail "expected diagnostics"
+
+let test_m102_unbounded_integer () =
+  (* add_var refuses this shape, so seed it the way only Presolve may:
+     declare the bound, then relax it. *)
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var ~integer:true ~upper:1 ~obj:1 m in
+  let y = Lp.Model.add_var ~integer:true ~upper:1 ~obj:1 m in
+  Lp.Model.add_constr m [ (x, 1); (y, 1) ] Lp.Model.Geq 1;
+  Lp.Model.relax_upper m x;
+  check_has (Lp.Lint.lint m) "M102"
+
+let test_m103_nonbinary_integer () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var ~integer:true ~upper:2 ~obj:1 m in
+  Lp.Model.add_constr m [ (x, 1) ] Lp.Model.Leq 2;
+  check_has (Lp.Lint.lint m) "M103"
+
+let test_m104_conflicting_rows () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var ~upper:5 ~obj:1 m in
+  let y = Lp.Model.add_var ~upper:5 ~obj:1 m in
+  Lp.Model.add_constr m [ (x, 1); (y, 1) ] Lp.Model.Eq 1;
+  Lp.Model.add_constr m [ (x, 1); (y, 1) ] Lp.Model.Eq 2;
+  check_has (Lp.Lint.lint m) "M104"
+
+let test_m201_m202_m203 () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var ~integer:true ~upper:1 ~obj:1 m in
+  let y = Lp.Model.add_var ~integer:true ~upper:1 ~obj:1 m in
+  let z = Lp.Model.add_var ~integer:true ~upper:1 ~obj:1 m in
+  Lp.Model.add_constr m [ (x, 1); (y, 1) ] Lp.Model.Geq 1;
+  Lp.Model.add_constr m [ (x, 1); (y, 1) ] Lp.Model.Geq 1 (* duplicate *);
+  Lp.Model.add_constr m [ (x, 1); (y, 1) ] Lp.Model.Geq 0 (* parallel (and trivial) *);
+  Lp.Model.add_constr m [ (x, 1); (y, 1); (z, 1) ] Lp.Model.Geq 1 (* dominated *);
+  let diags = Lp.Lint.lint m in
+  check_has diags "M201";
+  check_has diags "M202";
+  check_has diags "M203";
+  check_has diags "M204"
+
+let test_m205_m206_columns () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var ~upper:1 ~obj:1 m in
+  let _empty = Lp.Model.add_var ~upper:1 ~obj:1 m in
+  let _idle = Lp.Model.add_var ~upper:1 m in
+  Lp.Model.add_constr m [ (x, 1) ] Lp.Model.Geq 1;
+  let diags = Lp.Lint.lint m in
+  check_has diags "M205";
+  check_has diags "M206"
+
+let test_m301_m302_notes () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var ~upper:1 m in
+  let y = Lp.Model.add_var ~upper:1 m in
+  Lp.Model.add_constr m [ (x, 1); (y, 2_000_000) ] Lp.Model.Leq 10;
+  let diags = Lp.Lint.lint m in
+  check_has diags "M301";
+  check_has diags "M302"
+
+let test_clean_covering_model () =
+  (* The raw ILP[RES*] of a healthy instance has nothing to complain about. *)
+  let db = Database.create () in
+  ignore (Database.add db "R" [| 1; 2 |]);
+  ignore (Database.add db "S" [| 2; 3 |]);
+  let q = Queries.q2_chain () in
+  match Encode.res Encode.Ilp Problem.Set q db with
+  | Encode.Encoded enc ->
+    let diags = Lp.Lint.lint enc.Encode.model in
+    Alcotest.(check (list string)) "no warnings or errors" []
+      (codes (List.filter (fun d -> d.Lp.Lint.severity <> Lp.Lint.Note) diags));
+    let st = Lp.Lint.stats enc.Encode.model in
+    Alcotest.(check bool) "unit covering" true st.Lp.Lint.unit_covering
+  | _ -> Alcotest.fail "expected encoding"
+
+(* --- Query linter --------------------------------------------------------- *)
+
+let parse db s = Cq_parser.parse_with db s
+
+let test_q101_all_exogenous () =
+  let db = Database.create () in
+  let diags = Query_lint.lint_query Problem.Set (parse db "R!(x,y), S!(y)") in
+  check_has diags "Q101";
+  Alcotest.(check bool) "is an error" true
+    (List.exists
+       (fun d -> d.Lp.Lint.code = "Q101" && d.Lp.Lint.severity = Lp.Lint.Error)
+       diags)
+
+let test_q201_duplicate_atom () =
+  let db = Database.create () in
+  let diags = Query_lint.lint_query Problem.Set (parse db "R(x,y), R(x,y), S(y)") in
+  check_has diags "Q201";
+  check_has diags "Q203" (* a duplicate atom also makes the query non-minimal *)
+
+let test_q202_disconnected () =
+  let db = Database.create () in
+  let diags = Query_lint.lint_query Problem.Set (parse db "R(x,y), S(z,w)") in
+  check_has diags "Q202";
+  check_not (Query_lint.lint_query Problem.Set (parse db "R(x,y), S(y,z)")) "Q202"
+
+let test_q203_non_minimal () =
+  (* R(x,y), R(x,z) retracts to R(x,y) — non-minimal without duplicates. *)
+  let db = Database.create () in
+  let diags = Query_lint.lint_query Problem.Set (parse db "R(x,y), R(x,z)") in
+  check_has diags "Q203";
+  check_not diags "Q201"
+
+let test_q204_constant_only () =
+  let db = Database.create () in
+  check_has (Query_lint.lint_query Problem.Set (parse db "R(x,y), T(5)")) "Q204"
+
+let test_q301_wildcards () =
+  let db = Database.create () in
+  let diags = Query_lint.lint_query Problem.Set (parse db "R(x,y), S(y,z)") in
+  check_has diags "Q301";
+  (* x and z occur once; y twice *)
+  check_not (Query_lint.lint_query Problem.Set (parse db "R(x,x), S(x,x)")) "Q301"
+
+let test_q302_q303_dichotomy () =
+  let db = Database.create () in
+  check_has (Query_lint.lint_query Problem.Set (parse db "R(x,y), S(y,z)")) "Q302";
+  check_has
+    (Query_lint.lint_query Problem.Set (parse db "R(x,y), S(y,z), T(z,x)"))
+    "Q303";
+  check_has (Query_lint.lint_query Problem.Set (parse db "R(x,y), R(y,x), S(y)")) "Q304"
+
+(* --- Instance linter ------------------------------------------------------ *)
+
+let test_i101_all_exo_witness () =
+  let db = Database.create () in
+  ignore (Database.add ~exo:true db "R" [| 1; 1 |]);
+  let q = parse db "R(x,y)" in
+  let diags = Query_lint.lint_instance Problem.Set q db in
+  check_has diags "I101"
+
+let test_i201_empty_relation () =
+  let db = Database.create () in
+  ignore (Database.add db "R" [| 1; 2 |]);
+  let q = parse db "R(x,y), S(y)" in
+  let diags = Query_lint.lint_instance Problem.Set q db in
+  check_has diags "I201";
+  check_has diags "I203"
+
+let test_i202_unsatisfiable_constant () =
+  let db = Database.create () in
+  ignore (Database.add db "R" [| 2; 2 |]);
+  let q = Cq.make ~name:"Q" [ Cq.atom "R" [ Cq.Var "x"; Cq.Const 1 ] ] in
+  let diags = Query_lint.lint_instance Problem.Set q db in
+  check_has diags "I202";
+  check_has diags "I203"
+
+let test_i301_summary () =
+  let db = Database.create () in
+  ignore (Database.add db "R" [| 1; 2 |]);
+  ignore (Database.add db "S" [| 2; 3 |]);
+  let q = parse db "R(x,y), S(y,z)" in
+  let diags = Query_lint.lint_instance Problem.Set q db in
+  check_has diags "I301";
+  check_not diags "I101";
+  check_not diags "I203"
+
+let () =
+  let open Alcotest in
+  run "lint"
+    [
+      ( "model",
+        [
+          test_case "M101 infeasible rows" `Quick test_m101_infeasible_rows;
+          test_case "M102 unbounded integer" `Quick test_m102_unbounded_integer;
+          test_case "M103 non-binary integer" `Quick test_m103_nonbinary_integer;
+          test_case "M104 conflicting rows" `Quick test_m104_conflicting_rows;
+          test_case "M201/M202/M203/M204 rows" `Quick test_m201_m202_m203;
+          test_case "M205/M206 columns" `Quick test_m205_m206_columns;
+          test_case "M301/M302 notes" `Quick test_m301_m302_notes;
+          test_case "clean covering model" `Quick test_clean_covering_model;
+        ] );
+      ( "query",
+        [
+          test_case "Q101 all exogenous" `Quick test_q101_all_exogenous;
+          test_case "Q201 duplicate atom" `Quick test_q201_duplicate_atom;
+          test_case "Q202 disconnected" `Quick test_q202_disconnected;
+          test_case "Q203 non-minimal" `Quick test_q203_non_minimal;
+          test_case "Q204 constant-only atom" `Quick test_q204_constant_only;
+          test_case "Q301 wildcards" `Quick test_q301_wildcards;
+          test_case "Q302/Q303/Q304 dichotomy" `Quick test_q302_q303_dichotomy;
+        ] );
+      ( "instance",
+        [
+          test_case "I101 all-exogenous witness" `Quick test_i101_all_exo_witness;
+          test_case "I201 empty relation" `Quick test_i201_empty_relation;
+          test_case "I202 unsatisfiable constant" `Quick test_i202_unsatisfiable_constant;
+          test_case "I301 summary" `Quick test_i301_summary;
+        ] );
+    ]
