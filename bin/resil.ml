@@ -143,7 +143,7 @@ let lint_cmd =
           match Encode.res Encode.Ilp sem q db with
           | Encode.Trivial _ | Encode.Impossible -> None
           | Encode.Encoded enc ->
-            let m = enc.Encode.model in
+            let m = Lp.Frozen.of_model enc.Encode.model in
             let summary =
               match Lp.Presolve.presolve m with
               | Lp.Presolve.Reduced (_, vm) -> Some (Lp.Presolve.summary vm)
@@ -303,6 +303,55 @@ let responsibility_cmd =
        ~doc:"Minimum contingency set making a tuple counterfactual (ILP[RSP*])")
     Term.(const run $ data_arg $ bag_arg $ exact_arg $ lint_arg $ tuple $ query)
 
+(* ----- rank -------------------------------------------------------------- *)
+
+let rank_cmd =
+  let run data bag exact lint json query =
+    let db = load_db data in
+    match parse_query db query with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok q ->
+      let sem = semantics_of_bag bag in
+      if lint then lint_to_stderr sem q db;
+      (* One session: witnesses, encoding and presolve are paid once, and
+         every tuple's ILP[RSP*] is a warm-started delta-solve. *)
+      let session = Session.create ~exact sem q db in
+      let ranked = Session.ranking session in
+      if json then begin
+        let row (tid, k, rho) =
+          Printf.sprintf {|{"tuple":"%s","k":%d,"responsibility":%g}|}
+            (json_escape (Database_io.print_tuple db tid))
+            k rho
+        in
+        print_endline ("[" ^ String.concat "," (List.map row ranked) ^ "]");
+        0
+      end
+      else begin
+        match ranked with
+        | [] ->
+          print_endline "no rankable tuples (query false, or no endogenous witness tuple)";
+          1
+        | ranked ->
+          Printf.printf "%-44s %5s %14s\n" "tuple" "k" "responsibility";
+          List.iter
+            (fun (tid, k, rho) ->
+              Printf.printf "%-44s %5d %14g\n" (Database_io.print_tuple db tid) k rho)
+            ranked;
+          0
+      end
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output") in
+  let query = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
+  Cmd.v
+    (Cmd.info "rank"
+       ~doc:
+         "Rank every endogenous tuple by responsibility for the query answer (minimal \
+          contingency size k, responsibility 1/(1+k), best first), batched through one \
+          warm-started solve session")
+    Term.(const run $ data_arg $ bag_arg $ exact_arg $ lint_arg $ json $ query)
+
 (* ----- explain ----------------------------------------------------------- *)
 
 let explain_cmd =
@@ -376,6 +425,7 @@ let () =
             lint_cmd;
             resilience_cmd;
             responsibility_cmd;
+            rank_cmd;
             explain_cmd;
             certificate_cmd;
           ]))

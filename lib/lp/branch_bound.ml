@@ -58,9 +58,9 @@ module Make (F : Numeric.Field.S) = struct
          objective as exact. *)
       !ok && int_vars <> []
     in
-    let t0 = Sys.time () in
+    let t0 = Clock.now () in
     let out_of_time () =
-      match time_limit with Some limit -> Sys.time () -. t0 > limit | None -> false
+      match time_limit with Some limit -> Clock.elapsed t0 > limit | None -> false
     in
     let nodes = ref 0 in
     let incumbent_obj = ref None in
@@ -152,4 +152,152 @@ module Make (F : Numeric.Field.S) = struct
       root_objective = !root_objective;
       root_integral = !root_integral;
     }
+
+  (* ----- Frozen sessions -------------------------------------------------
+     A branch-and-bound session owns one warm-startable dual-simplex
+     session over a frozen program (or a thawed fallback model when the
+     dual is inapplicable) and keeps it across calls.  Branching is
+     expressed as delta extension, so within one tree every node after the
+     root re-solves from the parent's basis — and across calls each solve's
+     root starts from the previous call's final basis, which is what makes
+     a responsibility batch (many near-identical ILPs against one frozen
+     core) cheap. *)
+
+  type session = {
+    sfz : Frozen.t;
+    slp : Lp.session option;  (* None: dual path inapplicable *)
+    sfallback : Model.t Lazy.t;
+  }
+
+  let create_session fz =
+    {
+      sfz = fz;
+      slp = (if Lp.frozen_dual_applicable fz then Some (Lp.create_session fz) else None);
+      sfallback = lazy (Frozen.to_model fz);
+    }
+
+  let relax ?(delta = Frozen.Delta.empty) sess =
+    let outcome =
+      match sess.slp with
+      | Some s -> Lp.session_solve s delta
+      | None -> Lp.solve ~fixed:(Frozen.Delta.bindings delta) (Lazy.force sess.sfallback)
+    in
+    match outcome with
+    | Lp.Optimal { objective; solution } -> `Optimal (objective, solution)
+    | Lp.Infeasible -> `Infeasible
+    | Lp.Unbounded -> `Unbounded
+
+  let solve_session ?node_limit ?time_limit ?(delta = Frozen.Delta.empty) sess =
+    let fz = sess.sfz in
+    let nvars = Frozen.num_vars fz in
+    let int_vars = Frozen.integer_vars fz in
+    List.iter
+      (fun v ->
+        match Frozen.upper fz v with
+        | Some 1 | None -> ()
+        | Some _ -> invalid_arg "Branch_bound.solve_session: integer variables must be binary")
+      int_vars;
+    let pure_int_obj =
+      let ok = ref true in
+      for v = 0 to nvars - 1 do
+        if Frozen.objective fz v <> 0 && not (Frozen.is_integer fz v) then ok := false
+      done;
+      !ok && int_vars <> []
+    in
+    let t0 = Clock.now () in
+    let out_of_time () =
+      match time_limit with Some limit -> Clock.elapsed t0 > limit | None -> false
+    in
+    let nodes = ref 0 in
+    let incumbent_obj = ref None in
+    let incumbent_sol = ref None in
+    let objective_at x =
+      let acc = ref F.zero in
+      for v = 0 to nvars - 1 do
+        let c = Frozen.objective fz v in
+        if c <> 0 then acc := F.add !acc (F.mul (F.of_int c) x.(v))
+      done;
+      !acc
+    in
+    let offer_incumbent obj sol =
+      match !incumbent_obj with
+      | Some inc when F.compare obj inc >= 0 -> ()
+      | _ ->
+        incumbent_obj := Some obj;
+        incumbent_sol := Some sol
+    in
+    (* Primal heuristic as in [solve], validated against the base delta —
+       branching fixes are search artifacts a root-feasible point need not
+       respect, and rounding preserves 0/1 fixes anyway. *)
+    let try_rounding solution =
+      let x = Array.copy solution in
+      List.iter
+        (fun v -> x.(v) <- (if F.to_float solution.(v) > 1e-6 then F.one else F.zero))
+        int_vars;
+      if Frozen.check_feasible ~delta fz (Array.map F.to_float x) then
+        offer_incumbent (objective_at x) x
+    in
+    let root_objective = ref None in
+    let root_integral = ref false in
+    let hit_limit = ref false in
+    let unbounded = ref false in
+    let stack = ref [ delta ] in
+    let continue = ref true in
+    while !continue do
+      match !stack with
+      | [] -> continue := false
+      | node_delta :: rest ->
+        stack := rest;
+        if (match node_limit with Some l -> !nodes >= l | None -> false) || out_of_time () then begin
+          hit_limit := true;
+          continue := false
+        end
+        else begin
+          incr nodes;
+          match relax ~delta:node_delta sess with
+          | `Infeasible -> ()
+          | `Unbounded ->
+            unbounded := true;
+            continue := false
+          | `Optimal (objective, solution) ->
+            if !nodes = 1 then begin
+              root_objective := Some objective;
+              root_integral := Lp.integral_on solution int_vars
+            end;
+            let bound = strengthen pure_int_obj objective in
+            let pruned =
+              match !incumbent_obj with Some inc -> F.compare bound inc >= 0 | None -> false
+            in
+            if not pruned then begin
+              match most_fractional solution int_vars with
+              | None -> offer_incumbent objective solution
+              | Some v ->
+                try_rounding solution;
+                stack :=
+                  Frozen.Delta.fix v 0 node_delta
+                  :: Frozen.Delta.fix v 1 node_delta
+                  :: !stack
+            end
+        end
+    done;
+    let status =
+      if !unbounded then Unbounded
+      else
+        match (!incumbent_obj, !hit_limit) with
+        | Some _, false -> Optimal
+        | Some _, true -> Feasible
+        | None, true -> Limit_no_solution
+        | None, false -> Infeasible
+    in
+    {
+      status;
+      objective = !incumbent_obj;
+      solution = !incumbent_sol;
+      nodes = !nodes;
+      root_objective = !root_objective;
+      root_integral = !root_integral;
+    }
+
+  let solve_frozen ?node_limit ?time_limit ?delta fz =
+    solve_session ?node_limit ?time_limit ?delta (create_session fz)
 end

@@ -32,7 +32,36 @@ module Make (F : Numeric.Field.S) : sig
 
   val solve :
     ?node_limit:int -> ?time_limit:float -> ?fixed:(Model.var * int) list -> Model.t -> result
-  (** [time_limit] is in seconds of processor time (emulates the paper's
-      ILP(10) cutoff). @raise Invalid_argument if an integer variable lacks
-      an upper bound of 1. *)
+  (** [time_limit] is wall-clock seconds (emulates the paper's ILP(10)
+      cutoff). @raise Invalid_argument if an integer variable lacks an
+      upper bound of 1. *)
+
+  (** {1 Frozen sessions}
+
+      A session owns one warm-startable dual-simplex session (see
+      {!Simplex}) over a frozen program and keeps it across calls:
+      branching is delta extension, so within a tree every node after the
+      root re-solves from its parent's basis, and across calls each root
+      starts from the previous call's final basis — the warm-start chain a
+      responsibility batch rides. *)
+
+  type session
+
+  val create_session : Frozen.t -> session
+
+  val solve_session :
+    ?node_limit:int -> ?time_limit:float -> ?delta:Frozen.Delta.t -> session -> result
+  (** Branch-and-bound under the delta (the "base" fixes every node of this
+      tree respects).  Same contract as {!solve}. *)
+
+  val relax :
+    ?delta:Frozen.Delta.t ->
+    session ->
+    [ `Optimal of F.t * F.t array | `Infeasible | `Unbounded ]
+  (** Just the LP relaxation under the delta (one warm-started simplex
+      solve; integrality flags ignored). *)
+
+  val solve_frozen :
+    ?node_limit:int -> ?time_limit:float -> ?delta:Frozen.Delta.t -> Frozen.t -> result
+  (** One-shot convenience: [solve_session] on a fresh session. *)
 end

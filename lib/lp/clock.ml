@@ -1,0 +1,2 @@
+let now () = Unix.gettimeofday ()
+let elapsed t0 = Unix.gettimeofday () -. t0

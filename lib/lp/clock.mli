@@ -1,0 +1,17 @@
+(** Wall-clock timing for solver budgets and reported solve times.
+
+    [Sys.time] measures {e processor} time, which both under-reports elapsed
+    time on blocking work and over-reports it on multi-threaded work; budgets
+    like the paper's ILP(10) cutoff are wall-clock budgets.  Every timer in
+    this code base goes through this module so the semantics are uniform.
+
+    The implementation is [Unix.gettimeofday] — the best always-available
+    approximation of a monotonic clock without an external dependency.
+    Differences of {!now} are only used over solver-scale spans (well under
+    NTP-slew scales), where it behaves monotonically in practice. *)
+
+val now : unit -> float
+(** Wall-clock seconds since the epoch. *)
+
+val elapsed : float -> float
+(** [elapsed t0] is the wall-clock time since [t0 = now ()], in seconds. *)

@@ -1,0 +1,211 @@
+module Delta = struct
+  (* Newest-first association list; [fix] drops older bindings of the same
+     variable so [bindings] is duplicate-free by construction.  Deltas stay
+     tiny relative to the matrix (a handful of branching fixes, or one
+     override per witness indicator), so lists beat maps here. *)
+  type t = (Model.var * int) list
+
+  let empty = []
+
+  let release v d = List.filter (fun (u, _) -> u <> v) d
+
+  let fix v k d =
+    if k < 0 then invalid_arg "Frozen.Delta.fix: negative value";
+    (v, k) :: release v d
+
+  let fix_zero v d = fix v 0 d
+  let force_one v d = fix v 1 d
+  let is_empty d = d = []
+  let find d v = List.assoc_opt v d
+  let bindings d = d
+end
+
+type t = {
+  nvars : int;
+  nrows : int;
+  nnz : int;
+  (* CSR *)
+  row_start : int array;  (* nrows + 1 *)
+  row_col : int array;
+  row_coef : int array;
+  sense : Model.sense array;
+  rhs : int array;
+  (* CSC *)
+  col_start : int array;  (* nvars + 1 *)
+  col_row : int array;
+  col_coef : int array;
+  (* per-variable *)
+  obj : int array;
+  upper : int array;  (* -1 encodes "no upper bound" *)
+  integer : bool array;
+  names : string array;
+}
+
+let num_vars t = t.nvars
+let num_rows t = t.nrows
+let nnz t = t.nnz
+let objective t v = t.obj.(v)
+let upper t v = if t.upper.(v) < 0 then None else Some t.upper.(v)
+let is_integer t v = t.integer.(v)
+let var_name t v = t.names.(v)
+
+let integer_vars t =
+  let rec go v acc = if v < 0 then acc else go (v - 1) (if t.integer.(v) then v :: acc else acc) in
+  go (t.nvars - 1) []
+
+let row_sense t i = t.sense.(i)
+let row_rhs t i = t.rhs.(i)
+let row_size t i = t.row_start.(i + 1) - t.row_start.(i)
+
+let iter_row t i f =
+  for k = t.row_start.(i) to t.row_start.(i + 1) - 1 do
+    f t.row_col.(k) t.row_coef.(k)
+  done
+
+let row_expr t i =
+  let acc = ref [] in
+  for k = t.row_start.(i + 1) - 1 downto t.row_start.(i) do
+    acc := (t.row_col.(k), t.row_coef.(k)) :: !acc
+  done;
+  !acc
+
+let col_size t v = t.col_start.(v + 1) - t.col_start.(v)
+
+let iter_col t v f =
+  for k = t.col_start.(v) to t.col_start.(v + 1) - 1 do
+    f t.col_row.(k) t.col_coef.(k)
+  done
+
+(* Build the CSC arrays from the finished CSR arrays by counting sort. *)
+let build_csc t =
+  let counts = Array.make (t.nvars + 1) 0 in
+  for k = 0 to t.nnz - 1 do
+    counts.(t.row_col.(k) + 1) <- counts.(t.row_col.(k) + 1) + 1
+  done;
+  for v = 1 to t.nvars do
+    counts.(v) <- counts.(v) + counts.(v - 1)
+  done;
+  Array.blit counts 0 t.col_start 0 (t.nvars + 1);
+  let cursor = Array.copy counts in
+  for i = 0 to t.nrows - 1 do
+    for k = t.row_start.(i) to t.row_start.(i + 1) - 1 do
+      let v = t.row_col.(k) in
+      t.col_row.(cursor.(v)) <- i;
+      t.col_coef.(cursor.(v)) <- t.row_coef.(k);
+      cursor.(v) <- cursor.(v) + 1
+    done
+  done
+
+let make ~names ~integer ~upper ~obj ~rows =
+  let nvars = Array.length names in
+  if Array.length integer <> nvars || Array.length upper <> nvars || Array.length obj <> nvars
+  then invalid_arg "Frozen.make: per-variable array length mismatch";
+  let nrows = Array.length rows in
+  let nnz = Array.fold_left (fun acc (_, _, expr) -> acc + List.length expr) 0 rows in
+  let t =
+    {
+      nvars;
+      nrows;
+      nnz;
+      row_start = Array.make (nrows + 1) 0;
+      row_col = Array.make nnz 0;
+      row_coef = Array.make nnz 0;
+      sense = Array.make nrows Model.Geq;
+      rhs = Array.make nrows 0;
+      col_start = Array.make (nvars + 1) 0;
+      col_row = Array.make nnz 0;
+      col_coef = Array.make nnz 0;
+      obj = Array.copy obj;
+      upper =
+        Array.map
+          (function
+            | Some u when u >= 0 -> u
+            | Some _ -> invalid_arg "Frozen.make: negative upper bound"
+            | None -> -1)
+          upper;
+      integer = Array.copy integer;
+      names = Array.copy names;
+    }
+  in
+  let k = ref 0 in
+  Array.iteri
+    (fun i (sense, rhs, expr) ->
+      t.sense.(i) <- sense;
+      t.rhs.(i) <- rhs;
+      t.row_start.(i) <- !k;
+      let prev = ref (-1) in
+      List.iter
+        (fun (v, c) ->
+          if v < 0 || v >= nvars then invalid_arg "Frozen.make: variable out of range";
+          if v <= !prev then invalid_arg "Frozen.make: row not in normal form";
+          if c = 0 then invalid_arg "Frozen.make: zero coefficient";
+          prev := v;
+          t.row_col.(!k) <- v;
+          t.row_coef.(!k) <- c;
+          incr k)
+        expr)
+    rows;
+  t.row_start.(nrows) <- !k;
+  build_csc t;
+  t
+
+let of_model m =
+  let n = Model.num_vars m in
+  make
+    ~names:(Array.init n (Model.var_name m))
+    ~integer:(Array.init n (Model.is_integer m))
+    ~upper:(Array.init n (Model.upper m))
+    ~obj:(Array.init n (Model.objective m))
+    ~rows:
+      (Array.map
+         (fun (c : Model.constr) -> (c.Model.sense, c.Model.rhs, c.Model.expr))
+         (Model.constraints m))
+
+let to_model t =
+  let m = Model.create () in
+  for v = 0 to t.nvars - 1 do
+    let integer = t.integer.(v) in
+    let vu = if t.upper.(v) < 0 then None else Some t.upper.(v) in
+    let v' =
+      match vu with
+      | Some u -> Model.add_var ~name:t.names.(v) ~integer ~upper:u ~obj:t.obj.(v) m
+      | None ->
+        if integer then begin
+          (* An integer variable whose (provably redundant) bound was
+             stripped by presolve: re-enter through the checked constructor,
+             then relax — the hand-off Model.relax_upper documents. *)
+          let v' = Model.add_var ~name:t.names.(v) ~integer ~upper:1 ~obj:t.obj.(v) m in
+          Model.relax_upper m v';
+          v'
+        end
+        else Model.add_var ~name:t.names.(v) ~obj:t.obj.(v) m
+    in
+    assert (v' = v)
+  done;
+  for i = 0 to t.nrows - 1 do
+    Model.add_constr m (row_expr t i) t.sense.(i) t.rhs.(i)
+  done;
+  m
+
+let check_feasible ?(eps = 1e-6) ?(delta = Delta.empty) t x =
+  let ok = ref true in
+  for i = 0 to t.nrows - 1 do
+    let lhs = ref 0.0 in
+    iter_row t i (fun v c -> lhs := !lhs +. (float_of_int c *. x.(v)));
+    let frhs = float_of_int t.rhs.(i) in
+    let sat =
+      match t.sense.(i) with
+      | Model.Geq -> !lhs >= frhs -. eps
+      | Model.Leq -> !lhs <= frhs +. eps
+      | Model.Eq -> Float.abs (!lhs -. frhs) <= eps
+    in
+    if not sat then ok := false
+  done;
+  for v = 0 to t.nvars - 1 do
+    (match Delta.find delta v with
+    | Some k -> if Float.abs (x.(v) -. float_of_int k) > eps then ok := false
+    | None -> ());
+    if x.(v) < -.eps then ok := false;
+    if t.upper.(v) >= 0 && x.(v) > float_of_int t.upper.(v) +. eps then ok := false
+  done;
+  !ok

@@ -1,0 +1,106 @@
+(** Immutable compiled form of a {!Model}: the same program, frozen into
+    CSR row arrays and CSC column arrays over flat [int] arrays.
+
+    {!Model.t} is the mutable builder the encoders write into; freezing it
+    once produces the form every downstream stage — {!Lint}, {!Presolve},
+    {!Simplex}, {!Branch_bound} — consumes directly, so no stage re-walks or
+    re-normalises association lists.  Rows keep the builder's normal form
+    (coefficients sorted by variable, duplicates summed, zeros dropped),
+    which row-identity passes (dedup, domination) rely on.
+
+    A frozen program is never mutated.  Cheap per-solve variations — fixing
+    a variable for branch-and-bound, pinning the witness indicators of a
+    responsibility delta-solve — are expressed as a {!Delta}: a bound
+    overlay interpreted by the solvers against the shared matrix, deriving a
+    view without copying anything. *)
+
+type t
+
+module Delta : sig
+  type t
+  (** A set of variable-bound overrides on top of a frozen program: each
+      entry fixes one variable to a constant (lower = upper = value).
+      Deltas are persistent and cheap — branch-and-bound extends its node's
+      delta per branch, and a responsibility batch replays many deltas
+      against one frozen program. *)
+
+  val empty : t
+
+  val fix : Model.var -> int -> t -> t
+  (** [fix v k d] overrides [v] to the constant [k] (replacing any earlier
+      override of [v] in [d]).  @raise Invalid_argument if [k < 0]. *)
+
+  val fix_zero : Model.var -> t -> t
+  val force_one : Model.var -> t -> t
+
+  val release : Model.var -> t -> t
+  (** Removes any override on the variable, restoring its base bounds. *)
+
+  val is_empty : t -> bool
+
+  val find : t -> Model.var -> int option
+
+  val bindings : t -> (Model.var * int) list
+  (** One entry per overridden variable, newest first. *)
+end
+
+val of_model : Model.t -> t
+(** Compiles the builder's current contents; later mutation of the builder
+    does not affect the frozen copy. *)
+
+val to_model : t -> Model.t
+(** Thaws back into a fresh builder (used by fallback solver paths that
+    still want the mutable interface).  Round-trips exactly. *)
+
+val make :
+  names:string array ->
+  integer:bool array ->
+  upper:int option array ->
+  obj:int array ->
+  rows:(Model.sense * int * (Model.var * int) list) array ->
+  t
+(** Directly materialises a frozen program from per-variable arrays and
+    normalised rows [(sense, rhs, expr)] — {!Presolve} uses this to emit
+    reduced programs without round-tripping through the mutable builder.
+    Every row's [expr] must be sorted by variable with non-zero
+    coefficients and no duplicates. @raise Invalid_argument otherwise, or
+    if the per-variable arrays disagree in length. *)
+
+(** {1 Shape} *)
+
+val num_vars : t -> int
+val num_rows : t -> int
+val nnz : t -> int
+
+(** {1 Per-variable data} *)
+
+val objective : t -> Model.var -> int
+val upper : t -> Model.var -> int option
+val is_integer : t -> Model.var -> bool
+val var_name : t -> Model.var -> string
+val integer_vars : t -> Model.var list
+
+(** {1 Rows (CSR)} *)
+
+val row_sense : t -> int -> Model.sense
+val row_rhs : t -> int -> int
+val row_size : t -> int -> int
+val iter_row : t -> int -> (Model.var -> int -> unit) -> unit
+(** [iter_row t i f] calls [f v c] for every entry of row [i], in
+    ascending variable order. *)
+
+val row_expr : t -> int -> (Model.var * int) list
+(** The row as a normalised association list (allocates). *)
+
+(** {1 Columns (CSC)} *)
+
+val col_size : t -> Model.var -> int
+val iter_col : t -> Model.var -> (int -> int -> unit) -> unit
+(** [iter_col t v f] calls [f i c] for every row [i] containing [v], in
+    ascending row order. *)
+
+(** {1 Evaluation} *)
+
+val check_feasible : ?eps:float -> ?delta:Delta.t -> t -> float array -> bool
+(** Do all rows, base bounds and delta overrides hold at the point (within
+    [eps], default [1e-6])?  Integrality flags are not checked. *)

@@ -20,48 +20,55 @@ let pp_diag fmt d =
 
 let errors ds = List.filter (fun d -> d.severity = Error) ds
 
+(* Rows read once from the frozen CSR arrays; already in normal form. *)
+type row = { expr : (Model.var * int) list; sense : Model.sense; rhs : int }
+
+let rows_of m =
+  Array.init (Frozen.num_rows m) (fun i ->
+      { expr = Frozen.row_expr m i; sense = Frozen.row_sense m i; rhs = Frozen.row_rhs m i })
+
 (* Activity bounds of a row under the variable bounds [0, upper]; [None]
    stands for the relevant infinity. *)
-let min_activity m (c : Model.constr) =
+let min_activity m (c : row) =
   List.fold_left
     (fun acc (v, k) ->
       match acc with
       | None -> None
       | Some a ->
         if k >= 0 then Some a
-        else (match Model.upper m v with Some u -> Some (a + (k * u)) | None -> None))
-    (Some 0) c.Model.expr
+        else (match Frozen.upper m v with Some u -> Some (a + (k * u)) | None -> None))
+    (Some 0) c.expr
 
-let max_activity m (c : Model.constr) =
+let max_activity m (c : row) =
   List.fold_left
     (fun acc (v, k) ->
       match acc with
       | None -> None
       | Some a ->
         if k <= 0 then Some a
-        else (match Model.upper m v with Some u -> Some (a + (k * u)) | None -> None))
-    (Some 0) c.Model.expr
+        else (match Frozen.upper m v with Some u -> Some (a + (k * u)) | None -> None))
+    (Some 0) c.expr
 
 (* Can the row be violated / satisfied at all within the bounds? *)
-let statically_infeasible m (c : Model.constr) =
-  match c.Model.sense with
-  | Model.Geq -> ( match max_activity m c with Some a -> a < c.Model.rhs | None -> false)
-  | Model.Leq -> ( match min_activity m c with Some a -> a > c.Model.rhs | None -> false)
+let statically_infeasible m (c : row) =
+  match c.sense with
+  | Model.Geq -> ( match max_activity m c with Some a -> a < c.rhs | None -> false)
+  | Model.Leq -> ( match min_activity m c with Some a -> a > c.rhs | None -> false)
   | Model.Eq -> (
-    (match max_activity m c with Some a -> a < c.Model.rhs | None -> false)
-    || match min_activity m c with Some a -> a > c.Model.rhs | None -> false)
+    (match max_activity m c with Some a -> a < c.rhs | None -> false)
+    || match min_activity m c with Some a -> a > c.rhs | None -> false)
 
-let trivially_satisfied m (c : Model.constr) =
-  match c.Model.sense with
-  | Model.Geq -> ( match min_activity m c with Some a -> a >= c.Model.rhs | None -> false)
-  | Model.Leq -> ( match max_activity m c with Some a -> a <= c.Model.rhs | None -> false)
+let trivially_satisfied m (c : row) =
+  match c.sense with
+  | Model.Geq -> ( match min_activity m c with Some a -> a >= c.rhs | None -> false)
+  | Model.Leq -> ( match max_activity m c with Some a -> a <= c.rhs | None -> false)
   | Model.Eq -> (
     match (min_activity m c, max_activity m c) with
-    | Some a, Some b -> a = c.Model.rhs && b = c.Model.rhs
+    | Some a, Some b -> a = c.rhs && b = c.rhs
     | _ -> false)
 
-let unit_geq (c : Model.constr) =
-  c.Model.sense = Model.Geq && List.for_all (fun (_, k) -> k = 1) c.Model.expr
+let unit_geq (c : row) =
+  c.sense = Model.Geq && List.for_all (fun (_, k) -> k = 1) c.expr
 
 (* [support ⊆ support'] for var lists sorted ascending (normalize_expr sorts
    every row). *)
@@ -73,12 +80,12 @@ let rec subset xs ys =
     if x = y then subset xs' ys' else if x > y then subset xs ys' else false
 
 let stats m =
-  let cs = Model.constraints m in
+  let cs = rows_of m in
   let nnz = ref 0 in
   let min_c = ref 0 and max_c = ref 0 in
   let unit_covering = ref (Array.length cs > 0) in
   Array.iter
-    (fun (c : Model.constr) ->
+    (fun (c : row) ->
       if not (unit_geq c) then unit_covering := false;
       List.iter
         (fun (_, k) ->
@@ -88,16 +95,16 @@ let stats m =
             if !min_c = 0 || a < !min_c then min_c := a;
             if a > !max_c then max_c := a
           end)
-        c.Model.expr)
+        c.expr)
     cs;
-  let integer_count = List.length (Model.integer_vars m) in
+  let integer_count = List.length (Frozen.integer_vars m) in
   let bounded_count = ref 0 in
-  for v = 0 to Model.num_vars m - 1 do
-    if Model.upper m v <> None then incr bounded_count
+  for v = 0 to Frozen.num_vars m - 1 do
+    if Frozen.upper m v <> None then incr bounded_count
   done;
   {
-    nvars = Model.num_vars m;
-    nconstrs = Model.num_constrs m;
+    nvars = Frozen.num_vars m;
+    nconstrs = Frozen.num_rows m;
     nnz = !nnz;
     integer_count;
     bounded_count = !bounded_count;
@@ -107,19 +114,19 @@ let stats m =
   }
 
 let lint m =
-  let cs = Model.constraints m in
+  let cs = rows_of m in
   let nrows = Array.length cs in
   let diags = ref [] in
   let emit code severity message = diags := { code; severity; message } :: !diags in
   (* --- variable checks --------------------------------------------------- *)
-  let occupied = Array.make (Model.num_vars m) false in
+  let occupied = Array.make (Frozen.num_vars m) false in
   Array.iter
-    (fun (c : Model.constr) -> List.iter (fun (v, _) -> occupied.(v) <- true) c.Model.expr)
+    (fun (c : row) -> List.iter (fun (v, _) -> occupied.(v) <- true) c.expr)
     cs;
-  for v = 0 to Model.num_vars m - 1 do
-    let name = Model.var_name m v in
-    if Model.is_integer m v then begin
-      match Model.upper m v with
+  for v = 0 to Frozen.num_vars m - 1 do
+    let name = Frozen.var_name m v in
+    if Frozen.is_integer m v then begin
+      match Frozen.upper m v with
       | None ->
         emit "M102" Error
           (Printf.sprintf
@@ -133,7 +140,7 @@ let lint m =
              name u)
     end;
     if not occupied.(v) then
-      if Model.objective m v = 0 then
+      if Frozen.objective m v = 0 then
         emit "M206" Warning
           (Printf.sprintf "variable %s has no constraint and no objective weight" name)
       else
@@ -153,14 +160,14 @@ let lint m =
         (Printf.sprintf "row c%d holds for every point within the variable bounds" i)
   done;
   (* Duplicate / parallel / conflicting rows, grouped by left-hand side. *)
-  let by_lhs : (Model.linexpr, (int * Model.sense * int) list ref) Hashtbl.t =
+  let by_lhs : ((Model.var * int) list, (int * Model.sense * int) list ref) Hashtbl.t =
     Hashtbl.create (max 16 nrows)
   in
   Array.iteri
-    (fun i (c : Model.constr) ->
-      match Hashtbl.find_opt by_lhs c.Model.expr with
-      | Some l -> l := (i, c.Model.sense, c.Model.rhs) :: !l
-      | None -> Hashtbl.add by_lhs c.Model.expr (ref [ (i, c.Model.sense, c.Model.rhs) ]))
+    (fun i (c : row) ->
+      match Hashtbl.find_opt by_lhs c.expr with
+      | Some l -> l := (i, c.sense, c.rhs) :: !l
+      | None -> Hashtbl.add by_lhs c.expr (ref [ (i, c.sense, c.rhs) ]))
     cs;
   let groups =
     Hashtbl.fold (fun _ l acc -> List.rev !l :: acc) by_lhs []
@@ -214,20 +221,20 @@ let lint m =
      row with an equal-or-larger right-hand side. *)
   let covering =
     Array.to_list (Array.mapi (fun i c -> (i, c)) cs)
-    |> List.filter (fun (_, c) -> unit_geq c && c.Model.expr <> [])
+    |> List.filter (fun (_, c) -> unit_geq c && c.expr <> [])
   in
   let rows_of_var = Hashtbl.create 64 in
   List.iter
-    (fun (i, (c : Model.constr)) ->
+    (fun (i, (c : row)) ->
       List.iter
         (fun (v, _) ->
           let l = try Hashtbl.find rows_of_var v with Not_found -> [] in
           Hashtbl.replace rows_of_var v ((i, c) :: l))
-        c.Model.expr)
+        c.expr)
     covering;
   List.iter
-    (fun (i, (c : Model.constr)) ->
-      let vars_i = List.map fst c.Model.expr in
+    (fun (i, (c : row)) ->
+      let vars_i = List.map fst c.expr in
       let candidates =
         List.concat_map
           (fun v -> try Hashtbl.find rows_of_var v with Not_found -> [])
@@ -236,14 +243,14 @@ let lint m =
       in
       let dominator =
         List.find_opt
-          (fun (j, (c' : Model.constr)) ->
+          (fun (j, (c' : row)) ->
             j <> i
-            && c'.Model.rhs >= c.Model.rhs
-            && List.length c'.Model.expr <= List.length c.Model.expr
-            && subset (List.map fst c'.Model.expr) vars_i
+            && c'.rhs >= c.rhs
+            && List.length c'.expr <= List.length c.expr
+            && subset (List.map fst c'.expr) vars_i
             (* break ties between identical supports deterministically *)
-            && (List.length c'.Model.expr < List.length c.Model.expr
-               || c'.Model.rhs > c.Model.rhs || j < i))
+            && (List.length c'.expr < List.length c.expr
+               || c'.rhs > c.rhs || j < i))
           candidates
       in
       match dominator with
@@ -258,10 +265,10 @@ let lint m =
       (Printf.sprintf "coefficient magnitudes span [%d, %d]; expect conditioning trouble"
          s.min_abs_coeff s.max_abs_coeff);
   let any_obj = ref false in
-  for v = 0 to Model.num_vars m - 1 do
-    if Model.objective m v <> 0 then any_obj := true
+  for v = 0 to Frozen.num_vars m - 1 do
+    if Frozen.objective m v <> 0 then any_obj := true
   done;
-  if Model.num_vars m > 0 && not !any_obj then
+  if Frozen.num_vars m > 0 && not !any_obj then
     emit "M302" Note "objective is identically zero; every feasible point is optimal";
   let rank d = match d.severity with Error -> 0 | Warning -> 1 | Note -> 2 in
   List.stable_sort (fun a b -> compare (rank a, a.code) (rank b, b.code)) (List.rev !diags)

@@ -4,7 +4,7 @@
     The paper's central observation is that hardness and solver behaviour are
     decided by {e structure} — of the query (triads, Table 1) and of the
     generated program (integrality of the relaxation).  This linter covers
-    the program side: it inspects a {!Model.t} for defects that would make
+    the program side: it inspects a frozen program ({!Frozen.t}) for defects that would make
     the solvers fail late ([M1xx] errors), rows and columns that are pure
     overhead ([M2xx] warnings), and numerical/shape properties worth knowing
     ([M3xx] notes).  {!Presolve} repairs the subset of these that can be
@@ -55,9 +55,9 @@ type stats = {
           machinery applies. *)
 }
 
-val stats : Model.t -> stats
+val stats : Frozen.t -> stats
 
-val lint : Model.t -> diag list
+val lint : Frozen.t -> diag list
 (** All diagnostics, errors first, in stable order. *)
 
 val errors : diag list -> diag list

@@ -13,11 +13,15 @@ type vmap = {
   summary : summary;
 }
 
-type result = Infeasible | Unbounded | Reduced of Model.t * vmap
+type result = Infeasible | Unbounded | Reduced of Frozen.t * vmap
 
 let orig_nvars vm = vm.orig_nvars
 let obj_offset vm = vm.obj_offset
 let summary vm = vm.summary
+
+let var_image vm v =
+  let j = vm.new_of_orig.(v) in
+  if j >= 0 then `Kept j else `Fixed vm.fixed_value.(v)
 
 let lift vm ~of_int x =
   Array.init vm.orig_nvars (fun v ->
@@ -34,13 +38,12 @@ exception Found_infeasible
 exception Found_unbounded
 
 let presolve ?(strip_bounds = true) m =
-  let n = Model.num_vars m in
-  let upper = Array.init n (fun v -> Model.upper m v) in
+  let n = Frozen.num_vars m in
+  let upper = Array.init n (fun v -> Frozen.upper m v) in
   let fixed = Array.make n None in
   let rows =
-    Array.map
-      (fun (c : Model.constr) -> Some { expr = c.Model.expr; sense = c.Model.sense; rhs = c.Model.rhs })
-      (Model.constraints m)
+    Array.init (Frozen.num_rows m) (fun i ->
+        Some { expr = Frozen.row_expr m i; sense = Frozen.row_sense m i; rhs = Frozen.row_rhs m i })
   in
   let rows_removed = ref 0 in
   let vars_fixed = ref 0 in
@@ -97,7 +100,7 @@ let presolve ?(strip_bounds = true) m =
   (* An exact bound can be applied to any variable; a rounded one only to an
      integer variable (rounding would cut feasible fractional points off a
      continuous one). *)
-  let exact_or_integer v num den = num mod den = 0 || Model.is_integer m v in
+  let exact_or_integer v num den = num mod den = 0 || Frozen.is_integer m v in
   let handle_singleton i v c rhs =
     if c > 0 then begin
       match rows.(i) with
@@ -129,7 +132,7 @@ let presolve ?(strip_bounds = true) m =
             fix v (rhs / c);
             drop i
           end
-          else if Model.is_integer m v then raise Found_infeasible
+          else if Frozen.is_integer m v then raise Found_infeasible
           (* continuous with a fractional value: keep the row *))
     end
     else begin
@@ -163,7 +166,7 @@ let presolve ?(strip_bounds = true) m =
             fix v (rhs / c);
             drop i
           end
-          else if Model.is_integer m v then raise Found_infeasible)
+          else if Frozen.is_integer m v then raise Found_infeasible)
     end
   in
   let scan_rows () =
@@ -226,7 +229,7 @@ let presolve ?(strip_bounds = true) m =
               | Some a ->
                 List.iter
                   (fun (v, c) ->
-                    if c < 0 && Model.is_integer m v && fixed.(v) = None then
+                    if c < 0 && Frozen.is_integer m v && fixed.(v) = None then
                       tighten_upper v (floor_div (a - r.rhs) (-c)))
                   r.expr)
             | Model.Leq -> (
@@ -235,7 +238,7 @@ let presolve ?(strip_bounds = true) m =
               | Some a ->
                 List.iter
                   (fun (v, c) ->
-                    if c > 0 && Model.is_integer m v && fixed.(v) = None then
+                    if c > 0 && Frozen.is_integer m v && fixed.(v) = None then
                       tighten_upper v (floor_div (r.rhs - a) c))
                   r.expr)
             | Model.Eq -> ()
@@ -312,7 +315,7 @@ let presolve ?(strip_bounds = true) m =
       rows;
     for v = 0 to n - 1 do
       if fixed.(v) = None && not occupied.(v) then begin
-        let c = Model.objective m v in
+        let c = Frozen.objective m v in
         if c >= 0 then fix v 0
         else
           match upper.(v) with Some u -> fix v u | None -> raise Found_unbounded
@@ -351,7 +354,7 @@ let presolve ?(strip_bounds = true) m =
       for v = 0 to n - 1 do
         match (fixed.(v), upper.(v)) with
         | None, Some u
-          when Model.objective m v > 0 && ((not (Model.is_integer m v)) || u = 1) ->
+          when Frozen.objective m v > 0 && ((not (Frozen.is_integer m v)) || u = 1) ->
           let benign (r, c) =
             match (r.sense, c > 0) with
             | Model.Geq, true ->
@@ -368,47 +371,43 @@ let presolve ?(strip_bounds = true) m =
         | _ -> ()
       done
     end;
-    (* Materialise the reduced model. *)
-    let reduced = Model.create () in
+    (* Materialise the reduced program directly as a frozen form — the rows
+       are already in normal form (substitution preserves the sort order,
+       and the kept-variable renumbering is monotone). *)
     let new_of_orig = Array.make n (-1) in
     let fixed_value = Array.make n 0 in
     let obj_offset = ref 0 in
+    let nkept = ref 0 in
     for v = 0 to n - 1 do
       match fixed.(v) with
       | Some k ->
         fixed_value.(v) <- k;
-        obj_offset := !obj_offset + (Model.objective m v * k)
+        obj_offset := !obj_offset + (Frozen.objective m v * k)
       | None ->
-        let integer = Model.is_integer m v in
-        let v' =
-          match upper.(v) with
-          | Some u ->
-            Model.add_var ~name:(Model.var_name m v) ~integer ~upper:u
-              ~obj:(Model.objective m v) reduced
-          | None ->
-            if integer then begin
-              (* stripped binary bound: re-add through the checked
-                 constructor, then relax (Model.relax_upper documents this
-                 exact hand-off) *)
-              let v' =
-                Model.add_var ~name:(Model.var_name m v) ~integer ~upper:1
-                  ~obj:(Model.objective m v) reduced
-              in
-              Model.relax_upper reduced v';
-              v'
-            end
-            else
-              Model.add_var ~name:(Model.var_name m v) ~obj:(Model.objective m v) reduced
-        in
-        new_of_orig.(v) <- v'
+        new_of_orig.(v) <- !nkept;
+        incr nkept
     done;
-    Array.iter
-      (function
-        | Some r ->
-          let expr = List.map (fun (v, c) -> (new_of_orig.(v), c)) r.expr in
-          Model.add_constr reduced expr r.sense r.rhs
-        | None -> ())
-      rows;
+    let names = Array.make !nkept "" in
+    let integer = Array.make !nkept false in
+    let r_upper = Array.make !nkept None in
+    let obj = Array.make !nkept 0 in
+    for v = 0 to n - 1 do
+      let v' = new_of_orig.(v) in
+      if v' >= 0 then begin
+        names.(v') <- Frozen.var_name m v;
+        integer.(v') <- Frozen.is_integer m v;
+        r_upper.(v') <- upper.(v);
+        obj.(v') <- Frozen.objective m v
+      end
+    done;
+    let kept_rows =
+      Array.to_list rows
+      |> List.filter_map
+           (Option.map (fun r ->
+                (r.sense, r.rhs, List.map (fun (v, c) -> (new_of_orig.(v), c)) r.expr)))
+      |> Array.of_list
+    in
+    let reduced = Frozen.make ~names ~integer ~upper:r_upper ~obj ~rows:kept_rows in
     let vm =
       {
         orig_nvars = n;

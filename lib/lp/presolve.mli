@@ -49,12 +49,21 @@ type summary = {
 type result =
   | Infeasible  (** Proven infeasible without solving. *)
   | Unbounded  (** A negative-cost variable with no bound and no row. *)
-  | Reduced of Model.t * vmap
+  | Reduced of Frozen.t * vmap
 
-val presolve : ?strip_bounds:bool -> Model.t -> result
-(** The input model is not modified. *)
+val presolve : ?strip_bounds:bool -> Frozen.t -> result
+(** Consumes and produces the frozen compiled form ({!Frozen.t}); the
+    input is never modified (frozen programs are immutable). *)
 
 val orig_nvars : vmap -> int
+
+val var_image : vmap -> Model.var -> [ `Kept of Model.var | `Fixed of int ]
+(** Where an original variable went: renumbered into the reduced program,
+    or eliminated at a fixed value.  Lets callers translate
+    {!Frozen.Delta} overrides built against the original program into the
+    reduced one (an override conflicting with a [`Fixed] value means the
+    combination is infeasible {e provided} the presolve fix was
+    feasibility-forced, as all fixes on covering-family programs are). *)
 
 val obj_offset : vmap -> int
 (** Objective contribution of the fixed variables:

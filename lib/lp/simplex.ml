@@ -606,6 +606,470 @@ module Make (F : Numeric.Field.S) = struct
         !refactors;
     !result
 
+  (* ----- Frozen sessions: bounded-variable dual simplex -----------------
+     A [session] compiles a {!Frozen.t} once into sparse columns with
+     native per-column bounds — finite upper bounds are NOT materialised as
+     rows, and equality rows get a slack fixed to [0,0] — and then solves
+     any number of {!Frozen.Delta} bound overlays against it.  The dual
+     simplex needs a dual-feasible start, which bounds make trivial to
+     maintain: reduced costs depend only on (basis, costs), and a delta
+     changes only bounds, so the optimal basis of the previous solve stays
+     dual feasible for the next one after snapping each nonbasic variable
+     to the bound its reduced-cost sign prefers.  That is the whole
+     warm-start protocol; branch-and-bound fixes and responsibility-batch
+     overlays both go through it.
+
+     Requirement: every objective coefficient must be non-negative (true of
+     all programs this code base generates), so that the all-slack basis is
+     a universally available dual-feasible reset point. *)
+
+  type session = {
+    fz : Frozen.t;
+    snrows : int;
+    sncols : int;  (* structural + one slack per row *)
+    snstruct : int;
+    scols : (int * F.t) list array;  (* sparse column entries (row, coeff) *)
+    scost : F.t array;
+    sb : F.t array;
+    base_lb : F.t array;
+    base_ub : F.t option array;  (* None = +inf *)
+    lb : F.t array;  (* after the current delta *)
+    ub : F.t option array;
+    sbinv : F.t array array;
+    sbasis : int array;
+    sxb : F.t array;
+    s_in_basis : bool array;
+    s_at_upper : bool array;
+    sdarr : F.t array;  (* reduced costs, maintained across pivots/deltas *)
+    mutable spivots : int;
+        (* Pivots since binv was last rebuilt from scratch.  Lives on the
+           session, not the solve: warm-started batches run many short
+           solves, and drift accumulates across them, not within one. *)
+  }
+
+  let frozen_dual_applicable fz =
+    let ok = ref true in
+    for v = 0 to Frozen.num_vars fz - 1 do
+      if Frozen.objective fz v < 0 then ok := false
+    done;
+    !ok
+
+  (* Slack of row i carries coefficient [slack_sign i]: +1 for <= and =,
+     -1 for >= (so the slack itself lives in [0, +inf), or [0,0] for =). *)
+  let slack_sign fz i =
+    match Frozen.row_sense fz i with Model.Leq | Model.Eq -> F.one | Model.Geq -> F.neg F.one
+
+  (* Reset to the all-slack basis: binv is its own inverse (diag of +-1),
+     reduced costs equal the raw costs (slack costs are zero), and every
+     structural column sits at its lower bound — dual feasible because all
+     costs are non-negative. *)
+  let session_reset s =
+    let n = s.snrows in
+    for i = 0 to n - 1 do
+      let row = s.sbinv.(i) in
+      Array.fill row 0 n F.zero;
+      row.(i) <- slack_sign s.fz i;
+      s.sbasis.(i) <- s.snstruct + i
+    done;
+    Array.fill s.s_at_upper 0 s.sncols false;
+    for j = 0 to s.sncols - 1 do
+      s.s_in_basis.(j) <- j >= s.snstruct;
+      s.sdarr.(j) <- s.scost.(j)
+    done;
+    s.spivots <- 0
+
+  let create_session fz =
+    if not (frozen_dual_applicable fz) then
+      invalid_arg "Simplex.create_session: negative objective coefficient";
+    let nstruct = Frozen.num_vars fz in
+    let nrows = Frozen.num_rows fz in
+    let ncols = nstruct + nrows in
+    let scols = Array.make (max 1 ncols) [] in
+    for v = 0 to nstruct - 1 do
+      let acc = ref [] in
+      Frozen.iter_col fz v (fun i c -> acc := (i, F.of_int c) :: !acc);
+      scols.(v) <- List.rev !acc
+    done;
+    for i = 0 to nrows - 1 do
+      scols.(nstruct + i) <- [ (i, slack_sign fz i) ]
+    done;
+    let scost = Array.make (max 1 ncols) F.zero in
+    for v = 0 to nstruct - 1 do
+      scost.(v) <- F.of_int (Frozen.objective fz v)
+    done;
+    let base_lb = Array.make (max 1 ncols) F.zero in
+    let base_ub = Array.make (max 1 ncols) None in
+    for v = 0 to nstruct - 1 do
+      base_ub.(v) <- Option.map F.of_int (Frozen.upper fz v)
+    done;
+    for i = 0 to nrows - 1 do
+      if Frozen.row_sense fz i = Model.Eq then base_ub.(nstruct + i) <- Some F.zero
+    done;
+    let s =
+      {
+        fz;
+        snrows = nrows;
+        sncols = ncols;
+        snstruct = nstruct;
+        scols;
+        scost;
+        sb = Array.init (max 1 nrows) (fun i -> if i < nrows then F.of_int (Frozen.row_rhs fz i) else F.zero);
+        base_lb;
+        base_ub;
+        lb = Array.copy base_lb;
+        ub = Array.copy base_ub;
+        sbinv = Array.init (max 1 nrows) (fun _ -> Array.make (max 1 nrows) F.zero);
+        sbasis = Array.make (max 1 nrows) 0;
+        sxb = Array.make (max 1 nrows) F.zero;
+        s_in_basis = Array.make (max 1 ncols) false;
+        s_at_upper = Array.make (max 1 ncols) false;
+        sdarr = Array.make (max 1 ncols) F.zero;
+        spivots = 0;
+      }
+    in
+    session_reset s;
+    s
+
+  let session_fixed s j = match s.ub.(j) with Some u -> F.compare u s.lb.(j) <= 0 | None -> false
+
+  let session_nb_value s j =
+    if s.s_at_upper.(j) then match s.ub.(j) with Some u -> u | None -> s.lb.(j) else s.lb.(j)
+
+  (* xb = Binv (b - N x_N): valid whenever binv matches the basis. *)
+  let session_compute_xb s =
+    let n = s.snrows in
+    let rhs = Array.sub s.sb 0 (max 1 n) in
+    for j = 0 to s.sncols - 1 do
+      if not s.s_in_basis.(j) then begin
+        let v = session_nb_value s j in
+        if F.sign v <> 0 then
+          List.iter (fun (i, c) -> rhs.(i) <- F.sub rhs.(i) (F.mul c v)) s.scols.(j)
+      end
+    done;
+    for r = 0 to n - 1 do
+      s.sxb.(r) <- F.dot s.sbinv.(r) rhs
+    done
+
+  let session_refresh_darr s =
+    let n = s.snrows in
+    let y = Array.make (max 1 n) F.zero in
+    for i = 0 to n - 1 do
+      let cb = s.scost.(s.sbasis.(i)) in
+      if F.sign cb <> 0 then F.axpy cb s.sbinv.(i) y
+    done;
+    for j = 0 to s.sncols - 1 do
+      if s.s_in_basis.(j) then s.sdarr.(j) <- F.zero
+      else begin
+        let acc = ref s.scost.(j) in
+        List.iter (fun (i, c) -> acc := F.sub !acc (F.mul y.(i) c)) s.scols.(j);
+        s.sdarr.(j) <- !acc
+      end
+    done
+
+  exception Session_singular
+
+  let session_refactorize s =
+    let n = s.snrows in
+    let mat = Array.make_matrix (max 1 n) (max 1 n) F.zero in
+    for r = 0 to n - 1 do
+      List.iter (fun (i, c) -> mat.(i).(r) <- c) s.scols.(s.sbasis.(r))
+    done;
+    let inv = Array.init (max 1 n) (fun i -> Array.init (max 1 n) (fun j -> if i = j then F.one else F.zero)) in
+    (try
+       for piv = 0 to n - 1 do
+         let best = ref piv in
+         for r = piv + 1 to n - 1 do
+           if F.compare (F.abs mat.(r).(piv)) (F.abs mat.(!best).(piv)) > 0 then best := r
+         done;
+         if F.sign mat.(!best).(piv) = 0 then raise Session_singular;
+         if !best <> piv then begin
+           let t = mat.(piv) in
+           mat.(piv) <- mat.(!best);
+           mat.(!best) <- t;
+           let t = inv.(piv) in
+           inv.(piv) <- inv.(!best);
+           inv.(!best) <- t
+         end;
+         let d = mat.(piv).(piv) in
+         F.div_inplace mat.(piv) d;
+         F.div_inplace inv.(piv) d;
+         for r = 0 to n - 1 do
+           if r <> piv then begin
+             let f = mat.(r).(piv) in
+             if F.sign f <> 0 then begin
+               F.axpy (F.neg f) mat.(piv) mat.(r);
+               F.axpy (F.neg f) inv.(piv) inv.(r)
+             end
+           end
+         done
+       done
+     with Session_singular ->
+       (* A numerically singular basis (floats only): fall back to the
+          always-valid all-slack start rather than failing the solve. *)
+       session_reset s;
+       session_compute_xb s;
+       raise Session_singular);
+    for r = 0 to n - 1 do
+      Array.blit inv.(r) 0 s.sbinv.(r) 0 n
+    done;
+    session_compute_xb s;
+    session_refresh_darr s;
+    s.spivots <- 0
+
+  (* The bounded-variable dual simplex.  Invariants: darr is dual feasible
+     for the nonbasic positions (at lower => d >= 0, at upper => d <= 0,
+     fixed => unconstrained), binv inverts the basis, xb holds the basic
+     values.  Returns when every basic value is within its bounds
+     (`Optimal) or a bound-violated row admits no entering column
+     (`Infeasible — a valid Farkas certificate even with fixed columns
+     excluded, since those sit at equal lower and upper bounds). *)
+  let session_run s =
+    let n = s.snrows in
+    let bland = ref false in
+    let iters = ref 0 in
+    let max_iters = 20_000 + (60 * s.sncols) in
+    let refactor () =
+      (match session_refactorize s with () -> () | exception Session_singular -> session_refresh_darr s);
+      s.spivots <- 0
+    in
+    let result = ref `Optimal in
+    let continue = ref true in
+    while !continue do
+      incr iters;
+      if !iters > max_iters then failwith "Simplex.session_solve: dual iteration limit";
+      if !iters > max_iters / 2 then bland := true;
+      (* Rebuild the inverse every ~max(300, n) pivots: the O(n^3) rebuild
+         then amortises to the O(n^2) cost of a single eta update, while
+         still bounding drift across the many short solves of a warm
+         batch. *)
+      if s.spivots > max 300 n then refactor ();
+      (* Leaving row: a basic value outside its bounds.  rho = +1 when the
+         leaver must rise to its lower bound, -1 when it must drop to its
+         upper bound; largest violation wins (smallest basis index under
+         Bland). *)
+      let leave = ref (-1) in
+      let leave_rho = ref F.one in
+      let best_viol = ref F.zero in
+      for r = 0 to n - 1 do
+        let jb = s.sbasis.(r) in
+        let x = s.sxb.(r) in
+        let viol, rho =
+          let low = F.sub s.lb.(jb) x in
+          if F.sign low > 0 then (low, F.one)
+          else
+            match s.ub.(jb) with
+            | Some u ->
+              let high = F.sub x u in
+              if F.sign high > 0 then (high, F.neg F.one) else (F.zero, F.one)
+            | None -> (F.zero, F.one)
+        in
+        if F.sign viol > 0 then
+          if !leave < 0 then begin
+            leave := r;
+            leave_rho := rho;
+            best_viol := viol
+          end
+          else if !bland then begin
+            if s.sbasis.(r) < s.sbasis.(!leave) then begin
+              leave := r;
+              leave_rho := rho;
+              best_viol := viol
+            end
+          end
+          else if F.compare viol !best_viol > 0 then begin
+            leave := r;
+            leave_rho := rho;
+            best_viol := viol
+          end
+      done;
+      if !leave < 0 then continue := false
+      else begin
+        let r = !leave in
+        let rho = !leave_rho in
+        let brow = s.sbinv.(r) in
+        let alpha j =
+          let acc = ref F.zero in
+          List.iter (fun (i, c) -> acc := F.add !acc (F.mul brow.(i) c)) s.scols.(j);
+          !acc
+        in
+        (* Dual ratio test: an entering candidate must move x_B(r) towards
+           its violated bound (sign of rho * alpha decides), and the one
+           with the smallest |d / alpha| keeps every other reduced cost on
+           the right side; prefer large |alpha| among ties, smallest index
+           under Bland. *)
+        let enter = ref (-1) in
+        let enter_alpha = ref F.zero in
+        let best_theta = ref F.zero in
+        let j = ref 0 in
+        while !j < s.sncols && not (!bland && !enter >= 0) do
+          let jj = !j in
+          if (not s.s_in_basis.(jj)) && not (session_fixed s jj) then begin
+            let a = alpha jj in
+            let ra = F.mul rho a in
+            let eligible, ratio =
+              if s.s_at_upper.(jj) then
+                if F.sign ra > 0 then begin
+                  let d = s.sdarr.(jj) in
+                  let d = if F.sign d > 0 then F.zero else d in
+                  (true, F.div (F.neg d) ra)
+                end
+                else (false, F.zero)
+              else if F.sign ra < 0 then begin
+                let d = s.sdarr.(jj) in
+                let d = if F.sign d < 0 then F.zero else d in
+                (true, F.div d (F.neg ra))
+              end
+              else (false, F.zero)
+            in
+            if eligible then begin
+              let better =
+                !enter < 0
+                || F.compare ratio !best_theta < 0
+                || (F.compare ratio !best_theta = 0
+                   && F.compare (F.abs a) (F.abs !enter_alpha) > 0)
+              in
+              if better then begin
+                enter := jj;
+                enter_alpha := a;
+                best_theta := ratio
+              end
+            end
+          end;
+          incr j
+        done;
+        if !enter < 0 then begin
+          result := `Infeasible;
+          continue := false
+        end
+        else begin
+          let q = !enter in
+          let wcol = Array.make (max 1 n) F.zero in
+          let entries = s.scols.(q) in
+          for i = 0 to n - 1 do
+            let row = s.sbinv.(i) in
+            let acc = ref F.zero in
+            List.iter (fun (k, c) -> acc := F.add !acc (F.mul row.(k) c)) entries;
+            wcol.(i) <- !acc
+          done;
+          if s.spivots > 25 && F.compare (F.abs wcol.(r)) F.pivot_tol <= 0 then
+            (* Noise-level pivot on a stale inverse: refactorise and retry
+               on fresh numbers. *)
+            refactor ()
+          else begin
+            let jb_leave = s.sbasis.(r) in
+            let target =
+              if F.sign rho > 0 then s.lb.(jb_leave)
+              else match s.ub.(jb_leave) with Some u -> u | None -> assert false
+            in
+            let step = F.div (F.sub s.sxb.(r) target) wcol.(r) in
+            let entering_value = F.add (session_nb_value s q) step in
+            F.axpy (F.neg step) wcol s.sxb;
+            (* Dual update before the eta update (alpha reads the old row
+               of binv). *)
+            let theta = F.div s.sdarr.(q) wcol.(r) in
+            if F.sign theta <> 0 then
+              for k = 0 to s.sncols - 1 do
+                if (not s.s_in_basis.(k)) && k <> q then
+                  s.sdarr.(k) <- F.sub s.sdarr.(k) (F.mul theta (alpha k))
+              done;
+            s.sdarr.(jb_leave) <- F.neg theta;
+            s.sdarr.(q) <- F.zero;
+            s.s_in_basis.(jb_leave) <- false;
+            s.s_at_upper.(jb_leave) <- F.sign rho < 0;
+            s.s_in_basis.(q) <- true;
+            s.sbasis.(r) <- q;
+            s.sxb.(r) <- entering_value;
+            let piv = wcol.(r) in
+            let browr = s.sbinv.(r) in
+            F.div_inplace browr piv;
+            for i = 0 to n - 1 do
+              if i <> r then begin
+                let f = wcol.(i) in
+                if F.sign f <> 0 then F.axpy (F.neg f) browr s.sbinv.(i)
+              end
+            done;
+            s.spivots <- s.spivots + 1
+          end
+        end
+      end
+    done;
+    !result
+
+  let session_extract s =
+    let nvars = s.snstruct in
+    let x = Array.make nvars F.zero in
+    for j = 0 to nvars - 1 do
+      if not s.s_in_basis.(j) then x.(j) <- session_nb_value s j
+    done;
+    for r = 0 to s.snrows - 1 do
+      if s.sbasis.(r) < nvars then x.(s.sbasis.(r)) <- s.sxb.(r)
+    done;
+    let objective = ref F.zero in
+    for v = 0 to nvars - 1 do
+      if F.sign s.scost.(v) <> 0 then objective := F.add !objective (F.mul s.scost.(v) x.(v))
+    done;
+    Optimal { objective = !objective; solution = x }
+
+  let session_solve s delta =
+    (* Install the delta over the base bounds. *)
+    Array.blit s.base_lb 0 s.lb 0 (max 1 s.sncols);
+    Array.blit s.base_ub 0 s.ub 0 (max 1 s.sncols);
+    let infeasible_fix = ref false in
+    List.iter
+      (fun (v, k) ->
+        if v < 0 || v >= s.snstruct then invalid_arg "Simplex.session_solve: unknown variable";
+        let kf = F.of_int k in
+        (match s.base_ub.(v) with
+        | Some u when F.compare kf u > 0 -> infeasible_fix := true
+        | _ -> ());
+        if k < 0 then infeasible_fix := true;
+        s.lb.(v) <- kf;
+        s.ub.(v) <- Some kf)
+      (Frozen.Delta.bindings delta);
+    if !infeasible_fix then Infeasible
+    else if s.snrows = 0 then begin
+      (* No rows: every variable sits at its lower bound. *)
+      let x = Array.init s.snstruct (fun v -> s.lb.(v)) in
+      let objective = ref F.zero in
+      for v = 0 to s.snstruct - 1 do
+        if F.sign s.scost.(v) <> 0 then objective := F.add !objective (F.mul s.scost.(v) x.(v))
+      done;
+      Optimal { objective = !objective; solution = x }
+    end
+    else begin
+      (* Repair nonbasic positions for dual feasibility under the new
+         bounds: fixed columns sit at their (single) bound, otherwise the
+         reduced-cost sign picks the bound.  d < 0 with no finite upper can
+         only be left over from a previously-fixed column; the all-slack
+         reset recovers dual feasibility in that case. *)
+      (try
+         for j = 0 to s.sncols - 1 do
+           if not s.s_in_basis.(j) then
+             if session_fixed s j then s.s_at_upper.(j) <- false
+             else if F.sign s.sdarr.(j) >= 0 then s.s_at_upper.(j) <- false
+             else
+               match s.ub.(j) with
+               | Some _ -> s.s_at_upper.(j) <- true
+               | None -> raise Exit
+         done
+       with Exit -> session_reset s);
+      session_compute_xb s;
+      match session_run s with
+      | `Optimal -> session_extract s
+      | `Infeasible when s.spivots = 0 -> Infeasible
+      | `Infeasible ->
+        (* Never trust an infeasibility verdict reached on an inverse with
+           pivots on it: accumulated drift in binv/darr can hide every
+           eligible entering column.  Re-derive the verdict from the
+           all-slack basis — exactly the cold start — so warm and cold
+           sessions always agree on feasibility. *)
+        session_reset s;
+        session_compute_xb s;
+        (match session_run s with
+        | `Infeasible -> Infeasible
+        | `Optimal -> session_extract s)
+    end
+
   let solve ?(fixed = []) ?(method_ = `Auto) m =
     match standardize m fixed with
     | exception Infeasible_fix -> Infeasible
@@ -702,4 +1166,10 @@ module Make (F : Numeric.Field.S) = struct
           done;
           Optimal { objective = !objective; solution = x }
       end
+
+  let solve_frozen ?(delta = Frozen.Delta.empty) fz =
+    if frozen_dual_applicable fz then session_solve (create_session fz) delta
+    else
+      (* Negative costs: thaw and take the general primal path. *)
+      solve ~fixed:(Frozen.Delta.bindings delta) (Frozen.to_model fz)
 end

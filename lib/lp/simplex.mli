@@ -34,4 +34,34 @@ module Make (F : Numeric.Field.S) : sig
 
   val integral_on : F.t array -> Model.var list -> bool
   (** Are all listed coordinates integral (within the field tolerance)? *)
+
+  (** {1 Frozen sessions}
+
+      A session compiles a {!Frozen.t} once — sparse columns, native
+      per-column bounds (no upper-bound rows), a slack per row with
+      equality slacks fixed to zero — and then solves any number of
+      {!Frozen.Delta} bound overlays against it with a bounded-variable
+      dual simplex.  Because a delta changes only bounds, the basis and
+      reduced costs of the previous solve remain dual feasible, so every
+      solve after the first warm-starts from the previous optimum instead
+      of the all-slack basis. *)
+
+  type session
+
+  val frozen_dual_applicable : Frozen.t -> bool
+  (** Does the dual session apply — are all objective coefficients
+      non-negative?  (True of every program this code base generates.) *)
+
+  val create_session : Frozen.t -> session
+  (** @raise Invalid_argument when {!frozen_dual_applicable} is false. *)
+
+  val session_solve : session -> Frozen.Delta.t -> outcome
+  (** Solve the frozen program under the delta, warm-starting from
+      whatever basis the previous call left behind.  [solution] is indexed
+      by frozen variable; never returns [Unbounded] (costs are
+      non-negative and variables are bounded below). *)
+
+  val solve_frozen : ?delta:Frozen.Delta.t -> Frozen.t -> outcome
+  (** One-shot convenience: a fresh session when applicable, otherwise the
+      general primal path on the thawed model with the delta as fixes. *)
 end

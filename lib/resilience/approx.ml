@@ -5,34 +5,26 @@ type result = { value : int; tuples : Database.tuple_id list }
 let weight_sum semantics db tids =
   List.fold_left (fun acc tid -> acc + Problem.weight semantics (Database.tuple db tid)) 0 tids
 
-(* Round every tuple variable at threshold 1/m (Theorem 9.1). *)
-let round_tuples semantics db (enc : Encode.encoding) solution m =
+(* Round every tuple variable at threshold 1/m (Theorem 9.1).  The values
+   come out of a {!Session} relaxation solve as (tuple, value) pairs. *)
+let round_tuples semantics db values m =
   let threshold = (1.0 /. float_of_int m) -. 1e-9 in
-  let tids =
-    List.filter_map
-      (fun (v, tid) -> if solution.(v) >= threshold then Some tid else None)
-      enc.Encode.tuple_of_var
-  in
+  let tids = List.filter_map (fun (tid, x) -> if x >= threshold then Some tid else None) values in
   { value = weight_sum semantics db tids; tuples = tids }
 
 let lp_rounding_res semantics q db =
   let m = Array.length q.Cq.atoms in
-  match Encode.res Encode.Lp semantics q db with
-  | Encode.Trivial _ | Encode.Impossible -> None
-  | Encode.Encoded enc -> (
-    match Lp.Solvers.Float_simplex.solve enc.Encode.model with
-    | Optimal { solution; _ } -> Some (round_tuples semantics db enc solution m)
-    | Infeasible | Unbounded -> None)
+  let session = Session.create ~relaxation:Encode.Lp semantics q db in
+  match Session.resilience_solution session with
+  | Some (_, values) -> Some (round_tuples semantics db values m)
+  | None -> None
 
 let lp_rounding_rsp semantics q db t =
   let m = Array.length q.Cq.atoms in
-  match Encode.rsp Encode.Milp semantics q db t with
-  | Encode.Trivial _ | Encode.Impossible -> None
-  | Encode.Encoded enc -> (
-    let r = Lp.Solvers.Float_bb.solve enc.Encode.model in
-    match r.Lp.Solvers.Float_bb.solution with
-    | Some solution -> Some (round_tuples semantics db enc solution m)
-    | None -> None)
+  let session = Session.create ~relaxation:Encode.Milp semantics q db in
+  match Session.responsibility_solution session t with
+  | Some (_, values) -> Some (round_tuples semantics db values m)
+  | None -> None
 
 (* Sweep all m!/2 orderings with the given key mode and keep the cheapest
    finite cut. *)

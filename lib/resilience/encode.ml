@@ -128,6 +128,85 @@ let rsp_of_witnesses relax semantics q db witnesses t =
 
 let rsp relax semantics q db t = rsp_of_witnesses relax semantics q db (Eval.witnesses q db) t
 
+(* --- Shared super-model --------------------------------------------------- *)
+
+type shared = {
+  smodel : Lp.Model.t;
+  stuple_of_var : (Lp.Model.var * Database.tuple_id) list;
+  svar_of_tuple : (Database.tuple_id, Lp.Model.var) Hashtbl.t;
+  switnesses : (Lp.Model.var * Database.tuple_id list) list;
+  sz : Lp.Model.var;
+}
+
+type shared_outcome = Shared of shared | Shared_trivial | Shared_impossible
+
+let shared_of_witnesses relax semantics q db witnesses =
+  if witnesses = [] then Shared_trivial
+  else begin
+    let sets = Eval.unique_tuple_sets witnesses in
+    let endo_of =
+      List.map (fun set -> List.filter (fun tid -> not (Problem.tuple_exo q db tid)) set) sets
+    in
+    if List.exists (fun endo -> endo = []) endo_of then Shared_impossible
+    else begin
+      let tuple_integer = match relax with Ilp -> true | Milp | Lp -> false in
+      let witness_integer = match relax with Ilp | Milp -> true | Lp -> false in
+      let model = Lp.Model.create () in
+      let var_of_tuple = Hashtbl.create 64 in
+      let tuple_of_var = ref [] in
+      (* One indicator per distinct witness tuple set, tied to its endogenous
+         tuples from both sides:
+         - tracking    W[w] - X[t'] >= 0   (deleting t' destroys w);
+         - destruction sum X[t'] - W[w] >= 0  (w only counts as destroyed if
+           some tuple of it was actually deleted).
+         Fixing every W to 1 collapses the rows to the plain covering program
+         ILP[RES*]; fixing Z to 0 and the W of every witness avoiding t to 1
+         yields ILP[RSP*](t) — so one frozen matrix serves the whole batch as
+         bound overlays ({!Lp.Frozen.Delta}). *)
+      let next_w = ref 0 in
+      let witness_vars =
+        List.map2
+          (fun tuple_set endo ->
+            let i = !next_w in
+            incr next_w;
+            let wv =
+              Lp.Model.add_var
+                ~name:(Printf.sprintf "W_%d" i)
+                ~integer:witness_integer ~upper:1 model
+            in
+            let expr =
+              List.map
+                (fun tid ->
+                  let tv =
+                    tuple_var model semantics db tuple_integer var_of_tuple tuple_of_var tid
+                  in
+                  Lp.Model.add_constr model [ (wv, 1); (tv, -1) ] Lp.Model.Geq 0;
+                  (tv, 1))
+                endo
+            in
+            Lp.Model.add_constr model ((wv, -1) :: expr) Lp.Model.Geq 0;
+            (wv, tuple_set))
+          sets endo_of
+      in
+      (* Counterfactual with an escape hatch: sum W - Z <= |W| - 1.  With
+         Z = 1 the row is vacuous (resilience); with Z = 0 it demands a
+         surviving witness (responsibility). *)
+      let z = Lp.Model.add_var ~name:"Z" ~upper:1 model in
+      Lp.Model.add_constr model
+        ((z, -1) :: List.map (fun (wv, _) -> (wv, 1)) witness_vars)
+        Lp.Model.Leq
+        (List.length witness_vars - 1);
+      Shared
+        {
+          smodel = model;
+          stuple_of_var = List.rev !tuple_of_var;
+          svar_of_tuple = var_of_tuple;
+          switnesses = witness_vars;
+          sz = z;
+        }
+    end
+  end
+
 let contingency enc x =
   List.filter_map
     (fun (v, tid) -> if x.(v) > 0.5 then Some tid else None)

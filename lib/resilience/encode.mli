@@ -65,3 +65,52 @@ val rsp_of_witnesses :
 
 val contingency : encoding -> float array -> Database.tuple_id list
 (** Read a 0/1 solution vector back into the tuples picked for deletion. *)
+
+(** {1 Shared super-model}
+
+    One tuple-independent program from which resilience {e and} the
+    responsibility of every tuple are reachable by bound fixes alone
+    ({!Lp.Frozen.Delta}), so a batch of solves shares a single frozen
+    matrix and a warm-started solver session ({!Session}).
+
+    Variables: one [X\[t'\]] per endogenous witness tuple (weighted as
+    usual), one indicator [W\[w\]] per distinct witness tuple set, and a
+    slack [Z].  Rows: tracking [W\[w\] >= X\[t'\]] and destruction
+    soundness [sum X\[t'\] >= W\[w\]] per witness, plus one counterfactual
+    row [sum W - Z <= |W| - 1].
+
+    - {e resilience}: fix every [W\[w\] = 1] and [Z = 1] — the destruction
+      rows become the covering program ILP[RES*], everything else is
+      vacuous;
+    - {e responsibility of t}: fix [X\[t\] = 0], [Z = 0], and [W\[w\] = 1]
+      for every witness {e not} containing [t] — exactly ILP[RSP*](t) plus
+      destruction-soundness rows, which no 0/1 optimum violates (a witness
+      with no deleted tuple need never be flagged destroyed).
+
+    Under {!Ilp} the optima coincide with {!res}/{!rsp}; under {!Milp}/{!Lp}
+    the relaxation is weakly tighter (never below the per-tuple relaxation,
+    never above the integral optimum), and the rounding guarantees of
+    Theorem 9.1 carry over unchanged. *)
+
+type shared = {
+  smodel : Lp.Model.t;
+  stuple_of_var : (Lp.Model.var * Database.tuple_id) list;
+      (** Tuple decision variables, in creation order. *)
+  svar_of_tuple : (Database.tuple_id, Lp.Model.var) Hashtbl.t;
+  switnesses : (Lp.Model.var * Database.tuple_id list) list;
+      (** Witness indicator variables with the {e full} tuple set (exogenous
+          members included — membership of the responsibility tuple is
+          tested against this). *)
+  sz : Lp.Model.var;  (** The counterfactual slack [Z]. *)
+}
+
+type shared_outcome =
+  | Shared of shared
+  | Shared_trivial  (** No witnesses: the query is already false. *)
+  | Shared_impossible
+      (** Some witness is fully exogenous: it can never be destroyed, so no
+          contingency set exists for resilience {e or} for the
+          responsibility of any tuple. *)
+
+val shared_of_witnesses :
+  relaxation -> Problem.semantics -> Cq.t -> Database.t -> Eval.witness list -> shared_outcome

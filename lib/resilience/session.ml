@@ -1,0 +1,260 @@
+open Relalg
+
+type stats = { nodes : int; root_lp : float; root_integral : bool; solve_time : float }
+
+type 'a outcome =
+  | Solved of 'a
+  | Query_false
+  | No_contingency
+  | Budget_exhausted of int option
+
+type res_answer = { res_value : int; contingency : Database.tuple_id list; res_stats : stats }
+
+type rsp_answer = {
+  rsp_value : int;
+  responsibility_set : Database.tuple_id list;
+  rsp_stats : stats;
+}
+
+type engine = Efloat of Lp.Solvers.Float_bb.session | Eexact of Lp.Solvers.Exact_bb.session
+
+type core = {
+  cshared : Encode.shared;
+  cvm : Lp.Presolve.vmap option;
+  cengine : engine;
+  cdiags : Lp.Lint.diag list Lazy.t;  (* lint of the unreduced frozen program *)
+}
+
+type state = Sfalse | Snone | Sactive of core
+
+type t = { sdb : Database.t; state : state }
+
+let create ?(exact = false) ?(presolve = true) ?(relaxation = Encode.Ilp) semantics q db =
+  let witnesses = Eval.witnesses q db in
+  let state =
+    match Encode.shared_of_witnesses relaxation semantics q db witnesses with
+    | Encode.Shared_trivial -> Sfalse
+    | Encode.Shared_impossible -> Snone
+    | Encode.Shared shared -> (
+      let raw = Lp.Frozen.of_model shared.Encode.smodel in
+      let prepared =
+        if presolve then
+          match Lp.Presolve.presolve raw with
+          | Lp.Presolve.Reduced (fz, vm) -> Some (fz, Some vm)
+          | Lp.Presolve.Infeasible | Lp.Presolve.Unbounded ->
+            (* The shared program is always feasible (delete everything,
+               flag everything) and has non-negative costs; treat a presolve
+               verdict to the contrary as "no contingency" defensively. *)
+            None
+        else Some (raw, None)
+      in
+      match prepared with
+      | None -> Snone
+      | Some (fz, vm) ->
+        let engine =
+          if exact then Eexact (Lp.Solvers.Exact_bb.create_session fz)
+          else Efloat (Lp.Solvers.Float_bb.create_session fz)
+        in
+        Sactive
+          { cshared = shared; cvm = vm; cengine = engine; cdiags = lazy (Lp.Lint.lint raw) })
+  in
+  { sdb = db; state }
+
+(* --- Delta plumbing ------------------------------------------------------- *)
+
+(* Deltas are phrased against the raw shared program; [translate] renumbers
+   them into the presolved one.  A fix conflicting with a presolve-fixed
+   value means the combination is infeasible (presolve only fixes what
+   feasibility forces on this model family). *)
+let translate vm delta =
+  match vm with
+  | None -> Some delta
+  | Some vm ->
+    List.fold_left
+      (fun acc (v, k) ->
+        match acc with
+        | None -> None
+        | Some d -> (
+          match Lp.Presolve.var_image vm v with
+          | `Kept j -> Some (Lp.Frozen.Delta.fix j k d)
+          | `Fixed k' -> if k' = k then Some d else None))
+      (Some Lp.Frozen.Delta.empty)
+      (Lp.Frozen.Delta.bindings delta)
+
+let offset_of vm = match vm with Some vm -> Lp.Presolve.obj_offset vm | None -> 0
+
+let lift_sol vm ~of_int sol =
+  match vm with Some vm -> Lp.Presolve.lift vm ~of_int sol | None -> sol
+
+(* Witness indicators fixed to 1, counterfactual slack released. *)
+let res_delta core =
+  List.fold_left
+    (fun d (wv, _) -> Lp.Frozen.Delta.force_one wv d)
+    (Lp.Frozen.Delta.force_one core.cshared.Encode.sz Lp.Frozen.Delta.empty)
+    core.cshared.Encode.switnesses
+
+(* [None]: t appears in no witness. *)
+let rsp_delta core t =
+  let with_t, without_t =
+    List.partition (fun (_, set) -> List.mem t set) core.cshared.Encode.switnesses
+  in
+  if with_t = [] then None
+  else begin
+    let d = Lp.Frozen.Delta.fix_zero core.cshared.Encode.sz Lp.Frozen.Delta.empty in
+    let d =
+      match Hashtbl.find_opt core.cshared.Encode.svar_of_tuple t with
+      | Some v -> Lp.Frozen.Delta.fix_zero v d
+      | None -> d (* exogenous tuple: it never had a decision variable *)
+    in
+    Some (List.fold_left (fun d (wv, _) -> Lp.Frozen.Delta.force_one wv d) d without_t)
+  end
+
+(* --- Solving -------------------------------------------------------------- *)
+
+(* Branch-and-bound under the delta, against the session's warm engine;
+   mirrors Solve.run_bb but without re-freezing or re-presolving. *)
+let run ?node_limit ?time_limit core delta =
+  let t0 = Lp.Clock.now () in
+  match translate core.cvm delta with
+  | None -> `Infeasible
+  | Some d ->
+    let foffset = float_of_int (offset_of core.cvm) in
+    let finish nodes root_lp root_integral objective solution =
+      let solve_time = Lp.Clock.elapsed t0 in
+      (objective, solution, { nodes; root_lp; root_integral; solve_time })
+    in
+    (match core.cengine with
+    | Eexact s -> begin
+      let open Lp.Solvers.Exact_bb in
+      let r = solve_session ?node_limit ?time_limit ~delta:d s in
+      let root =
+        match r.root_objective with Some o -> Numeric.Rat.to_float o +. foffset | None -> nan
+      in
+      match r.status with
+      | Optimal ->
+        let obj = Numeric.Rat.to_float (Option.get r.objective) +. foffset in
+        let sol =
+          lift_sol core.cvm ~of_int:Numeric.Rat.of_int (Option.get r.solution)
+          |> Array.map Numeric.Rat.to_float
+        in
+        `Ok (finish r.nodes root r.root_integral obj sol)
+      | Infeasible | Unbounded -> `Infeasible
+      | Feasible -> `Budget (Option.map (fun o -> Numeric.Rat.to_float o +. foffset) r.objective)
+      | Limit_no_solution -> `Budget None
+    end
+    | Efloat s -> begin
+      let open Lp.Solvers.Float_bb in
+      let r = solve_session ?node_limit ?time_limit ~delta:d s in
+      let root = match r.root_objective with Some o -> o +. foffset | None -> nan in
+      match r.status with
+      | Optimal ->
+        let sol = lift_sol core.cvm ~of_int:float_of_int (Option.get r.solution) in
+        `Ok (finish r.nodes root r.root_integral (Option.get r.objective +. foffset) sol)
+      | Infeasible | Unbounded -> `Infeasible
+      | Feasible -> `Budget (Option.map (fun o -> o +. foffset) r.objective)
+      | Limit_no_solution -> `Budget None
+    end)
+
+let read_tuples core sol =
+  List.filter_map
+    (fun (v, tid) -> if sol.(v) > 0.5 then Some tid else None)
+    core.cshared.Encode.stuple_of_var
+
+let round_value x = int_of_float (Float.round x)
+
+let resilience ?node_limit ?time_limit t =
+  match t.state with
+  | Sfalse -> Query_false
+  | Snone -> No_contingency
+  | Sactive core -> (
+    match run ?node_limit ?time_limit core (res_delta core) with
+    | `Infeasible -> No_contingency
+    | `Budget incumbent -> Budget_exhausted (Option.map round_value incumbent)
+    | `Ok (obj, sol, st) ->
+      Solved
+        { res_value = round_value obj; contingency = read_tuples core sol; res_stats = st })
+
+let responsibility ?node_limit ?time_limit t tid =
+  match t.state with
+  | Sfalse -> Query_false
+  | Snone -> No_contingency
+  | Sactive core -> (
+    match rsp_delta core tid with
+    | None -> No_contingency
+    | Some delta -> (
+      match run ?node_limit ?time_limit core delta with
+      | `Infeasible -> No_contingency
+      | `Budget incumbent -> Budget_exhausted (Option.map round_value incumbent)
+      | `Ok (obj, sol, st) ->
+        Solved
+          {
+            rsp_value = round_value obj;
+            responsibility_set = read_tuples core sol;
+            rsp_stats = st;
+          }))
+
+let ranking ?node_limit ?time_limit t =
+  match t.state with
+  | Sfalse | Snone -> []
+  | Sactive core ->
+    Database.tuples t.sdb
+    |> List.filter_map (fun info ->
+           let tid = info.Database.id in
+           (* Only endogenous tuples appearing in some witness have a
+              decision variable; everything else is skipped without a
+              solve (exogenous tuples cannot be explanations, and a tuple
+              outside every witness cannot be counterfactual). *)
+           if not (Hashtbl.mem core.cshared.Encode.svar_of_tuple tid) then None
+           else
+             match responsibility ?node_limit ?time_limit t tid with
+             | Solved a ->
+               let k = a.rsp_value in
+               Some (tid, k, 1.0 /. (1.0 +. float_of_int k))
+             | Query_false | No_contingency | Budget_exhausted _ -> None)
+    |> List.stable_sort (fun (_, a, _) (_, b, _) -> compare a b)
+
+(* --- Relaxation views ----------------------------------------------------- *)
+
+let read_values core sol =
+  List.map (fun (v, tid) -> (tid, sol.(v))) core.cshared.Encode.stuple_of_var
+
+let relax_run core delta =
+  match translate core.cvm delta with
+  | None -> None
+  | Some d ->
+    let foffset = float_of_int (offset_of core.cvm) in
+    let outcome =
+      match core.cengine with
+      | Efloat s -> (
+        match Lp.Solvers.Float_bb.relax ~delta:d s with
+        | `Optimal (obj, sol) -> Some (obj +. foffset, lift_sol core.cvm ~of_int:float_of_int sol)
+        | `Infeasible | `Unbounded -> None)
+      | Eexact s -> (
+        match Lp.Solvers.Exact_bb.relax ~delta:d s with
+        | `Optimal (obj, sol) ->
+          Some
+            ( Numeric.Rat.to_float obj +. foffset,
+              lift_sol core.cvm ~of_int:Numeric.Rat.of_int sol |> Array.map Numeric.Rat.to_float
+            )
+        | `Infeasible | `Unbounded -> None)
+    in
+    Option.map (fun (obj, sol) -> (obj, read_values core sol)) outcome
+
+let resilience_solution t =
+  match t.state with
+  | Sfalse | Snone -> None
+  | Sactive core -> relax_run core (res_delta core)
+
+let responsibility_solution t tid =
+  match t.state with
+  | Sfalse | Snone -> None
+  | Sactive core -> (
+    match rsp_delta core tid with
+    | None -> None
+    | Some delta -> (
+      match run core delta with
+      | `Infeasible | `Budget _ -> None
+      | `Ok (obj, sol, _) -> Some (obj, read_values core sol)))
+
+let diagnostics t =
+  match t.state with Sfalse | Snone -> [] | Sactive core -> Lazy.force core.cdiags

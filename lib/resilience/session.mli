@@ -1,0 +1,93 @@
+open! Relalg
+
+(** A solve session: pay for witness enumeration, encoding, lint and
+    presolve {e once}, then answer resilience and per-tuple responsibility
+    questions as cheap delta-solves against one frozen program.
+
+    The session builds the shared super-model of {!Encode.shared_of_witnesses}
+    (tuple variables, witness indicators, counterfactual slack), freezes it
+    ({!Lp.Frozen}), presolves the frozen form, and opens one warm-started
+    branch-and-bound session over it ({!Lp.Branch_bound}).  Every question is
+    then a {!Lp.Frozen.Delta} — a set of bound fixes — against that matrix:
+
+    - {!resilience} fixes every witness indicator to 1;
+    - {!responsibility}[ t] fixes [X\[t\] = 0], the counterfactual slack to
+      0, and the indicator of every witness avoiding [t] to 1;
+    - {!ranking} runs the responsibility delta for every endogenous witness
+      tuple, so the whole batch reuses one matrix, one presolve, and the
+      dual-simplex basis of the previous optimum.
+
+    Answers agree with the one-shot {!Solve} functions; the differential
+    test suite checks this per tuple on random instances, float and exact. *)
+
+type t
+
+type stats = {
+  nodes : int;  (** Branch-and-bound nodes (LPs solved). *)
+  root_lp : float;  (** Root relaxation objective. *)
+  root_integral : bool;  (** Was the root LP already integral? *)
+  solve_time : float;  (** Seconds spent in the solver for this question. *)
+}
+
+type 'a outcome =
+  | Solved of 'a
+  | Query_false  (** D does not satisfy Q. *)
+  | No_contingency
+      (** No contingency set exists: exogenous tuples block every option, or
+          the responsibility tuple cannot be made counterfactual. *)
+  | Budget_exhausted of int option
+      (** Node/time limit hit; carries the incumbent value if any. *)
+
+type res_answer = { res_value : int; contingency : Database.tuple_id list; res_stats : stats }
+
+type rsp_answer = {
+  rsp_value : int;
+  responsibility_set : Database.tuple_id list;
+  rsp_stats : stats;
+}
+
+val create :
+  ?exact:bool ->
+  ?presolve:bool ->
+  ?relaxation:Encode.relaxation ->
+  Problem.semantics ->
+  Cq.t ->
+  Database.t ->
+  t
+(** Enumerate witnesses, encode, freeze, presolve, open the solver session.
+    [relaxation] (default {!Encode.Ilp}) fixes the integrality discipline of
+    the shared program for the session's lifetime: {!Encode.Ilp} for exact
+    answers, {!Encode.Milp}/{!Encode.Lp} for the relaxations feeding
+    {!Approx}. *)
+
+val resilience : ?node_limit:int -> ?time_limit:float -> t -> res_answer outcome
+(** RES*(Q, D) as a delta-solve. *)
+
+val responsibility :
+  ?node_limit:int -> ?time_limit:float -> t -> Database.tuple_id -> rsp_answer outcome
+(** RSP*(Q, D, t) as a delta-solve.  [No_contingency] when [t] appears in no
+    witness (removing it cannot change the answer). *)
+
+val ranking :
+  ?node_limit:int -> ?time_limit:float -> t -> (Database.tuple_id * int * float) list
+(** Rank every {e endogenous} witness tuple as an explanation of the query
+    answer: (tuple, minimal contingency size k, responsibility 1/(1+k)),
+    best first (stable in database order).  Exogenous tuples and tuples
+    outside every witness are skipped up front, without a solve; tuples
+    whose delta is infeasible or over budget are omitted. *)
+
+val resilience_solution : t -> (float * (Database.tuple_id * float) list) option
+(** The {e LP relaxation} optimum of the resilience delta (integrality
+    ignored), with the per-tuple fractional values — input to the rounding
+    approximation.  [None] when the query is false or no contingency
+    exists. *)
+
+val responsibility_solution :
+  t -> Database.tuple_id -> (float * (Database.tuple_id * float) list) option
+(** The session-relaxation optimum of the responsibility delta, solved with
+    branch-and-bound (so under {!Encode.Milp} this is MILP[RSP*](t)), with
+    per-tuple values.  [None] when no program exists or the solve fails. *)
+
+val diagnostics : t -> Lp.Lint.diag list
+(** {!Lp.Lint} over the frozen shared program, computed once per session and
+    cached.  Empty when the session never built a program. *)

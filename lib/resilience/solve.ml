@@ -1,16 +1,25 @@
 open Relalg
 
-type stats = { nodes : int; root_lp : float; root_integral : bool; solve_time : float }
+type stats = Session.stats = {
+  nodes : int;
+  root_lp : float;
+  root_integral : bool;
+  solve_time : float;
+}
 
-type 'a outcome =
+type 'a outcome = 'a Session.outcome =
   | Solved of 'a
   | Query_false
   | No_contingency
   | Budget_exhausted of int option
 
-type res_answer = { res_value : int; contingency : Database.tuple_id list; res_stats : stats }
+type res_answer = Session.res_answer = {
+  res_value : int;
+  contingency : Database.tuple_id list;
+  res_stats : stats;
+}
 
-type rsp_answer = {
+type rsp_answer = Session.rsp_answer = {
   rsp_value : int;
   responsibility_set : Database.tuple_id list;
   rsp_stats : stats;
@@ -20,14 +29,15 @@ type rsp_answer = {
    outright), remembering how to lift reduced solutions and objectives back
    to the original encoding's variables. *)
 let prepare ~presolve model =
+  let fz = Lp.Frozen.of_model model in
   if presolve then
-    match Lp.Presolve.presolve model with
-    | Lp.Presolve.Reduced (reduced, vm) -> `Model (reduced, Some vm)
+    match Lp.Presolve.presolve fz with
+    | Lp.Presolve.Reduced (reduced, vm) -> `Frozen (reduced, Some vm)
     | Lp.Presolve.Infeasible | Lp.Presolve.Unbounded ->
       (* The covering encodings are never unbounded (non-negative costs);
          an unbounded verdict can only mean no contingency exists. *)
       `Infeasible
-  else `Model (model, None)
+  else `Frozen (fz, None)
 
 let lift_sol vm ~of_int sol =
   match vm with Some vm -> Lp.Presolve.lift vm ~of_int sol | None -> sol
@@ -36,19 +46,19 @@ let offset_of vm = match vm with Some vm -> Lp.Presolve.obj_offset vm | None -> 
 
 (* Run branch-and-bound over the chosen field and normalise the result. *)
 let run_bb ~exact ~presolve ?node_limit ?time_limit (enc : Encode.encoding) =
-  let t0 = Sys.time () in
+  let t0 = Lp.Clock.now () in
   match prepare ~presolve enc.Encode.model with
   | `Infeasible -> `Infeasible
-  | `Model (model, vm) ->
+  | `Frozen (fz, vm) ->
     let offset = offset_of vm in
     let foffset = float_of_int offset in
     let finish nodes root_lp root_integral objective solution =
-      let solve_time = Sys.time () -. t0 in
+      let solve_time = Lp.Clock.elapsed t0 in
       (objective, solution, { nodes; root_lp; root_integral; solve_time })
     in
     if exact then begin
       let open Lp.Solvers.Exact_bb in
-      let r = solve ?node_limit ?time_limit model in
+      let r = solve_frozen ?node_limit ?time_limit fz in
       let root =
         match r.root_objective with Some o -> Numeric.Rat.to_float o +. foffset | None -> nan
       in
@@ -67,7 +77,7 @@ let run_bb ~exact ~presolve ?node_limit ?time_limit (enc : Encode.encoding) =
     end
     else begin
       let open Lp.Solvers.Float_bb in
-      let r = solve ?node_limit ?time_limit model in
+      let r = solve_frozen ?node_limit ?time_limit fz in
       let root = match r.root_objective with Some o -> o +. foffset | None -> nan in
       match r.status with
       | Optimal ->
@@ -100,10 +110,10 @@ let resilience ?(exact = false) ?(presolve = true) ?node_limit ?time_limit seman
 let lp_optimum ~exact ~presolve (enc : Encode.encoding) =
   match prepare ~presolve enc.Encode.model with
   | `Infeasible -> None
-  | `Model (model, vm) ->
+  | `Frozen (fz, vm) ->
     let foffset = float_of_int (offset_of vm) in
     if exact then begin
-      match Lp.Solvers.Exact_simplex.solve model with
+      match Lp.Solvers.Exact_simplex.solve_frozen fz with
       | Optimal { objective; solution } ->
         let sol =
           lift_sol vm ~of_int:Numeric.Rat.of_int solution |> Array.map Numeric.Rat.to_float
@@ -112,7 +122,7 @@ let lp_optimum ~exact ~presolve (enc : Encode.encoding) =
       | Infeasible | Unbounded -> None
     end
     else begin
-      match Lp.Solvers.Float_simplex.solve model with
+      match Lp.Solvers.Float_simplex.solve_frozen fz with
       | Optimal { objective; solution } ->
         Some (objective +. foffset, lift_sol vm ~of_int:float_of_int solution)
       | Infeasible | Unbounded -> None
@@ -156,14 +166,7 @@ let responsibility_lp ?(exact = false) ?(presolve = true) semantics q db t =
   | Encode.Encoded enc -> Option.map fst (lp_optimum ~exact ~presolve enc)
 
 let responsibility_ranking ?exact ?presolve semantics q db =
-  Database.tuples db
-  |> List.filter_map (fun info ->
-         match responsibility ?exact ?presolve semantics q db info.Database.id with
-         | Solved a ->
-           let k = a.rsp_value in
-           Some (info.Database.id, k, 1.0 /. (1.0 +. float_of_int k))
-         | Query_false | No_contingency | Budget_exhausted _ -> None)
-  |> List.stable_sort (fun (_, a, _) (_, b, _) -> compare a b)
+  Session.ranking (Session.create ?exact ?presolve semantics q db)
 
 (* --- Flow baseline ------------------------------------------------------ *)
 
@@ -184,14 +187,14 @@ let linearize_for_rsp semantics q =
       q
       (List.init (Array.length q.Cq.atoms) (fun i -> i))
 
-let flow_stats t0 = { nodes = 1; root_lp = nan; root_integral = true; solve_time = Sys.time () -. t0 }
+let flow_stats t0 = { nodes = 1; root_lp = nan; root_integral = true; solve_time = Lp.Clock.elapsed t0 }
 
 let resilience_flow semantics q db =
   let q' = linearize_by_domination semantics q in
   match Netflow.Linearize.exact_orders q' with
   | [] -> None
   | order :: _ ->
-    let t0 = Sys.time () in
+    let t0 = Lp.Clock.now () in
     let witnesses = Eval.witnesses q' db in
     if witnesses = [] then Some Query_false
     else begin
@@ -207,7 +210,7 @@ let responsibility_flow semantics q db t =
   match Netflow.Linearize.exact_orders q' with
   | [] -> None
   | order :: _ ->
-    let t0 = Sys.time () in
+    let t0 = Lp.Clock.now () in
     let witnesses = Eval.witnesses q' db in
     if witnesses = [] then Some Query_false
     else begin
@@ -222,14 +225,23 @@ let responsibility_flow semantics q db t =
 
 (* --- Verification helpers ----------------------------------------------- *)
 
+(* Contingency sets can be large on generated instances; membership via a
+   hash set keeps verification linear in the database. *)
+let id_set tids =
+  let set = Hashtbl.create (List.length tids * 2) in
+  List.iter (fun tid -> Hashtbl.replace set tid ()) tids;
+  set
+
 let verify_contingency _semantics q db gamma =
-  let db' = Database.restrict db (fun info -> not (List.mem info.Database.id gamma)) in
+  let dead = id_set gamma in
+  let db' = Database.restrict db (fun info -> not (Hashtbl.mem dead info.Database.id)) in
   not (Eval.holds q db')
 
 let verify_responsibility_set q db t gamma =
-  (not (List.mem t gamma))
+  let dead = id_set gamma in
+  (not (Hashtbl.mem dead t))
   &&
-  let db' = Database.restrict db (fun info -> not (List.mem info.Database.id gamma)) in
+  let db' = Database.restrict db (fun info -> not (Hashtbl.mem dead info.Database.id)) in
   Eval.holds q db'
   &&
   let db'' = Database.restrict db' (fun info -> info.Database.id <> t) in

@@ -15,14 +15,14 @@ open! Relalg
     [~presolve:false] to solve the raw encoding, e.g. when differential
     testing the presolver itself. *)
 
-type stats = {
+type stats = Session.stats = {
   nodes : int;  (** Branch-and-bound nodes (LPs solved). *)
   root_lp : float;  (** Root relaxation objective. *)
   root_integral : bool;  (** Was the root LP already integral? (Result 2) *)
   solve_time : float;  (** Seconds spent in the solver (encode excluded). *)
 }
 
-type 'a outcome =
+type 'a outcome = 'a Session.outcome =
   | Solved of 'a
   | Query_false  (** D does not satisfy Q — resilience is undefined/0. *)
   | No_contingency
@@ -32,9 +32,17 @@ type 'a outcome =
       (** Node/time limit hit; carries the incumbent value if any (the
           paper's ILP(10) reports exactly this). *)
 
-type res_answer = { res_value : int; contingency : Database.tuple_id list; res_stats : stats }
+type res_answer = Session.res_answer = {
+  res_value : int;
+  contingency : Database.tuple_id list;
+  res_stats : stats;
+}
 
-type rsp_answer = { rsp_value : int; responsibility_set : Database.tuple_id list; rsp_stats : stats }
+type rsp_answer = Session.rsp_answer = {
+  rsp_value : int;
+  responsibility_set : Database.tuple_id list;
+  rsp_stats : stats;
+}
 
 val resilience :
   ?exact:bool ->
@@ -95,10 +103,14 @@ val responsibility_ranking :
   Cq.t ->
   Database.t ->
   (Database.tuple_id * int * float) list
-(** Rank every tuple as an explanation of the query answer: (tuple,
-    minimal contingency size k, responsibility 1/(1+k)), best first.
-    Tuples that cannot be made counterfactual are omitted — the paper's
-    query-explanation use case (Section 1, Example 11). *)
+(** Rank every endogenous witness tuple as an explanation of the query
+    answer: (tuple, minimal contingency size k, responsibility 1/(1+k)),
+    best first.  Tuples that cannot be made counterfactual are omitted —
+    the paper's query-explanation use case (Section 1, Example 11).
+
+    Runs as one {!Session}: witnesses are enumerated and encoded once, and
+    every tuple's ILP is a warm-started delta-solve against the shared
+    frozen program. *)
 
 (** {1 Flow baseline (prior work)} *)
 

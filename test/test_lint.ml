@@ -3,6 +3,9 @@
 open Relalg
 open Resilience
 
+(* The linter consumes the frozen compiled form; freeze inline. *)
+let lint m = Lp.Lint.lint (Lp.Frozen.of_model m)
+
 let has code diags = List.exists (fun d -> d.Lp.Lint.code = code) diags
 
 let codes diags = List.map (fun d -> d.Lp.Lint.code) diags
@@ -19,7 +22,7 @@ let test_m101_infeasible_rows () =
   let y = Lp.Model.add_var ~integer:true ~upper:1 ~obj:1 m in
   Lp.Model.add_constr m [ (x, 1); (y, 1) ] Lp.Model.Geq 3;
   Lp.Model.add_constr m [] Lp.Model.Geq 1;
-  let diags = Lp.Lint.lint m in
+  let diags = lint m in
   Alcotest.(check int) "two M101" 2
     (List.length (List.filter (fun d -> d.Lp.Lint.code = "M101") diags));
   Alcotest.(check bool) "M101 is an error" true
@@ -27,7 +30,7 @@ let test_m101_infeasible_rows () =
        (fun d -> d.Lp.Lint.severity = Lp.Lint.Error)
        (List.filter (fun d -> d.Lp.Lint.code = "M101") diags));
   (* Errors sort first. *)
-  match Lp.Lint.lint m with
+  match lint m with
   | d :: _ -> Alcotest.(check string) "errors first" "M101" d.Lp.Lint.code
   | [] -> Alcotest.fail "expected diagnostics"
 
@@ -39,13 +42,13 @@ let test_m102_unbounded_integer () =
   let y = Lp.Model.add_var ~integer:true ~upper:1 ~obj:1 m in
   Lp.Model.add_constr m [ (x, 1); (y, 1) ] Lp.Model.Geq 1;
   Lp.Model.relax_upper m x;
-  check_has (Lp.Lint.lint m) "M102"
+  check_has (lint m) "M102"
 
 let test_m103_nonbinary_integer () =
   let m = Lp.Model.create () in
   let x = Lp.Model.add_var ~integer:true ~upper:2 ~obj:1 m in
   Lp.Model.add_constr m [ (x, 1) ] Lp.Model.Leq 2;
-  check_has (Lp.Lint.lint m) "M103"
+  check_has (lint m) "M103"
 
 let test_m104_conflicting_rows () =
   let m = Lp.Model.create () in
@@ -53,7 +56,7 @@ let test_m104_conflicting_rows () =
   let y = Lp.Model.add_var ~upper:5 ~obj:1 m in
   Lp.Model.add_constr m [ (x, 1); (y, 1) ] Lp.Model.Eq 1;
   Lp.Model.add_constr m [ (x, 1); (y, 1) ] Lp.Model.Eq 2;
-  check_has (Lp.Lint.lint m) "M104"
+  check_has (lint m) "M104"
 
 let test_m201_m202_m203 () =
   let m = Lp.Model.create () in
@@ -64,7 +67,7 @@ let test_m201_m202_m203 () =
   Lp.Model.add_constr m [ (x, 1); (y, 1) ] Lp.Model.Geq 1 (* duplicate *);
   Lp.Model.add_constr m [ (x, 1); (y, 1) ] Lp.Model.Geq 0 (* parallel (and trivial) *);
   Lp.Model.add_constr m [ (x, 1); (y, 1); (z, 1) ] Lp.Model.Geq 1 (* dominated *);
-  let diags = Lp.Lint.lint m in
+  let diags = lint m in
   check_has diags "M201";
   check_has diags "M202";
   check_has diags "M203";
@@ -76,7 +79,7 @@ let test_m205_m206_columns () =
   let _empty = Lp.Model.add_var ~upper:1 ~obj:1 m in
   let _idle = Lp.Model.add_var ~upper:1 m in
   Lp.Model.add_constr m [ (x, 1) ] Lp.Model.Geq 1;
-  let diags = Lp.Lint.lint m in
+  let diags = lint m in
   check_has diags "M205";
   check_has diags "M206"
 
@@ -85,7 +88,7 @@ let test_m301_m302_notes () =
   let x = Lp.Model.add_var ~upper:1 m in
   let y = Lp.Model.add_var ~upper:1 m in
   Lp.Model.add_constr m [ (x, 1); (y, 2_000_000) ] Lp.Model.Leq 10;
-  let diags = Lp.Lint.lint m in
+  let diags = lint m in
   check_has diags "M301";
   check_has diags "M302"
 
@@ -97,10 +100,10 @@ let test_clean_covering_model () =
   let q = Queries.q2_chain () in
   match Encode.res Encode.Ilp Problem.Set q db with
   | Encode.Encoded enc ->
-    let diags = Lp.Lint.lint enc.Encode.model in
+    let diags = lint enc.Encode.model in
     Alcotest.(check (list string)) "no warnings or errors" []
       (codes (List.filter (fun d -> d.Lp.Lint.severity <> Lp.Lint.Note) diags));
-    let st = Lp.Lint.stats enc.Encode.model in
+    let st = Lp.Lint.stats (Lp.Frozen.of_model enc.Encode.model) in
     Alcotest.(check bool) "unit covering" true st.Lp.Lint.unit_covering
   | _ -> Alcotest.fail "expected encoding"
 

@@ -6,6 +6,9 @@
 open Relalg
 open Resilience
 
+(* Presolve consumes the frozen compiled form; freeze inline. *)
+let presolve ?strip_bounds m = Lp.Presolve.presolve ?strip_bounds (Lp.Frozen.of_model m)
+
 (* --- Random instances ----------------------------------------------------- *)
 
 let query_pool () =
@@ -44,7 +47,7 @@ let float_roundtrip seed =
   | Encode.Trivial _ | Encode.Impossible -> true
   | Encode.Encoded enc -> (
     let m = enc.Encode.model in
-    match Lp.Presolve.presolve m with
+    match presolve m with
     | Lp.Presolve.Unbounded -> false (* covering programs are never unbounded *)
     | Lp.Presolve.Infeasible -> (
       match (Lp.Solvers.Float_bb.solve m).Lp.Solvers.Float_bb.status with
@@ -52,7 +55,7 @@ let float_roundtrip seed =
       | _ -> false)
     | Lp.Presolve.Reduced (reduced, vm) -> (
       let a = Lp.Solvers.Float_bb.solve m in
-      let b = Lp.Solvers.Float_bb.solve reduced in
+      let b = Lp.Solvers.Float_bb.solve_frozen reduced in
       match
         ( a.Lp.Solvers.Float_bb.status,
           a.Lp.Solvers.Float_bb.objective,
@@ -74,7 +77,7 @@ let exact_roundtrip seed =
   | Encode.Trivial _ | Encode.Impossible -> true
   | Encode.Encoded enc -> (
     let m = enc.Encode.model in
-    match Lp.Presolve.presolve m with
+    match presolve m with
     | Lp.Presolve.Unbounded -> false
     | Lp.Presolve.Infeasible -> (
       match (Lp.Solvers.Exact_bb.solve m).Lp.Solvers.Exact_bb.status with
@@ -82,7 +85,7 @@ let exact_roundtrip seed =
       | _ -> false)
     | Lp.Presolve.Reduced (reduced, vm) -> (
       let a = Lp.Solvers.Exact_bb.solve m in
-      let b = Lp.Solvers.Exact_bb.solve reduced in
+      let b = Lp.Solvers.Exact_bb.solve_frozen reduced in
       match
         ( a.Lp.Solvers.Exact_bb.status,
           a.Lp.Solvers.Exact_bb.objective,
@@ -147,7 +150,7 @@ let test_empty_row_infeasible () =
   let m = Lp.Model.create () in
   ignore (Lp.Model.add_var ~obj:1 m);
   Lp.Model.add_constr m [] Lp.Model.Geq 1;
-  match Lp.Presolve.presolve m with
+  match presolve m with
   | Lp.Presolve.Infeasible -> ()
   | _ -> Alcotest.fail "0 >= 1 must presolve to Infeasible"
 
@@ -158,10 +161,10 @@ let test_singleton_fixes () =
   let y = Lp.Model.add_var ~integer:true ~upper:1 ~obj:1 m in
   Lp.Model.add_constr m [ (x, 1) ] Lp.Model.Geq 1;
   Lp.Model.add_constr m [ (x, 1); (y, 1) ] Lp.Model.Geq 1;
-  let reduced, vm = reduced_exn (Lp.Presolve.presolve m) in
+  let reduced, vm = reduced_exn (presolve m) in
   Alcotest.(check int) "offset carries the fixed cost" 3 (Lp.Presolve.obj_offset vm);
-  Alcotest.(check int) "everything solved away" 0 (Lp.Model.num_constrs reduced);
-  let lifted = Lp.Presolve.lift vm ~of_int:float_of_int (Array.make (Lp.Model.num_vars reduced) 0.) in
+  Alcotest.(check int) "everything solved away" 0 (Lp.Frozen.num_rows reduced);
+  let lifted = Lp.Presolve.lift vm ~of_int:float_of_int (Array.make (Lp.Frozen.num_vars reduced) 0.) in
   Alcotest.(check bool) "lifted point feasible" true (Lp.Model.check_feasible m lifted)
 
 let test_activity_infeasible () =
@@ -170,7 +173,7 @@ let test_activity_infeasible () =
   let x = Lp.Model.add_var ~integer:true ~upper:1 ~obj:1 m in
   let y = Lp.Model.add_var ~integer:true ~upper:1 ~obj:1 m in
   Lp.Model.add_constr m [ (x, 1); (y, 1) ] Lp.Model.Geq 3;
-  match Lp.Presolve.presolve m with
+  match presolve m with
   | Lp.Presolve.Infeasible -> ()
   | _ -> Alcotest.fail "activity bound must prove infeasibility"
 
@@ -182,9 +185,9 @@ let test_dominated_and_duplicate_rows () =
   Lp.Model.add_constr m [ (x, 1); (y, 1); (z, 1) ] Lp.Model.Geq 1;
   Lp.Model.add_constr m [ (x, 1); (y, 1) ] Lp.Model.Geq 1;
   Lp.Model.add_constr m [ (x, 1); (y, 1) ] Lp.Model.Geq 1;
-  let reduced, vm = reduced_exn (Lp.Presolve.presolve m) in
+  let reduced, vm = reduced_exn (presolve m) in
   let s = Lp.Presolve.summary vm in
-  Alcotest.(check int) "one row survives" 1 (Lp.Model.num_constrs reduced);
+  Alcotest.(check int) "one row survives" 1 (Lp.Frozen.num_rows reduced);
   Alcotest.(check bool) "rows were removed" true (s.Lp.Presolve.rows_removed >= 2)
 
 let test_strip_bounds_restores_row_structure () =
@@ -195,17 +198,17 @@ let test_strip_bounds_restores_row_structure () =
   let x = Lp.Model.add_var ~integer:true ~upper:1 ~obj:1 m in
   let y = Lp.Model.add_var ~integer:true ~upper:1 ~obj:2 m in
   Lp.Model.add_constr m [ (x, 1); (y, 1) ] Lp.Model.Geq 1;
-  let reduced, vm = reduced_exn (Lp.Presolve.presolve m) in
-  let unbounded v = Lp.Model.upper reduced v = None in
+  let reduced, vm = reduced_exn (presolve m) in
+  let unbounded v = Lp.Frozen.upper reduced v = None in
   Alcotest.(check bool) "all bounds stripped" true
-    (List.for_all unbounded (List.init (Lp.Model.num_vars reduced) Fun.id));
+    (List.for_all unbounded (List.init (Lp.Frozen.num_vars reduced) Fun.id));
   Alcotest.(check int) "stripped count" 2 (Lp.Presolve.summary vm).Lp.Presolve.bounds_stripped;
-  (match Lp.Presolve.presolve ~strip_bounds:false m with
+  (match presolve ~strip_bounds:false m with
   | Lp.Presolve.Reduced (keep, _) ->
     Alcotest.(check bool) "opt-out keeps bounds" true
       (List.exists
-         (fun v -> Lp.Model.upper keep v <> None)
-         (List.init (Lp.Model.num_vars keep) Fun.id))
+         (fun v -> Lp.Frozen.upper keep v <> None)
+         (List.init (Lp.Frozen.num_vars keep) Fun.id))
   | _ -> Alcotest.fail "expected Reduced")
 
 let test_zero_cost_bound_not_stripped () =
@@ -216,11 +219,11 @@ let test_zero_cost_bound_not_stripped () =
   let x = Lp.Model.add_var ~upper:1 ~obj:0 m in
   let y = Lp.Model.add_var ~upper:1 ~obj:1 m in
   Lp.Model.add_constr m [ (x, 1); (y, 1) ] Lp.Model.Geq 1;
-  let reduced, _ = reduced_exn (Lp.Presolve.presolve m) in
+  let reduced, _ = reduced_exn (presolve m) in
   Alcotest.(check bool) "zero-cost bound kept" true
     (List.exists
-       (fun v -> Lp.Model.upper reduced v <> None)
-       (List.init (Lp.Model.num_vars reduced) Fun.id))
+       (fun v -> Lp.Frozen.upper reduced v <> None)
+       (List.init (Lp.Frozen.num_vars reduced) Fun.id))
 
 let test_add_var_guards () =
   let m = Lp.Model.create () in

@@ -1,0 +1,254 @@
+(* Session layer: the batched, warm-started solve path must agree with the
+   one-shot solvers — per tuple, on random instances, under float and exact
+   arithmetic — and the warm dual-simplex session must agree with a cold
+   solve for every delta kind. *)
+
+open Relalg
+open Resilience
+
+(* --- Random instances ----------------------------------------------------- *)
+
+let query_pool () =
+  [
+    Queries.q2_chain ();
+    Queries.q3_chain ();
+    Queries.q2_star ();
+    Queries.q_triangle ();
+    Queries.q2_chain_sj ();
+    Queries.q_confluence ();
+  ]
+
+let random_case rng =
+  let pool = query_pool () in
+  let q = List.nth pool (Random.State.int rng (List.length pool)) in
+  let count = 3 + Random.State.int rng 8 in
+  let specs = Datagen.Random_inst.specs_of_query q ~count in
+  let domain = 2 + Random.State.int rng 3 in
+  let db = Datagen.Random_inst.db rng ~domain ~max_bag:2 specs in
+  List.iter
+    (fun info ->
+      if Random.State.int rng 5 = 0 then Database.set_exo db info.Database.id true)
+    (Database.tuples db);
+  let sem = if Random.State.bool rng then Problem.Set else Problem.Bag in
+  (sem, q, db)
+
+(* The reference ranking: a fresh encode + presolve + branch-and-bound per
+   tuple, exactly what Solve.responsibility_ranking did before the session
+   layer existed. *)
+let reference_ranking ~exact sem q db =
+  Database.tuples db
+  |> List.filter_map (fun info ->
+         let tid = info.Database.id in
+         if Problem.tuple_exo q db tid then None
+         else
+           match Solve.responsibility ~exact sem q db tid with
+           | Solve.Solved a -> Some (tid, a.Solve.rsp_value)
+           | Solve.Query_false | Solve.No_contingency | Solve.Budget_exhausted _ -> None)
+  |> List.stable_sort (fun (_, a) (_, b) -> compare a b)
+
+let ranking_agrees ~exact seed =
+  let rng = Random.State.make [| seed |] in
+  let sem, q, db = random_case rng in
+  let session = Session.create ~exact sem q db in
+  let got = List.map (fun (tid, k, _) -> (tid, k)) (Session.ranking session) in
+  got = reference_ranking ~exact sem q db
+
+let resilience_agrees ~exact seed =
+  let rng = Random.State.make [| seed |] in
+  let sem, q, db = random_case rng in
+  let session = Session.create ~exact sem q db in
+  match (Session.resilience session, Solve.resilience ~exact sem q db) with
+  | Session.Solved a, Solve.Solved b ->
+    a.Session.res_value = b.Solve.res_value
+    && Solve.verify_contingency sem q db a.Session.contingency
+  | Session.Query_false, Solve.Query_false -> true
+  | Session.No_contingency, Solve.No_contingency -> true
+  | _ -> false
+
+(* Responsibility sets read back from the shared program must be valid
+   contingencies for their tuple, not just have the right size. *)
+let responsibility_sets_valid seed =
+  let rng = Random.State.make [| seed |] in
+  let sem, q, db = random_case rng in
+  let session = Session.create sem q db in
+  List.for_all
+    (fun info ->
+      let tid = info.Database.id in
+      match Session.responsibility session tid with
+      | Session.Solved a -> Solve.verify_responsibility_set q db tid a.Session.responsibility_set
+      | Session.Query_false | Session.No_contingency | Session.Budget_exhausted _ -> true)
+    (Database.tuples db)
+
+let qcheck_cases =
+  [
+    (* 140 float + 70 exact = 210 random instances ranked differentially. *)
+    QCheck.Test.make ~name:"Session.ranking = per-tuple Solve.responsibility (float)"
+      ~count:140 (QCheck.int_range 0 1_000_000) (ranking_agrees ~exact:false);
+    QCheck.Test.make ~name:"Session.ranking = per-tuple Solve.responsibility (exact)"
+      ~count:70 (QCheck.int_range 0 1_000_000) (ranking_agrees ~exact:true);
+    QCheck.Test.make ~name:"Session.resilience = Solve.resilience (float)" ~count:120
+      (QCheck.int_range 0 1_000_000) (resilience_agrees ~exact:false);
+    QCheck.Test.make ~name:"Session.resilience = Solve.resilience (exact)" ~count:60
+      (QCheck.int_range 0 1_000_000) (resilience_agrees ~exact:true);
+    QCheck.Test.make ~name:"Session responsibility sets are valid contingencies" ~count:80
+      (QCheck.int_range 0 1_000_000) responsibility_sets_valid;
+  ]
+
+(* --- Warm vs cold dual simplex, per delta kind ----------------------------- *)
+
+(* A small covering program with distinct costs so optima are unambiguous:
+   min x0 + 2 x1 + 3 x2 + 4 x3
+   s.t. x0 + x1 >= 1;  x1 + x2 >= 1;  x2 + x3 >= 1;  x0..x3 in [0,1]. *)
+let chain_frozen () =
+  let m = Lp.Model.create () in
+  let v = Array.init 4 (fun i -> Lp.Model.add_var ~upper:1 ~obj:(i + 1) m) in
+  Lp.Model.add_constr m [ (v.(0), 1); (v.(1), 1) ] Lp.Model.Geq 1;
+  Lp.Model.add_constr m [ (v.(1), 1); (v.(2), 1) ] Lp.Model.Geq 1;
+  Lp.Model.add_constr m [ (v.(2), 1); (v.(3), 1) ] Lp.Model.Geq 1;
+  (Lp.Frozen.of_model m, v)
+
+let check_outcome name cold warm =
+  let open Lp.Solvers.Float_simplex in
+  match (cold, warm) with
+  | Optimal a, Optimal b ->
+    Alcotest.(check (float 1e-9)) (name ^ ": objective") a.objective b.objective;
+    Array.iteri
+      (fun i x -> Alcotest.(check (float 1e-9)) (Printf.sprintf "%s: x%d" name i) x b.solution.(i))
+      a.solution
+  | Infeasible, Infeasible | Unbounded, Unbounded -> ()
+  | _ -> Alcotest.fail (name ^ ": cold and warm outcome kinds differ")
+
+let test_warm_vs_cold_deltas () =
+  let fz, v = chain_frozen () in
+  Alcotest.(check bool) "dual applicable" true (Lp.Solvers.Float_simplex.frozen_dual_applicable fz);
+  let warm = Lp.Solvers.Float_simplex.create_session fz in
+  let open Lp.Frozen.Delta in
+  (* One warm session solves the whole sequence; the cold side gets a fresh
+     session per delta.  Each step exercises a delta kind against a basis
+     left warm by a *different* previous delta. *)
+  let steps =
+    [
+      ("empty", empty);
+      ("fix_zero", fix_zero v.(1) empty);
+      ("force_one", force_one v.(0) empty);
+      ("fix_zero+force_one", fix_zero v.(2) (force_one v.(3) empty));
+      ("release", release v.(1) (fix_zero v.(1) empty));
+      ("all fixed", fix_zero v.(0) (force_one v.(1) (force_one v.(2) (fix_zero v.(3) empty))));
+      ("infeasible pair", fix_zero v.(0) (fix_zero v.(1) empty));
+      ("back to empty", empty);
+    ]
+  in
+  List.iter
+    (fun (name, delta) ->
+      let cold =
+        Lp.Solvers.Float_simplex.session_solve (Lp.Solvers.Float_simplex.create_session fz) delta
+      in
+      check_outcome name cold (Lp.Solvers.Float_simplex.session_solve warm delta))
+    steps
+
+(* Random frozen covering programs and random delta sequences: one warm
+   session must match a cold session at every step. *)
+let warm_equals_cold seed =
+  let rng = Random.State.make [| seed |] in
+  let m = Lp.Model.create () in
+  let nvars = 3 + Random.State.int rng 5 in
+  let vars =
+    Array.init nvars (fun _ ->
+        Lp.Model.add_var ~upper:1 ~obj:(1 + Random.State.int rng 5) m)
+  in
+  let nrows = 2 + Random.State.int rng 5 in
+  for _ = 1 to nrows do
+    let width = 1 + Random.State.int rng 3 in
+    let picked = List.init width (fun _ -> vars.(Random.State.int rng nvars)) in
+    let picked = List.sort_uniq compare picked in
+    Lp.Model.add_constr m (List.map (fun v -> (v, 1)) picked) Lp.Model.Geq 1
+  done;
+  let fz = Lp.Model.create () |> fun _ -> Lp.Frozen.of_model m in
+  let warm = Lp.Solvers.Float_simplex.create_session fz in
+  let ok = ref true in
+  for _ = 1 to 8 do
+    let delta =
+      List.fold_left
+        (fun d v ->
+          match Random.State.int rng 3 with
+          | 0 -> Lp.Frozen.Delta.fix_zero v d
+          | 1 -> Lp.Frozen.Delta.force_one v d
+          | _ -> d)
+        Lp.Frozen.Delta.empty (Array.to_list vars)
+    in
+    let cold =
+      Lp.Solvers.Float_simplex.session_solve (Lp.Solvers.Float_simplex.create_session fz) delta
+    in
+    let open Lp.Solvers.Float_simplex in
+    (match (cold, session_solve warm delta) with
+    | Optimal a, Optimal b -> if Float.abs (a.objective -. b.objective) > 1e-7 then ok := false
+    | Infeasible, Infeasible -> ()
+    | Unbounded, Unbounded -> ()
+    | _ -> ok := false)
+  done;
+  !ok
+
+let warm_qcheck =
+  QCheck.Test.make ~name:"warm session = cold session on random delta sequences" ~count:300
+    (QCheck.int_range 0 1_000_000) warm_equals_cold
+
+(* --- Edge cases ------------------------------------------------------------ *)
+
+let test_exogenous_skipped () =
+  (* An exogenous tuple never appears in the ranking, even when it sits in
+     every witness. *)
+  let db = Database.create () in
+  let r = Database.add db "R" [| 1; 2 |] in
+  ignore (Database.add db "S" [| 2; 3 |]);
+  Database.set_exo db r true;
+  let q = Queries.q2_chain () in
+  let session = Session.create Problem.Set q db in
+  let ranked = Session.ranking session in
+  Alcotest.(check bool) "exogenous tuple absent" true
+    (List.for_all (fun (tid, _, _) -> tid <> r) ranked);
+  Alcotest.(check int) "only the endogenous tuple ranks" 1 (List.length ranked)
+
+let test_query_false_session () =
+  let db = Database.create () in
+  ignore (Database.add db "R" [| 1; 2 |]);
+  let q = Queries.q2_chain () in
+  let session = Session.create Problem.Set q db in
+  (match Session.resilience session with
+  | Session.Query_false -> ()
+  | _ -> Alcotest.fail "expected Query_false");
+  Alcotest.(check int) "empty ranking" 0 (List.length (Session.ranking session));
+  Alcotest.(check int) "no diagnostics" 0 (List.length (Session.diagnostics session))
+
+let test_fully_exogenous_witness () =
+  (* A witness of only exogenous tuples blocks everything. *)
+  let db = Database.create () in
+  let r = Database.add db "R" [| 1; 2 |] in
+  let s = Database.add db "S" [| 2; 3 |] in
+  ignore (Database.add db "R" [| 4; 5 |]);
+  ignore (Database.add db "S" [| 5; 6 |]);
+  Database.set_exo db r true;
+  Database.set_exo db s true;
+  let q = Queries.q2_chain () in
+  let session = Session.create Problem.Set q db in
+  (match Session.resilience session with
+  | Session.No_contingency -> ()
+  | _ -> Alcotest.fail "expected No_contingency");
+  Alcotest.(check int) "empty ranking" 0 (List.length (Session.ranking session))
+
+let () =
+  let open Alcotest in
+  run "session"
+    [
+      ( "warm-starts",
+        [
+          test_case "warm vs cold, per delta kind" `Quick test_warm_vs_cold_deltas;
+          QCheck_alcotest.to_alcotest warm_qcheck;
+        ] );
+      ( "edge-cases",
+        [
+          test_case "exogenous tuples skipped" `Quick test_exogenous_skipped;
+          test_case "query false" `Quick test_query_false_session;
+          test_case "fully exogenous witness" `Quick test_fully_exogenous_witness;
+        ] );
+      ("differential", List.map QCheck_alcotest.to_alcotest qcheck_cases);
+    ]
