@@ -584,12 +584,17 @@ let cold_ranking sem q db =
            | Solve.Query_false | Solve.No_contingency | Solve.Budget_exhausted _ -> None)
   |> List.stable_sort (fun (_, a) (_, b) -> compare a b)
 
-let run_ranking scale json =
+let run_ranking ?(jobs = 1) ?(dense = false) scale json =
   let rng = Random.State.make [| 808 |] in
   let q = Queries.q2_chain () in
+  let regime = if dense then "dense joins" else "sparse joins" in
   if not json then
-    header "Ranking batch: one warm session vs cold per-tuple solves (2-chain, set, sparse joins)"
-      [ "tuples"; "witnesses"; "ranked"; "t_cold"; "t_session"; "speedup"; "identical" ];
+    header
+      (Printf.sprintf
+         "Ranking batch: one warm session vs cold per-tuple solves (2-chain, set, %s, jobs=%d)"
+         regime jobs)
+      [ "tuples"; "witnesses"; "ranked"; "strategy"; "t_cold"; "t_session"; "t_par";
+        "speedup"; "par_speedup"; "identical" ];
   let entries = ref [] in
   List.iter
     (fun count ->
@@ -597,24 +602,44 @@ let run_ranking scale json =
       (* Sparse joins (domain ~ 2x the relation size): most tuples sit in
          few witnesses, so the cold path's per-tuple witness enumeration,
          encoding and presolve dominate — exactly the cost the session
-         amortises.  Dense instances instead bury that fixed cost under
-         branch-and-bound time, where the bigger shared matrix loses; see
+         amortises.  Dense instances (--dense: domain ~ count/8) instead
+         multiply the witness count, blowing up the shared super-model's
+         row count until each warm pivot costs more than a cold per-tuple
+         solve — the crossover behind Session's dense-regime fallback; see
          DESIGN.md for the trade-off. *)
+      let domain = if dense then max 2 (count / 8) else max 4 (2 * count) in
       let specs = Datagen.Random_inst.specs_of_query q ~count in
-      let db = Datagen.Random_inst.db rng ~domain:(max 4 (2 * count)) specs in
+      let db = Datagen.Random_inst.db rng ~domain specs in
       let witnesses = Eval.count q db in
       if witnesses > 0 then begin
         let cold, t_cold = time (fun () -> cold_ranking set q db) in
-        let ranked, t_session =
-          time (fun () -> Session.ranking (Session.create set q db))
+        let session = Session.create set q db in
+        let strategy =
+          match Session.batch_strategy session with
+          | `Shared_delta -> "shared"
+          | `Cold_per_tuple -> "cold"
         in
-        let identical = List.map (fun (t, k, _) -> (t, k)) ranked = cold in
+        let ranked, t_session = time (fun () -> Session.ranking session) in
+        let par, t_par =
+          if jobs > 1 then begin
+            let par_session = Session.create set q db in
+            let par, t = time (fun () -> Session.ranking_par ~jobs par_session) in
+            (Some par, t)
+          end
+          else (None, t_session)
+        in
+        let identical =
+          List.map (fun (t, k, _) -> (t, k)) ranked = cold
+          && match par with None -> true | Some par -> par = ranked
+        in
         let speedup = if t_session > 0.0 then t_cold /. t_session else nan in
+        let par_speedup = if t_par > 0.0 then t_session /. t_par else nan in
         let tuples = List.length (Database.tuples db) in
         entries :=
           Printf.sprintf
-            "{\"tuples\":%d,\"witnesses\":%d,\"ranked\":%d,\"cold_s\":%.6f,\"session_s\":%.6f,\"speedup\":%.2f,\"identical\":%b}"
-            tuples witnesses (List.length ranked) t_cold t_session speedup identical
+            "{\"tuples\":%d,\"witnesses\":%d,\"ranked\":%d,\"strategy\":\"%s\",\"jobs\":%d,\"cold_s\":%.6f,\"session_s\":%.6f,\"par_s\":%.6f,\"speedup\":%.2f,\"par_speedup\":%.2f,\"identical\":%b}"
+            tuples witnesses (List.length ranked) strategy jobs t_cold t_session t_par
+            speedup par_speedup identical
           :: !entries;
         if not json then
           row
@@ -622,9 +647,12 @@ let run_ranking scale json =
               string_of_int tuples;
               string_of_int witnesses;
               string_of_int (List.length ranked);
+              strategy;
               fmt_time t_cold;
               fmt_time t_session;
+              fmt_time t_par;
               Printf.sprintf "%.1fx" speedup;
+              Printf.sprintf "%.1fx" par_speedup;
               string_of_bool identical;
             ]
       end)
@@ -655,13 +683,32 @@ let scaled name doc f =
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit one machine-readable JSON array instead of a table")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Also time Session.ranking_par over N domains (0 = all recommended domains) and \
+           report its speedup over the sequential session")
+
+let dense_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "dense" ]
+        ~doc:
+          "Shrink the join domain so witnesses multiply — the regime where the shared \
+           super-model loses to cold per-tuple solves (crossover measurement)")
+
 let ranking_cmd =
   Cmd.v (Cmd.info "ranking" ~doc:"responsibility ranking: warm session vs cold per-tuple solves")
     Term.(
-      const (fun scale json ->
-          run_ranking scale json;
+      const (fun scale json jobs dense ->
+          let jobs = if jobs = 0 then Lp.Pool.default_jobs () else jobs in
+          run_ranking ~jobs ~dense scale json;
           0)
-      $ scale_arg $ json_arg)
+      $ scale_arg $ json_arg $ jobs_arg $ dense_arg)
 
 let run_all scale =
   run_table1 ();

@@ -306,7 +306,7 @@ let responsibility_cmd =
 (* ----- rank -------------------------------------------------------------- *)
 
 let rank_cmd =
-  let run data bag exact lint json query =
+  let run data bag exact lint json jobs query =
     let db = load_db data in
     match parse_query db query with
     | Error msg ->
@@ -316,9 +316,12 @@ let rank_cmd =
       let sem = semantics_of_bag bag in
       if lint then lint_to_stderr sem q db;
       (* One session: witnesses, encoding and presolve are paid once, and
-         every tuple's ILP[RSP*] is a warm-started delta-solve. *)
+         every tuple's ILP[RSP*] is a warm-started delta-solve — spread
+         over [jobs] domains when asked (output is identical). *)
       let session = Session.create ~exact sem q db in
-      let ranked = Session.ranking session in
+      let ranked =
+        if jobs = 1 then Session.ranking session else Session.ranking_par ~jobs session
+      in
       if json then begin
         let row (tid, k, rho) =
           Printf.sprintf {|{"tuple":"%s","k":%d,"responsibility":%g}|}
@@ -343,6 +346,15 @@ let rank_cmd =
       end
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output") in
+  let jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Domains to spread the per-tuple solves over (0 = all recommended domains). The \
+             ranking is identical for every N.")
+  in
   let query = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
   Cmd.v
     (Cmd.info "rank"
@@ -350,7 +362,7 @@ let rank_cmd =
          "Rank every endogenous tuple by responsibility for the query answer (minimal \
           contingency size k, responsibility 1/(1+k), best first), batched through one \
           warm-started solve session")
-    Term.(const run $ data_arg $ bag_arg $ exact_arg $ lint_arg $ json $ query)
+    Term.(const run $ data_arg $ bag_arg $ exact_arg $ lint_arg $ json $ jobs $ query)
 
 (* ----- explain ----------------------------------------------------------- *)
 

@@ -187,9 +187,9 @@ module Make (F : Numeric.Field.S) = struct
     | Lp.Infeasible -> `Infeasible
     | Lp.Unbounded -> `Unbounded
 
-  let solve_session ?node_limit ?time_limit ?(delta = Frozen.Delta.empty) sess =
-    let fz = sess.sfz in
-    let nvars = Frozen.num_vars fz in
+  (* Per-frozen-program metadata shared by every session solve: binary
+     check, integer variables, objective purity. *)
+  let fz_meta fz =
     let int_vars = Frozen.integer_vars fz in
     List.iter
       (fun v ->
@@ -197,6 +197,7 @@ module Make (F : Numeric.Field.S) = struct
         | Some 1 | None -> ()
         | Some _ -> invalid_arg "Branch_bound.solve_session: integer variables must be binary")
       int_vars;
+    let nvars = Frozen.num_vars fz in
     let pure_int_obj =
       let ok = ref true in
       for v = 0 to nvars - 1 do
@@ -204,28 +205,31 @@ module Make (F : Numeric.Field.S) = struct
       done;
       !ok && int_vars <> []
     in
-    let t0 = Clock.now () in
-    let out_of_time () =
-      match time_limit with Some limit -> Clock.elapsed t0 > limit | None -> false
-    in
-    let nodes = ref 0 in
-    let incumbent_obj = ref None in
-    let incumbent_sol = ref None in
-    let objective_at x =
-      let acc = ref F.zero in
-      for v = 0 to nvars - 1 do
-        let c = Frozen.objective fz v in
-        if c <> 0 then acc := F.add !acc (F.mul (F.of_int c) x.(v))
-      done;
-      !acc
-    in
-    let offer_incumbent obj sol =
-      match !incumbent_obj with
-      | Some inc when F.compare obj inc >= 0 -> ()
-      | _ ->
-        incumbent_obj := Some obj;
-        incumbent_sol := Some sol
-    in
+    (nvars, int_vars, pure_int_obj)
+
+  let frozen_objective_at fz nvars x =
+    let acc = ref F.zero in
+    for v = 0 to nvars - 1 do
+      let c = Frozen.objective fz v in
+      if c <> 0 then acc := F.add !acc (F.mul (F.of_int c) x.(v))
+    done;
+    !acc
+
+  (* One depth-first search over deltas against a relaxation oracle.  The
+     incumbent store and budgets are abstracted so the sequential solver
+     backs them with plain refs while the parallel solver shares atomics
+     across domains, and both run the {e same} traversal (children pushed in
+     the same order, same pruning, same rounding heuristic).
+
+     [tick] accounts one node and returns [false] when the node budget is
+     exhausted; [best]/[offer] read and propose incumbents; [on_solved]
+     fires per optimal relaxation (the callers use the first to record the
+     root).  With [frontier_depth], nodes reaching that depth are handed to
+     [defer] {e unsolved} instead of being explored — the parallel frontier.
+     Returns [(hit_limit, unbounded)]. *)
+  let dfs ~relax ~fz ~base_delta ~nvars ~int_vars ~pure_int_obj ~best ~offer ~tick ~timed_out
+      ~on_solved ?frontier_depth ?(defer = fun _ -> ()) stack0 =
+    let objective_at = frozen_objective_at fz nvars in
     (* Primal heuristic as in [solve], validated against the base delta —
        branching fixes are search artifacts a root-feasible point need not
        respect, and rounding preserves 0/1 fixes anyway. *)
@@ -234,69 +238,212 @@ module Make (F : Numeric.Field.S) = struct
       List.iter
         (fun v -> x.(v) <- (if F.to_float solution.(v) > 1e-6 then F.one else F.zero))
         int_vars;
-      if Frozen.check_feasible ~delta fz (Array.map F.to_float x) then
-        offer_incumbent (objective_at x) x
+      if Frozen.check_feasible ~delta:base_delta fz (Array.map F.to_float x) then
+        offer (objective_at x) x
     in
-    let root_objective = ref None in
-    let root_integral = ref false in
     let hit_limit = ref false in
     let unbounded = ref false in
-    let stack = ref [ delta ] in
+    let stack = ref stack0 in
     let continue = ref true in
     while !continue do
       match !stack with
       | [] -> continue := false
-      | node_delta :: rest ->
+      | (node_delta, depth) :: rest -> (
         stack := rest;
-        if (match node_limit with Some l -> !nodes >= l | None -> false) || out_of_time () then begin
-          hit_limit := true;
-          continue := false
-        end
-        else begin
-          incr nodes;
-          match relax ~delta:node_delta sess with
-          | `Infeasible -> ()
-          | `Unbounded ->
-            unbounded := true;
+        match frontier_depth with
+        | Some d when depth >= d -> defer node_delta
+        | _ ->
+          if timed_out () || not (tick ()) then begin
+            hit_limit := true;
             continue := false
-          | `Optimal (objective, solution) ->
-            if !nodes = 1 then begin
-              root_objective := Some objective;
-              root_integral := Lp.integral_on solution int_vars
-            end;
-            let bound = strengthen pure_int_obj objective in
-            let pruned =
-              match !incumbent_obj with Some inc -> F.compare bound inc >= 0 | None -> false
-            in
-            if not pruned then begin
-              match most_fractional solution int_vars with
-              | None -> offer_incumbent objective solution
-              | Some v ->
-                try_rounding solution;
-                stack :=
-                  Frozen.Delta.fix v 0 node_delta
-                  :: Frozen.Delta.fix v 1 node_delta
-                  :: !stack
-            end
-        end
+          end
+          else begin
+            match relax node_delta with
+            | `Infeasible -> ()
+            | `Unbounded ->
+              unbounded := true;
+              continue := false
+            | `Optimal (objective, solution) ->
+              on_solved objective solution;
+              let bound = strengthen pure_int_obj objective in
+              let pruned =
+                match best () with Some inc -> F.compare bound inc >= 0 | None -> false
+              in
+              if not pruned then begin
+                match most_fractional solution int_vars with
+                | None -> offer objective solution
+                | Some v ->
+                  try_rounding solution;
+                  stack :=
+                    (Frozen.Delta.fix v 0 node_delta, depth + 1)
+                    :: (Frozen.Delta.fix v 1 node_delta, depth + 1)
+                    :: !stack
+              end
+          end)
     done;
-    let status =
-      if !unbounded then Unbounded
-      else
-        match (!incumbent_obj, !hit_limit) with
-        | Some _, false -> Optimal
-        | Some _, true -> Feasible
-        | None, true -> Limit_no_solution
-        | None, false -> Infeasible
+    (!hit_limit, !unbounded)
+
+  let status_of ~unbounded ~incumbent ~hit_limit =
+    if unbounded then Unbounded
+    else
+      match (incumbent, hit_limit) with
+      | Some _, false -> Optimal
+      | Some _, true -> Feasible
+      | None, true -> Limit_no_solution
+      | None, false -> Infeasible
+
+  (* A "first optimal relaxation" recorder; the first solved node of a tree
+     is always its root. *)
+  let root_recorder int_vars =
+    let root_objective = ref None in
+    let root_integral = ref false in
+    let on_solved obj sol =
+      if !root_objective = None then begin
+        root_objective := Some obj;
+        root_integral := Lp.integral_on sol int_vars
+      end
+    in
+    (root_objective, root_integral, on_solved)
+
+  let solve_session ?node_limit ?time_limit ?(delta = Frozen.Delta.empty) sess =
+    let fz = sess.sfz in
+    let nvars, int_vars, pure_int_obj = fz_meta fz in
+    let t0 = Clock.now () in
+    let timed_out () =
+      match time_limit with Some limit -> Clock.elapsed t0 > limit | None -> false
+    in
+    let nodes = ref 0 in
+    let tick () =
+      match node_limit with
+      | Some l when !nodes >= l -> false
+      | Some _ | None ->
+        incr nodes;
+        true
+    in
+    let incumbent_obj = ref None in
+    let incumbent_sol = ref None in
+    let offer obj sol =
+      match !incumbent_obj with
+      | Some inc when F.compare obj inc >= 0 -> ()
+      | _ ->
+        incumbent_obj := Some obj;
+        incumbent_sol := Some sol
+    in
+    let root_objective, root_integral, on_solved = root_recorder int_vars in
+    let hit_limit, unbounded =
+      dfs
+        ~relax:(fun d -> relax ~delta:d sess)
+        ~fz ~base_delta:delta ~nvars ~int_vars ~pure_int_obj
+        ~best:(fun () -> !incumbent_obj)
+        ~offer ~tick ~timed_out ~on_solved
+        [ (delta, 0) ]
     in
     {
-      status;
+      status = status_of ~unbounded ~incumbent:!incumbent_obj ~hit_limit;
       objective = !incumbent_obj;
       solution = !incumbent_sol;
       nodes = !nodes;
       root_objective = !root_objective;
       root_integral = !root_integral;
     }
+
+  (* Parallel exploration of the top of the tree: the session's own engine
+     expands breadth (depth-first, but only to [par_depth] levels), the
+     resulting frontier subtrees are drained by the pool — one fresh
+     warm-startable session per participating domain, all against the same
+     shared frozen arrays — and bound updates flow through an atomic
+     incumbent every domain prunes against.  Node and time budgets are
+     shared: one atomic node counter, one deadline. *)
+  let solve_session_par ?node_limit ?time_limit ?(delta = Frozen.Delta.empty) ?(par_depth = 3)
+      ~pool sess =
+    if Pool.jobs pool <= 1 || par_depth <= 0 then
+      solve_session ?node_limit ?time_limit ~delta sess
+    else begin
+      let fz = sess.sfz in
+      let nvars, int_vars, pure_int_obj = fz_meta fz in
+      let t0 = Clock.now () in
+      let timed_out () =
+        match time_limit with Some limit -> Clock.elapsed t0 > limit | None -> false
+      in
+      let nodes = Atomic.make 0 in
+      let tick () =
+        match node_limit with
+        | None ->
+          Atomic.incr nodes;
+          true
+        | Some l ->
+          let n = Atomic.fetch_and_add nodes 1 in
+          if n >= l then begin
+            (* Undo the overshoot so the reported count stays within the
+               budget regardless of how many domains raced here. *)
+            ignore (Atomic.fetch_and_add nodes (-1));
+            false
+          end
+          else true
+      in
+      let incumbent = Atomic.make None in
+      let best () = Option.map fst (Atomic.get incumbent) in
+      let rec offer obj sol =
+        let cur = Atomic.get incumbent in
+        match cur with
+        | Some (inc, _) when F.compare obj inc >= 0 -> ()
+        | _ -> if not (Atomic.compare_and_set incumbent cur (Some (obj, sol))) then offer obj sol
+      in
+      let root_objective, root_integral, on_solved = root_recorder int_vars in
+      (* Phase 1: expand the top [par_depth] levels on the session's own
+         engine; nodes reaching the cutoff become the frontier. *)
+      let frontier = ref [] in
+      let hit1, unb1 =
+        dfs
+          ~relax:(fun d -> relax ~delta:d sess)
+          ~fz ~base_delta:delta ~nvars ~int_vars ~pure_int_obj ~best ~offer ~tick ~timed_out
+          ~on_solved ~frontier_depth:par_depth
+          ~defer:(fun d -> frontier := d :: !frontier)
+          [ (delta, 0) ]
+      in
+      let frontier = Array.of_list (List.rev !frontier) in
+      let hit_limit = Atomic.make hit1 in
+      let unbounded = Atomic.make unb1 in
+      if (not hit1) && (not unb1) && Array.length frontier > 0 then begin
+        (* Phase 2: one subtree per frontier delta.  A domain joining the
+           batch opens its own session against the shared frozen program;
+           a task observing an exhausted budget (or an unbounded verdict
+           elsewhere) returns without exploring. *)
+        let subtree_tick () = if Atomic.get unbounded then false else tick () in
+        ignore
+          (Pool.run_init pool
+             ~init:(fun () -> create_session fz)
+             ~tasks:(Array.length frontier)
+             (fun dom_sess i ->
+               if not (Atomic.get hit_limit || Atomic.get unbounded) then begin
+                 let hit, unb =
+                   dfs
+                     ~relax:(fun d -> relax ~delta:d dom_sess)
+                     ~fz ~base_delta:delta ~nvars ~int_vars ~pure_int_obj ~best ~offer
+                     ~tick:subtree_tick ~timed_out
+                     ~on_solved:(fun _ _ -> ())
+                     [ (frontier.(i), par_depth) ]
+                 in
+                 if hit then Atomic.set hit_limit true;
+                 if unb then Atomic.set unbounded true
+               end))
+      end;
+      let incumbent_obj, incumbent_sol =
+        match Atomic.get incumbent with
+        | Some (obj, sol) -> (Some obj, Some sol)
+        | None -> (None, None)
+      in
+      {
+        status =
+          status_of ~unbounded:(Atomic.get unbounded) ~incumbent:incumbent_obj
+            ~hit_limit:(Atomic.get hit_limit);
+        objective = incumbent_obj;
+        solution = incumbent_sol;
+        nodes = Atomic.get nodes;
+        root_objective = !root_objective;
+        root_integral = !root_integral;
+      }
+    end
 
   let solve_frozen ?node_limit ?time_limit ?delta fz =
     solve_session ?node_limit ?time_limit ?delta (create_session fz)

@@ -54,6 +54,28 @@ module Make (F : Numeric.Field.S) : sig
   (** Branch-and-bound under the delta (the "base" fixes every node of this
       tree respects).  Same contract as {!solve}. *)
 
+  val solve_session_par :
+    ?node_limit:int ->
+    ?time_limit:float ->
+    ?delta:Frozen.Delta.t ->
+    ?par_depth:int ->
+    pool:Pool.t ->
+    session ->
+    result
+  (** {!solve_session} with the two children of every node in the top
+      [par_depth] levels (default 3) explored in parallel: the session's own
+      engine expands that prefix of the tree, the resulting frontier
+      subtrees are drained by the {!Pool} — each participating domain opens
+      its own warm-startable session against the {e same} shared frozen
+      arrays — and bound updates flow through an atomic incumbent all
+      domains prune against.  Node and time budgets are shared across
+      domains (one atomic node counter, one deadline), so the contract of
+      {!solve_session} is preserved; without budgets the returned status and
+      objective are identical to the sequential solve (the optimum is
+      unique; the optimal {e point} and node count may differ, since
+      pruning order depends on incumbent arrival).  With a 1-domain pool or
+      [par_depth = 0] this {e is} [solve_session], bit for bit. *)
+
   val relax :
     ?delta:Frozen.Delta.t ->
     session ->

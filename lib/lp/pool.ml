@@ -1,0 +1,184 @@
+(* Chunked self-scheduling over raw domains.
+
+   A pool owns [jobs - 1] spawned domains; the submitter is the remaining
+   participant.  A batch is represented as one closure ([participate]) that
+   any domain can call: it repeatedly claims the next chunk of task indices
+   under the pool mutex, runs them, and writes each result into the slot of
+   its index.  Per-batch state (cursor, in-flight count, failure) lives in
+   refs captured by that closure, so the pool itself carries no knowledge of
+   the tasks' result type.
+
+   Chunked self-scheduling rather than work stealing: tasks here are LP
+   solves (micro- to milliseconds), so a single shared cursor under a mutex
+   is contended a few thousand times per batch at most, and determinism is
+   trivial — results are indexed by task id, never by arrival order.  A
+   worker that drew a long chunk late cannot change any result slot, only
+   the wall-clock. *)
+
+type batch = { participate : unit -> unit }
+
+type t = {
+  mutex : Mutex.t;
+  wake : Condition.t;  (* workers: a new batch (or shutdown) is available *)
+  finished : Condition.t;  (* submitter: the current batch may be complete *)
+  mutable current : batch option;
+  mutable generation : int;  (* bumped per submitted batch *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  mutable active : bool;
+  njobs : int;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let jobs t = t.njobs
+
+let worker_loop pool =
+  let last_gen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while (not pool.stop) && pool.generation = !last_gen do
+      Condition.wait pool.wake pool.mutex
+    done;
+    if pool.stop then begin
+      Mutex.unlock pool.mutex;
+      running := false
+    end
+    else begin
+      last_gen := pool.generation;
+      let b = pool.current in
+      Mutex.unlock pool.mutex;
+      match b with Some b -> b.participate () | None -> ()
+    end
+  done
+
+let create ?(jobs = 0) () =
+  if jobs < 0 then invalid_arg "Pool.create: negative jobs";
+  let njobs = if jobs = 0 then default_jobs () else jobs in
+  let pool =
+    {
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      finished = Condition.create ();
+      current = None;
+      generation = 0;
+      stop = false;
+      workers = [];
+      active = true;
+      njobs;
+    }
+  in
+  pool.workers <- List.init (njobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let run_init ?chunk pool ~init ~tasks f =
+  if tasks < 0 then invalid_arg "Pool.run: negative task count";
+  if tasks = 0 then [||]
+  else if pool.njobs = 1 then begin
+    (* The sequential path: no domains, no locks, index order. *)
+    if not pool.active then invalid_arg "Pool.run: pool is shut down";
+    let st = init () in
+    Array.init tasks (fun i -> f st i)
+  end
+  else begin
+    let chunk =
+      match chunk with
+      | Some c when c <= 0 -> invalid_arg "Pool.run: non-positive chunk"
+      | Some c -> c
+      | None -> max 1 (tasks / (pool.njobs * 4))
+    in
+    let results = Array.make tasks None in
+    let next = ref 0 in
+    let in_flight = ref 0 in
+    let failed = ref None in
+    let participate () =
+      (* Per-domain batch state: [init] runs at most once, lazily. *)
+      let local = ref None in
+      let local_init () =
+        match !local with
+        | Some s -> s
+        | None ->
+          let s = init () in
+          local := Some s;
+          s
+      in
+      let draining = ref true in
+      while !draining do
+        Mutex.lock pool.mutex;
+        if !next >= tasks || !failed <> None then begin
+          Mutex.unlock pool.mutex;
+          draining := false
+        end
+        else begin
+          let start = !next in
+          let stop = min tasks (start + chunk) in
+          next := stop;
+          incr in_flight;
+          Mutex.unlock pool.mutex;
+          (try
+             let s = local_init () in
+             for i = start to stop - 1 do
+               results.(i) <- Some (f s i)
+             done
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             Mutex.lock pool.mutex;
+             if !failed = None then failed := Some (e, bt);
+             Mutex.unlock pool.mutex);
+          Mutex.lock pool.mutex;
+          decr in_flight;
+          if !in_flight = 0 && (!next >= tasks || !failed <> None) then
+            Condition.broadcast pool.finished;
+          Mutex.unlock pool.mutex
+        end
+      done
+    in
+    Mutex.lock pool.mutex;
+    if not pool.active then begin
+      Mutex.unlock pool.mutex;
+      invalid_arg "Pool.run: pool is shut down"
+    end;
+    if pool.current <> None then begin
+      Mutex.unlock pool.mutex;
+      invalid_arg "Pool.run: a batch is already running"
+    end;
+    pool.current <- Some { participate };
+    pool.generation <- pool.generation + 1;
+    Condition.broadcast pool.wake;
+    Mutex.unlock pool.mutex;
+    (* The submitter is a participant too. *)
+    participate ();
+    Mutex.lock pool.mutex;
+    while not (!in_flight = 0 && (!next >= tasks || !failed <> None)) do
+      Condition.wait pool.finished pool.mutex
+    done;
+    pool.current <- None;
+    Mutex.unlock pool.mutex;
+    match !failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+      Array.map
+        (function
+          | Some v -> v
+          | None -> assert false (* every index was claimed and completed *))
+        results
+  end
+
+let run ?chunk pool ~tasks f = run_init ?chunk pool ~init:(fun () -> ()) ~tasks (fun () i -> f i)
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  pool.active <- false;
+  let workers = pool.workers in
+  pool.workers <- [];
+  Condition.broadcast pool.wake;
+  Mutex.unlock pool.mutex;
+  (* Workers finish the batch in flight (participate ignores [stop]) before
+     observing the flag and exiting, so joining here is the graceful wait. *)
+  List.iter Domain.join workers
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -1,0 +1,59 @@
+(** A dependency-free domain pool for embarrassingly parallel solve batches.
+
+    The paper's batched workloads — responsibility of every tuple, ILP-vs-LP
+    sweeps — are families of independent (I)LPs over one shared immutable
+    {!Frozen} program, so domain-level parallelism composes with the frozen
+    model core for free: the CSR/CSC arrays are shared read-only across
+    domains and only per-domain solver state is mutable.
+
+    Design (see DESIGN.md §7): raw [Domain.spawn] workers around a
+    mutex/condition work queue; a batch of [tasks] indexed [0..tasks-1] is
+    drained by {e chunked self-scheduling} (each participant repeatedly
+    claims the next contiguous chunk of indices under the mutex), and every
+    task writes its result into the slot of its own index — so the output
+    is positionally deterministic no matter which domain ran what, when.
+    The submitting domain participates in the batch, a worker exception is
+    captured and re-raised in the submitter, and [jobs = 1] degrades to
+    plain sequential execution with zero behavioural difference (no domains,
+    no locks, tasks run in index order).
+
+    Runs are synchronous and serialised: one batch at a time per pool. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [create ~jobs:0] and the
+    CLI's [--jobs 0] resolve to. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains (the submitter is the
+    remaining participant).  [jobs = 0] (and omitting [jobs]) means
+    {!default_jobs}; negative values raise [Invalid_argument]. *)
+
+val jobs : t -> int
+(** Total participating domains, including the submitter; always >= 1. *)
+
+val run : ?chunk:int -> t -> tasks:int -> (int -> 'a) -> 'a array
+(** [run pool ~tasks f] computes [[| f 0; ...; f (tasks-1) |]], distributing
+    the index range over the pool's domains in chunks of [chunk] (default: a
+    self-scheduling fraction of [tasks / jobs]).  The result array is
+    identical to sequential evaluation for pure [f] regardless of [jobs] or
+    [chunk].  If any task raises, remaining chunks are abandoned, in-flight
+    tasks finish, and the first exception (in completion order) is re-raised
+    here with its backtrace.
+    @raise Invalid_argument if the pool has been shut down. *)
+
+val run_init : ?chunk:int -> t -> init:(unit -> 's) -> tasks:int -> ('s -> int -> 'a) -> 'a array
+(** [run_init pool ~init ~tasks f] is {!run} with per-domain worker state:
+    each participating domain calls [init ()] at most once per batch (before
+    its first task) and passes the result to every task it runs — how a
+    solve batch gives each domain its own warm simplex session over the
+    shared frozen program. *)
+
+val shutdown : t -> unit
+(** Graceful shutdown: workers finish the batch in flight (if any), then
+    exit and are joined.  Idempotent; after shutdown, {!run} raises. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] over a fresh pool and shuts it down on the
+    way out, exceptions included. *)

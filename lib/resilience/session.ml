@@ -16,49 +16,96 @@ type rsp_answer = {
   rsp_stats : stats;
 }
 
+type strategy = [ `Shared_delta | `Cold_per_tuple ]
+
 type engine = Efloat of Lp.Solvers.Float_bb.session | Eexact of Lp.Solvers.Exact_bb.session
+
+(* Solver state over one frozen program: the presolved form (what per-domain
+   engines are created from), the presolve witness, and the submitter's own
+   warm engine. *)
+type prep = { pfz : Lp.Frozen.t; pvm : Lp.Presolve.vmap option; pengine : engine }
+
+let engine_of ~exact fz =
+  if exact then Eexact (Lp.Solvers.Exact_bb.create_session fz)
+  else Efloat (Lp.Solvers.Float_bb.create_session fz)
+
+(* Freeze + (optionally) presolve a model into a prep; [None] when presolve
+   decides the program outright (the shared program is always feasible —
+   delete everything, flag everything — and has non-negative costs, so a
+   verdict to the contrary is treated as "no contingency" defensively). *)
+let prep_of_model ~exact ~presolve model =
+  let raw = Lp.Frozen.of_model model in
+  let prepared =
+    if presolve then
+      match Lp.Presolve.presolve raw with
+      | Lp.Presolve.Reduced (fz, vm) -> Some (fz, Some vm)
+      | Lp.Presolve.Infeasible | Lp.Presolve.Unbounded -> None
+    else Some (raw, None)
+  in
+  Option.map (fun (fz, vm) -> { pfz = fz; pvm = vm; pengine = engine_of ~exact fz }) prepared
 
 type core = {
   cshared : Encode.shared;
-  cvm : Lp.Presolve.vmap option;
-  cengine : engine;
+  cprep : prep option Lazy.t;
+      (* presolve + engine, paid only if a shared-program solve happens —
+         a dense-regime session that only ever ranks never forces this *)
   cdiags : Lp.Lint.diag list Lazy.t;  (* lint of the unreduced frozen program *)
 }
 
 type state = Sfalse | Snone | Sactive of core
 
-type t = { sdb : Database.t; state : state }
+type t = {
+  sdb : Database.t;
+  ssem : Problem.semantics;
+  squery : Cq.t;
+  switnesses : Eval.witness list;
+  sexact : bool;
+  spresolve : bool;
+  srelax : Encode.relaxation;
+  sstrategy : strategy;
+  state : state;
+}
 
-let create ?(exact = false) ?(presolve = true) ?(relaxation = Encode.Ilp) semantics q db =
+(* Measured crossover (BENCH.md, PR 3): on dense q2_chain instances the
+   shared batch still wins at 1537 rows (2.0s vs 4.3s cold) and loses at
+   1915 rows (29.5s vs 11.4s) — the dense basis inverse makes each
+   shared-matrix pivot cost more than a whole small per-tuple program. *)
+let default_dense_rows_threshold = 1700
+
+let create ?(exact = false) ?(presolve = true) ?(relaxation = Encode.Ilp)
+    ?(dense_rows_threshold = default_dense_rows_threshold) semantics q db =
   let witnesses = Eval.witnesses q db in
-  let state =
+  let state, strategy =
     match Encode.shared_of_witnesses relaxation semantics q db witnesses with
-    | Encode.Shared_trivial -> Sfalse
-    | Encode.Shared_impossible -> Snone
-    | Encode.Shared shared -> (
+    | Encode.Shared_trivial -> (Sfalse, `Shared_delta)
+    | Encode.Shared_impossible -> (Snone, `Shared_delta)
+    | Encode.Shared shared ->
       let raw = Lp.Frozen.of_model shared.Encode.smodel in
-      let prepared =
-        if presolve then
-          match Lp.Presolve.presolve raw with
-          | Lp.Presolve.Reduced (fz, vm) -> Some (fz, Some vm)
-          | Lp.Presolve.Infeasible | Lp.Presolve.Unbounded ->
-            (* The shared program is always feasible (delete everything,
-               flag everything) and has non-negative costs; treat a presolve
-               verdict to the contrary as "no contingency" defensively. *)
-            None
-        else Some (raw, None)
+      let strategy =
+        if Lp.Frozen.num_rows raw > dense_rows_threshold then `Cold_per_tuple
+        else `Shared_delta
       in
-      match prepared with
-      | None -> Snone
-      | Some (fz, vm) ->
-        let engine =
-          if exact then Eexact (Lp.Solvers.Exact_bb.create_session fz)
-          else Efloat (Lp.Solvers.Float_bb.create_session fz)
-        in
-        Sactive
-          { cshared = shared; cvm = vm; cengine = engine; cdiags = lazy (Lp.Lint.lint raw) })
+      ( Sactive
+          {
+            cshared = shared;
+            cprep = lazy (prep_of_model ~exact ~presolve shared.Encode.smodel);
+            cdiags = lazy (Lp.Lint.lint raw);
+          },
+        strategy )
   in
-  { sdb = db; state }
+  {
+    sdb = db;
+    ssem = semantics;
+    squery = q;
+    switnesses = witnesses;
+    sexact = exact;
+    spresolve = presolve;
+    srelax = relaxation;
+    sstrategy = strategy;
+    state;
+  }
+
+let batch_strategy t = t.sstrategy
 
 (* --- Delta plumbing ------------------------------------------------------- *)
 
@@ -111,19 +158,21 @@ let rsp_delta core t =
 
 (* --- Solving -------------------------------------------------------------- *)
 
-(* Branch-and-bound under the delta, against the session's warm engine;
-   mirrors Solve.run_bb but without re-freezing or re-presolving. *)
-let run ?node_limit ?time_limit core delta =
+(* Branch-and-bound under the delta against [engine] — the submitter's warm
+   engine on the sequential paths, a per-domain engine over the same frozen
+   arrays on the parallel ones; mirrors Solve.run_bb but without re-freezing
+   or re-presolving. *)
+let run_engine ?node_limit ?time_limit prep engine delta =
   let t0 = Lp.Clock.now () in
-  match translate core.cvm delta with
+  match translate prep.pvm delta with
   | None -> `Infeasible
   | Some d ->
-    let foffset = float_of_int (offset_of core.cvm) in
+    let foffset = float_of_int (offset_of prep.pvm) in
     let finish nodes root_lp root_integral objective solution =
       let solve_time = Lp.Clock.elapsed t0 in
       (objective, solution, { nodes; root_lp; root_integral; solve_time })
     in
-    (match core.cengine with
+    (match engine with
     | Eexact s -> begin
       let open Lp.Solvers.Exact_bb in
       let r = solve_session ?node_limit ?time_limit ~delta:d s in
@@ -134,7 +183,7 @@ let run ?node_limit ?time_limit core delta =
       | Optimal ->
         let obj = Numeric.Rat.to_float (Option.get r.objective) +. foffset in
         let sol =
-          lift_sol core.cvm ~of_int:Numeric.Rat.of_int (Option.get r.solution)
+          lift_sol prep.pvm ~of_int:Numeric.Rat.of_int (Option.get r.solution)
           |> Array.map Numeric.Rat.to_float
         in
         `Ok (finish r.nodes root r.root_integral obj sol)
@@ -148,7 +197,7 @@ let run ?node_limit ?time_limit core delta =
       let root = match r.root_objective with Some o -> o +. foffset | None -> nan in
       match r.status with
       | Optimal ->
-        let sol = lift_sol core.cvm ~of_int:float_of_int (Option.get r.solution) in
+        let sol = lift_sol prep.pvm ~of_int:float_of_int (Option.get r.solution) in
         `Ok (finish r.nodes root r.root_integral (Option.get r.objective +. foffset) sol)
       | Infeasible | Unbounded -> `Infeasible
       | Feasible -> `Budget (Option.map (fun o -> o +. foffset) r.objective)
@@ -167,74 +216,164 @@ let resilience ?node_limit ?time_limit t =
   | Sfalse -> Query_false
   | Snone -> No_contingency
   | Sactive core -> (
-    match run ?node_limit ?time_limit core (res_delta core) with
+    match Lazy.force core.cprep with
+    | None -> No_contingency
+    | Some prep -> (
+      match run_engine ?node_limit ?time_limit prep prep.pengine (res_delta core) with
+      | `Infeasible -> No_contingency
+      | `Budget incumbent -> Budget_exhausted (Option.map round_value incumbent)
+      | `Ok (obj, sol, st) ->
+        Solved
+          { res_value = round_value obj; contingency = read_tuples core sol; res_stats = st }))
+
+(* The shared-program responsibility delta-solve. *)
+let rsp_shared ?node_limit ?time_limit core prep engine tid =
+  match rsp_delta core tid with
+  | None -> No_contingency
+  | Some delta -> (
+    match run_engine ?node_limit ?time_limit prep engine delta with
     | `Infeasible -> No_contingency
     | `Budget incumbent -> Budget_exhausted (Option.map round_value incumbent)
     | `Ok (obj, sol, st) ->
       Solved
-        { res_value = round_value obj; contingency = read_tuples core sol; res_stats = st })
+        {
+          rsp_value = round_value obj;
+          responsibility_set = read_tuples core sol;
+          rsp_stats = st;
+        })
 
-let responsibility ?node_limit ?time_limit t tid =
-  match t.state with
-  | Sfalse -> Query_false
-  | Snone -> No_contingency
-  | Sactive core -> (
-    match rsp_delta core tid with
+(* The cold per-tuple path the dense regime falls back to: a fresh
+   ILP[RSP*](t) encoding, freeze, presolve and branch-and-bound per tuple —
+   what Solve.responsibility runs, minus the witness re-enumeration (the
+   session already owns the witness list).  Reads only immutable session
+   state and the database, so parallel rankings run it from many domains. *)
+let cold_responsibility ?node_limit ?time_limit t tid =
+  match Encode.rsp_of_witnesses t.srelax t.ssem t.squery t.sdb t.switnesses tid with
+  | Encode.Trivial _ -> Query_false
+  | Encode.Impossible -> No_contingency
+  | Encode.Encoded enc -> (
+    match prep_of_model ~exact:t.sexact ~presolve:t.spresolve enc.Encode.model with
     | None -> No_contingency
-    | Some delta -> (
-      match run ?node_limit ?time_limit core delta with
+    | Some prep -> (
+      match run_engine ?node_limit ?time_limit prep prep.pengine Lp.Frozen.Delta.empty with
       | `Infeasible -> No_contingency
       | `Budget incumbent -> Budget_exhausted (Option.map round_value incumbent)
       | `Ok (obj, sol, st) ->
         Solved
           {
             rsp_value = round_value obj;
-            responsibility_set = read_tuples core sol;
+            responsibility_set = Encode.contingency enc sol;
             rsp_stats = st;
           }))
+
+let responsibility ?node_limit ?time_limit t tid =
+  match t.state with
+  | Sfalse -> Query_false
+  | Snone -> No_contingency
+  | Sactive core -> (
+    match t.sstrategy with
+    | `Cold_per_tuple ->
+      (* Skip tuples outside every witness without an encode, as the shared
+         path does. *)
+      if rsp_delta core tid = None then No_contingency
+      else cold_responsibility ?node_limit ?time_limit t tid
+    | `Shared_delta -> (
+      match Lazy.force core.cprep with
+      | None -> No_contingency
+      | Some prep -> rsp_shared ?node_limit ?time_limit core prep prep.pengine tid))
+
+(* Endogenous witness tuples, in database order — exactly the tuples a
+   ranking solves for.  Everything else is skipped without a solve
+   (exogenous tuples cannot be explanations, and a tuple outside every
+   witness cannot be counterfactual). *)
+let candidates core db =
+  Database.tuples db
+  |> List.filter_map (fun info ->
+         let tid = info.Database.id in
+         if Hashtbl.mem core.cshared.Encode.svar_of_tuple tid then Some tid else None)
+
+let merge_ranking outcomes =
+  outcomes
+  |> List.filter_map (fun (tid, outcome) ->
+         match outcome with
+         | Solved a ->
+           let k = a.rsp_value in
+           Some (tid, k, 1.0 /. (1.0 +. float_of_int k))
+         | Query_false | No_contingency | Budget_exhausted _ -> None)
+  |> List.stable_sort (fun (_, a, _) (_, b, _) -> compare a b)
 
 let ranking ?node_limit ?time_limit t =
   match t.state with
   | Sfalse | Snone -> []
   | Sactive core ->
-    Database.tuples t.sdb
-    |> List.filter_map (fun info ->
-           let tid = info.Database.id in
-           (* Only endogenous tuples appearing in some witness have a
-              decision variable; everything else is skipped without a
-              solve (exogenous tuples cannot be explanations, and a tuple
-              outside every witness cannot be counterfactual). *)
-           if not (Hashtbl.mem core.cshared.Encode.svar_of_tuple tid) then None
-           else
-             match responsibility ?node_limit ?time_limit t tid with
-             | Solved a ->
-               let k = a.rsp_value in
-               Some (tid, k, 1.0 /. (1.0 +. float_of_int k))
-             | Query_false | No_contingency | Budget_exhausted _ -> None)
-    |> List.stable_sort (fun (_, a, _) (_, b, _) -> compare a b)
+    let solve_one =
+      match t.sstrategy with
+      | `Cold_per_tuple -> fun tid -> cold_responsibility ?node_limit ?time_limit t tid
+      | `Shared_delta -> (
+        match Lazy.force core.cprep with
+        | None -> fun _ -> No_contingency
+        | Some prep -> fun tid -> rsp_shared ?node_limit ?time_limit core prep prep.pengine tid)
+    in
+    merge_ranking (List.map (fun tid -> (tid, solve_one tid)) (candidates core t.sdb))
+
+let ranking_par ?node_limit ?time_limit ?(jobs = 0) t =
+  let jobs = if jobs = 0 then Lp.Pool.default_jobs () else jobs in
+  if jobs <= 1 then ranking ?node_limit ?time_limit t
+  else
+    match t.state with
+    | Sfalse | Snone -> []
+    | Sactive core ->
+      let cands = Array.of_list (candidates core t.sdb) in
+      let tasks = Array.length cands in
+      if tasks = 0 then []
+      else begin
+        let outcomes =
+          match t.sstrategy with
+          | `Cold_per_tuple ->
+            (* Every task is a self-contained cold solve against read-only
+               session state. *)
+            Lp.Pool.with_pool ~jobs (fun pool ->
+                Lp.Pool.run pool ~tasks (fun i ->
+                    cold_responsibility ?node_limit ?time_limit t cands.(i)))
+          | `Shared_delta -> (
+            match Lazy.force core.cprep with
+            | None -> Array.make tasks No_contingency
+            | Some prep ->
+              (* Each participating domain opens its own warm engine against
+                 the shared presolved frozen arrays and drains a chunk of
+                 per-tuple delta-solves. *)
+              Lp.Pool.with_pool ~jobs (fun pool ->
+                  Lp.Pool.run_init pool
+                    ~init:(fun () -> engine_of ~exact:t.sexact prep.pfz)
+                    ~tasks
+                    (fun engine i ->
+                      rsp_shared ?node_limit ?time_limit core prep engine cands.(i))))
+        in
+        merge_ranking (List.mapi (fun i outcome -> (cands.(i), outcome)) (Array.to_list outcomes))
+      end
 
 (* --- Relaxation views ----------------------------------------------------- *)
 
 let read_values core sol =
   List.map (fun (v, tid) -> (tid, sol.(v))) core.cshared.Encode.stuple_of_var
 
-let relax_run core delta =
-  match translate core.cvm delta with
+let relax_run core prep delta =
+  match translate prep.pvm delta with
   | None -> None
   | Some d ->
-    let foffset = float_of_int (offset_of core.cvm) in
+    let foffset = float_of_int (offset_of prep.pvm) in
     let outcome =
-      match core.cengine with
+      match prep.pengine with
       | Efloat s -> (
         match Lp.Solvers.Float_bb.relax ~delta:d s with
-        | `Optimal (obj, sol) -> Some (obj +. foffset, lift_sol core.cvm ~of_int:float_of_int sol)
+        | `Optimal (obj, sol) -> Some (obj +. foffset, lift_sol prep.pvm ~of_int:float_of_int sol)
         | `Infeasible | `Unbounded -> None)
       | Eexact s -> (
         match Lp.Solvers.Exact_bb.relax ~delta:d s with
         | `Optimal (obj, sol) ->
           Some
             ( Numeric.Rat.to_float obj +. foffset,
-              lift_sol core.cvm ~of_int:Numeric.Rat.of_int sol |> Array.map Numeric.Rat.to_float
+              lift_sol prep.pvm ~of_int:Numeric.Rat.of_int sol |> Array.map Numeric.Rat.to_float
             )
         | `Infeasible | `Unbounded -> None)
     in
@@ -243,18 +382,24 @@ let relax_run core delta =
 let resilience_solution t =
   match t.state with
   | Sfalse | Snone -> None
-  | Sactive core -> relax_run core (res_delta core)
+  | Sactive core -> (
+    match Lazy.force core.cprep with
+    | None -> None
+    | Some prep -> relax_run core prep (res_delta core))
 
 let responsibility_solution t tid =
   match t.state with
   | Sfalse | Snone -> None
   | Sactive core -> (
-    match rsp_delta core tid with
+    match Lazy.force core.cprep with
     | None -> None
-    | Some delta -> (
-      match run core delta with
-      | `Infeasible | `Budget _ -> None
-      | `Ok (obj, sol, _) -> Some (obj, read_values core sol)))
+    | Some prep -> (
+      match rsp_delta core tid with
+      | None -> None
+      | Some delta -> (
+        match run_engine prep prep.pengine delta with
+        | `Infeasible | `Budget _ -> None
+        | `Ok (obj, sol, _) -> Some (obj, read_values core sol))))
 
 let diagnostics t =
   match t.state with Sfalse | Snone -> [] | Sactive core -> Lazy.force core.cdiags

@@ -17,6 +17,18 @@ open! Relalg
       tuple, so the whole batch reuses one matrix, one presolve, and the
       dual-simplex basis of the previous optimum.
 
+    {b Dense regime.}  The shared super-model has one row per (witness,
+    member) pair plus indicator links, so on dense instances (many large
+    witnesses) its basis outgrows the per-tuple programs it replaces and
+    each warm pivot costs more than a cold solve of the small dedicated
+    encoding.  When the raw shared program exceeds a row threshold
+    (measured crossover; override with [dense_rows_threshold]) the session
+    switches {!responsibility}, {!ranking} and {!ranking_par} to the cold
+    per-tuple path: a fresh ILP[RSP*](t) encode + freeze + presolve +
+    solve per tuple, exactly what {!Solve.responsibility} runs, minus the
+    witness re-enumeration.  {!resilience} and the relaxation views always
+    use the shared program (they are one solve, not a batch).
+
     Answers agree with the one-shot {!Solve} functions; the differential
     test suite checks this per tuple on random instances, float and exact. *)
 
@@ -46,27 +58,37 @@ type rsp_answer = {
   rsp_stats : stats;
 }
 
+type strategy = [ `Shared_delta | `Cold_per_tuple ]
+(** How the session batches per-tuple responsibility solves. *)
+
 val create :
   ?exact:bool ->
   ?presolve:bool ->
   ?relaxation:Encode.relaxation ->
+  ?dense_rows_threshold:int ->
   Problem.semantics ->
   Cq.t ->
   Database.t ->
   t
-(** Enumerate witnesses, encode, freeze, presolve, open the solver session.
-    [relaxation] (default {!Encode.Ilp}) fixes the integrality discipline of
-    the shared program for the session's lifetime: {!Encode.Ilp} for exact
-    answers, {!Encode.Milp}/{!Encode.Lp} for the relaxations feeding
-    {!Approx}. *)
+(** Enumerate witnesses, encode and freeze the shared program, pick the
+    batching {!strategy} by its row count, and open the solver session
+    (presolve and engine are built lazily, on the first shared-program
+    solve).  [relaxation] (default {!Encode.Ilp}) fixes the integrality
+    discipline of the shared program for the session's lifetime:
+    {!Encode.Ilp} for exact answers, {!Encode.Milp}/{!Encode.Lp} for the
+    relaxations feeding {!Approx}. *)
+
+val batch_strategy : t -> strategy
+(** The regime {!create} picked — [`Cold_per_tuple] iff the raw shared
+    program's row count exceeded the dense threshold. *)
 
 val resilience : ?node_limit:int -> ?time_limit:float -> t -> res_answer outcome
-(** RES*(Q, D) as a delta-solve. *)
+(** RES*(Q, D) as a delta-solve (always on the shared program). *)
 
 val responsibility :
   ?node_limit:int -> ?time_limit:float -> t -> Database.tuple_id -> rsp_answer outcome
-(** RSP*(Q, D, t) as a delta-solve.  [No_contingency] when [t] appears in no
-    witness (removing it cannot change the answer). *)
+(** RSP*(Q, D, t), via the session's {!batch_strategy}.  [No_contingency]
+    when [t] appears in no witness (removing it cannot change the answer). *)
 
 val ranking :
   ?node_limit:int -> ?time_limit:float -> t -> (Database.tuple_id * int * float) list
@@ -75,6 +97,23 @@ val ranking :
     best first (stable in database order).  Exogenous tuples and tuples
     outside every witness are skipped up front, without a solve; tuples
     whose delta is infeasible or over budget are omitted. *)
+
+val ranking_par :
+  ?node_limit:int ->
+  ?time_limit:float ->
+  ?jobs:int ->
+  t ->
+  (Database.tuple_id * int * float) list
+(** {!ranking} with the per-tuple solves drained by an {!Lp.Pool}: under
+    [`Shared_delta] each participating domain opens its own warm simplex
+    engine against the session's shared frozen arrays and runs a chunk of
+    delta-solves; under [`Cold_per_tuple] each task is a self-contained
+    cold solve.  Results are merged in task order, so the output is
+    {e bit-identical} to {!ranking} for every [jobs] (the ranking compares
+    optimal objective values, which are basis-independent).  [jobs = 0]
+    (the default) means {!Lp.Pool.default_jobs}; [jobs <= 1] is exactly
+    {!ranking}, no pool involved.  The session's database must not be
+    mutated during the call. *)
 
 val resilience_solution : t -> (float * (Database.tuple_id * float) list) option
 (** The {e LP relaxation} optimum of the resilience delta (integrality

@@ -168,6 +168,9 @@ let responsibility_lp ?(exact = false) ?(presolve = true) semantics q db t =
 let responsibility_ranking ?exact ?presolve semantics q db =
   Session.ranking (Session.create ?exact ?presolve semantics q db)
 
+let responsibility_ranking_par ?exact ?presolve ?jobs semantics q db =
+  Session.ranking_par ?jobs (Session.create ?exact ?presolve semantics q db)
+
 (* --- Flow baseline ------------------------------------------------------ *)
 
 let linearize_by_domination semantics q =

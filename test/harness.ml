@@ -1,0 +1,64 @@
+(* Shared random-instance scaffolding for the test suites.
+
+   Lives unlisted in the (tests ...) stanza, so every test executable links
+   it; keep it dependency-light (Relalg + Resilience + Datagen only). *)
+
+open Relalg
+open Resilience
+
+let query_pool () =
+  [
+    Queries.q2_chain ();
+    Queries.q3_chain ();
+    Queries.q2_star ();
+    Queries.q_triangle ();
+    Queries.q2_chain_sj ();
+    Queries.q_confluence ();
+  ]
+
+(* A small random query-shaped instance with some exogenous tuples and a
+   random semantics — the workhorse of the differential suites. *)
+let random_case rng =
+  let pool = query_pool () in
+  let q = List.nth pool (Random.State.int rng (List.length pool)) in
+  let count = 3 + Random.State.int rng 8 in
+  let specs = Datagen.Random_inst.specs_of_query q ~count in
+  let domain = 2 + Random.State.int rng 3 in
+  let db = Datagen.Random_inst.db rng ~domain ~max_bag:2 specs in
+  List.iter
+    (fun info ->
+      if Random.State.int rng 5 = 0 then Database.set_exo db info.Database.id true)
+    (Database.tuples db);
+  let sem = if Random.State.bool rng then Problem.Set else Problem.Bag in
+  (sem, q, db)
+
+(* A schema-shaped random instance (no query): [rels] is a (name, arity)
+   list, each relation gets 1..nmax tuples over a [dom]-value domain with
+   multiplicities up to [max_bag]. *)
+let random_db rng rels nmax dom ~max_bag =
+  let db = Database.create () in
+  List.iter
+    (fun (rel, arity) ->
+      for _ = 1 to 1 + Random.State.int rng nmax do
+        ignore
+          (Database.add
+             ~mult:(1 + Random.State.int rng max_bag)
+             db rel
+             (Array.init arity (fun _ -> Random.State.int rng dom)))
+      done)
+    rels;
+  db
+
+(* The reference ranking: a fresh encode + presolve + branch-and-bound per
+   tuple, exactly what Solve.responsibility_ranking did before the session
+   layer existed. *)
+let reference_ranking ~exact sem q db =
+  Database.tuples db
+  |> List.filter_map (fun info ->
+         let tid = info.Database.id in
+         if Problem.tuple_exo q db tid then None
+         else
+           match Solve.responsibility ~exact sem q db tid with
+           | Solve.Solved a -> Some (tid, a.Solve.rsp_value)
+           | Solve.Query_false | Solve.No_contingency | Solve.Budget_exhausted _ -> None)
+  |> List.stable_sort (fun (_, a) (_, b) -> compare a b)

@@ -3,39 +3,15 @@
    differentially on random datagen instances under both the float and the
    exact-rational branch-and-bound, plus hand-built edge cases. *)
 
-open Relalg
 open Resilience
 
 (* Presolve consumes the frozen compiled form; freeze inline. *)
 let presolve ?strip_bounds m = Lp.Presolve.presolve ?strip_bounds (Lp.Frozen.of_model m)
 
-(* --- Random instances ----------------------------------------------------- *)
-
-let query_pool () =
-  [
-    Queries.q2_chain ();
-    Queries.q3_chain ();
-    Queries.q2_star ();
-    Queries.q_triangle ();
-    Queries.q2_chain_sj ();
-    Queries.q_confluence ();
-  ]
-
-(* A small random instance with some exogenous tuples — exogenous filtering
-   is what produces the duplicate/dominated rows presolve feeds on. *)
-let random_case rng =
-  let pool = query_pool () in
-  let q = List.nth pool (Random.State.int rng (List.length pool)) in
-  let count = 3 + Random.State.int rng 8 in
-  let specs = Datagen.Random_inst.specs_of_query q ~count in
-  let domain = 2 + Random.State.int rng 3 in
-  let db = Datagen.Random_inst.db rng ~domain ~max_bag:2 specs in
-  List.iter
-    (fun info ->
-      if Random.State.int rng 5 = 0 then Database.set_exo db info.Database.id true)
-    (Database.tuples db);
-  let sem = if Random.State.bool rng then Problem.Set else Problem.Bag in
-  (sem, q, db)
+(* Random instances come from the shared Harness module — small query-shaped
+   instances with some exogenous tuples; exogenous filtering is what
+   produces the duplicate/dominated rows presolve feeds on. *)
+let random_case = Harness.random_case
 
 (* Presolve the raw ILP[RES*] encoding and solve both versions with the float
    branch-and-bound: optima must agree (mod the offset) and the lifted point

@@ -263,19 +263,7 @@ let test_linearity_agrees_with_triads () =
 
 (* --- Unified solvers: differential properties ------------------------------------ *)
 
-let random_db rng rels nmax dom ~max_bag =
-  let db = Database.create () in
-  List.iter
-    (fun (rel, arity) ->
-      for _ = 1 to 1 + Random.State.int rng nmax do
-        ignore
-          (Database.add
-             ~mult:(1 + Random.State.int rng max_bag)
-             db rel
-             (Array.init arity (fun _ -> Random.State.int rng dom)))
-      done)
-    rels;
-  db
+let random_db = Harness.random_db
 
 let prop_ilp_matches_bruteforce sem name qstr rels =
   QCheck.Test.make ~name ~count:120 (QCheck.int_range 0 1_000_000) (fun seed ->

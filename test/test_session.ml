@@ -6,56 +6,19 @@
 open Relalg
 open Resilience
 
-(* --- Random instances ----------------------------------------------------- *)
-
-let query_pool () =
-  [
-    Queries.q2_chain ();
-    Queries.q3_chain ();
-    Queries.q2_star ();
-    Queries.q_triangle ();
-    Queries.q2_chain_sj ();
-    Queries.q_confluence ();
-  ]
-
-let random_case rng =
-  let pool = query_pool () in
-  let q = List.nth pool (Random.State.int rng (List.length pool)) in
-  let count = 3 + Random.State.int rng 8 in
-  let specs = Datagen.Random_inst.specs_of_query q ~count in
-  let domain = 2 + Random.State.int rng 3 in
-  let db = Datagen.Random_inst.db rng ~domain ~max_bag:2 specs in
-  List.iter
-    (fun info ->
-      if Random.State.int rng 5 = 0 then Database.set_exo db info.Database.id true)
-    (Database.tuples db);
-  let sem = if Random.State.bool rng then Problem.Set else Problem.Bag in
-  (sem, q, db)
-
-(* The reference ranking: a fresh encode + presolve + branch-and-bound per
-   tuple, exactly what Solve.responsibility_ranking did before the session
-   layer existed. *)
-let reference_ranking ~exact sem q db =
-  Database.tuples db
-  |> List.filter_map (fun info ->
-         let tid = info.Database.id in
-         if Problem.tuple_exo q db tid then None
-         else
-           match Solve.responsibility ~exact sem q db tid with
-           | Solve.Solved a -> Some (tid, a.Solve.rsp_value)
-           | Solve.Query_false | Solve.No_contingency | Solve.Budget_exhausted _ -> None)
-  |> List.stable_sort (fun (_, a) (_, b) -> compare a b)
+(* Random instances and the per-tuple reference ranking come from the shared
+   Harness module. *)
 
 let ranking_agrees ~exact seed =
   let rng = Random.State.make [| seed |] in
-  let sem, q, db = random_case rng in
+  let sem, q, db = Harness.random_case rng in
   let session = Session.create ~exact sem q db in
   let got = List.map (fun (tid, k, _) -> (tid, k)) (Session.ranking session) in
-  got = reference_ranking ~exact sem q db
+  got = Harness.reference_ranking ~exact sem q db
 
 let resilience_agrees ~exact seed =
   let rng = Random.State.make [| seed |] in
-  let sem, q, db = random_case rng in
+  let sem, q, db = Harness.random_case rng in
   let session = Session.create ~exact sem q db in
   match (Session.resilience session, Solve.resilience ~exact sem q db) with
   | Session.Solved a, Solve.Solved b ->
@@ -69,7 +32,7 @@ let resilience_agrees ~exact seed =
    contingencies for their tuple, not just have the right size. *)
 let responsibility_sets_valid seed =
   let rng = Random.State.make [| seed |] in
-  let sem, q, db = random_case rng in
+  let sem, q, db = Harness.random_case rng in
   let session = Session.create sem q db in
   List.for_all
     (fun info ->
@@ -93,6 +56,158 @@ let qcheck_cases =
     QCheck.Test.make ~name:"Session responsibility sets are valid contingencies" ~count:80
       (QCheck.int_range 0 1_000_000) responsibility_sets_valid;
   ]
+
+(* --- Parallel vs sequential ------------------------------------------------ *)
+
+(* ranking_par must be bit-identical to ranking — same tuples, same k, same
+   rho floats — for every job count, on both strategies.  The instance is
+   solved sequentially once and in parallel at jobs ∈ {1, 2, 4}. *)
+let ranking_par_agrees ~exact seed =
+  let rng = Random.State.make [| seed |] in
+  let sem, q, db = Harness.random_case rng in
+  let session = Session.create ~exact sem q db in
+  let sequential = Session.ranking session in
+  List.for_all
+    (fun jobs -> Session.ranking_par ~jobs (Session.create ~exact sem q db) = sequential)
+    [ 1; 2; 4 ]
+
+(* Same, with the strategy forced cold, so the parallel cold path (fresh
+   per-tuple encodes from many domains) is exercised on sparse instances
+   too. *)
+let ranking_par_cold_agrees seed =
+  let rng = Random.State.make [| seed |] in
+  let sem, q, db = Harness.random_case rng in
+  let session = Session.create ~dense_rows_threshold:0 sem q db in
+  let sequential = Session.ranking session in
+  (* A query-false / no-contingency instance never reaches the strategy
+     decision; otherwise threshold 0 must force the cold path. *)
+  (sequential = [] || Session.batch_strategy session = `Cold_per_tuple)
+  && List.for_all
+       (fun jobs ->
+         Session.ranking_par ~jobs (Session.create ~dense_rows_threshold:0 sem q db)
+         = sequential)
+       [ 2; 4 ]
+
+let par_qcheck_cases =
+  [
+    (* 140 float + 70 exact = 210 random instances, each ranked at three job
+       counts against the sequential ranking. *)
+    QCheck.Test.make ~name:"Session.ranking_par = Session.ranking (float, jobs 1/2/4)"
+      ~count:140 (QCheck.int_range 0 1_000_000) (ranking_par_agrees ~exact:false);
+    QCheck.Test.make ~name:"Session.ranking_par = Session.ranking (exact, jobs 1/2/4)"
+      ~count:70 (QCheck.int_range 0 1_000_000) (ranking_par_agrees ~exact:true);
+    QCheck.Test.make ~name:"Session.ranking_par = Session.ranking (forced cold path)"
+      ~count:60 (QCheck.int_range 0 1_000_000) ranking_par_cold_agrees;
+  ]
+
+(* Parallel branch-and-bound: random frozen covering programs, optimum value
+   and status must match the sequential session solve for every pool size
+   and frontier depth. *)
+let random_covering_frozen rng =
+  let m = Lp.Model.create () in
+  let nvars = 4 + Random.State.int rng 6 in
+  let vars =
+    Array.init nvars (fun _ -> Lp.Model.add_var ~upper:1 ~obj:(1 + Random.State.int rng 5) m)
+  in
+  let nrows = 3 + Random.State.int rng 6 in
+  for _ = 1 to nrows do
+    let width = 1 + Random.State.int rng 3 in
+    let picked = List.init width (fun _ -> vars.(Random.State.int rng nvars)) in
+    let picked = List.sort_uniq compare picked in
+    Lp.Model.add_constr m (List.map (fun v -> (v, 1)) picked) Lp.Model.Geq 1
+  done;
+  Lp.Frozen.of_model m
+
+let bb_configs = [ (1, 3); (2, 0); (2, 2); (4, 3) ]
+
+let bb_par_agrees ~exact seed =
+  let rng = Random.State.make [| seed |] in
+  let fz = random_covering_frozen rng in
+  if exact then begin
+    let open Lp.Solvers.Exact_bb in
+    let seq = solve_session (create_session fz) in
+    List.for_all
+      (fun (jobs, par_depth) ->
+        Lp.Pool.with_pool ~jobs (fun pool ->
+            let par = solve_session_par ~par_depth ~pool (create_session fz) in
+            par.status = seq.status && par.objective = seq.objective))
+      bb_configs
+  end
+  else begin
+    let open Lp.Solvers.Float_bb in
+    let seq = solve_session (create_session fz) in
+    List.for_all
+      (fun (jobs, par_depth) ->
+        Lp.Pool.with_pool ~jobs (fun pool ->
+            let par = solve_session_par ~par_depth ~pool (create_session fz) in
+            par.status = seq.status && par.objective = seq.objective))
+      bb_configs
+  end
+
+let bb_par_qcheck =
+  [
+    QCheck.Test.make ~name:"parallel B&B optimum = sequential (float)" ~count:120
+      (QCheck.int_range 0 1_000_000) (bb_par_agrees ~exact:false);
+    QCheck.Test.make ~name:"parallel B&B optimum = sequential (exact)" ~count:60
+      (QCheck.int_range 0 1_000_000) (bb_par_agrees ~exact:true);
+  ]
+
+(* --- Dense-regime fallback -------------------------------------------------- *)
+
+(* The strategy decision is pinned on two fixtures: a sparse chain instance
+   stays on the shared delta path, a dense one (small join domain, witnesses
+   multiplied until the shared program tops the row threshold) falls back to
+   cold per-tuple solves. *)
+let test_strategy_sparse () =
+  let rng = Random.State.make [| 42 |] in
+  let q = Queries.q2_chain () in
+  let specs = Datagen.Random_inst.specs_of_query q ~count:40 in
+  let db = Datagen.Random_inst.db rng ~domain:80 specs in
+  let session = Session.create Problem.Set q db in
+  Alcotest.(check bool) "sparse instance stays on the shared path" true
+    (Session.batch_strategy session = `Shared_delta)
+
+let dense_db () =
+  (* R and S over a 2-value join domain: 60x60 tuples give ~1800 witnesses,
+     far past the ~1700-row crossover. *)
+  let db = Database.create () in
+  for i = 0 to 59 do
+    ignore (Database.add db "R" [| i; i mod 2 |]);
+    ignore (Database.add db "S" [| i mod 2; i |])
+  done;
+  db
+
+let test_strategy_dense () =
+  let q = Queries.q2_chain () in
+  let db = dense_db () in
+  let session = Session.create Problem.Set q db in
+  Alcotest.(check bool) "dense instance falls back to cold per-tuple" true
+    (Session.batch_strategy session = `Cold_per_tuple);
+  (* The threshold override flips the decision both ways. *)
+  Alcotest.(check bool) "max_int threshold forces shared" true
+    (Session.batch_strategy (Session.create ~dense_rows_threshold:max_int Problem.Set q db)
+    = `Shared_delta);
+  let rng = Random.State.make [| 42 |] in
+  let sparse =
+    Datagen.Random_inst.db rng ~domain:80 (Datagen.Random_inst.specs_of_query q ~count:40)
+  in
+  Alcotest.(check bool) "zero threshold forces cold" true
+    (Session.batch_strategy (Session.create ~dense_rows_threshold:0 Problem.Set q sparse)
+    = `Cold_per_tuple)
+
+let test_strategies_agree () =
+  (* Both regimes rank a mid-size instance identically. *)
+  let rng = Random.State.make [| 7 |] in
+  let q = Queries.q2_chain () in
+  let specs = Datagen.Random_inst.specs_of_query q ~count:12 in
+  let db = Datagen.Random_inst.db rng ~domain:3 specs in
+  let shared = Session.create ~dense_rows_threshold:max_int Problem.Set q db in
+  let cold = Session.create ~dense_rows_threshold:0 Problem.Set q db in
+  Alcotest.(check bool) "fixture exercises both strategies" true
+    (Session.batch_strategy shared = `Shared_delta
+    && Session.batch_strategy cold = `Cold_per_tuple);
+  let to_list s = List.map (fun (t, k, _) -> (t, k)) (Session.ranking s) in
+  Alcotest.(check (list (pair int int))) "identical rankings" (to_list shared) (to_list cold)
 
 (* --- Warm vs cold dual simplex, per delta kind ----------------------------- *)
 
@@ -250,5 +365,12 @@ let () =
           test_case "query false" `Quick test_query_false_session;
           test_case "fully exogenous witness" `Quick test_fully_exogenous_witness;
         ] );
+      ( "dense-fallback",
+        [
+          test_case "sparse fixture stays shared" `Quick test_strategy_sparse;
+          test_case "dense fixture goes cold" `Quick test_strategy_dense;
+          test_case "both strategies rank identically" `Quick test_strategies_agree;
+        ] );
       ("differential", List.map QCheck_alcotest.to_alcotest qcheck_cases);
+      ("parallel", List.map QCheck_alcotest.to_alcotest (par_qcheck_cases @ bb_par_qcheck));
     ]
