@@ -426,6 +426,157 @@ let certificate_cmd =
        ~doc:"Search for an Independent Join Path proving RES(Q) NP-complete (Section 7)")
     Term.(const run $ domain $ generators $ query)
 
+(* ----- fuzz -------------------------------------------------------------- *)
+
+let fuzz_disc_json (d : Check.Fuzz.discrepancy) =
+  Printf.sprintf {|{"oracle":"%s","profile":"%s","case_seed":%d,"message":"%s","saved":%s}|}
+    (json_escape d.Check.Fuzz.oracle)
+    (json_escape d.Check.Fuzz.case.Check.Gen.profile)
+    d.Check.Fuzz.case.Check.Gen.seed
+    (json_escape d.Check.Fuzz.message)
+    (match d.Check.Fuzz.saved with
+    | Some p -> "\"" ^ json_escape p ^ "\""
+    | None -> "null")
+
+let fuzz_cmd =
+  let run seconds instances seed oracle_names json corpus no_shrink replay =
+    if List.exists (fun n -> n = "help" || n = "list") oracle_names then begin
+      List.iter
+        (fun (o : Check.Oracle.t) ->
+          Printf.printf "%-20s %s\n" o.Check.Oracle.name o.Check.Oracle.descr)
+        Check.Oracle.all;
+      0
+    end
+    else if replay then begin
+      let dir = Option.value corpus ~default:"examples/fuzz-corpus" in
+      let results = Check.Fuzz.replay_corpus ~dir in
+      let failing =
+        List.filter
+          (fun r ->
+            match r.Check.Fuzz.verdict with Check.Oracle.Fail _ -> true | Check.Oracle.Pass -> false)
+          results
+      in
+      if json then begin
+        let row (r : Check.Fuzz.replay_result) =
+          Printf.sprintf {|{"file":"%s","oracle":"%s","status":"%s","message":%s}|}
+            (json_escape r.Check.Fuzz.path)
+            (json_escape r.Check.Fuzz.entry.Check.Corpus.oracle)
+            (match r.Check.Fuzz.verdict with Check.Oracle.Pass -> "pass" | Check.Oracle.Fail _ -> "fail")
+            (match r.Check.Fuzz.verdict with
+            | Check.Oracle.Pass -> "null"
+            | Check.Oracle.Fail m -> "\"" ^ json_escape m ^ "\"")
+        in
+        print_endline
+          (Printf.sprintf {|{"corpus":"%s","files":%d,"failing":%d,"results":[%s]}|}
+             (json_escape dir) (List.length results) (List.length failing)
+             (String.concat "," (List.map row results)))
+      end
+      else begin
+        List.iter
+          (fun (r : Check.Fuzz.replay_result) ->
+            match r.Check.Fuzz.verdict with
+            | Check.Oracle.Pass -> Printf.printf "ok   %s\n" r.Check.Fuzz.path
+            | Check.Oracle.Fail m -> Printf.printf "FAIL %s\n     %s\n" r.Check.Fuzz.path m)
+          results;
+        Printf.printf "%d corpus file(s), %d failing\n" (List.length results) (List.length failing)
+      end;
+      if failing = [] then 0 else 1
+    end
+    else begin
+      match Check.Oracle.select oracle_names with
+      | Error name ->
+        Printf.eprintf "unknown oracle %S (try --oracle help)\n" name;
+        2
+      | Ok selected ->
+        let oracles = if selected = [] then Check.Oracle.all else selected in
+        let report =
+          Check.Fuzz.run ?seconds ?instances ~oracles ?corpus_dir:corpus
+            ~shrink:(not no_shrink) ~seed ()
+        in
+        let ndisc = List.length report.Check.Fuzz.discrepancies in
+        if json then
+          print_endline
+            (Printf.sprintf
+               {|{"seed":%d,"instances":%d,"checks":%d,"discrepancies":%d,"elapsed":%.3f,"failures":[%s]}|}
+               seed report.Check.Fuzz.instances report.Check.Fuzz.checks ndisc
+               report.Check.Fuzz.elapsed
+               (String.concat "," (List.map fuzz_disc_json report.Check.Fuzz.discrepancies)))
+        else begin
+          List.iter
+            (fun (d : Check.Fuzz.discrepancy) ->
+              Printf.printf "DISCREPANCY [%s] %s\n" d.Check.Fuzz.oracle d.Check.Fuzz.message;
+              (match d.Check.Fuzz.saved with
+              | Some p -> Printf.printf "  saved: %s\n" p
+              | None -> ());
+              print_string
+                (Check.Corpus.to_string
+                   {
+                     Check.Corpus.oracle = d.Check.Fuzz.oracle;
+                     message = d.Check.Fuzz.message;
+                     case = d.Check.Fuzz.case;
+                   }))
+            report.Check.Fuzz.discrepancies;
+          Printf.printf "fuzz: seed %d, %d instance(s), %d check(s), %d discrepancy(ies), %.1fs\n"
+            seed report.Check.Fuzz.instances report.Check.Fuzz.checks ndisc
+            report.Check.Fuzz.elapsed
+        end;
+        if ndisc = 0 then 0 else 1
+    end
+  in
+  let seconds =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "seconds" ] ~docv:"S" ~doc:"Stop after S seconds of wall clock")
+  in
+  let instances =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "instances"; "n" ] ~docv:"N"
+          ~doc:"Stop after N generated cases (default 100 when no budget is given)")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Run seed. The case stream is a pure function of the seed: rerunning with the \
+                same seed replays the identical stream.")
+  in
+  let oracle_names =
+    Arg.(
+      value & opt_all string []
+      & info [ "oracle" ] ~docv:"NAME"
+          ~doc:"Restrict to the named oracle (repeatable; default all). $(b,--oracle help) \
+                lists the matrix.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output") in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Persist shrunk counterexamples under DIR (and the default directory for \
+                $(b,--replay): examples/fuzz-corpus)")
+  in
+  let no_shrink =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report raw counterexamples, unshrunk")
+  in
+  let replay =
+    Arg.(
+      value & flag
+      & info [ "replay" ] ~doc:"Re-check every stored counterexample instead of fuzzing")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate adversarial random cases and cross-check every \
+          solver path against independent oracles (float vs exact, warm vs cold, presolve \
+          on/off, ILP vs brute force, parallel vs sequential, LP/flow/ILP sandwich). \
+          Discrepancies are shrunk to minimal repros. Exits 1 if any discrepancy is found.")
+    Term.(
+      const run $ seconds $ instances $ seed $ oracle_names $ json $ corpus $ no_shrink $ replay)
+
 let () =
   let doc = "resilience and causal responsibility via ILP (SIGMOD 2023 reproduction)" in
   let info = Cmd.info "resil" ~version:"1.0.0" ~doc in
@@ -440,4 +591,5 @@ let () =
             rank_cmd;
             explain_cmd;
             certificate_cmd;
+            fuzz_cmd;
           ]))

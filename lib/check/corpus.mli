@@ -1,0 +1,41 @@
+(** Persisted counterexamples.
+
+    Every discrepancy the fuzzer finds is written, after shrinking, as one
+    self-contained text file under a corpus directory.  The format is the
+    {!Database_io} tuple format plus [# key: value] comment headers —
+    corpus files with [kind: db] therefore stay directly loadable by
+    [resil]'s other subcommands, and every file records the oracle, the
+    failure message, the generating profile and the exact case seed.
+
+    Corpus files are the regression loop: the test suite and [resil fuzz
+    --replay] re-run every file's oracle and fail on any discrepancy that
+    resurfaces. *)
+
+type entry = {
+  oracle : string;  (** Name of the oracle that failed ({!Oracle.named}). *)
+  message : string;  (** The discrepancy at save time. *)
+  case : Gen.case;  (** [case.profile]/[case.seed] record provenance. *)
+}
+
+val to_string : entry -> string
+(** The file format; [of_string] round-trips it. *)
+
+val of_string : string -> entry
+(** @raise Invalid_argument on a malformed file. *)
+
+val file_name : entry -> string
+(** Deterministic base name: [<oracle>-<profile>-seed<seed>.case]. *)
+
+val save : dir:string -> entry -> string
+(** Writes [to_string] under [dir] (created if missing); returns the path. *)
+
+val load : string -> entry
+(** @raise Sys_error / Invalid_argument. *)
+
+val load_dir : string -> (string * entry) list
+(** Every [*.case] file under the directory (sorted by name), with its
+    path; [] when the directory does not exist. *)
+
+val replay : entry -> Oracle.verdict
+(** Re-run the entry's oracle on its case.  Unknown oracle names fail;
+    an oracle that no longer applies (size gates) passes. *)

@@ -1,0 +1,45 @@
+(** The fuzzing loop: generate, cross-check, shrink, persist.
+
+    One run walks the seed-deterministic case stream of {!Gen.stream},
+    applies an oracle matrix to every case, and for every discrepancy
+    shrinks the case ({!Shrink}) and optionally persists it to a corpus
+    directory ({!Corpus}).  The case stream depends only on the run seed —
+    never on the time budget or on which oracles fired — so a failing run
+    is replayed exactly by rerunning with its seed. *)
+
+type discrepancy = {
+  original : Gen.case;  (** As generated. *)
+  case : Gen.case;  (** After shrinking (equal to [original] if disabled). *)
+  oracle : string;
+  message : string;
+  saved : string option;  (** Corpus path, when a corpus dir was given. *)
+}
+
+type report = {
+  instances : int;  (** Cases generated. *)
+  checks : int;  (** Oracle verdicts evaluated. *)
+  discrepancies : discrepancy list;  (** Stream order. *)
+  elapsed : float;  (** Wall-clock seconds. *)
+}
+
+val run :
+  ?seconds:float ->
+  ?instances:int ->
+  ?oracles:Oracle.t list ->
+  ?corpus_dir:string ->
+  ?shrink:bool ->
+  seed:int ->
+  unit ->
+  report
+(** Fuzz until [instances] cases have been generated (default 100 when no
+    budget is given at all) or [seconds] of wall clock have passed,
+    whichever comes first; with only [seconds] given the instance count is
+    unbounded.  [oracles] defaults to {!Oracle.all}; [shrink] defaults to
+    [true].  Oracles that raise are reported as discrepancies, not crashes
+    of the run. *)
+
+type replay_result = { path : string; entry : Corpus.entry; verdict : Oracle.verdict }
+
+val replay_corpus : dir:string -> replay_result list
+(** {!Corpus.replay} every corpus file under [dir], sorted by name.  Files
+    that fail to parse become [Fail] results with a synthetic entry. *)

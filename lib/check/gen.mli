@@ -1,0 +1,60 @@
+open! Relalg
+open! Resilience
+
+(** Seed-deterministic generation of adversarial test cases.
+
+    A case is regenerable from one integer: [of_seed s] always rebuilds the
+    identical case, on any machine, independent of how other cases were
+    consumed (the split PRNG gives every case its own stream).  The stream
+    of a whole fuzz run is likewise a pure function of the run seed.
+
+    Two kinds of case, matching the two layers the oracles compare:
+
+    - a {e database} case — semantics, conjunctive query, instance — for
+      the end-to-end resilience/responsibility oracles;
+    - an {e LP} case — a frozen covering-family program plus a sequence of
+      {!Lp.Frozen.Delta} overlays — for the warm-vs-cold simplex oracles
+      (the layer where the PR 2 eta-drift bug lived).
+
+    Generation is steered by named {e profiles}, each aimed at a corner the
+    hand-written suites historically skipped: bag multiplicities > 1,
+    self-joins, exogenous-heavy and empty relations, duplicate witnesses,
+    zero/tight upper bounds, near-tie ratio-test pivots, and long warm
+    solve sequences (drift). *)
+
+type db_case = {
+  sem : Problem.semantics;
+  q : Cq.t;
+  db : Database.t;
+}
+
+type lp_case = {
+  frozen : Lp.Frozen.t;
+  deltas : Lp.Frozen.Delta.t list;
+      (** Replayed in order against one warm session by the LP oracles. *)
+}
+
+type shape = Db of db_case | Lp of lp_case
+
+type case = {
+  seed : int;  (** Regenerates this case exactly via {!of_seed}. *)
+  profile : string;  (** Name of the generating profile ("corpus" if loaded). *)
+  shape : shape;
+}
+
+val profiles : string list
+(** Names of all generation profiles, documentation order. *)
+
+val of_seed : int -> case
+(** The case determined by the seed: profile choice and all draws come from
+    the seed's own stream. *)
+
+val stream : seed:int -> int -> case list
+(** [stream ~seed n] is the first [n] cases of the run stream for [seed] —
+    identical across runs (the acceptance criterion of [resil fuzz]). *)
+
+val case_seed_of : Splitmix.t -> int
+(** Draw the next case seed of a run stream (what {!stream} iterates). *)
+
+val endo_count : db_case -> int
+(** Endogenous live tuples — the size oracles gate exhaustive baselines on. *)

@@ -1,0 +1,373 @@
+open! Relalg
+open Resilience
+
+type verdict = Pass | Fail of string
+
+type t = {
+  name : string;
+  descr : string;
+  applies : Gen.case -> bool;
+  check : Gen.case -> verdict;
+}
+
+(* ----- helpers ------------------------------------------------------------- *)
+
+let eps = 1e-6
+
+let kind : 'a Solve.outcome -> string = function
+  | Solve.Solved _ -> "solved"
+  | Solve.Query_false -> "query_false"
+  | Solve.No_contingency -> "no_contingency"
+  | Solve.Budget_exhausted _ -> "budget"
+
+let failf fmt = Format.kasprintf (fun s -> Fail s) fmt
+
+let db_only f = function { Gen.shape = Gen.Db _; _ } -> f | _ -> false
+let lp_only f = function { Gen.shape = Gen.Lp _; _ } -> f | _ -> false
+
+let on_db check case =
+  match case.Gen.shape with Gen.Db c -> check c | Gen.Lp _ -> Pass
+
+let on_lp check case =
+  match case.Gen.shape with Gen.Lp c -> check c | Gen.Db _ -> Pass
+
+(* Combine sub-checks, reporting the first failure. *)
+let rec all_of = function
+  | [] -> Pass
+  | check :: rest -> ( match check () with Pass -> all_of rest | Fail _ as f -> f)
+
+(* The cold reference ranking: a fresh encode + presolve + solve per tuple —
+   exactly what the session layer must agree with. *)
+let cold_ranking ~exact sem q db =
+  Database.tuples db
+  |> List.filter_map (fun info ->
+         let tid = info.Database.id in
+         if Problem.tuple_exo q db tid then None
+         else
+           match Solve.responsibility ~exact sem q db tid with
+           | Solve.Solved a -> Some (tid, a.Solve.rsp_value)
+           | Solve.Query_false | Solve.No_contingency | Solve.Budget_exhausted _ -> None)
+  |> List.stable_sort (fun (_, a) (_, b) -> compare a b)
+
+(* ----- database oracles ---------------------------------------------------- *)
+
+(* Float pipeline vs the identical pipeline over exact rationals. *)
+let float_vs_exact ({ sem; q; db } : Gen.db_case) =
+  let f = Solve.resilience ~exact:false sem q db in
+  let e = Solve.resilience ~exact:true sem q db in
+  all_of
+    [
+      (fun () ->
+        match (f, e) with
+        | Solve.Solved a, Solve.Solved b when a.Solve.res_value <> b.Solve.res_value ->
+          failf "RES*: float %d <> exact %d" a.Solve.res_value b.Solve.res_value
+        | _ when kind f <> kind e -> failf "RES* verdict: float %s <> exact %s" (kind f) (kind e)
+        | _ -> Pass);
+      (fun () ->
+        match (Solve.resilience_lp ~exact:false sem q db, Solve.resilience_lp ~exact:true sem q db) with
+        | Some a, Some b when Float.abs (a -. b) > 1e-5 ->
+          failf "LP[RES*]: float %g <> exact %g" a b
+        | Some _, None | None, Some _ -> failf "LP[RES*]: float and exact disagree on existence"
+        | _ -> Pass);
+    ]
+
+(* Warm-started session (shared super-model) vs one-shot cold solves. *)
+let warm_vs_cold ({ sem; q; db } : Gen.db_case) =
+  let session = Session.create sem q db in
+  all_of
+    [
+      (fun () ->
+        match (Session.resilience session, Solve.resilience sem q db) with
+        | Session.Solved a, Solve.Solved b when a.Session.res_value <> b.Solve.res_value ->
+          failf "RES*: session %d <> cold %d" a.Session.res_value b.Solve.res_value
+        | Session.Solved a, Solve.Solved _
+          when not (Solve.verify_contingency sem q db a.Session.contingency) ->
+          Fail "session contingency set does not falsify the query"
+        | s, c when kind s <> kind c -> failf "RES* verdict: session %s <> cold %s" (kind s) (kind c)
+        | _ -> Pass);
+      (fun () ->
+        let warm = List.map (fun (tid, k, _) -> (tid, k)) (Session.ranking session) in
+        let cold = cold_ranking ~exact:false sem q db in
+        if warm <> cold then
+          failf "ranking: session has %d entries vs cold %d (or a k differs)"
+            (List.length warm) (List.length cold)
+        else Pass);
+    ]
+
+(* Many rankings through one session: the cross-solve warm-start chain must
+   be drift-free (the PR 2 eta-drift regression class). *)
+let warm_replay ({ sem; q; db } : Gen.db_case) =
+  let session = Session.create sem q db in
+  let first = Session.ranking session in
+  let rec go i =
+    if i = 0 then Pass
+    else begin
+      (* Interleave a resilience delta so the basis the next ranking warms
+         from differs from the one the previous ranking left. *)
+      ignore (Session.resilience session);
+      if Session.ranking session <> first then
+        failf "ranking drifted from the first answer after %d warm replays" (13 - i)
+      else go (i - 1)
+    end
+  in
+  go 12
+
+(* Presolve must be invisible: identical values and verdicts with the
+   reductions on and off, for resilience and every tuple's responsibility. *)
+let presolve_on_off ({ sem; q; db } : Gen.db_case) =
+  all_of
+    ((fun () ->
+       match (Solve.resilience ~presolve:true sem q db, Solve.resilience ~presolve:false sem q db) with
+       | Solve.Solved a, Solve.Solved b when a.Solve.res_value <> b.Solve.res_value ->
+         failf "RES*: presolve %d <> raw %d" a.Solve.res_value b.Solve.res_value
+       | p, r when kind p <> kind r -> failf "RES* verdict: presolve %s <> raw %s" (kind p) (kind r)
+       | _ -> Pass)
+    :: List.map
+         (fun tid () ->
+           match
+             ( Solve.responsibility ~presolve:true sem q db tid,
+               Solve.responsibility ~presolve:false sem q db tid )
+           with
+           | Solve.Solved a, Solve.Solved b when a.Solve.rsp_value <> b.Solve.rsp_value ->
+             failf "RSP*(t%d): presolve %d <> raw %d" tid a.Solve.rsp_value b.Solve.rsp_value
+           | p, r when kind p <> kind r ->
+             failf "RSP*(t%d) verdict: presolve %s <> raw %s" tid (kind p) (kind r)
+           | _ -> Pass)
+         (Problem.endogenous_tuples q db))
+
+(* The unified ILP vs exhaustive search (small instances only). *)
+let vs_bruteforce ({ sem; q; db } : Gen.db_case) =
+  all_of
+    ((fun () ->
+       match (Solve.resilience sem q db, Bruteforce.resilience sem q db) with
+       | Solve.Solved a, Some v when a.Solve.res_value <> v ->
+         failf "RES*: ILP %d <> brute force %d" a.Solve.res_value v
+       | Solve.Solved a, None -> failf "RES*: ILP solved %d, brute force found nothing" a.Solve.res_value
+       | (Solve.Query_false | Solve.No_contingency), Some v ->
+         failf "RES*: ILP says none, brute force found %d" v
+       | _ -> Pass)
+    :: List.map
+         (fun tid () ->
+           match (Solve.responsibility sem q db tid, Bruteforce.responsibility sem q db tid) with
+           | Solve.Solved a, Some v when a.Solve.rsp_value <> v ->
+             failf "RSP*(t%d): ILP %d <> brute force %d" tid a.Solve.rsp_value v
+           | Solve.Solved a, None ->
+             failf "RSP*(t%d): ILP solved %d, brute force found nothing" tid a.Solve.rsp_value
+           | (Solve.Query_false | Solve.No_contingency), Some v ->
+             failf "RSP*(t%d): ILP says none, brute force found %d" tid v
+           | _ -> Pass)
+         (Problem.endogenous_tuples q db))
+
+(* The unified ILP vs the dedicated hitting-set branch-and-bound. *)
+let vs_hitting_set ({ sem; q; db } : Gen.db_case) =
+  match (Solve.resilience sem q db, Hitting_set.resilience sem q db) with
+  | Solve.Solved a, Some (v, picked) ->
+    if a.Solve.res_value <> v then failf "RES*: ILP %d <> hitting set %d" a.Solve.res_value v
+    else if not (Solve.verify_contingency sem q db picked) then
+      Fail "hitting-set contingency does not falsify the query"
+    else Pass
+  | Solve.Solved a, None -> failf "RES*: ILP solved %d, hitting set found nothing" a.Solve.res_value
+  | (Solve.Query_false | Solve.No_contingency), Some (v, _) ->
+    failf "RES*: ILP says none, hitting set found %d" v
+  | _ -> Pass
+
+(* ranking_par must be bit-identical to ranking at every job count. *)
+let par_vs_seq ({ sem; q; db } : Gen.db_case) =
+  let sequential = Session.ranking (Session.create sem q db) in
+  let rec go = function
+    | [] -> Pass
+    | jobs :: rest ->
+      if Session.ranking_par ~jobs (Session.create sem q db) <> sequential then
+        failf "ranking_par with %d jobs differs from the sequential ranking" jobs
+      else go rest
+  in
+  go [ 1; 2; 4 ]
+
+(* The paper's sandwich: LP[RES*] <= RES* <= every approximation's value,
+   and each approximation's deletion set really falsifies the query. *)
+let sandwich ({ sem; q; db } : Gen.db_case) =
+  match Solve.resilience sem q db with
+  | Solve.Solved a ->
+    let ilp = float_of_int a.Solve.res_value in
+    let upper name (r : Approx.result option) () =
+      match r with
+      | None -> Pass
+      | Some r ->
+        if float_of_int r.Approx.value < ilp -. eps then
+          failf "%s value %d below RES* %d" name r.Approx.value a.Solve.res_value
+        else if not (Solve.verify_contingency sem q db r.Approx.tuples) then
+          failf "%s deletion set does not falsify the query" name
+        else Pass
+    in
+    all_of
+      [
+        (fun () ->
+          match Solve.resilience_lp sem q db with
+          | Some lp when lp > ilp +. eps -> failf "LP[RES*] %g above RES* %d" lp a.Solve.res_value
+          | None -> Fail "LP[RES*] has no program but the ILP solved"
+          | _ -> Pass);
+        upper "LP-rounding" (Approx.lp_rounding_res sem q db);
+        upper "Flow-CT" (Approx.flow_ct_res sem q db);
+        upper "Flow-CW" (Approx.flow_cw_res sem q db);
+        (fun () ->
+          match Solve.resilience_flow sem q db with
+          | Some (Solve.Solved f) when f.Solve.res_value <> a.Solve.res_value ->
+            failf "exact flow baseline %d <> ILP %d" f.Solve.res_value a.Solve.res_value
+          | _ -> Pass);
+      ]
+  | Solve.Query_false | Solve.No_contingency | Solve.Budget_exhausted _ -> Pass
+
+(* ----- LP oracles ---------------------------------------------------------- *)
+
+module FS = Lp.Solvers.Float_simplex
+module FB = Lp.Solvers.Float_bb
+module EB = Lp.Solvers.Exact_bb
+
+(* One warm session replays the whole delta sequence; every step must match
+   a cold session (fresh all-slack basis) on the same delta.  This is the
+   sharpest detector for basis/inverse drift across warm solves. *)
+let lp_warm_vs_cold ({ frozen; deltas } : Gen.lp_case) =
+  if not (FS.frozen_dual_applicable frozen) then Pass
+  else begin
+    let warm = FS.create_session frozen in
+    let rec go i = function
+      | [] -> Pass
+      | delta :: rest -> (
+        let w = FS.session_solve warm delta in
+        let c = FS.session_solve (FS.create_session frozen) delta in
+        match (w, c) with
+        | FS.Optimal { objective = wo; solution = ws }, FS.Optimal { objective = co; _ } ->
+          if Float.abs (wo -. co) > 1e-7 then
+            failf "step %d: warm objective %.9g <> cold %.9g" i wo co
+          else if not (Lp.Frozen.check_feasible ~delta frozen ws) then
+            failf "step %d: warm solution violates the program" i
+          else go (i + 1) rest
+        | FS.Infeasible, FS.Infeasible | FS.Unbounded, FS.Unbounded -> go (i + 1) rest
+        | _ -> failf "step %d: warm and cold outcome kinds differ" i)
+    in
+    go 0 deltas
+  end
+
+(* Float branch-and-bound (and root LP) vs the exact rational instantiation
+   on the base program and a few deltas.  Small programs only: the exact
+   path is the slow oracle. *)
+let lp_float_vs_exact ({ frozen; deltas } : Gen.lp_case) =
+  let fb_kind = function
+    | FB.Optimal -> "optimal"
+    | FB.Feasible -> "feasible"
+    | FB.Infeasible -> "infeasible"
+    | FB.Unbounded -> "unbounded"
+    | FB.Limit_no_solution -> "limit"
+  in
+  let eb_kind = function
+    | EB.Optimal -> "optimal"
+    | EB.Feasible -> "feasible"
+    | EB.Infeasible -> "infeasible"
+    | EB.Unbounded -> "unbounded"
+    | EB.Limit_no_solution -> "limit"
+  in
+  let take3 = function a :: b :: c :: _ -> [ a; b; c ] | l -> l in
+  let checks =
+    List.map
+      (fun delta () ->
+        let f = FB.solve_frozen ~delta frozen in
+        let e = EB.solve_frozen ~delta frozen in
+        if fb_kind f.FB.status <> eb_kind e.EB.status then
+          failf "B&B status: float %s <> exact %s" (fb_kind f.FB.status) (eb_kind e.EB.status)
+        else
+          match (f.FB.objective, e.EB.objective) with
+          | Some a, Some b when Float.abs (a -. Numeric.Rat.to_float b) > 1e-6 ->
+            failf "B&B objective: float %g <> exact %s" a (Numeric.Rat.to_string b)
+          | _ -> Pass)
+      (Lp.Frozen.Delta.empty :: take3 deltas)
+  in
+  all_of checks
+
+(* ----- the matrix ---------------------------------------------------------- *)
+
+let small_db case =
+  match case.Gen.shape with Gen.Db c -> Gen.endo_count c <= 13 | Gen.Lp _ -> false
+
+let small_lp case =
+  match case.Gen.shape with
+  | Gen.Lp c -> Lp.Frozen.num_vars c.frozen <= 10 && Lp.Frozen.num_rows c.frozen <= 10
+  | Gen.Db _ -> false
+
+let all =
+  [
+    {
+      name = "float_vs_exact";
+      descr = "float simplex pipeline = exact rational pipeline (RES*, LP[RES*])";
+      applies = db_only true;
+      check = on_db float_vs_exact;
+    };
+    {
+      name = "warm_vs_cold";
+      descr = "warm Resilience.Session = one-shot cold Solve, per question";
+      applies = db_only true;
+      check = on_db warm_vs_cold;
+    };
+    {
+      name = "warm_replay";
+      descr = "repeated rankings through one session never drift";
+      applies = db_only true;
+      check = on_db warm_replay;
+    };
+    {
+      name = "presolve_on_off";
+      descr = "presolve preserves every optimum and verdict";
+      applies = db_only true;
+      check = on_db presolve_on_off;
+    };
+    {
+      name = "vs_bruteforce";
+      descr = "ILP = exhaustive search (RES* and every tuple's RSP*; small instances)";
+      applies = small_db;
+      check = on_db vs_bruteforce;
+    };
+    {
+      name = "vs_hitting_set";
+      descr = "ILP = dedicated hitting-set branch-and-bound";
+      applies = db_only true;
+      check = on_db vs_hitting_set;
+    };
+    {
+      name = "par_vs_seq";
+      descr = "ranking_par at jobs 1/2/4 is bit-identical to the sequential ranking";
+      applies = db_only true;
+      check = on_db par_vs_seq;
+    };
+    {
+      name = "sandwich";
+      descr = "LP[RES*] <= RES* <= flow/rounding upper bounds, with valid deletion sets";
+      applies = db_only true;
+      check = on_db sandwich;
+    };
+    {
+      name = "lp_warm_vs_cold";
+      descr = "warm simplex session = cold session on every delta of the sequence";
+      applies = lp_only true;
+      check = on_lp lp_warm_vs_cold;
+    };
+    {
+      name = "lp_float_vs_exact";
+      descr = "float branch-and-bound = exact rational branch-and-bound (small programs)";
+      applies = small_lp;
+      check = on_lp lp_float_vs_exact;
+    };
+  ]
+
+let named name = List.find_opt (fun o -> o.name = name) all
+
+let select names =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | n :: rest -> (
+      match named n with Some o -> go (o :: acc) rest | None -> Error n)
+  in
+  go [] names
+
+let run oracles case =
+  List.filter_map
+    (fun o -> if o.applies case then Some (o.name, o.check case) else None)
+    oracles

@@ -1,0 +1,32 @@
+(** The oracle matrix: pluggable cross-implementation properties.
+
+    Each oracle takes a generated {!Gen.case} and either passes or reports a
+    {e discrepancy} — two implementations of the same mathematical quantity
+    disagreeing, or an invariant of the paper (the LP <= flow <= ILP
+    sandwich, say) failing.  An oracle failure is, by construction, a bug
+    somewhere: both sides claim to compute RES*/RSP* exactly.
+
+    Oracles are pure: they never mutate the case's database (solvers treat
+    databases as immutable snapshots), so the shrinker may re-run them
+    freely. *)
+
+type verdict = Pass | Fail of string  (** The discrepancy, human-readable. *)
+
+type t = {
+  name : string;
+  descr : string;  (** One line for [--oracle help] and the docs. *)
+  applies : Gen.case -> bool;
+      (** Case-kind and size gating (exhaustive baselines are small-only). *)
+  check : Gen.case -> verdict;
+}
+
+val all : t list
+(** The full matrix, documentation order. *)
+
+val named : string -> t option
+
+val select : string list -> (t list, string) result
+(** Resolve a [--oracle] list; [Error] names the first unknown oracle. *)
+
+val run : t list -> Gen.case -> (string * verdict) list
+(** Every applicable oracle's verdict on the case, matrix order. *)

@@ -1,0 +1,156 @@
+open! Relalg
+
+(* A candidate either fails (with a message) or passes; a crashing oracle is
+   a failing candidate too — the shrunk repro is then a crash repro. *)
+let verdict_of (oracle : Oracle.t) case =
+  match oracle.Oracle.check case with
+  | Oracle.Pass -> None
+  | Oracle.Fail m -> Some m
+  | exception e -> Some ("oracle raised " ^ Printexc.to_string e)
+
+(* ----- generic chunk sweep ------------------------------------------------- *)
+
+let split_at n l =
+  let rec go acc n = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (x :: acc) (n - 1) rest
+  in
+  go [] n l
+
+(* One ddmin-style sweep: try deleting chunks of size [len], halving [len]
+   when a full scan removes nothing.  Accepting a deletion restarts the scan
+   on the (strictly smaller) survivor, so this terminates. *)
+let reduce_list ~keeps_failing items =
+  let rec at_size items len =
+    if len < 1 || items = [] then items
+    else
+      let rec scan kept rest =
+        match rest with
+        | [] -> at_size items (len / 2)
+        | _ ->
+          let chunk, tail = split_at len rest in
+          let candidate = List.rev_append kept tail in
+          if keeps_failing candidate then at_size candidate len
+          else scan (List.rev_append chunk kept) tail
+      in
+      scan [] items
+  in
+  at_size items (max 1 (List.length items / 2))
+
+(* Try one candidate; keep it if the oracle still fails there. *)
+let try_step ~keeps_failing current candidate =
+  if keeps_failing candidate then candidate else current
+
+(* ----- database cases ------------------------------------------------------ *)
+
+let db_keep (c : Gen.db_case) keep_ids =
+  let keep = Hashtbl.create (List.length keep_ids) in
+  List.iter (fun id -> Hashtbl.replace keep id ()) keep_ids;
+  { c with Gen.db = Database.restrict c.Gen.db (fun info -> Hashtbl.mem keep info.Database.id) }
+
+let shrink_db ~fails (c : Gen.db_case) =
+  let fails_db c' = fails (Gen.Db c') in
+  (* 1. drop tuples *)
+  let ids = List.map (fun i -> i.Database.id) (Database.tuples c.Gen.db) in
+  let kept = reduce_list ~keeps_failing:(fun keep -> fails_db (db_keep c keep)) ids in
+  let c = db_keep c kept in
+  (* 2. multiplicities down to 1 *)
+  let c =
+    List.fold_left
+      (fun c info ->
+        if info.Database.mult <= 1 then c
+        else
+          let db' = Database.copy c.Gen.db in
+          Database.set_mult db' info.Database.id 1;
+          try_step ~keeps_failing:fails_db c { c with Gen.db = db' })
+      c
+      (Database.tuples c.Gen.db)
+  in
+  (* 3. clear exogenous flags *)
+  List.fold_left
+    (fun c info ->
+      if not info.Database.exo then c
+      else
+        let db' = Database.copy c.Gen.db in
+        Database.set_exo db' info.Database.id false;
+        try_step ~keeps_failing:fails_db c { c with Gen.db = db' })
+    c
+    (Database.tuples c.Gen.db)
+
+(* ----- LP cases ------------------------------------------------------------ *)
+
+let with_rows frozen row_ids =
+  let n = Lp.Frozen.num_vars frozen in
+  Lp.Frozen.make
+    ~names:(Array.init n (Lp.Frozen.var_name frozen))
+    ~integer:(Array.init n (Lp.Frozen.is_integer frozen))
+    ~upper:(Array.init n (Lp.Frozen.upper frozen))
+    ~obj:(Array.init n (Lp.Frozen.objective frozen))
+    ~rows:
+      (Array.of_list
+         (List.map
+            (fun i -> (Lp.Frozen.row_sense frozen i, Lp.Frozen.row_rhs frozen i, Lp.Frozen.row_expr frozen i))
+            row_ids))
+
+let shrink_lp ~fails (c : Gen.lp_case) =
+  let fails_lp c' = fails (Gen.Lp c') in
+  (* 1. drop constraint rows *)
+  let rows = List.init (Lp.Frozen.num_rows c.Gen.frozen) (fun i -> i) in
+  let kept =
+    reduce_list
+      ~keeps_failing:(fun keep -> fails_lp { c with Gen.frozen = with_rows c.Gen.frozen keep })
+      rows
+  in
+  let c = { c with Gen.frozen = with_rows c.Gen.frozen kept } in
+  (* 2. drop delta steps *)
+  let deltas =
+    reduce_list ~keeps_failing:(fun ds -> fails_lp { c with Gen.deltas = ds }) c.Gen.deltas
+  in
+  let c = { c with Gen.deltas = deltas } in
+  (* 3. thin each surviving delta's bindings *)
+  let nd = List.length c.Gen.deltas in
+  let rec thin c i =
+    if i >= nd then c
+    else
+      let d = List.nth c.Gen.deltas i in
+      let bindings =
+        reduce_list
+          ~keeps_failing:(fun bs ->
+            let d' = List.fold_left (fun acc (v, k) -> Lp.Frozen.Delta.fix v k acc) Lp.Frozen.Delta.empty bs in
+            fails_lp { c with Gen.deltas = List.mapi (fun j dj -> if j = i then d' else dj) c.Gen.deltas })
+          (Lp.Frozen.Delta.bindings d)
+      in
+      let d' = List.fold_left (fun acc (v, k) -> Lp.Frozen.Delta.fix v k acc) Lp.Frozen.Delta.empty bindings in
+      thin { c with Gen.deltas = List.mapi (fun j dj -> if j = i then d' else dj) c.Gen.deltas } (i + 1)
+  in
+  thin c 0
+
+(* ----- driver -------------------------------------------------------------- *)
+
+let size = function
+  | Gen.Db c -> Database.num_tuples c.Gen.db + Database.total_multiplicity c.Gen.db
+  | Gen.Lp c ->
+    Lp.Frozen.num_rows c.Gen.frozen
+    + List.fold_left (fun acc d -> acc + List.length (Lp.Frozen.Delta.bindings d)) (List.length c.Gen.deltas) c.Gen.deltas
+
+let shrink ?(rounds = 8) (oracle : Oracle.t) (case : Gen.case) =
+  match verdict_of oracle case with
+  | None -> (case, "")
+  | Some _ ->
+    let fails shape = verdict_of oracle { case with Gen.shape } <> None in
+    let step shape =
+      match shape with
+      | Gen.Db c -> Gen.Db (shrink_db ~fails c)
+      | Gen.Lp c -> Gen.Lp (shrink_lp ~fails c)
+    in
+    let rec fixpoint shape n =
+      if n = 0 then shape
+      else
+        let shape' = step shape in
+        if size shape' >= size shape then shape' else fixpoint shape' (n - 1)
+    in
+    let shape = fixpoint case.Gen.shape rounds in
+    let shrunk = { case with Gen.shape } in
+    let message = match verdict_of oracle shrunk with Some m -> m | None -> "" in
+    (shrunk, message)

@@ -1,0 +1,23 @@
+(** Greedy delta-debugging of a failing case down to a minimal repro.
+
+    Given a case on which an oracle reports a discrepancy, the shrinker
+    searches for a smaller case on which {e the same oracle} still fails —
+    any failure message counts, not necessarily the original one.  The
+    reductions, each retried to a bounded fixpoint:
+
+    - database cases: drop tuple chunks (classic ddmin chunk sweep, halving
+      chunk sizes), then reduce bag multiplicities to 1, then clear
+      exogenous flags;
+    - LP cases: drop constraint-row chunks (the program is rebuilt via
+      {!Lp.Frozen.make} over the same variables), drop delta steps, and
+      thin each surviving delta's bindings.
+
+    An oracle raising an exception on a candidate counts as failing: a
+    crash on a smaller instance is at least as good a repro as the original
+    discrepancy. *)
+
+val shrink : ?rounds:int -> Oracle.t -> Gen.case -> Gen.case * string
+(** [shrink oracle case] is the reduced case and the oracle's message on it.
+    If the oracle does not fail on [case], the case is returned unchanged
+    with an empty message.  [rounds] bounds the outer fixpoint (default
+    8). *)

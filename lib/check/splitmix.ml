@@ -1,0 +1,80 @@
+(* SplitMix64 after Steele, Lea & Flood (OOPSLA 2014): state advances by a
+   per-stream odd gamma; outputs pass through the murmur-style finalizer;
+   [split] seeds a child stream from two parent draws, re-odd-ifying the
+   gamma when its flipped-bit count is too low (the paper's weak-gamma
+   guard). *)
+
+type t = { mutable state : int64; gamma : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Gamma derivation: mix with different constants, force odd, and reject
+   gammas whose xor-with-shift has too few bit flips. *)
+let mix_gamma z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  let z = Int64.logor z 1L in
+  let flips =
+    let v = Int64.logxor z (Int64.shift_right_logical z 1) in
+    let rec popcount acc v =
+      if Int64.equal v 0L then acc
+      else popcount (acc + 1) (Int64.logand v (Int64.sub v 1L))
+    in
+    popcount 0 v
+  in
+  if flips < 24 then Int64.logxor z 0xAAAAAAAAAAAAAAAAL else z
+
+let next_state t =
+  t.state <- Int64.add t.state t.gamma;
+  t.state
+
+let bits64 t = mix64 (next_state t)
+
+let of_seed seed =
+  let s = Int64.of_int seed in
+  { state = mix64 s; gamma = mix_gamma (Int64.add s golden_gamma) }
+
+let split t =
+  let s = bits64 t in
+  let g = mix_gamma (next_state t) in
+  { state = s; gamma = g }
+
+let fresh_seed t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  (* Rejection sampling over the high bits to stay unbiased. *)
+  let b = Int64.of_int bound in
+  let rec draw () =
+    let r = Int64.shift_right_logical (bits64 t) 1 (* non-negative *) in
+    let v = Int64.rem r b in
+    (* Reject the tail of the range that would bias small residues. *)
+    if Int64.compare (Int64.sub r v) (Int64.sub (Int64.sub Int64.max_int b) 1L) > 0 then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let in_range t lo hi =
+  if hi < lo then invalid_arg "Splitmix.in_range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let chance t k n = int t n < k
+
+let choose t = function
+  | [] -> invalid_arg "Splitmix.choose: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

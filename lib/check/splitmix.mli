@@ -1,0 +1,48 @@
+(** A splittable deterministic PRNG (SplitMix64).
+
+    The fuzzing harness needs reproducibility properties OCaml's global
+    [Random] cannot give: the instance stream for a given [--seed] must be
+    identical across runs, machines and OCaml versions, and generating one
+    case must never perturb the stream of the next (so a repro file can name
+    a single integer seed and regenerate its case in isolation).  SplitMix64
+    (Steele, Lea & Flood, OOPSLA 2014) provides exactly this: a 64-bit
+    state advanced by a fixed odd gamma, output through a mixing
+    finalizer, with an explicit [split] deriving an independent stream.
+
+    No global state anywhere: every generator call threads a [t]. *)
+
+type t
+(** Mutable generator state (one stream). *)
+
+val of_seed : int -> t
+(** A stream deterministically derived from the integer seed. *)
+
+val split : t -> t
+(** A fresh stream statistically independent of the parent; the parent
+    advances by two draws.  Splitting [n] times yields the same [n] streams
+    for the same parent seed, regardless of how each stream is consumed. *)
+
+val fresh_seed : t -> int
+(** A non-negative integer suitable as [of_seed] input — how a generated
+    case records the seed that regenerates exactly itself. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val in_range : t -> int -> int -> int
+(** [in_range t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val bool : t -> bool
+
+val chance : t -> int -> int -> bool
+(** [chance t k n] is true with probability [k/n]. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)

@@ -2,6 +2,10 @@ open Relalg
 
 type spec = { rel : string; arity : int; count : int }
 
+type sampler = { sample : int -> int }
+
+let sampler_of_state rng = { sample = (fun bound -> Random.State.int rng bound) }
+
 let specs_of_query q ~count =
   List.map (fun rel -> { rel; arity = Cq.arity q rel; count }) (Cq.rel_names q)
 
@@ -9,7 +13,7 @@ type pool = { tuples : (string * int array * int) array list (* rel, args, mult 
 
 (* Sample [count] distinct tuples of the full domain^arity space by
    rejection (the spaces here are far larger than the counts). *)
-let sample_relation rng ~domain ~max_bag spec =
+let sample_relation s ~domain ~max_bag spec =
   let seen = Hashtbl.create (2 * spec.count) in
   let out = ref [] in
   let n = ref 0 in
@@ -18,19 +22,21 @@ let sample_relation rng ~domain ~max_bag spec =
   let attempts = ref 0 in
   while !n < target && !attempts < 100 * (target + 10) do
     incr attempts;
-    let args = Array.init spec.arity (fun _ -> 1 + Random.State.int rng domain) in
+    let args = Array.init spec.arity (fun _ -> 1 + s.sample domain) in
     let key = Array.to_list args in
     if not (Hashtbl.mem seen key) then begin
       Hashtbl.add seen key ();
-      let mult = if max_bag <= 1 then 1 else 1 + Random.State.int rng max_bag in
+      let mult = if max_bag <= 1 then 1 else 1 + s.sample max_bag in
       out := (spec.rel, args, mult) :: !out;
       incr n
     end
   done;
   Array.of_list (List.rev !out)
 
-let pool rng ~domain ?(max_bag = 1) specs =
-  { tuples = List.map (sample_relation rng ~domain ~max_bag) specs }
+let pool_s s ~domain ?(max_bag = 1) specs =
+  { tuples = List.map (sample_relation s ~domain ~max_bag) specs }
+
+let pool rng ~domain ?max_bag specs = pool_s (sampler_of_state rng) ~domain ?max_bag specs
 
 let prefix_db p ~frac =
   let db = Database.create () in
@@ -45,7 +51,14 @@ let prefix_db p ~frac =
     p.tuples;
   db
 
-let db rng ~domain ?max_bag specs = prefix_db (pool rng ~domain ?max_bag specs) ~frac:1.0
+let db_s s ~domain ?max_bag specs = prefix_db (pool_s s ~domain ?max_bag specs) ~frac:1.0
+
+let db rng ~domain ?max_bag specs = db_s (sampler_of_state rng) ~domain ?max_bag specs
+
+let mark_exogenous s ~pct db =
+  List.iter
+    (fun info -> if s.sample 100 < pct then Database.set_exo db info.Database.id true)
+    (Database.tuples db)
 
 let log_fractions n =
   if n <= 1 then [ 1.0 ]

@@ -10,8 +10,17 @@ open! Relalg
 
 type spec = { rel : string; arity : int; count : int }
 
+type sampler = { sample : int -> int }
+(** A source of uniform draws: [sample bound] is uniform in [0, bound).
+    The generator never touches global randomness — callers thread either a
+    {!Random.State.t} (via {!sampler_of_state}) or any other deterministic
+    stream (the fuzzing harness threads its split PRNG). *)
+
+val sampler_of_state : Random.State.t -> sampler
+
 val specs_of_query : Cq.t -> count:int -> spec list
-(** One spec per relation symbol of the query, [count] tuples each. *)
+(** One spec per relation symbol of the query, [count] tuples each.
+    A [count] of 0 is allowed and yields an empty relation. *)
 
 type pool
 (** A fixed random tuple order per relation, from which monotone prefixes
@@ -21,12 +30,23 @@ val pool : Random.State.t -> domain:int -> ?max_bag:int -> spec list -> pool
 (** [spec.count] acts as the maximum size; asking a larger prefix saturates.
     [max_bag > 1] assigns each tuple a random multiplicity in [1..max_bag]. *)
 
+val pool_s : sampler -> domain:int -> ?max_bag:int -> spec list -> pool
+(** {!pool} over an arbitrary deterministic sampler. *)
+
 val prefix_db : pool -> frac:float -> Database.t
 (** The database containing the first [frac] (in (0,1]) of every relation's
-    pool. *)
+    pool (at least one tuple of every non-empty relation). *)
 
 val db : Random.State.t -> domain:int -> ?max_bag:int -> spec list -> Database.t
 (** One-shot instance ([prefix_db ~frac:1.0] of a fresh pool). *)
+
+val db_s : sampler -> domain:int -> ?max_bag:int -> spec list -> Database.t
+(** {!db} over an arbitrary deterministic sampler. *)
+
+val mark_exogenous : sampler -> pct:int -> Database.t -> unit
+(** Flag each live tuple exogenous independently with probability
+    [pct / 100] — the adversarial exogeneity corner of the differential
+    suites. *)
 
 val log_fractions : int -> float list
 (** [n] logarithmically spaced fractions ending at 1.0 (the growth schedule

@@ -194,6 +194,13 @@ let flow_stats t0 = { nodes = 1; root_lp = nan; root_integral = true; solve_time
 
 let resilience_flow semantics q db =
   let q' = linearize_by_domination semantics q in
+  (* Under a self-join one tuple feeds edges at several positions of the
+     order, so the min-cut can double-count its deletion and overestimate
+     RES* — the classical encoding is only exact self-join-free (found by
+     the differential fuzzer: flow 2 vs ILP 1 on QchainABC with a shared
+     R).  Report "no exact flow algorithm" rather than a wrong value. *)
+  if not (Cq.self_join_free q') then None
+  else
   match Netflow.Linearize.exact_orders q' with
   | [] -> None
   | order :: _ ->
@@ -210,6 +217,8 @@ let resilience_flow semantics q db =
 
 let responsibility_flow semantics q db t =
   let q' = linearize_for_rsp semantics q in
+  if not (Cq.self_join_free q') then None
+  else
   match Netflow.Linearize.exact_orders q' with
   | [] -> None
   | order :: _ ->

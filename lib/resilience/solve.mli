@@ -134,8 +134,10 @@ val linearize_by_domination : Problem.semantics -> Cq.t -> Cq.t
 
 val resilience_flow : Problem.semantics -> Cq.t -> Database.t -> res_answer outcome option
 (** The dedicated min-cut algorithm of Meliou et al. / Freire et al. — exact
-    whenever the (domination-linearized) query admits an exact ordering;
-    [None] if it does not (non-linearizable query). *)
+    whenever the (domination-linearized) query is self-join-free and admits
+    an exact ordering; [None] otherwise (non-linearizable query, or a
+    self-join, where one tuple spans several flow edges and the min-cut can
+    overestimate). *)
 
 val responsibility_flow :
   Problem.semantics -> Cq.t -> Database.t -> Database.tuple_id -> rsp_answer outcome option

@@ -1,10 +1,36 @@
-(* Shared random-instance scaffolding for the test suites.
+(* Shared scaffolding for the test suites.
 
    Lives unlisted in the (tests ...) stanza, so every test executable links
-   it; keep it dependency-light (Relalg + Resilience + Datagen only). *)
+   it.  Three layers:
+   - seeded-property plumbing (every random test draws a seed through QCheck
+     and replays deterministically from it),
+   - random query instances (the workhorse of the differential suites),
+   - random covering programs (the shape every encoder emits, shared by the
+     LP and session suites). *)
 
 open Relalg
 open Resilience
+
+(* --- Seeded properties ----------------------------------------------------- *)
+
+(* Deterministic RNG from a fixed seed — the one way test code makes random
+   draws, so every failure replays from the printed counterexample seed. *)
+let rng_of seed = Random.State.make [| seed |]
+
+(* The one property shape the suites use: QCheck draws a seed, the body gets
+   the RNG for it. *)
+let seeded_prop ?(max_seed = 1_000_000) ~count name body =
+  QCheck.Test.make ~name ~count (QCheck.int_range 0 max_seed) (fun seed -> body (rng_of seed))
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let qtests = List.map QCheck_alcotest.to_alcotest
+
+(* --- Parsing shortcuts ----------------------------------------------------- *)
+
+let parse = Cq_parser.parse
+
+let parse_into db s = Cq_parser.parse_with db s
 
 let query_pool () =
   [
@@ -48,6 +74,29 @@ let random_db rng rels nmax dom ~max_bag =
       done)
     rels;
   db
+
+(* --- Random covering programs ----------------------------------------------- *)
+
+(* The covering-family shape every encoder emits: cheap bounded variables,
+   unit coefficients, >= 1 rows.  Returns the model together with its
+   variables so callers can build deltas or read weights back. *)
+let random_covering_model ?(integer = false) rng ~nvars ~nrows =
+  let m = Lp.Model.create () in
+  let vars =
+    Array.init nvars (fun _ ->
+        Lp.Model.add_var ~integer ~upper:1 ~obj:(1 + Random.State.int rng 5) m)
+  in
+  for _ = 1 to nrows do
+    let width = 1 + Random.State.int rng 3 in
+    let picked = List.init width (fun _ -> vars.(Random.State.int rng nvars)) in
+    let picked = List.sort_uniq compare picked in
+    Lp.Model.add_constr m (List.map (fun v -> (v, 1)) picked) Lp.Model.Geq 1
+  done;
+  (m, vars)
+
+let random_covering_frozen ?integer rng ~nvars ~nrows =
+  let m, vars = random_covering_model ?integer rng ~nvars ~nrows in
+  (Lp.Frozen.of_model m, vars)
 
 (* The reference ranking: a fresh encode + presolve + branch-and-bound per
    tuple, exactly what Solve.responsibility_ranking did before the session

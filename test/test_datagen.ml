@@ -11,7 +11,7 @@ let test_specs_of_query () =
   Alcotest.(check int) "arity" 2 r.Datagen.Random_inst.arity
 
 let test_monotone_prefixes () =
-  let rng = Random.State.make [| 1 |] in
+  let rng = Harness.rng_of 1 in
   let specs = [ { Datagen.Random_inst.rel = "R"; arity = 2; count = 50 } ] in
   let pool = Datagen.Random_inst.pool rng ~domain:40 specs in
   let small = Datagen.Random_inst.prefix_db pool ~frac:0.3 in
@@ -25,7 +25,7 @@ let test_monotone_prefixes () =
     (Database.tuples small)
 
 let test_no_duplicates_and_bag_bounds () =
-  let rng = Random.State.make [| 2 |] in
+  let rng = Harness.rng_of 2 in
   let specs = [ { Datagen.Random_inst.rel = "R"; arity = 2; count = 60 } ] in
   let db = Datagen.Random_inst.db rng ~domain:30 ~max_bag:4 specs in
   List.iter
@@ -36,7 +36,7 @@ let test_no_duplicates_and_bag_bounds () =
   Alcotest.(check int) "distinct count" 60 (Database.num_tuples db)
 
 let test_small_domain_saturates () =
-  let rng = Random.State.make [| 3 |] in
+  let rng = Harness.rng_of 3 in
   let specs = [ { Datagen.Random_inst.rel = "R"; arity = 1; count = 100 } ] in
   let db = Datagen.Random_inst.db rng ~domain:5 specs in
   Alcotest.(check int) "at most domain tuples" 5 (Database.num_tuples db)
@@ -51,7 +51,7 @@ let test_log_fractions () =
 (* --- TPC-H ------------------------------------------------------------------ *)
 
 let test_tpch_structure () =
-  let rng = Random.State.make [| 4 |] in
+  let rng = Harness.rng_of 4 in
   let db = Datagen.Tpch.generate rng ~scale:0.1 in
   let count rel = List.length (Database.tuples_of db rel) in
   Alcotest.(check int) "customers" 15 (count "Customer");
@@ -76,7 +76,7 @@ let test_tpch_structure () =
     (Database.tuples_of db "Lineitem")
 
 let test_tpch_queries_run () =
-  let rng = Random.State.make [| 5 |] in
+  let rng = Harness.rng_of 5 in
   let db = Datagen.Tpch.generate rng ~scale:0.05 in
   let q5 = Resilience.Queries.q_tpch_5chain () in
   Alcotest.(check bool) "5-chain has witnesses" true (Eval.holds q5 db);

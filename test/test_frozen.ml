@@ -1,0 +1,235 @@
+(* Direct units for the frozen CSR/CSC program form and its Delta bound
+   overlays — the immutable substrate every solver stage consumes. *)
+
+open Lp
+module FB = Lp.Solvers.Float_bb
+
+let expect_invalid name f =
+  Alcotest.(check bool) name true
+    (try
+       ignore (f ());
+       false
+     with Invalid_argument _ -> true)
+
+(* A small mixed fixture touching every corner: a binary integer, bounded
+   and unbounded continuous columns, a zero upper bound, all three row
+   senses. *)
+let mixed_model () =
+  let m = Model.create () in
+  let x = Model.add_var ~name:"x" ~integer:true ~upper:1 ~obj:2 m in
+  let y = Model.add_var ~name:"y" ~upper:3 ~obj:1 m in
+  let z = Model.add_var ~name:"z" ~upper:0 ~obj:5 m in
+  let w = Model.add_var ~name:"w" m in
+  Model.add_constr m [ (x, 1); (y, 2) ] Model.Geq 1;
+  Model.add_constr m [ (y, 1); (z, 1); (w, 3) ] Model.Leq 4;
+  Model.add_constr m [ (w, 1); (x, 1) ] Model.Eq 1;
+  (m, (x, y, z, w))
+
+let row_entries fz =
+  List.concat
+    (List.init (Frozen.num_rows fz) (fun i ->
+         List.map (fun (v, c) -> (i, v, c)) (Frozen.row_expr fz i)))
+
+let col_entries fz =
+  let acc = ref [] in
+  for v = 0 to Frozen.num_vars fz - 1 do
+    Frozen.iter_col fz v (fun i c -> acc := (i, v, c) :: !acc)
+  done;
+  List.rev !acc
+
+(* Structural equality of two frozen programs, field by field. *)
+let programs_equal a b =
+  Frozen.num_vars a = Frozen.num_vars b
+  && Frozen.num_rows a = Frozen.num_rows b
+  && Frozen.nnz a = Frozen.nnz b
+  && List.for_all
+       (fun v ->
+         Frozen.objective a v = Frozen.objective b v
+         && Frozen.upper a v = Frozen.upper b v
+         && Frozen.is_integer a v = Frozen.is_integer b v
+         && Frozen.var_name a v = Frozen.var_name b v)
+       (List.init (Frozen.num_vars a) Fun.id)
+  && List.for_all
+       (fun i ->
+         Frozen.row_sense a i = Frozen.row_sense b i
+         && Frozen.row_rhs a i = Frozen.row_rhs b i
+         && Frozen.row_expr a i = Frozen.row_expr b i)
+       (List.init (Frozen.num_rows a) Fun.id)
+
+(* --- CSR / CSC ------------------------------------------------------------- *)
+
+let test_csr_csc_agree () =
+  let m, _ = mixed_model () in
+  let fz = Frozen.of_model m in
+  Alcotest.(check int) "nnz = row entries" (List.length (row_entries fz)) (Frozen.nnz fz);
+  Alcotest.(check (list (triple int int int))) "CSR entries = CSC entries"
+    (List.sort compare (row_entries fz))
+    (List.sort compare (col_entries fz));
+  let row_sizes = List.init (Frozen.num_rows fz) (Frozen.row_size fz) in
+  let col_sizes = List.init (Frozen.num_vars fz) (Frozen.col_size fz) in
+  Alcotest.(check int) "row sizes sum to nnz" (Frozen.nnz fz)
+    (List.fold_left ( + ) 0 row_sizes);
+  Alcotest.(check int) "col sizes sum to nnz" (Frozen.nnz fz)
+    (List.fold_left ( + ) 0 col_sizes)
+
+let test_per_variable_data () =
+  let m, (x, y, z, w) = mixed_model () in
+  let fz = Frozen.of_model m in
+  Alcotest.(check int) "obj x" 2 (Frozen.objective fz x);
+  Alcotest.(check (option int)) "upper y" (Some 3) (Frozen.upper fz y);
+  Alcotest.(check (option int)) "upper z is zero, not absent" (Some 0) (Frozen.upper fz z);
+  Alcotest.(check (option int)) "w unbounded" None (Frozen.upper fz w);
+  Alcotest.(check bool) "x integer" true (Frozen.is_integer fz x);
+  Alcotest.(check bool) "y continuous" false (Frozen.is_integer fz y);
+  Alcotest.(check (list int)) "integer vars" [ x ] (Frozen.integer_vars fz);
+  Alcotest.(check string) "name" "z" (Frozen.var_name fz z)
+
+let test_row_normal_form () =
+  let m, (x, _, _, w) = mixed_model () in
+  let fz = Frozen.of_model m in
+  (* The Eq row was added as [(w, 1); (x, 1)]; rows are stored sorted by
+     variable. *)
+  Alcotest.(check (list (pair int int))) "sorted by variable" [ (x, 1); (w, 1) ]
+    (Frozen.row_expr fz 2);
+  Alcotest.(check bool) "sense preserved" true (Frozen.row_sense fz 2 = Model.Eq);
+  Alcotest.(check int) "rhs preserved" 1 (Frozen.row_rhs fz 2)
+
+(* --- Round-trips ------------------------------------------------------------ *)
+
+let test_thaw_refreeze () =
+  let m, _ = mixed_model () in
+  let fz = Frozen.of_model m in
+  Alcotest.(check bool) "of_model . to_model = id" true
+    (programs_equal fz (Frozen.of_model (Frozen.to_model fz)))
+
+let test_make_matches_of_model () =
+  let m, _ = mixed_model () in
+  let fz = Frozen.of_model m in
+  let n = Frozen.num_vars fz in
+  let made =
+    Frozen.make
+      ~names:(Array.init n (Frozen.var_name fz))
+      ~integer:(Array.init n (Frozen.is_integer fz))
+      ~upper:(Array.init n (Frozen.upper fz))
+      ~obj:(Array.init n (Frozen.objective fz))
+      ~rows:
+        (Array.init (Frozen.num_rows fz) (fun i ->
+             (Frozen.row_sense fz i, Frozen.row_rhs fz i, Frozen.row_expr fz i)))
+  in
+  Alcotest.(check bool) "make from accessors = of_model" true (programs_equal fz made)
+
+let test_make_validates () =
+  expect_invalid "unsorted row rejected" (fun () ->
+      Frozen.make ~names:[| "a"; "b" |] ~integer:[| false; false |]
+        ~upper:[| Some 1; Some 1 |] ~obj:[| 1; 1 |]
+        ~rows:[| (Model.Geq, 1, [ (1, 1); (0, 1) ]) |]);
+  expect_invalid "zero coefficient rejected" (fun () ->
+      Frozen.make ~names:[| "a" |] ~integer:[| false |] ~upper:[| Some 1 |] ~obj:[| 1 |]
+        ~rows:[| (Model.Geq, 0, [ (0, 0) ]) |]);
+  expect_invalid "array length mismatch rejected" (fun () ->
+      Frozen.make ~names:[| "a" |] ~integer:[| false; false |] ~upper:[| Some 1; Some 1 |]
+        ~obj:[| 1; 1 |] ~rows:[||])
+
+let prop_thaw_refreeze_random =
+  Harness.seeded_prop ~count:200 "thaw/refreeze round-trips random covers" (fun rng ->
+      let nvars = 2 + Random.State.int rng 8 in
+      let nrows = 1 + Random.State.int rng 8 in
+      let fz, _ = Harness.random_covering_frozen rng ~nvars ~nrows in
+      programs_equal fz (Frozen.of_model (Frozen.to_model fz)))
+
+let prop_csr_csc_random =
+  Harness.seeded_prop ~count:200 "CSR = CSC on random covers" (fun rng ->
+      let nvars = 2 + Random.State.int rng 8 in
+      let nrows = 1 + Random.State.int rng 8 in
+      let fz, _ = Harness.random_covering_frozen rng ~nvars ~nrows in
+      List.sort compare (row_entries fz) = List.sort compare (col_entries fz))
+
+(* --- Delta overlays ---------------------------------------------------------- *)
+
+let test_delta_persistence () =
+  Alcotest.(check bool) "empty is empty" true (Frozen.Delta.is_empty Frozen.Delta.empty);
+  let d1 = Frozen.Delta.fix_zero 0 Frozen.Delta.empty in
+  let d2 = Frozen.Delta.force_one 1 d1 in
+  Alcotest.(check bool) "non-empty" false (Frozen.Delta.is_empty d1);
+  (* persistence: extending d1 must not mutate it *)
+  Alcotest.(check (option int)) "parent unaffected by child" None (Frozen.Delta.find d1 1);
+  Alcotest.(check (option int)) "child sees both" (Some 0) (Frozen.Delta.find d2 0);
+  Alcotest.(check (list (pair int int))) "bindings newest first" [ (1, 1); (0, 0) ]
+    (Frozen.Delta.bindings d2);
+  let d3 = Frozen.Delta.fix 0 1 d2 in
+  Alcotest.(check (option int)) "re-fix replaces the override" (Some 1)
+    (Frozen.Delta.find d3 0);
+  Alcotest.(check (list (pair int int))) "one binding per variable" [ (0, 1); (1, 1) ]
+    (List.sort compare (Frozen.Delta.bindings d3));
+  let d4 = Frozen.Delta.release 1 d3 in
+  Alcotest.(check (option int)) "release restores base bounds" None (Frozen.Delta.find d4 1);
+  expect_invalid "negative constant rejected" (fun () ->
+      Frozen.Delta.fix 0 (-1) Frozen.Delta.empty)
+
+let test_delta_overlay_feasibility () =
+  let m = Model.create () in
+  let x = Model.add_var ~upper:1 ~obj:1 m in
+  let y = Model.add_var ~upper:1 ~obj:1 m in
+  Model.add_constr m [ (x, 1); (y, 1) ] Model.Geq 1;
+  let fz = Frozen.of_model m in
+  Alcotest.(check bool) "base point feasible" true (Frozen.check_feasible fz [| 1.0; 0.0 |]);
+  let dx0 = Frozen.Delta.fix_zero x Frozen.Delta.empty in
+  Alcotest.(check bool) "fix_zero violated by x=1" false
+    (Frozen.check_feasible ~delta:dx0 fz [| 1.0; 0.0 |]);
+  Alcotest.(check bool) "fix_zero satisfied by x=0" true
+    (Frozen.check_feasible ~delta:dx0 fz [| 0.0; 1.0 |]);
+  let dy1 = Frozen.Delta.force_one y Frozen.Delta.empty in
+  Alcotest.(check bool) "force_one pins the value" false
+    (Frozen.check_feasible ~delta:dy1 fz [| 1.0; 0.0 |]);
+  Alcotest.(check bool) "released override restores base" true
+    (Frozen.check_feasible ~delta:(Frozen.Delta.release x dx0) fz [| 1.0; 0.0 |])
+
+(* Delta extension drives branch-and-bound: any solution returned under a
+   delta satisfies every binding and the base program. *)
+let prop_bb_respects_delta =
+  Harness.seeded_prop ~count:200 "B&B solutions respect delta overlays" (fun rng ->
+      let nvars = 3 + Random.State.int rng 6 in
+      let nrows = 2 + Random.State.int rng 6 in
+      let fz, vars = Harness.random_covering_frozen ~integer:true rng ~nvars ~nrows in
+      let delta =
+        Array.fold_left
+          (fun d v ->
+            match Random.State.int rng 4 with
+            | 0 -> Frozen.Delta.fix_zero v d
+            | 1 -> Frozen.Delta.force_one v d
+            | _ -> d)
+          Frozen.Delta.empty vars
+      in
+      let r = FB.solve_frozen ~delta fz in
+      match r.FB.solution with
+      | None -> r.FB.status = FB.Infeasible
+      | Some x ->
+        Frozen.check_feasible ~delta fz x
+        && List.for_all
+             (fun (v, k) -> Float.abs (x.(v) -. float_of_int k) < 1e-6)
+             (Frozen.Delta.bindings delta))
+
+let () =
+  Alcotest.run "frozen"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "CSR and CSC agree" `Quick test_csr_csc_agree;
+          Alcotest.test_case "per-variable data" `Quick test_per_variable_data;
+          Alcotest.test_case "row normal form" `Quick test_row_normal_form;
+          Harness.qtest prop_csr_csc_random;
+        ] );
+      ( "round-trip",
+        [
+          Alcotest.test_case "thaw/refreeze" `Quick test_thaw_refreeze;
+          Alcotest.test_case "make from accessors" `Quick test_make_matches_of_model;
+          Alcotest.test_case "make validates input" `Quick test_make_validates;
+          Harness.qtest prop_thaw_refreeze_random;
+        ] );
+      ( "delta",
+        [
+          Alcotest.test_case "persistent overlays" `Quick test_delta_persistence;
+          Alcotest.test_case "overlay feasibility" `Quick test_delta_overlay_feasibility;
+          Harness.qtest prop_bb_respects_delta;
+        ] );
+    ]

@@ -186,9 +186,7 @@ let test_vertex_cover_reduction () =
 let prop_vertex_cover_random_graphs =
   (* Theorem 7.4 on random graphs: RES of the composed instance equals
      VC(G) + |E|(c-1), with VC computed exhaustively. *)
-  QCheck.Test.make ~name:"RES(composition) = VC + |E|(c-1) on random graphs" ~count:40
-    (QCheck.int_range 0 1_000_000) (fun seed ->
-      let rng = Random.State.make [| seed |] in
+  Harness.seeded_prop ~count:40 "RES(composition) = VC + |E|(c-1) on random graphs" (fun rng ->
       match Ijp.Search.find (Queries.q2_chain_sj ()) with
       | None -> false
       | Some (jp, _) ->
@@ -273,7 +271,7 @@ let () =
       ( "compose",
         [
           Alcotest.test_case "vertex-cover reduction values" `Quick test_vertex_cover_reduction;
-          QCheck_alcotest.to_alcotest prop_vertex_cover_random_graphs;
+          Harness.qtest prop_vertex_cover_random_graphs;
           Alcotest.test_case "triangle composition non-leaking" `Quick
             test_triangle_composition_counts;
           Alcotest.test_case "instantiate copies flags" `Quick test_instantiate_respects_flags;

@@ -109,7 +109,7 @@ let test_clean_covering_model () =
 
 (* --- Query linter --------------------------------------------------------- *)
 
-let parse db s = Cq_parser.parse_with db s
+let parse = Harness.parse_into
 
 let test_q101_all_exogenous () =
   let db = Database.create () in

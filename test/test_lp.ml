@@ -243,46 +243,23 @@ let test_bb_exact_matches_float () =
   Alcotest.(check (float 1e-9)) "same optimum" (Option.get rf.FB.objective)
     (Numeric.Rat.to_float (Option.get re.EB.objective))
 
-(* Random set-cover ILPs: branch-and-bound equals exhaustive search. *)
-let arb_cover =
-  let gen =
-    QCheck.Gen.(
-      let* nv = int_range 2 8 in
-      let* nc = int_range 1 6 in
-      let* weights = list_repeat nv (int_range 1 4) in
-      let* rows = list_repeat nc (list_repeat nv bool) in
-      return (weights, rows))
-  in
-  QCheck.make gen
-
+(* Random set-cover ILPs (the shared Harness covering generator):
+   branch-and-bound equals exhaustive search over all 0/1 points. *)
 let prop_bb_matches_bruteforce =
-  QCheck.Test.make ~name:"B&B = exhaustive on random covers" ~count:200 arb_cover
-    (fun (weights, rows) ->
-      let nv = List.length weights in
-      let warr = Array.of_list weights in
-      let rows = List.filter (List.exists Fun.id) rows in
-      let m = M.create () in
-      let vars = List.map (fun w -> M.add_var ~integer:true ~upper:1 ~obj:w m) weights in
-      List.iter
-        (fun row ->
-          let expr = List.map2 (fun v inc -> (v, if inc then 1 else 0)) vars row in
-          M.add_constr m (List.filter (fun (_, c) -> c <> 0) expr) M.Geq 1)
-        rows;
+  Harness.seeded_prop ~count:200 "B&B = exhaustive on random covers" (fun rng ->
+      let nvars = 2 + Random.State.int rng 7 in
+      let nrows = 1 + Random.State.int rng 6 in
+      let m, vars = Harness.random_covering_model ~integer:true rng ~nvars ~nrows in
       let best = ref max_int in
-      for mask = 0 to (1 lsl nv) - 1 do
-        let covers =
-          List.for_all
-            (fun row ->
-              List.exists2 (fun i inc -> inc && mask land (1 lsl i) <> 0)
-                (List.init nv Fun.id) row)
-            rows
-        in
-        if covers then begin
-          let w = ref 0 in
-          for i = 0 to nv - 1 do
-            if mask land (1 lsl i) <> 0 then w := !w + warr.(i)
-          done;
-          if !w < !best then best := !w
+      for mask = 0 to (1 lsl nvars) - 1 do
+        let x = Array.init nvars (fun i -> if mask land (1 lsl i) <> 0 then 1.0 else 0.0) in
+        if M.check_feasible m x then begin
+          let w =
+            Array.fold_left
+              (fun acc v -> if mask land (1 lsl v) <> 0 then acc + M.objective m v else acc)
+              0 vars
+          in
+          if w < !best then best := w
         end
       done;
       let r = FB.solve m in
@@ -291,7 +268,7 @@ let prop_bb_matches_bruteforce =
       | None -> false)
 
 let () =
-  let q = QCheck_alcotest.to_alcotest in
+  let q = Harness.qtest in
   Alcotest.run "lp"
     [
       ( "model",

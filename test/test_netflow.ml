@@ -98,7 +98,7 @@ let prop_mincut_valid =
 
 (* --- Linearize ---------------------------------------------------------------- *)
 
-let parse = Cq_parser.parse
+let parse = Harness.parse
 
 let test_linear_queries () =
   List.iter
@@ -138,19 +138,9 @@ let test_spanning_vs_adjacent () =
 
 (* --- Flow encodings: differential against brute force -------------------------- *)
 
-let random_db rng rels nmax dom =
-  let db = Database.create () in
-  List.iter
-    (fun (rel, arity) ->
-      for _ = 1 to 1 + Random.State.int rng nmax do
-        ignore
-          (Database.add
-             ~mult:(1 + Random.State.int rng 2)
-             db rel
-             (Array.init arity (fun _ -> Random.State.int rng dom)))
-      done)
-    rels;
-  db
+(* Schema-shaped random instances come from the shared Harness generator;
+   multiplicities stay in 1..2 so bag semantics is exercised lightly. *)
+let random_db rng rels nmax dom = Harness.random_db rng rels nmax dom ~max_bag:2
 
 let flow_resilience sem q db =
   match Resilience.Solve.resilience_flow sem q db with
@@ -159,26 +149,23 @@ let flow_resilience sem q db =
   | _ -> Some (-1)
 
 let prop_flow_exact_linear sem name =
-  QCheck.Test.make ~name ~count:150 (QCheck.int_range 0 100000) (fun seed ->
-      let rng = Random.State.make [| seed |] in
+  Harness.seeded_prop ~max_seed:100_000 ~count:150 name (fun rng ->
       let q = parse "R(x,y), S(y,z)" in
       let db = random_db rng [ ("R", 2); ("S", 2) ] 6 4 in
       flow_resilience sem q db = Resilience.Bruteforce.resilience sem q db)
 
 let prop_flow_exact_linearizable =
   (* triangle-unary under set semantics: flow after domination-linearization *)
-  QCheck.Test.make ~name:"flow = brute force on linearizable QtriangleA (set)" ~count:100
-    (QCheck.int_range 0 100000) (fun seed ->
-      let rng = Random.State.make [| seed |] in
+  Harness.seeded_prop ~max_seed:100_000 ~count:100
+    "flow = brute force on linearizable QtriangleA (set)" (fun rng ->
       let q = parse "A(x), R(x,y), S(y,z), T(z,x)" in
       let db = random_db rng [ ("A", 1); ("R", 2); ("S", 2); ("T", 2) ] 4 3 in
       flow_resilience Resilience.Problem.Set q db
       = Resilience.Bruteforce.resilience Resilience.Problem.Set q db)
 
 let prop_flow_ct_cw_upper_bound =
-  QCheck.Test.make ~name:"Flow-CT and Flow-CW upper-bound RES on the hard triangle" ~count:80
-    (QCheck.int_range 0 100000) (fun seed ->
-      let rng = Random.State.make [| seed |] in
+  Harness.seeded_prop ~max_seed:100_000 ~count:80
+    "Flow-CT and Flow-CW upper-bound RES on the hard triangle" (fun rng ->
       let q = parse "R(x,y), S(y,z), T(z,x)" in
       let db = random_db rng [ ("R", 2); ("S", 2); ("T", 2) ] 4 3 in
       match Resilience.Bruteforce.resilience Resilience.Problem.Set q db with
@@ -194,9 +181,8 @@ let prop_flow_ct_cw_upper_bound =
         && check (Resilience.Approx.flow_cw_res Resilience.Problem.Set q db))
 
 let prop_flow_rsp_exact =
-  QCheck.Test.make ~name:"flow RSP = brute force on the 2-chain" ~count:100
-    (QCheck.int_range 0 100000) (fun seed ->
-      let rng = Random.State.make [| seed |] in
+  Harness.seeded_prop ~max_seed:100_000 ~count:100 "flow RSP = brute force on the 2-chain"
+    (fun rng ->
       let q = parse "R(x,y), S(y,z)" in
       let db = random_db rng [ ("R", 2); ("S", 2) ] 5 3 in
       List.for_all
@@ -211,9 +197,8 @@ let prop_flow_rsp_exact =
         (Database.tuples db))
 
 let prop_flow_rsp_exact_bag =
-  QCheck.Test.make ~name:"flow RSP = brute force on the 2-chain (bag)" ~count:80
-    (QCheck.int_range 0 100000) (fun seed ->
-      let rng = Random.State.make [| seed |] in
+  Harness.seeded_prop ~max_seed:100_000 ~count:80 "flow RSP = brute force on the 2-chain (bag)"
+    (fun rng ->
       let q = parse "R(x,y), S(y,z)" in
       let db = random_db rng [ ("R", 2); ("S", 2) ] 4 3 in
       List.for_all
@@ -238,7 +223,7 @@ let test_flow_exogenous_infinite () =
   | _ -> Alcotest.fail "expected No_contingency"
 
 let () =
-  let q = QCheck_alcotest.to_alcotest in
+  let q = Harness.qtest in
   Alcotest.run "netflow"
     [
       ( "maxflow",

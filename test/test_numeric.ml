@@ -178,7 +178,7 @@ let test_field_rounding () =
   Alcotest.(check int) "rat round down" 2 (Field.Rat_field.round (Rat.of_ints 9 4))
 
 let () =
-  let q = QCheck_alcotest.to_alcotest in
+  let q = Harness.qtest in
   Alcotest.run "numeric"
     [
       ( "bigint",

@@ -427,9 +427,7 @@ let prop_factorize_implies_integral_lp =
      P4 pattern test in Resilience.Instance is a *sufficient* condition for
      balancedness only: a 2x2 cross-product grid factorizes although it
      contains the pattern, so we test against the LP directly.) *)
-  QCheck.Test.make ~name:"read-once factorization => LP[RES*] integral" ~count:200
-    (QCheck.int_range 0 1_000_000) (fun seed ->
-      let rng = Random.State.make [| seed |] in
+  Harness.seeded_prop ~count:200 "read-once factorization => LP[RES*] integral" (fun rng ->
       let db = Database.create () in
       for _ = 1 to 5 do
         ignore (Database.add db "R" [| Random.State.int rng 3; Random.State.int rng 3 |])
@@ -451,7 +449,7 @@ let prop_factorize_implies_integral_lp =
         | _ -> false))
 
 let () =
-  let q = QCheck_alcotest.to_alcotest in
+  let q = Harness.qtest in
   Alcotest.run "relalg"
     [
       ("symbol", [ Alcotest.test_case "interning" `Quick test_symbol ]);

@@ -9,15 +9,13 @@ open Resilience
 (* Random instances and the per-tuple reference ranking come from the shared
    Harness module. *)
 
-let ranking_agrees ~exact seed =
-  let rng = Random.State.make [| seed |] in
+let ranking_agrees ~exact rng =
   let sem, q, db = Harness.random_case rng in
   let session = Session.create ~exact sem q db in
   let got = List.map (fun (tid, k, _) -> (tid, k)) (Session.ranking session) in
   got = Harness.reference_ranking ~exact sem q db
 
-let resilience_agrees ~exact seed =
-  let rng = Random.State.make [| seed |] in
+let resilience_agrees ~exact rng =
   let sem, q, db = Harness.random_case rng in
   let session = Session.create ~exact sem q db in
   match (Session.resilience session, Solve.resilience ~exact sem q db) with
@@ -30,8 +28,7 @@ let resilience_agrees ~exact seed =
 
 (* Responsibility sets read back from the shared program must be valid
    contingencies for their tuple, not just have the right size. *)
-let responsibility_sets_valid seed =
-  let rng = Random.State.make [| seed |] in
+let responsibility_sets_valid rng =
   let sem, q, db = Harness.random_case rng in
   let session = Session.create sem q db in
   List.for_all
@@ -45,16 +42,16 @@ let responsibility_sets_valid seed =
 let qcheck_cases =
   [
     (* 140 float + 70 exact = 210 random instances ranked differentially. *)
-    QCheck.Test.make ~name:"Session.ranking = per-tuple Solve.responsibility (float)"
-      ~count:140 (QCheck.int_range 0 1_000_000) (ranking_agrees ~exact:false);
-    QCheck.Test.make ~name:"Session.ranking = per-tuple Solve.responsibility (exact)"
-      ~count:70 (QCheck.int_range 0 1_000_000) (ranking_agrees ~exact:true);
-    QCheck.Test.make ~name:"Session.resilience = Solve.resilience (float)" ~count:120
-      (QCheck.int_range 0 1_000_000) (resilience_agrees ~exact:false);
-    QCheck.Test.make ~name:"Session.resilience = Solve.resilience (exact)" ~count:60
-      (QCheck.int_range 0 1_000_000) (resilience_agrees ~exact:true);
-    QCheck.Test.make ~name:"Session responsibility sets are valid contingencies" ~count:80
-      (QCheck.int_range 0 1_000_000) responsibility_sets_valid;
+    Harness.seeded_prop ~count:140 "Session.ranking = per-tuple Solve.responsibility (float)"
+      (ranking_agrees ~exact:false);
+    Harness.seeded_prop ~count:70 "Session.ranking = per-tuple Solve.responsibility (exact)"
+      (ranking_agrees ~exact:true);
+    Harness.seeded_prop ~count:120 "Session.resilience = Solve.resilience (float)"
+      (resilience_agrees ~exact:false);
+    Harness.seeded_prop ~count:60 "Session.resilience = Solve.resilience (exact)"
+      (resilience_agrees ~exact:true);
+    Harness.seeded_prop ~count:80 "Session responsibility sets are valid contingencies"
+      responsibility_sets_valid;
   ]
 
 (* --- Parallel vs sequential ------------------------------------------------ *)
@@ -62,8 +59,7 @@ let qcheck_cases =
 (* ranking_par must be bit-identical to ranking — same tuples, same k, same
    rho floats — for every job count, on both strategies.  The instance is
    solved sequentially once and in parallel at jobs ∈ {1, 2, 4}. *)
-let ranking_par_agrees ~exact seed =
-  let rng = Random.State.make [| seed |] in
+let ranking_par_agrees ~exact rng =
   let sem, q, db = Harness.random_case rng in
   let session = Session.create ~exact sem q db in
   let sequential = Session.ranking session in
@@ -74,8 +70,7 @@ let ranking_par_agrees ~exact seed =
 (* Same, with the strategy forced cold, so the parallel cold path (fresh
    per-tuple encodes from many domains) is exercised on sparse instances
    too. *)
-let ranking_par_cold_agrees seed =
-  let rng = Random.State.make [| seed |] in
+let ranking_par_cold_agrees rng =
   let sem, q, db = Harness.random_case rng in
   let session = Session.create ~dense_rows_threshold:0 sem q db in
   let sequential = Session.ranking session in
@@ -92,37 +87,23 @@ let par_qcheck_cases =
   [
     (* 140 float + 70 exact = 210 random instances, each ranked at three job
        counts against the sequential ranking. *)
-    QCheck.Test.make ~name:"Session.ranking_par = Session.ranking (float, jobs 1/2/4)"
-      ~count:140 (QCheck.int_range 0 1_000_000) (ranking_par_agrees ~exact:false);
-    QCheck.Test.make ~name:"Session.ranking_par = Session.ranking (exact, jobs 1/2/4)"
-      ~count:70 (QCheck.int_range 0 1_000_000) (ranking_par_agrees ~exact:true);
-    QCheck.Test.make ~name:"Session.ranking_par = Session.ranking (forced cold path)"
-      ~count:60 (QCheck.int_range 0 1_000_000) ranking_par_cold_agrees;
+    Harness.seeded_prop ~count:140 "Session.ranking_par = Session.ranking (float, jobs 1/2/4)"
+      (ranking_par_agrees ~exact:false);
+    Harness.seeded_prop ~count:70 "Session.ranking_par = Session.ranking (exact, jobs 1/2/4)"
+      (ranking_par_agrees ~exact:true);
+    Harness.seeded_prop ~count:60 "Session.ranking_par = Session.ranking (forced cold path)"
+      ranking_par_cold_agrees;
   ]
 
-(* Parallel branch-and-bound: random frozen covering programs, optimum value
-   and status must match the sequential session solve for every pool size
-   and frontier depth. *)
-let random_covering_frozen rng =
-  let m = Lp.Model.create () in
-  let nvars = 4 + Random.State.int rng 6 in
-  let vars =
-    Array.init nvars (fun _ -> Lp.Model.add_var ~upper:1 ~obj:(1 + Random.State.int rng 5) m)
-  in
-  let nrows = 3 + Random.State.int rng 6 in
-  for _ = 1 to nrows do
-    let width = 1 + Random.State.int rng 3 in
-    let picked = List.init width (fun _ -> vars.(Random.State.int rng nvars)) in
-    let picked = List.sort_uniq compare picked in
-    Lp.Model.add_constr m (List.map (fun v -> (v, 1)) picked) Lp.Model.Geq 1
-  done;
-  Lp.Frozen.of_model m
-
+(* Parallel branch-and-bound: random frozen covering programs (from the
+   shared Harness generator), optimum value and status must match the
+   sequential session solve for every pool size and frontier depth. *)
 let bb_configs = [ (1, 3); (2, 0); (2, 2); (4, 3) ]
 
-let bb_par_agrees ~exact seed =
-  let rng = Random.State.make [| seed |] in
-  let fz = random_covering_frozen rng in
+let bb_par_agrees ~exact rng =
+  let nvars = 4 + Random.State.int rng 6 in
+  let nrows = 3 + Random.State.int rng 6 in
+  let fz, _ = Harness.random_covering_frozen rng ~nvars ~nrows in
   if exact then begin
     let open Lp.Solvers.Exact_bb in
     let seq = solve_session (create_session fz) in
@@ -146,10 +127,10 @@ let bb_par_agrees ~exact seed =
 
 let bb_par_qcheck =
   [
-    QCheck.Test.make ~name:"parallel B&B optimum = sequential (float)" ~count:120
-      (QCheck.int_range 0 1_000_000) (bb_par_agrees ~exact:false);
-    QCheck.Test.make ~name:"parallel B&B optimum = sequential (exact)" ~count:60
-      (QCheck.int_range 0 1_000_000) (bb_par_agrees ~exact:true);
+    Harness.seeded_prop ~count:120 "parallel B&B optimum = sequential (float)"
+      (bb_par_agrees ~exact:false);
+    Harness.seeded_prop ~count:60 "parallel B&B optimum = sequential (exact)"
+      (bb_par_agrees ~exact:true);
   ]
 
 (* --- Dense-regime fallback -------------------------------------------------- *)
@@ -159,7 +140,7 @@ let bb_par_qcheck =
    multiplied until the shared program tops the row threshold) falls back to
    cold per-tuple solves. *)
 let test_strategy_sparse () =
-  let rng = Random.State.make [| 42 |] in
+  let rng = Harness.rng_of 42 in
   let q = Queries.q2_chain () in
   let specs = Datagen.Random_inst.specs_of_query q ~count:40 in
   let db = Datagen.Random_inst.db rng ~domain:80 specs in
@@ -187,7 +168,7 @@ let test_strategy_dense () =
   Alcotest.(check bool) "max_int threshold forces shared" true
     (Session.batch_strategy (Session.create ~dense_rows_threshold:max_int Problem.Set q db)
     = `Shared_delta);
-  let rng = Random.State.make [| 42 |] in
+  let rng = Harness.rng_of 42 in
   let sparse =
     Datagen.Random_inst.db rng ~domain:80 (Datagen.Random_inst.specs_of_query q ~count:40)
   in
@@ -197,7 +178,7 @@ let test_strategy_dense () =
 
 let test_strategies_agree () =
   (* Both regimes rank a mid-size instance identically. *)
-  let rng = Random.State.make [| 7 |] in
+  let rng = Harness.rng_of 7 in
   let q = Queries.q2_chain () in
   let specs = Datagen.Random_inst.specs_of_query q ~count:12 in
   let db = Datagen.Random_inst.db rng ~domain:3 specs in
@@ -263,22 +244,10 @@ let test_warm_vs_cold_deltas () =
 
 (* Random frozen covering programs and random delta sequences: one warm
    session must match a cold session at every step. *)
-let warm_equals_cold seed =
-  let rng = Random.State.make [| seed |] in
-  let m = Lp.Model.create () in
+let warm_equals_cold rng =
   let nvars = 3 + Random.State.int rng 5 in
-  let vars =
-    Array.init nvars (fun _ ->
-        Lp.Model.add_var ~upper:1 ~obj:(1 + Random.State.int rng 5) m)
-  in
   let nrows = 2 + Random.State.int rng 5 in
-  for _ = 1 to nrows do
-    let width = 1 + Random.State.int rng 3 in
-    let picked = List.init width (fun _ -> vars.(Random.State.int rng nvars)) in
-    let picked = List.sort_uniq compare picked in
-    Lp.Model.add_constr m (List.map (fun v -> (v, 1)) picked) Lp.Model.Geq 1
-  done;
-  let fz = Lp.Model.create () |> fun _ -> Lp.Frozen.of_model m in
+  let fz, vars = Harness.random_covering_frozen rng ~nvars ~nrows in
   let warm = Lp.Solvers.Float_simplex.create_session fz in
   let ok = ref true in
   for _ = 1 to 8 do
@@ -304,8 +273,8 @@ let warm_equals_cold seed =
   !ok
 
 let warm_qcheck =
-  QCheck.Test.make ~name:"warm session = cold session on random delta sequences" ~count:300
-    (QCheck.int_range 0 1_000_000) warm_equals_cold
+  Harness.seeded_prop ~count:300 "warm session = cold session on random delta sequences"
+    warm_equals_cold
 
 (* --- Edge cases ------------------------------------------------------------ *)
 
@@ -357,7 +326,7 @@ let () =
       ( "warm-starts",
         [
           test_case "warm vs cold, per delta kind" `Quick test_warm_vs_cold_deltas;
-          QCheck_alcotest.to_alcotest warm_qcheck;
+          Harness.qtest warm_qcheck;
         ] );
       ( "edge-cases",
         [
@@ -371,6 +340,6 @@ let () =
           test_case "dense fixture goes cold" `Quick test_strategy_dense;
           test_case "both strategies rank identically" `Quick test_strategies_agree;
         ] );
-      ("differential", List.map QCheck_alcotest.to_alcotest qcheck_cases);
-      ("parallel", List.map QCheck_alcotest.to_alcotest (par_qcheck_cases @ bb_par_qcheck));
+      ("differential", Harness.qtests qcheck_cases);
+      ("parallel", Harness.qtests (par_qcheck_cases @ bb_par_qcheck));
     ]
