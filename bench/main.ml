@@ -36,12 +36,21 @@ let row cells =
   print_endline (String.concat "\t" cells);
   flush stdout
 
+let no_stats nodes =
+  {
+    Solve.nodes;
+    root_lp = nan;
+    root_integral = false;
+    solve_time = nan;
+    prep_time = nan;
+    pivots = 0;
+    refactors = 0;
+  }
+
 let res_outcome = function
   | Solve.Solved a -> (Some a.Solve.res_value, a.Solve.res_stats)
-  | Solve.Budget_exhausted v ->
-    (v, { Solve.nodes = -1; root_lp = nan; root_integral = false; solve_time = nan })
-  | Solve.Query_false | Solve.No_contingency ->
-    (None, { Solve.nodes = 0; root_lp = nan; root_integral = false; solve_time = nan })
+  | Solve.Budget_exhausted v -> (v, no_stats (-1))
+  | Solve.Query_false | Solve.No_contingency -> (None, no_stats 0)
 
 let rsp_outcome = function
   | Solve.Solved a -> Some a.Solve.rsp_value
@@ -584,7 +593,8 @@ let cold_ranking sem q db =
            | Solve.Query_false | Solve.No_contingency | Solve.Budget_exhausted _ -> None)
   |> List.stable_sort (fun (_, a) (_, b) -> compare a b)
 
-let run_ranking ?(jobs = 1) ?(dense = false) scale json =
+let run_ranking ?(jobs = 1) ?(dense = false) ?trace scale json =
+  if trace <> None then Obs.Sink.install ();
   let rng = Random.State.make [| 808 |] in
   let q = Queries.q2_chain () in
   let regime = if dense then "dense joins" else "sparse joins" in
@@ -635,11 +645,15 @@ let run_ranking ?(jobs = 1) ?(dense = false) scale json =
         let speedup = if t_session > 0.0 then t_cold /. t_session else nan in
         let par_speedup = if t_par > 0.0 then t_session /. t_par else nan in
         let tuples = List.length (Database.tuples db) in
+        (* Per-phase breakdown of the sequential session, from its own
+           accumulator — where a ranking's time actually goes. *)
+        let prof = Session.profile session in
         entries :=
           Printf.sprintf
-            "{\"tuples\":%d,\"witnesses\":%d,\"ranked\":%d,\"strategy\":\"%s\",\"jobs\":%d,\"cold_s\":%.6f,\"session_s\":%.6f,\"par_s\":%.6f,\"speedup\":%.2f,\"par_speedup\":%.2f,\"identical\":%b}"
+            "{\"tuples\":%d,\"witnesses\":%d,\"ranked\":%d,\"strategy\":\"%s\",\"jobs\":%d,\"cold_s\":%.6f,\"session_s\":%.6f,\"par_s\":%.6f,\"speedup\":%.2f,\"par_speedup\":%.2f,\"identical\":%b,\"phases\":{\"witnesses_s\":%.6f,\"encode_s\":%.6f,\"lint_s\":%.6f,\"prep_s\":%.6f,\"solve_s\":%.6f,\"questions\":%d}}"
             tuples witnesses (List.length ranked) strategy jobs t_cold t_session t_par
-            speedup par_speedup identical
+            speedup par_speedup identical prof.Session.witnesses_s prof.Session.encode_s
+            prof.Session.lint_s prof.Session.prep_s prof.Session.solve_s prof.Session.questions
           :: !entries;
         if not json then
           row
@@ -657,7 +671,14 @@ let run_ranking ?(jobs = 1) ?(dense = false) scale json =
             ]
       end)
     [ 100; 200; 400 ];
-  if json then Printf.printf "[%s]\n" (String.concat "," (List.rev !entries))
+  if json then Printf.printf "[%s]\n" (String.concat "," (List.rev !entries));
+  match trace with
+  | None -> ()
+  | Some path ->
+    let spans = Obs.Trace.drain () in
+    Obs.Sink.uninstall ();
+    Obs.Export.chrome_to_file path spans;
+    if not json then Printf.printf "trace written to %s\n" path
 
 (* ---- command wiring ------------------------------------------------------------ *)
 
@@ -701,14 +722,23 @@ let dense_arg =
           "Shrink the join domain so witnesses multiply — the regime where the shared \
            super-model loses to cold per-tuple solves (crossover measurement)")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record solver telemetry for the whole run and write a Chrome trace-event JSON \
+           (load in Perfetto; one track per domain)")
+
 let ranking_cmd =
   Cmd.v (Cmd.info "ranking" ~doc:"responsibility ranking: warm session vs cold per-tuple solves")
     Term.(
-      const (fun scale json jobs dense ->
+      const (fun scale json jobs dense trace ->
           let jobs = if jobs = 0 then Lp.Pool.default_jobs () else jobs in
-          run_ranking ~jobs ~dense scale json;
+          run_ranking ~jobs ~dense ?trace scale json;
           0)
-      $ scale_arg $ json_arg $ jobs_arg $ dense_arg)
+      $ scale_arg $ json_arg $ jobs_arg $ dense_arg $ trace_arg)
 
 let run_all scale =
   run_table1 ();

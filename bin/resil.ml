@@ -77,6 +77,41 @@ let lint_arg =
     value & flag
     & info [ "lint" ] ~doc:"Print query/instance diagnostics (to stderr) before solving")
 
+(* ----- telemetry ---------------------------------------------------------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record solver telemetry and write a Chrome trace-event JSON to FILE (load in \
+           Perfetto; one track per domain)")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print flat telemetry JSON (counters and per-span totals) to stdout after the \
+           command's own output")
+
+(* With [--trace]/[--stats] the whole command body runs under an installed
+   sink and one top-level span, so the exported trace covers the command's
+   wall time; without either flag this is just [f ()] and every
+   instrumented site in the solve stack stays a single atomic load. *)
+let with_telemetry ~trace ~stats name f =
+  if trace = None && not stats then f ()
+  else begin
+    Obs.Sink.install ();
+    let code = Obs.Trace.with_span name f in
+    let spans = Obs.Trace.drain () in
+    Obs.Sink.uninstall ();
+    (match trace with Some path -> Obs.Export.chrome_to_file path spans | None -> ());
+    if stats then print_endline (Obs.Export.stats_json spans);
+    code
+  end
+
 (* ----- classify --------------------------------------------------------- *)
 
 let classify_cmd =
@@ -201,7 +236,8 @@ let lint_cmd =
     Term.(const run $ data_arg $ bag_arg $ json $ query)
 
 let resilience_cmd =
-  let run data bag exact lp lint query =
+  let run data bag exact lp lint trace stats query =
+    with_telemetry ~trace ~stats "resil.resilience" @@ fun () ->
     let db = load_db data in
     match parse_query db query with
     | Error msg ->
@@ -244,12 +280,14 @@ let resilience_cmd =
   let query = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
   Cmd.v
     (Cmd.info "resilience" ~doc:"Minimum tuple deletions falsifying the query (ILP[RES*])")
-    Term.(const run $ data_arg $ bag_arg $ exact_arg $ lp $ lint_arg $ query)
+    Term.(
+      const run $ data_arg $ bag_arg $ exact_arg $ lp $ lint_arg $ trace_arg $ stats_arg $ query)
 
 (* ----- responsibility --------------------------------------------------- *)
 
 let responsibility_cmd =
-  let run data bag exact lint tuple query =
+  let run data bag exact lint trace stats tuple query =
+    with_telemetry ~trace ~stats "resil.responsibility" @@ fun () ->
     let db = load_db data in
     match parse_query db query with
     | Error msg ->
@@ -301,12 +339,15 @@ let responsibility_cmd =
   Cmd.v
     (Cmd.info "responsibility"
        ~doc:"Minimum contingency set making a tuple counterfactual (ILP[RSP*])")
-    Term.(const run $ data_arg $ bag_arg $ exact_arg $ lint_arg $ tuple $ query)
+    Term.(
+      const run $ data_arg $ bag_arg $ exact_arg $ lint_arg $ trace_arg $ stats_arg $ tuple
+      $ query)
 
 (* ----- rank -------------------------------------------------------------- *)
 
 let rank_cmd =
-  let run data bag exact lint json jobs query =
+  let run data bag exact lint json jobs trace stats query =
+    with_telemetry ~trace ~stats "resil.rank" @@ fun () ->
     let db = load_db data in
     match parse_query db query with
     | Error msg ->
@@ -319,9 +360,10 @@ let rank_cmd =
          every tuple's ILP[RSP*] is a warm-started delta-solve — spread
          over [jobs] domains when asked (output is identical). *)
       let session = Session.create ~exact sem q db in
-      let ranked =
-        if jobs = 1 then Session.ranking session else Session.ranking_par ~jobs session
-      in
+      (* Always the pool path — at [jobs = 1] it degenerates to the
+         sequential loop but emits the same telemetry shape, so --stats
+         output is schema-identical for every N. *)
+      let ranked = Session.ranking_par ~jobs session in
       if json then begin
         let row (tid, k, rho) =
           Printf.sprintf {|{"tuple":"%s","k":%d,"responsibility":%g}|}
@@ -362,7 +404,9 @@ let rank_cmd =
          "Rank every endogenous tuple by responsibility for the query answer (minimal \
           contingency size k, responsibility 1/(1+k), best first), batched through one \
           warm-started solve session")
-    Term.(const run $ data_arg $ bag_arg $ exact_arg $ lint_arg $ json $ jobs $ query)
+    Term.(
+      const run $ data_arg $ bag_arg $ exact_arg $ lint_arg $ json $ jobs $ trace_arg
+      $ stats_arg $ query)
 
 (* ----- explain ----------------------------------------------------------- *)
 
@@ -439,7 +483,8 @@ let fuzz_disc_json (d : Check.Fuzz.discrepancy) =
     | None -> "null")
 
 let fuzz_cmd =
-  let run seconds instances seed oracle_names json corpus no_shrink replay =
+  let run seconds instances seed oracle_names json corpus no_shrink replay trace stats =
+    with_telemetry ~trace ~stats "resil.fuzz" @@ fun () ->
     if List.exists (fun n -> n = "help" || n = "list") oracle_names then begin
       List.iter
         (fun (o : Check.Oracle.t) ->
@@ -575,7 +620,8 @@ let fuzz_cmd =
           on/off, ILP vs brute force, parallel vs sequential, LP/flow/ILP sandwich). \
           Discrepancies are shrunk to minimal repros. Exits 1 if any discrepancy is found.")
     Term.(
-      const run $ seconds $ instances $ seed $ oracle_names $ json $ corpus $ no_shrink $ replay)
+      const run $ seconds $ instances $ seed $ oracle_names $ json $ corpus $ no_shrink $ replay
+      $ trace_arg $ stats_arg)
 
 let () =
   let doc = "resilience and causal responsibility via ILP (SIGMOD 2023 reproduction)" in

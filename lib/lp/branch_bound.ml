@@ -1,3 +1,14 @@
+(* Shared between the float and exact instantiations (creation is
+   idempotent by name); every bump is dropped unless a trace sink is
+   installed. *)
+let c_nodes = Obs.Counter.create "bb.nodes"
+let c_pruned = Obs.Counter.create "bb.pruned"
+let c_infeasible_nodes = Obs.Counter.create "bb.infeasible_nodes"
+let c_integral_leaves = Obs.Counter.create "bb.integral_leaves"
+let c_incumbents = Obs.Counter.create "bb.incumbents"
+let c_budget_hits = Obs.Counter.create "bb.budget_hits"
+let c_max_depth = Obs.Counter.create "bb.max_depth"
+
 module Make (F : Numeric.Field.S) = struct
   module Lp = Simplex.Make (F)
 
@@ -10,6 +21,8 @@ module Make (F : Numeric.Field.S) = struct
     nodes : int;
     root_objective : F.t option;
     root_integral : bool;
+    pivots : int;
+    refactors : int;
   }
 
   (* When the objective touches only integer variables (and has integer
@@ -58,6 +71,7 @@ module Make (F : Numeric.Field.S) = struct
          objective as exact. *)
       !ok && int_vars <> []
     in
+    let span0 = Obs.Trace.begin_ () in
     let t0 = Clock.now () in
     let out_of_time () =
       match time_limit with Some limit -> Clock.elapsed t0 > limit | None -> false
@@ -77,6 +91,7 @@ module Make (F : Numeric.Field.S) = struct
       match !incumbent_obj with
       | Some inc when F.compare obj inc >= 0 -> ()
       | _ ->
+        Obs.Counter.incr c_incumbents;
         incumbent_obj := Some obj;
         incumbent_sol := Some sol
     in
@@ -104,12 +119,14 @@ module Make (F : Numeric.Field.S) = struct
         stack := rest;
         if (match node_limit with Some l -> !nodes >= l | None -> false) || out_of_time () then begin
           hit_limit := true;
+          Obs.Counter.incr c_budget_hits;
           continue := false
         end
         else begin
           incr nodes;
+          Obs.Counter.incr c_nodes;
           match Lp.solve ~fixed:node_fixed m with
-          | Infeasible -> ()
+          | Infeasible -> Obs.Counter.incr c_infeasible_nodes
           | Unbounded ->
             (* An unbounded relaxation at the root means the MILP is
                unbounded or infeasible; we report unbounded. *)
@@ -124,10 +141,12 @@ module Make (F : Numeric.Field.S) = struct
             let pruned =
               match !incumbent_obj with Some inc -> F.compare bound inc >= 0 | None -> false
             in
-            if not pruned then begin
+            if pruned then Obs.Counter.incr c_pruned
+            else begin
               match most_fractional solution int_vars with
               | None ->
                 (* Integral on all integer variables: new incumbent. *)
+                Obs.Counter.incr c_integral_leaves;
                 offer_incumbent objective solution
               | Some v ->
                 try_rounding solution;
@@ -144,6 +163,7 @@ module Make (F : Numeric.Field.S) = struct
         | None, true -> Limit_no_solution
         | None, false -> Infeasible
     in
+    Obs.Trace.end_ span0 "bb.solve";
     {
       status;
       objective = !incumbent_obj;
@@ -151,6 +171,10 @@ module Make (F : Numeric.Field.S) = struct
       nodes = !nodes;
       root_objective = !root_objective;
       root_integral = !root_integral;
+      (* The model path has no warm session to meter; per-solve simplex
+         work is only attributed on the frozen-session paths. *)
+      pivots = 0;
+      refactors = 0;
     }
 
   (* ----- Frozen sessions -------------------------------------------------
@@ -255,11 +279,14 @@ module Make (F : Numeric.Field.S) = struct
         | _ ->
           if timed_out () || not (tick ()) then begin
             hit_limit := true;
+            Obs.Counter.incr c_budget_hits;
             continue := false
           end
           else begin
+            Obs.Counter.incr c_nodes;
+            Obs.Counter.record_max c_max_depth depth;
             match relax node_delta with
-            | `Infeasible -> ()
+            | `Infeasible -> Obs.Counter.incr c_infeasible_nodes
             | `Unbounded ->
               unbounded := true;
               continue := false
@@ -269,9 +296,12 @@ module Make (F : Numeric.Field.S) = struct
               let pruned =
                 match best () with Some inc -> F.compare bound inc >= 0 | None -> false
               in
-              if not pruned then begin
+              if pruned then Obs.Counter.incr c_pruned
+              else begin
                 match most_fractional solution int_vars with
-                | None -> offer objective solution
+                | None ->
+                  Obs.Counter.incr c_integral_leaves;
+                  offer objective solution
                 | Some v ->
                   try_rounding solution;
                   stack :=
@@ -305,9 +335,16 @@ module Make (F : Numeric.Field.S) = struct
     in
     (root_objective, root_integral, on_solved)
 
+  (* Lifetime simplex work of a session's warm LP engine (zero on the
+     thawed-fallback path, which has no session to meter). *)
+  let session_work sess =
+    match sess.slp with Some s -> (Lp.session_pivots s, Lp.session_refactors s) | None -> (0, 0)
+
   let solve_session ?node_limit ?time_limit ?(delta = Frozen.Delta.empty) sess =
     let fz = sess.sfz in
     let nvars, int_vars, pure_int_obj = fz_meta fz in
+    let span0 = Obs.Trace.begin_ () in
+    let piv0, ref0 = session_work sess in
     let t0 = Clock.now () in
     let timed_out () =
       match time_limit with Some limit -> Clock.elapsed t0 > limit | None -> false
@@ -326,6 +363,7 @@ module Make (F : Numeric.Field.S) = struct
       match !incumbent_obj with
       | Some inc when F.compare obj inc >= 0 -> ()
       | _ ->
+        Obs.Counter.incr c_incumbents;
         incumbent_obj := Some obj;
         incumbent_sol := Some sol
     in
@@ -338,6 +376,8 @@ module Make (F : Numeric.Field.S) = struct
         ~offer ~tick ~timed_out ~on_solved
         [ (delta, 0) ]
     in
+    let piv1, ref1 = session_work sess in
+    Obs.Trace.end_ span0 "bb.solve";
     {
       status = status_of ~unbounded ~incumbent:!incumbent_obj ~hit_limit;
       objective = !incumbent_obj;
@@ -345,6 +385,8 @@ module Make (F : Numeric.Field.S) = struct
       nodes = !nodes;
       root_objective = !root_objective;
       root_integral = !root_integral;
+      pivots = piv1 - piv0;
+      refactors = ref1 - ref0;
     }
 
   (* Parallel exploration of the top of the tree: the session's own engine
@@ -361,6 +403,12 @@ module Make (F : Numeric.Field.S) = struct
     else begin
       let fz = sess.sfz in
       let nvars, int_vars, pure_int_obj = fz_meta fz in
+      let span0 = Obs.Trace.begin_ () in
+      let piv0, ref0 = session_work sess in
+      (* Work done by the per-domain engines of phase 2; drained into these
+         totals as each frontier task completes. *)
+      let par_pivots = Atomic.make 0 in
+      let par_refactors = Atomic.make 0 in
       let t0 = Clock.now () in
       let timed_out () =
         match time_limit with Some limit -> Clock.elapsed t0 > limit | None -> false
@@ -387,7 +435,10 @@ module Make (F : Numeric.Field.S) = struct
         let cur = Atomic.get incumbent in
         match cur with
         | Some (inc, _) when F.compare obj inc >= 0 -> ()
-        | _ -> if not (Atomic.compare_and_set incumbent cur (Some (obj, sol))) then offer obj sol
+        | _ ->
+          if Atomic.compare_and_set incumbent cur (Some (obj, sol)) then
+            Obs.Counter.incr c_incumbents
+          else offer obj sol
       in
       let root_objective, root_integral, on_solved = root_recorder int_vars in
       (* Phase 1: expand the top [par_depth] levels on the session's own
@@ -416,6 +467,7 @@ module Make (F : Numeric.Field.S) = struct
              ~tasks:(Array.length frontier)
              (fun dom_sess i ->
                if not (Atomic.get hit_limit || Atomic.get unbounded) then begin
+                 let dp0, dr0 = session_work dom_sess in
                  let hit, unb =
                    dfs
                      ~relax:(fun d -> relax ~delta:d dom_sess)
@@ -424,6 +476,9 @@ module Make (F : Numeric.Field.S) = struct
                      ~on_solved:(fun _ _ -> ())
                      [ (frontier.(i), par_depth) ]
                  in
+                 let dp1, dr1 = session_work dom_sess in
+                 ignore (Atomic.fetch_and_add par_pivots (dp1 - dp0));
+                 ignore (Atomic.fetch_and_add par_refactors (dr1 - dr0));
                  if hit then Atomic.set hit_limit true;
                  if unb then Atomic.set unbounded true
                end))
@@ -433,6 +488,8 @@ module Make (F : Numeric.Field.S) = struct
         | Some (obj, sol) -> (Some obj, Some sol)
         | None -> (None, None)
       in
+      let piv1, ref1 = session_work sess in
+      Obs.Trace.end_ span0 "bb.solve";
       {
         status =
           status_of ~unbounded:(Atomic.get unbounded) ~incumbent:incumbent_obj
@@ -442,6 +499,8 @@ module Make (F : Numeric.Field.S) = struct
         nodes = Atomic.get nodes;
         root_objective = !root_objective;
         root_integral = !root_integral;
+        pivots = piv1 - piv0 + Atomic.get par_pivots;
+        refactors = ref1 - ref0 + Atomic.get par_refactors;
       }
     end
 

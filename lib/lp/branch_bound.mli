@@ -28,6 +28,12 @@ module Make (F : Numeric.Field.S) : sig
     root_integral : bool;
         (** Whether the root LP optimum was already integral on the integer
             variables — the paper's LP=ILP condition observed in practice. *)
+    pivots : int;
+        (** Simplex pivots spent on this solve, attributed through the warm
+            session's lifetime totals (parallel solves include the
+            per-domain engines).  0 on the model path of {!solve}, which has
+            no warm session to meter. *)
+    refactors : int;  (** Basis refactorisations, attributed like [pivots]. *)
   }
 
   val solve :

@@ -1,2 +1,4 @@
-let now () = Unix.gettimeofday ()
-let elapsed t0 = Unix.gettimeofday () -. t0
+(* Delegates to the observability layer's monotonized clock so solver
+   budgets, reported durations and trace spans share one time source. *)
+let now = Obs.Clock.now
+let elapsed = Obs.Clock.elapsed

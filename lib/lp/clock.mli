@@ -5,13 +5,14 @@
     like the paper's ILP(10) cutoff are wall-clock budgets.  Every timer in
     this code base goes through this module so the semantics are uniform.
 
-    The implementation is [Unix.gettimeofday] — the best always-available
-    approximation of a monotonic clock without an external dependency.
-    Differences of {!now} are only used over solver-scale spans (well under
-    NTP-slew scales), where it behaves monotonically in practice. *)
+    The implementation is {!Obs.Clock}: [Unix.gettimeofday] monotonized
+    through a global atomic high-water mark, so [now] never goes backwards
+    even if NTP steps the wall clock mid-solve, and all durations reported
+    by solvers agree with the timestamps in exported traces. *)
 
 val now : unit -> float
-(** Wall-clock seconds since the epoch. *)
+(** Monotonically non-decreasing wall-clock seconds since the epoch. *)
 
 val elapsed : float -> float
-(** [elapsed t0] is the wall-clock time since [t0 = now ()], in seconds. *)
+(** [elapsed t0] is the wall-clock time since [t0 = now ()], in seconds
+    (clamped at 0). *)

@@ -15,6 +15,13 @@
    worker that drew a long chunk late cannot change any result slot, only
    the wall-clock. *)
 
+(* Batch/chunk accounting, dropped unless a trace sink is installed.  Per-
+   domain busy time is read off the "pool.chunk" spans of each track in the
+   exported trace; queue wait is the gap between consecutive chunk spans. *)
+let c_batches = Obs.Counter.create "pool.batches"
+let c_chunks = Obs.Counter.create "pool.chunks"
+let c_tasks = Obs.Counter.create "pool.tasks"
+
 type batch = { participate : unit -> unit }
 
 type t = {
@@ -76,10 +83,21 @@ let run_init ?chunk pool ~init ~tasks f =
   if tasks < 0 then invalid_arg "Pool.run: negative task count";
   if tasks = 0 then [||]
   else if pool.njobs = 1 then begin
-    (* The sequential path: no domains, no locks, index order. *)
+    (* The sequential path: no domains, no locks, index order.  The same
+       batch/chunk spans and counters as the parallel path (one chunk of
+       everything), so telemetry schemas do not depend on the job count. *)
     if not pool.active then invalid_arg "Pool.run: pool is shut down";
+    Obs.Counter.incr c_batches;
+    Obs.Counter.incr c_chunks;
+    Obs.Counter.add c_tasks tasks;
+    let span_b = Obs.Trace.begin_ () in
     let st = init () in
-    Array.init tasks (fun i -> f st i)
+    let span_c = Obs.Trace.begin_ () in
+    let r = Array.init tasks (fun i -> f st i) in
+    if not (Float.is_nan span_c) then
+      Obs.Trace.end_ span_c ~args:[ ("tasks", string_of_int tasks) ] "pool.chunk";
+    Obs.Trace.end_ span_b "pool.batch";
+    r
   end
   else begin
     let chunk =
@@ -116,6 +134,9 @@ let run_init ?chunk pool ~init ~tasks f =
           next := stop;
           incr in_flight;
           Mutex.unlock pool.mutex;
+          Obs.Counter.incr c_chunks;
+          Obs.Counter.add c_tasks (stop - start);
+          let span_c = Obs.Trace.begin_ () in
           (try
              let s = local_init () in
              for i = start to stop - 1 do
@@ -126,6 +147,8 @@ let run_init ?chunk pool ~init ~tasks f =
              Mutex.lock pool.mutex;
              if !failed = None then failed := Some (e, bt);
              Mutex.unlock pool.mutex);
+          if not (Float.is_nan span_c) then
+            Obs.Trace.end_ span_c ~args:[ ("tasks", string_of_int (stop - start)) ] "pool.chunk";
           Mutex.lock pool.mutex;
           decr in_flight;
           if !in_flight = 0 && (!next >= tasks || !failed <> None) then
@@ -143,6 +166,8 @@ let run_init ?chunk pool ~init ~tasks f =
       Mutex.unlock pool.mutex;
       invalid_arg "Pool.run: a batch is already running"
     end;
+    Obs.Counter.incr c_batches;
+    let span_b = Obs.Trace.begin_ () in
     pool.current <- Some { participate };
     pool.generation <- pool.generation + 1;
     Condition.broadcast pool.wake;
@@ -155,6 +180,7 @@ let run_init ?chunk pool ~init ~tasks f =
     done;
     pool.current <- None;
     Mutex.unlock pool.mutex;
+    Obs.Trace.end_ span_b "pool.batch";
     match !failed with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None ->

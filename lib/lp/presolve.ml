@@ -37,7 +37,21 @@ type row = { expr : (int * int) list; sense : Model.sense; rhs : int }
 exception Found_infeasible
 exception Found_unbounded
 
-let presolve ?(strip_bounds = true) m =
+(* Per-rule reduction counters (dropped unless a trace sink is installed);
+   aggregate totals mirror the per-model {!summary}. *)
+let c_passes = Obs.Counter.create "presolve.passes"
+let c_rows_removed = Obs.Counter.create "presolve.rows_removed"
+let c_vars_fixed = Obs.Counter.create "presolve.vars_fixed"
+let c_bounds_tightened = Obs.Counter.create "presolve.bounds_tightened"
+let c_bounds_stripped = Obs.Counter.create "presolve.bounds_stripped"
+let c_empty_row_drops = Obs.Counter.create "presolve.rule.empty_row"
+let c_singleton_drops = Obs.Counter.create "presolve.rule.singleton"
+let c_trivial_drops = Obs.Counter.create "presolve.rule.trivial_row"
+let c_dedup_drops = Obs.Counter.create "presolve.rule.dedup"
+let c_dominated_drops = Obs.Counter.create "presolve.rule.dominated"
+let c_empty_col_fixes = Obs.Counter.create "presolve.rule.empty_column"
+
+let presolve_body ?(strip_bounds = true) m =
   let n = Frozen.num_vars m in
   let upper = Array.init n (fun v -> Frozen.upper m v) in
   let fixed = Array.make n None in
@@ -54,6 +68,7 @@ let presolve ?(strip_bounds = true) m =
     if rows.(i) <> None then begin
       rows.(i) <- None;
       incr rows_removed;
+      Obs.Counter.incr c_rows_removed;
       changed := true
     end
   in
@@ -65,6 +80,7 @@ let presolve ?(strip_bounds = true) m =
       (match upper.(v) with Some u when value > u -> raise Found_infeasible | _ -> ());
       fixed.(v) <- Some value;
       incr vars_fixed;
+      Obs.Counter.incr c_vars_fixed;
       changed := true
   in
   let tighten_upper v u =
@@ -72,6 +88,7 @@ let presolve ?(strip_bounds = true) m =
     let tighter = match upper.(v) with Some cur -> u < cur | None -> true in
     if tighter then begin
       upper.(v) <- Some u;
+      Obs.Counter.incr c_bounds_tightened;
       changed := true
     end;
     if u = 0 then fix v 0
@@ -196,8 +213,15 @@ let presolve ?(strip_bounds = true) m =
             | Model.Leq -> 0 <= r.rhs
             | Model.Eq -> 0 = r.rhs
           in
-          if ok then drop i else raise Found_infeasible
-        | [ (v, c) ] -> handle_singleton i v c r.rhs
+          if ok then begin
+            Obs.Counter.incr c_empty_row_drops;
+            drop i
+          end
+          else raise Found_infeasible
+        | [ (v, c) ] ->
+          let before = !rows_removed in
+          handle_singleton i v c r.rhs;
+          Obs.Counter.add c_singleton_drops (!rows_removed - before)
         | _ -> (
           (* static infeasibility / redundancy from the bounds *)
           let mi = min_act r.expr and ma = max_act r.expr in
@@ -217,7 +241,10 @@ let presolve ?(strip_bounds = true) m =
             | Model.Eq -> (
               match (mi, ma) with Some a, Some b -> a = r.rhs && b = r.rhs | _ -> false)
           in
-          if trivial then drop i
+          if trivial then begin
+            Obs.Counter.incr c_trivial_drops;
+            drop i
+          end
           else begin
             (* bound propagation on integer columns: in a >= row a negative
                column is capped by what the rest of the row can still
@@ -326,10 +353,17 @@ let presolve ?(strip_bounds = true) m =
     while !changed && !passes < 10 do
       changed := false;
       incr passes;
+      Obs.Counter.incr c_passes;
       scan_rows ();
+      let r0 = !rows_removed in
       dedup_rows ();
+      Obs.Counter.add c_dedup_drops (!rows_removed - r0);
+      let r1 = !rows_removed in
       drop_dominated ();
-      fix_empty_columns ()
+      Obs.Counter.add c_dominated_drops (!rows_removed - r1);
+      let f0 = !vars_fixed in
+      fix_empty_columns ();
+      Obs.Counter.add c_empty_col_fixes (!vars_fixed - f0)
     done
   with
   | exception Found_infeasible -> Infeasible
@@ -366,7 +400,8 @@ let presolve ?(strip_bounds = true) m =
           in
           if List.for_all benign rows_of_var.(v) then begin
             upper.(v) <- None;
-            incr bounds_stripped
+            incr bounds_stripped;
+            Obs.Counter.incr c_bounds_stripped
           end
         | _ -> ()
       done
@@ -424,3 +459,9 @@ let presolve ?(strip_bounds = true) m =
       }
     in
     Reduced (reduced, vm)
+
+let presolve ?strip_bounds m =
+  let span0 = Obs.Trace.begin_ () in
+  let r = presolve_body ?strip_bounds m in
+  Obs.Trace.end_ span0 "presolve";
+  r

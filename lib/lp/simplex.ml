@@ -18,6 +18,16 @@
    pricing is Dantzig with a permanent switch to Bland's rule after a
    degenerate streak (primal) or late in the iteration budget (dual). *)
 
+(* Cross-field instrumentation: the float and exact instantiations of the
+   functor share one set of counters ({!Obs.Counter.create} is idempotent by
+   name), and every bump is dropped unless a trace sink is installed, so the
+   per-pivot cost with telemetry off is a single atomic load. *)
+let c_pivots = Obs.Counter.create "simplex.pivots"
+let c_bound_flips = Obs.Counter.create "simplex.bound_flips"
+let c_bland_falls = Obs.Counter.create "simplex.bland_falls"
+let c_refactors = Obs.Counter.create "simplex.refactors"
+let c_eta_peak = Obs.Counter.create "simplex.eta_peak"
+
 module Make (F : Numeric.Field.S) = struct
   type outcome =
     | Optimal of { objective : F.t; solution : F.t array }
@@ -250,6 +260,7 @@ module Make (F : Numeric.Field.S) = struct
       if !iters > max_iters then failwith "Simplex.solve: iteration limit";
       if !since_refactor > 300 then begin
         refactorize st ~phase2;
+        Obs.Counter.incr c_refactors;
         since_refactor := 0
       end;
       (* Pricing: y = c_B Binv, then reduced costs of nonbasic columns. *)
@@ -372,18 +383,24 @@ module Make (F : Numeric.Field.S) = struct
              refactorise and re-price instead (if the tiny pivot is real, the
              next pass accepts it on fresh numbers). *)
           refactorize st ~phase2;
+          Obs.Counter.incr c_refactors;
           since_refactor := 0
         | Some (t, r) ->
           if F.sign t = 0 then begin
             incr degen;
-            if !degen > 30 then bland := true
+            if !degen > 30 && not !bland then begin
+              bland := true;
+              Obs.Counter.incr c_bland_falls
+            end
           end
           else degen := 0;
           (* Apply the move to the basic values. *)
           F.axpy (F.neg (F.mul sigma t)) wcol st.xb;
-          if r = -1 then
+          if r = -1 then begin
             (* Bound flip: entering jumps to its other bound. *)
+            Obs.Counter.incr c_bound_flips;
             st.at_upper.(jj) <- not st.at_upper.(jj)
+          end
           else begin
             (* Basis change: entering becomes basic in row r. *)
             let leaving = st.basis.(r) in
@@ -409,7 +426,9 @@ module Make (F : Numeric.Field.S) = struct
                 if F.sign f <> 0 then F.axpy (F.neg f) browr st.binv.(i)
               end
             done;
-            incr since_refactor
+            incr since_refactor;
+            Obs.Counter.incr c_pivots;
+            Obs.Counter.record_max c_eta_peak !since_refactor
           end
       end
     done;
@@ -492,11 +511,15 @@ module Make (F : Numeric.Field.S) = struct
     while !continue do
       incr iters;
       if !iters > max_iters then failwith "Simplex.solve: dual iteration limit";
-      if !iters > max_iters / 2 then bland := true;
+      if !iters > max_iters / 2 && not !bland then begin
+        bland := true;
+        Obs.Counter.incr c_bland_falls
+      end;
       if !since_refactor > 300 then begin
         refactorize st ~phase2:true;
         refresh_reduced ();
         incr refactors;
+        Obs.Counter.incr c_refactors;
         since_refactor := 0
       end;
       (* Leaving row: a basic variable below its lower bound 0 (no basic has
@@ -564,6 +587,7 @@ module Make (F : Numeric.Field.S) = struct
             refactorize st ~phase2:true;
             refresh_reduced ();
             incr refactors;
+            Obs.Counter.incr c_refactors;
             since_refactor := 0
           end
           else begin
@@ -596,7 +620,9 @@ module Make (F : Numeric.Field.S) = struct
                 if F.sign f <> 0 then F.axpy (F.neg f) browr st.binv.(i)
               end
             done;
-            incr since_refactor
+            incr since_refactor;
+            Obs.Counter.incr c_pivots;
+            Obs.Counter.record_max c_eta_peak !since_refactor
           end
         end
       end
@@ -645,6 +671,11 @@ module Make (F : Numeric.Field.S) = struct
         (* Pivots since binv was last rebuilt from scratch.  Lives on the
            session, not the solve: warm-started batches run many short
            solves, and drift accumulates across them, not within one. *)
+    mutable stotal_pivots : int;
+        (* Lifetime pivot count; never reset.  Per-session (not a global
+           counter) so parallel batches can report per-solve deltas without
+           reading each other's work. *)
+    mutable srefactors : int;  (* lifetime refactorisation count *)
   }
 
   let frozen_dual_applicable fz =
@@ -725,6 +756,8 @@ module Make (F : Numeric.Field.S) = struct
         s_at_upper = Array.make (max 1 ncols) false;
         sdarr = Array.make (max 1 ncols) F.zero;
         spivots = 0;
+        stotal_pivots = 0;
+        srefactors = 0;
       }
     in
     session_reset s;
@@ -828,8 +861,16 @@ module Make (F : Numeric.Field.S) = struct
     let bland = ref false in
     let iters = ref 0 in
     let max_iters = 20_000 + (60 * s.sncols) in
+    let fall_to_bland () =
+      if not !bland then begin
+        bland := true;
+        Obs.Counter.incr c_bland_falls
+      end
+    in
     let refactor () =
       (match session_refactorize s with () -> () | exception Session_singular -> session_refresh_darr s);
+      s.srefactors <- s.srefactors + 1;
+      Obs.Counter.incr c_refactors;
       s.spivots <- 0
     in
     let result = ref `Optimal in
@@ -837,7 +878,7 @@ module Make (F : Numeric.Field.S) = struct
     while !continue do
       incr iters;
       if !iters > max_iters then failwith "Simplex.session_solve: dual iteration limit";
-      if !iters > max_iters / 2 then bland := true;
+      if !iters > max_iters / 2 then fall_to_bland ();
       (* Rebuild the inverse every ~max(300, n) pivots: the O(n^3) rebuild
          then amortises to the O(n^2) cost of a single eta update, while
          still bounding drift across the many short solves of a warm
@@ -988,7 +1029,10 @@ module Make (F : Numeric.Field.S) = struct
                 if F.sign f <> 0 then F.axpy (F.neg f) browr s.sbinv.(i)
               end
             done;
-            s.spivots <- s.spivots + 1
+            s.spivots <- s.spivots + 1;
+            s.stotal_pivots <- s.stotal_pivots + 1;
+            Obs.Counter.incr c_pivots;
+            Obs.Counter.record_max c_eta_peak s.spivots
           end
         end
       end
@@ -1009,6 +1053,11 @@ module Make (F : Numeric.Field.S) = struct
       if F.sign s.scost.(v) <> 0 then objective := F.add !objective (F.mul s.scost.(v) x.(v))
     done;
     Optimal { objective = !objective; solution = x }
+
+  (* Lifetime work totals, for per-solve deltas in branch-and-bound and the
+     enriched public stats records. *)
+  let session_pivots s = s.stotal_pivots
+  let session_refactors s = s.srefactors
 
   let session_solve s delta =
     (* Install the delta over the base bounds. *)
@@ -1143,7 +1192,10 @@ module Make (F : Numeric.Field.S) = struct
       else begin
         (* Refactorise once before phase 2 for a clean start (also recomputes
            xb with artificials pinned at zero). *)
-        if n > 0 then refactorize st ~phase2:true;
+        if n > 0 then begin
+          refactorize st ~phase2:true;
+          Obs.Counter.incr c_refactors
+        end;
         match run_phase st ~phase1:false with
         | `Unbounded -> Unbounded
         | `Optimal ->

@@ -55,6 +55,15 @@ module Make (F : Numeric.Field.S) : sig
   val create_session : Frozen.t -> session
   (** @raise Invalid_argument when {!frozen_dual_applicable} is false. *)
 
+  val session_pivots : session -> int
+  (** Lifetime pivot count of the session (never reset).  Callers take
+      before/after deltas to attribute simplex work to one solve; unlike
+      the global ["simplex.pivots"] counter this is per-session, so the
+      attribution survives parallel batches. *)
+
+  val session_refactors : session -> int
+  (** Lifetime basis-refactorisation count of the session. *)
+
   val session_solve : session -> Frozen.Delta.t -> outcome
   (** Solve the frozen program under the delta, warm-starting from
       whatever basis the previous call left behind.  [solution] is indexed

@@ -1,0 +1,18 @@
+(* Monotonized gettimeofday.  The high-water mark is a float stored as its
+   IEEE bit pattern in an int64 Atomic; non-negative floats compare the same
+   as their bit patterns, so a CAS loop on the bits implements max.  The
+   fast path (clock already monotone, which is the overwhelmingly common
+   case) is one atomic load + one CAS. *)
+
+let high_water = Atomic.make (Int64.bits_of_float 0.)
+
+let rec monotonize t =
+  let seen = Atomic.get high_water in
+  let seen_t = Int64.float_of_bits seen in
+  if t >= seen_t then
+    if Atomic.compare_and_set high_water seen (Int64.bits_of_float t) then t
+    else monotonize t
+  else seen_t
+
+let now () = monotonize (Unix.gettimeofday ())
+let elapsed t0 = Float.max 0. (now () -. t0)

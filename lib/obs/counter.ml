@@ -1,0 +1,43 @@
+type t = { name : string; cell : int Atomic.t }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+let registry_mu = Mutex.create ()
+
+let () =
+  Sink.on_install (fun () ->
+    Mutex.lock registry_mu;
+    Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) registry;
+    Mutex.unlock registry_mu)
+
+let create name =
+  Mutex.lock registry_mu;
+  let c =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+      let c = { name; cell = Atomic.make 0 } in
+      Hashtbl.add registry name c;
+      c
+  in
+  Mutex.unlock registry_mu;
+  c
+
+let incr c = if Sink.active () then Atomic.incr c.cell
+let add c n = if Sink.active () then ignore (Atomic.fetch_and_add c.cell n)
+
+let record_max c n =
+  if Sink.active () then begin
+    let rec go () =
+      let seen = Atomic.get c.cell in
+      if n > seen && not (Atomic.compare_and_set c.cell seen n) then go ()
+    in
+    go ()
+  end
+
+let value c = Atomic.get c.cell
+
+let snapshot () =
+  Mutex.lock registry_mu;
+  let xs = Hashtbl.fold (fun _ c acc -> (c.name, Atomic.get c.cell) :: acc) registry [] in
+  Mutex.unlock registry_mu;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) xs

@@ -1,0 +1,32 @@
+(** Named atomic counters.
+
+    A counter is created once per name at module-init time (creation is
+    idempotent: two [create "x"] calls — e.g. from the float and exact
+    instantiations of a solver functor — share one cell), lives in a global
+    registry, and is safe to bump from any domain.  Increments are dropped
+    while no sink is installed, so a counter bump on a hot path costs one
+    atomic load and allocates nothing. *)
+
+type t
+
+val create : string -> t
+(** [create name] returns the counter registered under [name], creating it
+    on first use.  Dotted names ("simplex.pivots") group the stats export. *)
+
+val incr : t -> unit
+(** Add 1 (no-op while the sink is inactive). *)
+
+val add : t -> int -> unit
+(** Add [n] (no-op while the sink is inactive). *)
+
+val record_max : t -> int -> unit
+(** Raise the counter to at least [n] (no-op while the sink is inactive).
+    Used for high-water marks such as peak eta-file length. *)
+
+val value : t -> int
+(** Current value (always readable, even with the sink inactive). *)
+
+val snapshot : unit -> (string * int) list
+(** All registered counters, sorted by name.  The key set is a static
+    property of which modules are linked, not of the execution, so snapshots
+    are schema-stable across runs and job counts. *)

@@ -1,0 +1,14 @@
+let flag = Atomic.make false
+
+(* Reset hooks are registered by Counter and Trace at module-init time; the
+   indirection avoids a dependency cycle (they read [active], we clear
+   them). *)
+let reset_hooks : (unit -> unit) list ref = ref []
+let on_install f = reset_hooks := f :: !reset_hooks
+let active () = Atomic.get flag
+
+let install () =
+  List.iter (fun f -> f ()) !reset_hooks;
+  Atomic.set flag true
+
+let uninstall () = Atomic.set flag false

@@ -1,0 +1,22 @@
+(** The global telemetry switch.
+
+    All instrumentation in the repo — counters and spans alike — is guarded
+    by one atomic boolean.  With no sink installed every instrumented site
+    reduces to a single non-allocating atomic load, so tracing support costs
+    nothing in production runs; installing the sink (e.g. via
+    [resil … --trace]) turns collection on for the whole process. *)
+
+val install : unit -> unit
+(** Enable collection.  Resets all counters and clears any buffered spans so
+    the subsequent drain reflects exactly the traced region. *)
+
+val uninstall : unit -> unit
+(** Disable collection.  Buffered spans and counter values are kept until the
+    next [install] so they can still be drained/snapshotted. *)
+
+val active : unit -> bool
+(** Cheap (single atomic load) check used by every instrumented site. *)
+
+val on_install : (unit -> unit) -> unit
+(** Register a reset hook run by [install].  Internal to [Obs]: [Counter]
+    and [Trace] use it to clear their state without a dependency cycle. *)

@@ -1,0 +1,84 @@
+type span = {
+  name : string;
+  dom : int;
+  t0 : float;
+  t1 : float;
+  args : (string * string) list;
+}
+
+(* Each domain appends to its own buffer; a tiny per-buffer mutex makes the
+   (quiescent-time) drain race-free without serializing recording across
+   domains.  Buffers are registered in a global list at first use and never
+   removed, so spans survive the death of the pool domain that wrote them. *)
+type buf = { mutable spans : span list; mu : Mutex.t }
+
+let all_bufs : buf list ref = ref []
+let all_mu = Mutex.create ()
+
+let () =
+  Sink.on_install (fun () ->
+    Mutex.lock all_mu;
+    List.iter
+      (fun b ->
+        Mutex.lock b.mu;
+        b.spans <- [];
+        Mutex.unlock b.mu)
+      !all_bufs;
+    Mutex.unlock all_mu)
+
+let key =
+  Domain.DLS.new_key (fun () ->
+    let b = { spans = []; mu = Mutex.create () } in
+    Mutex.lock all_mu;
+    all_bufs := b :: !all_bufs;
+    Mutex.unlock all_mu;
+    b)
+
+let record name t0 t1 args =
+  let b = Domain.DLS.get key in
+  let s = { name; dom = (Domain.self () :> int); t0; t1; args } in
+  Mutex.lock b.mu;
+  b.spans <- s :: b.spans;
+  Mutex.unlock b.mu
+
+let with_span ?args name f =
+  if not (Sink.active ()) then f ()
+  else begin
+    let t0 = Clock.now () in
+    let finish () =
+      let a = match args with None -> [] | Some thunk -> thunk () in
+      record name t0 (Clock.now ()) a
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let begin_ () = if Sink.active () then Clock.now () else nan
+let end_ t0 ?(args = []) name = if not (Float.is_nan t0) then record name t0 (Clock.now ()) args
+
+let instant ?(args = []) name =
+  if Sink.active () then begin
+    let t = Clock.now () in
+    record name t t args
+  end
+
+let drain () =
+  Mutex.lock all_mu;
+  let bufs = !all_bufs in
+  Mutex.unlock all_mu;
+  let spans =
+    List.concat_map
+      (fun b ->
+        Mutex.lock b.mu;
+        let s = b.spans in
+        b.spans <- [];
+        Mutex.unlock b.mu;
+        s)
+      bufs
+  in
+  List.sort (fun a b -> compare (a.t0, a.dom) (b.t0, b.dom)) spans

@@ -129,7 +129,20 @@ let enumerate q db ~stop_after_first =
   (try go plan with Done -> ());
   List.rev !out
 
-let witnesses q db = enumerate q db ~stop_after_first:false
+(* The witness join feeds every encoding, so its time and output size are
+   first-class telemetry (dropped unless a trace sink is installed). *)
+let c_joins = Obs.Counter.create "eval.joins"
+let c_witnesses = Obs.Counter.create "eval.witness_count"
+
+let witnesses q db =
+  let span0 = Obs.Trace.begin_ () in
+  let ws = enumerate q db ~stop_after_first:false in
+  if Obs.Sink.active () then begin
+    Obs.Counter.incr c_joins;
+    Obs.Counter.add c_witnesses (List.length ws)
+  end;
+  Obs.Trace.end_ span0 "eval.witnesses";
+  ws
 
 let holds q db = enumerate q db ~stop_after_first:true <> []
 

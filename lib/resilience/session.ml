@@ -1,6 +1,14 @@
 open Relalg
 
-type stats = { nodes : int; root_lp : float; root_integral : bool; solve_time : float }
+type stats = {
+  nodes : int;
+  root_lp : float;
+  root_integral : bool;
+  solve_time : float;
+  prep_time : float;
+  pivots : int;
+  refactors : int;
+}
 
 type 'a outcome =
   | Solved of 'a
@@ -17,6 +25,31 @@ type rsp_answer = {
 }
 
 type strategy = [ `Shared_delta | `Cold_per_tuple ]
+
+type profile = {
+  witnesses_s : float;
+  encode_s : float;
+  lint_s : float;
+  prep_s : float;
+  solve_s : float;
+  questions : int;
+}
+
+(* Internal accumulator behind {!profile}.  Phase fields are written when
+   the corresponding (lazy) work actually runs; solve fields are summed on
+   the submitter as answers come back, so parallel rankings never race on
+   it. *)
+type acc = {
+  mutable a_witnesses : float;
+  mutable a_encode : float;
+  mutable a_lint : float;
+  mutable a_prep : float;
+  mutable a_solve : float;
+  mutable a_questions : int;
+}
+
+let fresh_acc () =
+  { a_witnesses = 0.; a_encode = 0.; a_lint = 0.; a_prep = 0.; a_solve = 0.; a_questions = 0 }
 
 type engine = Efloat of Lp.Solvers.Float_bb.session | Eexact of Lp.Solvers.Exact_bb.session
 
@@ -64,6 +97,7 @@ type t = {
   srelax : Encode.relaxation;
   sstrategy : strategy;
   state : state;
+  sacc : acc;
 }
 
 (* Measured crossover (BENCH.md, PR 3): on dense q2_chain instances the
@@ -74,25 +108,45 @@ let default_dense_rows_threshold = 1700
 
 let create ?(exact = false) ?(presolve = true) ?(relaxation = Encode.Ilp)
     ?(dense_rows_threshold = default_dense_rows_threshold) semantics q db =
-  let witnesses = Eval.witnesses q db in
+  let acc = fresh_acc () in
+  let tw0 = Lp.Clock.now () in
+  let witnesses = Obs.Trace.with_span "session.witnesses" (fun () -> Eval.witnesses q db) in
+  acc.a_witnesses <- Lp.Clock.elapsed tw0;
+  let te0 = Lp.Clock.now () in
   let state, strategy =
-    match Encode.shared_of_witnesses relaxation semantics q db witnesses with
-    | Encode.Shared_trivial -> (Sfalse, `Shared_delta)
-    | Encode.Shared_impossible -> (Snone, `Shared_delta)
-    | Encode.Shared shared ->
-      let raw = Lp.Frozen.of_model shared.Encode.smodel in
-      let strategy =
-        if Lp.Frozen.num_rows raw > dense_rows_threshold then `Cold_per_tuple
-        else `Shared_delta
-      in
-      ( Sactive
-          {
-            cshared = shared;
-            cprep = lazy (prep_of_model ~exact ~presolve shared.Encode.smodel);
-            cdiags = lazy (Lp.Lint.lint raw);
-          },
-        strategy )
+    Obs.Trace.with_span "session.encode" (fun () ->
+        match Encode.shared_of_witnesses relaxation semantics q db witnesses with
+        | Encode.Shared_trivial -> (Sfalse, `Shared_delta)
+        | Encode.Shared_impossible -> (Snone, `Shared_delta)
+        | Encode.Shared shared ->
+          let raw = Lp.Frozen.of_model shared.Encode.smodel in
+          let strategy =
+            if Lp.Frozen.num_rows raw > dense_rows_threshold then `Cold_per_tuple
+            else `Shared_delta
+          in
+          ( Sactive
+              {
+                cshared = shared;
+                cprep =
+                  (* Timed inside the thunk so the cost lands on whichever
+                     question actually forces the shared prep. *)
+                  lazy
+                    (Obs.Trace.with_span "session.prep" (fun () ->
+                         let t0 = Lp.Clock.now () in
+                         let p = prep_of_model ~exact ~presolve shared.Encode.smodel in
+                         acc.a_prep <- acc.a_prep +. Lp.Clock.elapsed t0;
+                         p));
+                cdiags =
+                  lazy
+                    (Obs.Trace.with_span "session.lint" (fun () ->
+                         let t0 = Lp.Clock.now () in
+                         let d = Lp.Lint.lint raw in
+                         acc.a_lint <- acc.a_lint +. Lp.Clock.elapsed t0;
+                         d));
+              },
+            strategy ))
   in
+  acc.a_encode <- Lp.Clock.elapsed te0;
   {
     sdb = db;
     ssem = semantics;
@@ -103,6 +157,7 @@ let create ?(exact = false) ?(presolve = true) ?(relaxation = Encode.Ilp)
     srelax = relaxation;
     sstrategy = strategy;
     state;
+    sacc = acc;
   }
 
 let batch_strategy t = t.sstrategy
@@ -168,9 +223,11 @@ let run_engine ?node_limit ?time_limit prep engine delta =
   | None -> `Infeasible
   | Some d ->
     let foffset = float_of_int (offset_of prep.pvm) in
-    let finish nodes root_lp root_integral objective solution =
+    let finish nodes root_lp root_integral pivots refactors objective solution =
       let solve_time = Lp.Clock.elapsed t0 in
-      (objective, solution, { nodes; root_lp; root_integral; solve_time })
+      ( objective,
+        solution,
+        { nodes; root_lp; root_integral; solve_time; prep_time = 0.; pivots; refactors } )
     in
     (match engine with
     | Eexact s -> begin
@@ -186,7 +243,7 @@ let run_engine ?node_limit ?time_limit prep engine delta =
           lift_sol prep.pvm ~of_int:Numeric.Rat.of_int (Option.get r.solution)
           |> Array.map Numeric.Rat.to_float
         in
-        `Ok (finish r.nodes root r.root_integral obj sol)
+        `Ok (finish r.nodes root r.root_integral r.pivots r.refactors obj sol)
       | Infeasible | Unbounded -> `Infeasible
       | Feasible -> `Budget (Option.map (fun o -> Numeric.Rat.to_float o +. foffset) r.objective)
       | Limit_no_solution -> `Budget None
@@ -198,7 +255,10 @@ let run_engine ?node_limit ?time_limit prep engine delta =
       match r.status with
       | Optimal ->
         let sol = lift_sol prep.pvm ~of_int:float_of_int (Option.get r.solution) in
-        `Ok (finish r.nodes root r.root_integral (Option.get r.objective +. foffset) sol)
+        `Ok
+          (finish r.nodes root r.root_integral r.pivots r.refactors
+             (Option.get r.objective +. foffset)
+             sol)
       | Infeasible | Unbounded -> `Infeasible
       | Feasible -> `Budget (Option.map (fun o -> o +. foffset) r.objective)
       | Limit_no_solution -> `Budget None
@@ -211,7 +271,16 @@ let read_tuples core sol =
 
 let round_value x = int_of_float (Float.round x)
 
-let resilience ?node_limit ?time_limit t =
+(* Submitter-side profile accounting.  Worker domains never touch the
+   accumulator: parallel rankings fold their per-answer stats in here, on
+   the submitting domain, after the batch has drained. *)
+let note_question t = t.sacc.a_questions <- t.sacc.a_questions + 1
+
+let note_stats t st =
+  t.sacc.a_solve <- t.sacc.a_solve +. st.solve_time;
+  t.sacc.a_prep <- t.sacc.a_prep +. st.prep_time
+
+let resilience_body ?node_limit ?time_limit t =
   match t.state with
   | Sfalse -> Query_false
   | Snone -> No_contingency
@@ -225,6 +294,14 @@ let resilience ?node_limit ?time_limit t =
       | `Ok (obj, sol, st) ->
         Solved
           { res_value = round_value obj; contingency = read_tuples core sol; res_stats = st }))
+
+let resilience ?node_limit ?time_limit t =
+  note_question t;
+  let outcome = resilience_body ?node_limit ?time_limit t in
+  (match outcome with
+  | Solved a -> note_stats t a.res_stats
+  | Query_false | No_contingency | Budget_exhausted _ -> ());
+  outcome
 
 (* The shared-program responsibility delta-solve. *)
 let rsp_shared ?node_limit ?time_limit core prep engine tid =
@@ -248,6 +325,7 @@ let rsp_shared ?node_limit ?time_limit core prep engine tid =
    session already owns the witness list).  Reads only immutable session
    state and the database, so parallel rankings run it from many domains. *)
 let cold_responsibility ?node_limit ?time_limit t tid =
+  let tp0 = Lp.Clock.now () in
   match Encode.rsp_of_witnesses t.srelax t.ssem t.squery t.sdb t.switnesses tid with
   | Encode.Trivial _ -> Query_false
   | Encode.Impossible -> No_contingency
@@ -255,6 +333,9 @@ let cold_responsibility ?node_limit ?time_limit t tid =
     match prep_of_model ~exact:t.sexact ~presolve:t.spresolve enc.Encode.model with
     | None -> No_contingency
     | Some prep -> (
+      (* Everything up to here — encode, freeze, presolve, engine build — is
+         preparation, not solving; stats keep the two apart. *)
+      let prep_time = Lp.Clock.elapsed tp0 in
       match run_engine ?node_limit ?time_limit prep prep.pengine Lp.Frozen.Delta.empty with
       | `Infeasible -> No_contingency
       | `Budget incumbent -> Budget_exhausted (Option.map round_value incumbent)
@@ -263,10 +344,10 @@ let cold_responsibility ?node_limit ?time_limit t tid =
           {
             rsp_value = round_value obj;
             responsibility_set = Encode.contingency enc sol;
-            rsp_stats = st;
+            rsp_stats = { st with prep_time };
           }))
 
-let responsibility ?node_limit ?time_limit t tid =
+let responsibility_body ?node_limit ?time_limit t tid =
   match t.state with
   | Sfalse -> Query_false
   | Snone -> No_contingency
@@ -282,6 +363,14 @@ let responsibility ?node_limit ?time_limit t tid =
       | None -> No_contingency
       | Some prep -> rsp_shared ?node_limit ?time_limit core prep prep.pengine tid))
 
+let responsibility ?node_limit ?time_limit t tid =
+  note_question t;
+  let outcome = responsibility_body ?node_limit ?time_limit t tid in
+  (match outcome with
+  | Solved a -> note_stats t a.rsp_stats
+  | Query_false | No_contingency | Budget_exhausted _ -> ());
+  outcome
+
 (* Endogenous witness tuples, in database order — exactly the tuples a
    ranking solves for.  Everything else is skipped without a solve
    (exogenous tuples cannot be explanations, and a tuple outside every
@@ -291,6 +380,18 @@ let candidates core db =
   |> List.filter_map (fun info ->
          let tid = info.Database.id in
          if Hashtbl.mem core.cshared.Encode.svar_of_tuple tid then Some tid else None)
+
+(* Ranking accounting: each candidate counts as one question; solved
+   answers contribute their solve/prep time.  Runs on the submitter. *)
+let record_rankings t outcomes =
+  List.iter
+    (fun (_, o) ->
+      note_question t;
+      match o with
+      | Solved a -> note_stats t a.rsp_stats
+      | Query_false | No_contingency | Budget_exhausted _ -> ())
+    outcomes;
+  outcomes
 
 let merge_ranking outcomes =
   outcomes
@@ -314,43 +415,46 @@ let ranking ?node_limit ?time_limit t =
         | None -> fun _ -> No_contingency
         | Some prep -> fun tid -> rsp_shared ?node_limit ?time_limit core prep prep.pengine tid)
     in
-    merge_ranking (List.map (fun tid -> (tid, solve_one tid)) (candidates core t.sdb))
+    merge_ranking
+      (record_rankings t (List.map (fun tid -> (tid, solve_one tid)) (candidates core t.sdb)))
 
 let ranking_par ?node_limit ?time_limit ?(jobs = 0) t =
   let jobs = if jobs = 0 then Lp.Pool.default_jobs () else jobs in
-  if jobs <= 1 then ranking ?node_limit ?time_limit t
-  else
-    match t.state with
-    | Sfalse | Snone -> []
-    | Sactive core ->
-      let cands = Array.of_list (candidates core t.sdb) in
-      let tasks = Array.length cands in
-      if tasks = 0 then []
-      else begin
-        let outcomes =
-          match t.sstrategy with
-          | `Cold_per_tuple ->
-            (* Every task is a self-contained cold solve against read-only
-               session state. *)
+  (* jobs = 1 still routes through the pool (its sequential fast path), so
+     the telemetry a ranking emits has the same shape at every job count. *)
+  match t.state with
+  | Sfalse | Snone -> []
+  | Sactive core ->
+    let cands = Array.of_list (candidates core t.sdb) in
+    let tasks = Array.length cands in
+    if tasks = 0 then []
+    else begin
+      let outcomes =
+        match t.sstrategy with
+        | `Cold_per_tuple ->
+          (* Every task is a self-contained cold solve against read-only
+             session state. *)
+          Lp.Pool.with_pool ~jobs (fun pool ->
+              Lp.Pool.run pool ~tasks (fun i ->
+                  cold_responsibility ?node_limit ?time_limit t cands.(i)))
+        | `Shared_delta -> (
+          match Lazy.force core.cprep with
+          | None -> Array.make tasks No_contingency
+          | Some prep ->
+            (* Each participating domain opens its own warm engine against
+               the shared presolved frozen arrays and drains a chunk of
+               per-tuple delta-solves. *)
             Lp.Pool.with_pool ~jobs (fun pool ->
-                Lp.Pool.run pool ~tasks (fun i ->
-                    cold_responsibility ?node_limit ?time_limit t cands.(i)))
-          | `Shared_delta -> (
-            match Lazy.force core.cprep with
-            | None -> Array.make tasks No_contingency
-            | Some prep ->
-              (* Each participating domain opens its own warm engine against
-                 the shared presolved frozen arrays and drains a chunk of
-                 per-tuple delta-solves. *)
-              Lp.Pool.with_pool ~jobs (fun pool ->
-                  Lp.Pool.run_init pool
-                    ~init:(fun () -> engine_of ~exact:t.sexact prep.pfz)
-                    ~tasks
-                    (fun engine i ->
-                      rsp_shared ?node_limit ?time_limit core prep engine cands.(i))))
-        in
-        merge_ranking (List.mapi (fun i outcome -> (cands.(i), outcome)) (Array.to_list outcomes))
-      end
+                Lp.Pool.run_init pool
+                  ~init:(fun () -> engine_of ~exact:t.sexact prep.pfz)
+                  ~tasks
+                  (fun engine i ->
+                    rsp_shared ?node_limit ?time_limit core prep engine cands.(i))))
+      in
+      merge_ranking
+        (record_rankings t
+           (List.mapi (fun i outcome -> (cands.(i), outcome)) (Array.to_list outcomes)))
+    end
 
 (* --- Relaxation views ----------------------------------------------------- *)
 
@@ -403,3 +507,13 @@ let responsibility_solution t tid =
 
 let diagnostics t =
   match t.state with Sfalse | Snone -> [] | Sactive core -> Lazy.force core.cdiags
+
+let profile t =
+  {
+    witnesses_s = t.sacc.a_witnesses;
+    encode_s = t.sacc.a_encode;
+    lint_s = t.sacc.a_lint;
+    prep_s = t.sacc.a_prep;
+    solve_s = t.sacc.a_solve;
+    questions = t.sacc.a_questions;
+  }

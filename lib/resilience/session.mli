@@ -38,7 +38,16 @@ type stats = {
   nodes : int;  (** Branch-and-bound nodes (LPs solved). *)
   root_lp : float;  (** Root relaxation objective. *)
   root_integral : bool;  (** Was the root LP already integral? *)
-  solve_time : float;  (** Seconds spent in the solver for this question. *)
+  solve_time : float;
+      (** Seconds of {e pure} branch-and-bound for this question — excludes
+          encoding, freezing and presolve (see [prep_time]). *)
+  prep_time : float;
+      (** Seconds of per-question preparation: encode + freeze + presolve +
+          engine build on the cold per-tuple path.  [0.] on the shared-delta
+          path, where preparation is paid once per session and reported by
+          {!profile} instead. *)
+  pivots : int;  (** Simplex pivots spent on this question. *)
+  refactors : int;  (** Basis refactorisations spent on this question. *)
 }
 
 type 'a outcome =
@@ -60,6 +69,20 @@ type rsp_answer = {
 
 type strategy = [ `Shared_delta | `Cold_per_tuple ]
 (** How the session batches per-tuple responsibility solves. *)
+
+type profile = {
+  witnesses_s : float;  (** Witness enumeration (the relational join). *)
+  encode_s : float;  (** Shared-program encode + freeze, in {!create}. *)
+  lint_s : float;  (** {!Lp.Lint} over the frozen program (lazy). *)
+  prep_s : float;
+      (** Presolve + engine build: the session's own lazy shared prep plus
+          the per-question prep of every cold per-tuple solve. *)
+  solve_s : float;  (** Pure branch-and-bound time summed over questions. *)
+  questions : int;  (** Questions asked (each ranking candidate counts). *)
+}
+(** Cumulative per-phase wall time for one session, in seconds.  Lazy
+    phases report [0.] until something forces them; solve/prep sums grow
+    with every answered question. *)
 
 val create :
   ?exact:bool ->
@@ -111,8 +134,9 @@ val ranking_par :
     cold solve.  Results are merged in task order, so the output is
     {e bit-identical} to {!ranking} for every [jobs] (the ranking compares
     optimal objective values, which are basis-independent).  [jobs = 0]
-    (the default) means {!Lp.Pool.default_jobs}; [jobs <= 1] is exactly
-    {!ranking}, no pool involved.  The session's database must not be
+    (the default) means {!Lp.Pool.default_jobs}; [jobs = 1] still routes
+    through the pool's sequential path, so the telemetry it emits has the
+    same shape at every job count.  The session's database must not be
     mutated during the call. *)
 
 val resilience_solution : t -> (float * (Database.tuple_id * float) list) option
@@ -130,3 +154,9 @@ val responsibility_solution :
 val diagnostics : t -> Lp.Lint.diag list
 (** {!Lp.Lint} over the frozen shared program, computed once per session and
     cached.  Empty when the session never built a program. *)
+
+val profile : t -> profile
+(** The session's cumulative phase breakdown so far.  Cheap (reads an
+    accumulator); call it again after more questions for updated sums.
+    Accounting happens on the submitting domain only, so it is safe to call
+    between (not during) {!ranking_par} batches. *)

@@ -5,6 +5,9 @@ type stats = Session.stats = {
   root_lp : float;
   root_integral : bool;
   solve_time : float;
+  prep_time : float;
+  pivots : int;
+  refactors : int;
 }
 
 type 'a outcome = 'a Session.outcome =
@@ -46,15 +49,21 @@ let offset_of vm = match vm with Some vm -> Lp.Presolve.obj_offset vm | None -> 
 
 (* Run branch-and-bound over the chosen field and normalise the result. *)
 let run_bb ~exact ~presolve ?node_limit ?time_limit (enc : Encode.encoding) =
-  let t0 = Lp.Clock.now () in
+  let tp0 = Lp.Clock.now () in
   match prepare ~presolve enc.Encode.model with
   | `Infeasible -> `Infeasible
   | `Frozen (fz, vm) ->
+    (* Freeze + presolve are preparation, not solving; the solver clock
+       starts only now, so [solve_time] is pure branch-and-bound. *)
+    let prep_time = Lp.Clock.elapsed tp0 in
+    let t0 = Lp.Clock.now () in
     let offset = offset_of vm in
     let foffset = float_of_int offset in
-    let finish nodes root_lp root_integral objective solution =
+    let finish nodes root_lp root_integral pivots refactors objective solution =
       let solve_time = Lp.Clock.elapsed t0 in
-      (objective, solution, { nodes; root_lp; root_integral; solve_time })
+      ( objective,
+        solution,
+        { nodes; root_lp; root_integral; solve_time; prep_time; pivots; refactors } )
     in
     if exact then begin
       let open Lp.Solvers.Exact_bb in
@@ -69,7 +78,7 @@ let run_bb ~exact ~presolve ?node_limit ?time_limit (enc : Encode.encoding) =
           lift_sol vm ~of_int:Numeric.Rat.of_int (Option.get r.solution)
           |> Array.map Numeric.Rat.to_float
         in
-        `Ok (finish r.nodes root r.root_integral obj sol)
+        `Ok (finish r.nodes root r.root_integral r.pivots r.refactors obj sol)
       | Infeasible -> `Infeasible
       | Unbounded -> `Infeasible
       | Feasible -> `Budget (Option.map (fun o -> Numeric.Rat.to_float o +. foffset) r.objective)
@@ -82,7 +91,10 @@ let run_bb ~exact ~presolve ?node_limit ?time_limit (enc : Encode.encoding) =
       match r.status with
       | Optimal ->
         let sol = lift_sol vm ~of_int:float_of_int (Option.get r.solution) in
-        `Ok (finish r.nodes root r.root_integral (Option.get r.objective +. foffset) sol)
+        `Ok
+          (finish r.nodes root r.root_integral r.pivots r.refactors
+             (Option.get r.objective +. foffset)
+             sol)
       | Infeasible -> `Infeasible
       | Unbounded -> `Infeasible
       | Feasible -> `Budget (Option.map (fun o -> o +. foffset) r.objective)
@@ -190,7 +202,16 @@ let linearize_for_rsp semantics q =
       q
       (List.init (Array.length q.Cq.atoms) (fun i -> i))
 
-let flow_stats t0 = { nodes = 1; root_lp = nan; root_integral = true; solve_time = Lp.Clock.elapsed t0 }
+let flow_stats t0 =
+  {
+    nodes = 1;
+    root_lp = nan;
+    root_integral = true;
+    solve_time = Lp.Clock.elapsed t0;
+    prep_time = 0.;
+    pivots = 0;
+    refactors = 0;
+  }
 
 let resilience_flow semantics q db =
   let q' = linearize_by_domination semantics q in

@@ -19,7 +19,12 @@ type stats = Session.stats = {
   nodes : int;  (** Branch-and-bound nodes (LPs solved). *)
   root_lp : float;  (** Root relaxation objective. *)
   root_integral : bool;  (** Was the root LP already integral? (Result 2) *)
-  solve_time : float;  (** Seconds spent in the solver (encode excluded). *)
+  solve_time : float;
+      (** Seconds of pure branch-and-bound (encode, freeze and presolve
+          excluded — see [prep_time]). *)
+  prep_time : float;  (** Seconds of freeze + presolve + engine build. *)
+  pivots : int;  (** Simplex pivots spent on this solve. *)
+  refactors : int;  (** Basis refactorisations spent on this solve. *)
 }
 
 type 'a outcome = 'a Session.outcome =

@@ -1,0 +1,260 @@
+(* Obs: the observability subsystem must be invisible when disabled (no
+   recording, no behaviour change), exact when enabled (counter totals under
+   multi-domain stress, well-nested spans per track), and schema-stable
+   (static counter key set, fixed-format export). *)
+
+let c_a = Obs.Counter.create "test.alpha"
+let c_b = Obs.Counter.create "test.beta"
+let c_max = Obs.Counter.create "test.peak"
+
+(* Every test leaves the sink uninstalled so order doesn't matter. *)
+let with_sink f =
+  Obs.Sink.install ();
+  Fun.protect ~finally:Obs.Sink.uninstall f
+
+(* --- Clock ------------------------------------------------------------------ *)
+
+let test_clock_monotonic () =
+  let prev = ref (Obs.Clock.now ()) in
+  for _ = 1 to 10_000 do
+    let t = Obs.Clock.now () in
+    Alcotest.(check bool) "now never decreases" true (t >= !prev);
+    prev := t
+  done;
+  Alcotest.(check bool) "elapsed clamps at 0" true (Obs.Clock.elapsed (Obs.Clock.now () +. 60.) = 0.)
+
+let test_clock_cross_domain () =
+  (* The high-water mark is global: a timestamp taken on one domain bounds
+     reads on another from below. *)
+  let t0 = Obs.Clock.now () in
+  let t1 = Domain.join (Domain.spawn (fun () -> Obs.Clock.now ())) in
+  Alcotest.(check bool) "cross-domain monotone" true (t1 >= t0)
+
+(* --- Disabled sink: zero observable effect ----------------------------------- *)
+
+let test_disabled_drops_everything () =
+  Obs.Sink.uninstall ();
+  Alcotest.(check bool) "inactive" false (Obs.Sink.active ());
+  let before = Obs.Counter.value c_a in
+  Obs.Counter.incr c_a;
+  Obs.Counter.add c_a 100;
+  Obs.Counter.record_max c_a 1_000_000;
+  Alcotest.(check int) "counter bumps dropped" before (Obs.Counter.value c_a);
+  Alcotest.(check bool) "begin_ is nan" true (Float.is_nan (Obs.Trace.begin_ ()));
+  Obs.Trace.end_ (Obs.Trace.begin_ ()) "test.noop";
+  Obs.Trace.instant "test.noop";
+  Alcotest.(check int) "with_span still runs the body" 42
+    (Obs.Trace.with_span "test.noop" (fun () -> 42));
+  Alcotest.(check (list string)) "nothing buffered" []
+    (List.map (fun s -> s.Obs.Trace.name) (Obs.Trace.drain ()))
+
+let test_disabled_same_answers () =
+  (* A traced run and an untraced run of the same solve return identical
+     results — instrumentation must never leak into answers. *)
+  let solve () =
+    let q = Relalg.Cq_parser.parse "Q :- R(x, y), S(y)" in
+    let db = Relalg.Database.create () in
+    List.iter
+      (fun (r, args) -> ignore (Relalg.Database.add db r args))
+      [
+        ("R", [| 1; 2 |]); ("R", [| 2; 2 |]); ("R", [| 3; 4 |]);
+        ("S", [| 2 |]); ("S", [| 4 |]);
+      ];
+    let session = Resilience.Session.create Resilience.Problem.Set q db in
+    Resilience.Session.ranking_par ~jobs:2 session
+  in
+  let plain = solve () in
+  let traced = with_sink solve in
+  ignore (Obs.Trace.drain ());
+  Alcotest.(check bool) "ranked something" true (plain <> []);
+  Alcotest.(check bool) "identical rankings" true (plain = traced)
+
+(* --- Counters ----------------------------------------------------------------- *)
+
+let test_counter_idempotent_create () =
+  let again = Obs.Counter.create "test.alpha" in
+  with_sink (fun () ->
+      Obs.Counter.incr c_a;
+      Alcotest.(check int) "same cell" (Obs.Counter.value c_a) (Obs.Counter.value again))
+
+let test_counter_snapshot_static () =
+  (* The key set is a property of which modules are linked, not of whether
+     anything ran: install resets values but never removes keys. *)
+  let keys () = List.map fst (Obs.Counter.snapshot ()) in
+  let k0 = keys () in
+  Alcotest.(check bool) "registered" true (List.mem "test.alpha" k0);
+  Alcotest.(check bool) "sorted" true (List.sort compare k0 = k0);
+  with_sink (fun () -> Obs.Counter.incr c_b);
+  Alcotest.(check (list string)) "key set unchanged by a run" k0 (keys ())
+
+let test_counter_atomic_under_stress () =
+  (* 10k increments race from 2..8 domains; the total must be exact, and a
+     concurrent record_max must converge to the true maximum. *)
+  for jobs = 2 to 8 do
+    with_sink (fun () ->
+        let tasks = 10_000 in
+        Lp.Pool.with_pool ~jobs (fun pool ->
+            ignore
+              (Lp.Pool.run ~chunk:7 pool ~tasks (fun i ->
+                   Obs.Counter.incr c_a;
+                   Obs.Counter.add c_b 3;
+                   Obs.Counter.record_max c_max (i + 1))));
+        Alcotest.(check int)
+          (Printf.sprintf "incr total, jobs=%d" jobs)
+          tasks (Obs.Counter.value c_a);
+        Alcotest.(check int)
+          (Printf.sprintf "add total, jobs=%d" jobs)
+          (3 * tasks) (Obs.Counter.value c_b);
+        Alcotest.(check int)
+          (Printf.sprintf "max, jobs=%d" jobs)
+          tasks (Obs.Counter.value c_max));
+    ignore (Obs.Trace.drain ())
+  done
+
+(* --- Spans --------------------------------------------------------------------- *)
+
+let test_span_records_on_exception () =
+  with_sink (fun () ->
+      (match Obs.Trace.with_span "test.raises" (fun () -> failwith "boom") with
+      | () -> Alcotest.fail "exception swallowed"
+      | exception Failure _ -> ());
+      let names = List.map (fun s -> s.Obs.Trace.name) (Obs.Trace.drain ()) in
+      Alcotest.(check bool) "span recorded anyway" true (List.mem "test.raises" names))
+
+let check_well_formed spans =
+  List.iter
+    (fun (s : Obs.Trace.span) ->
+      Alcotest.(check bool) (s.Obs.Trace.name ^ " has t1 >= t0") true (s.Obs.Trace.t1 >= s.Obs.Trace.t0))
+    spans;
+  (* drain sorts by start time *)
+  let starts = List.map (fun s -> s.Obs.Trace.t0) spans in
+  Alcotest.(check bool) "sorted by t0" true (List.sort compare starts = starts)
+
+let test_span_nesting_under_pool () =
+  (* Each pool width: chunk spans nest inside the batch span on every track,
+     and per-domain buffers survive the workers' death (with_pool joins
+     them before we drain). *)
+  List.iter
+    (fun jobs ->
+      with_sink (fun () ->
+          Lp.Pool.with_pool ~jobs (fun pool ->
+              ignore
+                (Lp.Pool.run ~chunk:11 pool ~tasks:500 (fun i ->
+                     Obs.Trace.with_span "test.task" (fun () -> i * 2))));
+          let spans = Obs.Trace.drain () in
+          check_well_formed spans;
+          let named n = List.filter (fun s -> s.Obs.Trace.name = n) spans in
+          let batch =
+            match named "pool.batch" with
+            | [ b ] -> b
+            | bs -> Alcotest.failf "expected 1 pool.batch, got %d" (List.length bs)
+          in
+          let chunks = named "pool.chunk" in
+          Alcotest.(check bool) "at least one chunk" true (chunks <> []);
+          List.iter
+            (fun (c : Obs.Trace.span) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "chunk within batch (jobs=%d)" jobs)
+                true
+                (c.Obs.Trace.t0 >= batch.Obs.Trace.t0 && c.Obs.Trace.t1 <= batch.Obs.Trace.t1))
+            chunks;
+          Alcotest.(check int)
+            (Printf.sprintf "every task spanned (jobs=%d)" jobs)
+            500 (List.length (named "test.task"));
+          (* chunk spans carry their task count *)
+          let counted =
+            List.fold_left
+              (fun acc (c : Obs.Trace.span) ->
+                match List.assoc_opt "tasks" c.Obs.Trace.args with
+                | Some n -> acc + int_of_string n
+                | None -> acc)
+              0 chunks
+          in
+          Alcotest.(check int) "chunk args sum to the batch" 500 counted))
+    [ 1; 2; 4; 8 ]
+
+(* --- Export -------------------------------------------------------------------- *)
+
+let test_chrome_export () =
+  let spans =
+    with_sink (fun () ->
+        Obs.Trace.with_span "test.outer" (fun () ->
+            Obs.Trace.with_span
+              ~args:(fun () -> [ ("k", "v\"quoted\"") ])
+              "test.inner"
+              (fun () -> ()));
+        Obs.Trace.drain ())
+  in
+  let path = Filename.temp_file "obs" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Export.chrome_to_file path spans;
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let body = really_input_string ic len in
+      close_in ic;
+      Alcotest.(check bool) "traceEvents doc" true
+        (String.length body > 0 && String.sub body 0 15 = {|{"traceEvents":|});
+      let has needle =
+        let n = String.length needle and m = String.length body in
+        let rec go i = i + n <= m && (String.sub body i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "complete events" true (has {|"ph":"X"|});
+      Alcotest.(check bool) "both spans" true (has "test.outer" && has "test.inner");
+      Alcotest.(check bool) "escaped args" true (has {|\"quoted\"|});
+      Alcotest.(check bool) "thread metadata" true (has {|"thread_name"|}))
+
+let test_stats_json () =
+  let spans =
+    with_sink (fun () ->
+        Obs.Counter.incr c_a;
+        Obs.Trace.with_span "test.outer" (fun () -> ());
+        Obs.Trace.drain ())
+  in
+  let s = Obs.Export.stats_json spans in
+  let has needle =
+    let n = String.length needle and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counters object" true (has {|"counters": {|});
+  Alcotest.(check bool) "our counter at 1" true (has {|"test.alpha": 1|});
+  Alcotest.(check bool) "span aggregate" true (has {|"test.outer": {"count": 1, "total_s":|});
+  Alcotest.(check bool) "wall clock" true (has {|"wall_s":|});
+  (* fixed-width floats only: %g would break digit-normalized goldens *)
+  Alcotest.(check bool) "no scientific notation" true (not (has "e-") && not (has "e+"))
+
+let () =
+  let open Alcotest in
+  run "obs"
+    [
+      ( "clock",
+        [
+          test_case "monotonic" `Quick test_clock_monotonic;
+          test_case "cross-domain" `Quick test_clock_cross_domain;
+        ] );
+      ( "disabled",
+        [
+          test_case "drops everything" `Quick test_disabled_drops_everything;
+          test_case "identical solver answers" `Quick test_disabled_same_answers;
+        ] );
+      ( "counters",
+        [
+          test_case "idempotent create" `Quick test_counter_idempotent_create;
+          test_case "static key set" `Quick test_counter_snapshot_static;
+          test_case "atomic under 10k-task stress, 2..8 domains" `Quick
+            test_counter_atomic_under_stress;
+        ] );
+      ( "spans",
+        [
+          test_case "recorded on exception" `Quick test_span_records_on_exception;
+          test_case "nesting under the pool, jobs 1/2/4/8" `Quick test_span_nesting_under_pool;
+        ] );
+      ( "export",
+        [
+          test_case "chrome trace document" `Quick test_chrome_export;
+          test_case "flat stats json" `Quick test_stats_json;
+        ] );
+    ]
