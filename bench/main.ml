@@ -41,6 +41,7 @@ let no_stats nodes =
     Solve.nodes;
     root_lp = nan;
     root_integral = false;
+    certified = false;
     solve_time = nan;
     prep_time = nan;
     pivots = 0;
@@ -680,6 +681,55 @@ let run_ranking ?(jobs = 1) ?(dense = false) ?trace scale json =
     Obs.Export.chrome_to_file path spans;
     if not json then Printf.printf "trace written to %s\n" path
 
+(* ---- certificate coverage ------------------------------------------------------ *)
+
+(* Which query classes get which Lp.Struct certificate, and does the
+   certificate-aware dispatch actually skip branch-and-bound?  One random
+   instance per named query; the EXPERIMENTS.md coverage table is this
+   command at the default scale. *)
+let run_certify scale =
+  header "Certificate coverage: Lp.Struct verdicts per query class (set semantics)"
+    [ "query"; "RES/set"; "verdict"; "witness"; "structural"; "certified"; "nodes" ];
+  let show = function
+    | Analysis.Ptime -> "PTIME"
+    | Analysis.Npc -> "NPC"
+    | Analysis.Unknown -> "open"
+  in
+  let rng = Random.State.make [| 808 |] in
+  List.iter
+    (fun (name, q) ->
+      let count = max 6 (int_of_float (40.0 *. scale)) in
+      let specs = Datagen.Random_inst.specs_of_query q ~count in
+      let db = Datagen.Random_inst.db rng ~domain:10 specs in
+      let complexity = show (Analysis.res_complexity set q) in
+      match Encode.res Encode.Ilp set q db with
+      | Encode.Trivial _ | Encode.Impossible ->
+        row [ name; complexity; "-"; "-"; "-"; "-"; "-" ]
+      | Encode.Encoded enc ->
+        let fz = Lp.Frozen.of_model enc.Encode.model in
+        let cert = Lp.Struct.analyze ~probe_root:true fz in
+        let witness =
+          match cert.Lp.Struct.verdict with
+          | Lp.Struct.Integral w -> Lp.Struct.witness_name w
+          | Lp.Struct.Fractional _ | Lp.Struct.Unknown -> "-"
+        in
+        let certified, nodes =
+          match Solve.resilience set q db with
+          | Solve.Solved a ->
+            (string_of_bool a.Solve.res_stats.Solve.certified,
+             string_of_int a.Solve.res_stats.Solve.nodes)
+          | Solve.Query_false | Solve.No_contingency | Solve.Budget_exhausted _ -> ("-", "-")
+        in
+        row
+          [
+            name; complexity;
+            Lp.Struct.verdict_name cert;
+            witness;
+            string_of_bool (Lp.Struct.structural cert);
+            certified; nodes;
+          ])
+    (Queries.all_named ())
+
 (* ---- command wiring ------------------------------------------------------------ *)
 
 let scale_arg =
@@ -748,6 +798,7 @@ let run_all scale =
   run_setting4 scale;
   run_setting5 scale;
   run_certificates ();
+  run_certify scale;
   run_ablations scale;
   run_ranking scale false;
   run_micro ()
@@ -773,6 +824,7 @@ let () =
             scaled "setting4" "Fig. 13: set vs bag on QtriangleA" run_setting4;
             scaled "setting5" "Fig. 14: z6 and adversarial instances" run_setting5;
             simple "certificates" "Figs. 3/10/15: automatic IJP certificates" run_certificates;
+            scaled "certify" "Lp.Struct certificate coverage per query class" run_certify;
             scaled "ablations" "design-choice ablations" run_ablations;
             ranking_cmd;
             simple "micro" "Bechamel micro-benchmarks" run_micro;

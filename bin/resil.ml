@@ -60,10 +60,42 @@ let presolve_json (s : Lp.Presolve.summary) =
     s.Lp.Presolve.rows_removed s.Lp.Presolve.vars_fixed s.Lp.Presolve.bounds_stripped
     s.Lp.Presolve.passes
 
+let features_json (f : Lp.Struct.features) =
+  Printf.sprintf
+    {|{"rows":%d,"cols":%d,"nnz":%d,"unit_coeffs":%b,"zero_one":%b,"neg_entries":%d,"max_col_nnz":%d,"max_row_nnz":%d,"avg_col_nnz":%g,"geq_rows":%d,"leq_rows":%d,"eq_rows":%d,"root_lp":%s,"root_fractional":%s}|}
+    f.Lp.Struct.rows f.Lp.Struct.cols f.Lp.Struct.nnz f.Lp.Struct.unit_coeffs
+    f.Lp.Struct.zero_one f.Lp.Struct.neg_entries f.Lp.Struct.max_col_nnz
+    f.Lp.Struct.max_row_nnz f.Lp.Struct.avg_col_nnz f.Lp.Struct.geq_rows
+    f.Lp.Struct.leq_rows f.Lp.Struct.eq_rows
+    (match f.Lp.Struct.root_lp with Some v -> Printf.sprintf "%g" v | None -> "null")
+    (match f.Lp.Struct.root_fractional with Some n -> string_of_int n | None -> "null")
+
+let cert_json (c : Lp.Struct.t) =
+  Printf.sprintf {|{"verdict":"%s","witness":%s,"structural":%b,"features":%s}|}
+    (Lp.Struct.verdict_name c)
+    (match c.Lp.Struct.verdict with
+    | Lp.Struct.Integral w -> "\"" ^ json_escape (Lp.Struct.witness_name w) ^ "\""
+    | Lp.Struct.Fractional _ | Lp.Struct.Unknown -> "null")
+    (Lp.Struct.structural c)
+    (features_json c.Lp.Struct.features)
+
 let pp_diags header ds =
   Printf.printf "%s:\n" header;
   if ds = [] then print_endline "  (none)"
   else List.iter (fun d -> Format.printf "  %a@." Lp.Lint.pp_diag d) ds
+
+(* Exit-code contract shared by [lint] and [analyze]: 0 = clean (notes, and
+   warnings without --strict, are tolerated), 1 = at least one error, or any
+   warning under --strict, 2 = usage error (unparsable query). *)
+let diag_exit ~strict ds =
+  if Lp.Lint.errors ds <> [] then 1
+  else if strict && List.exists (fun d -> d.Lp.Lint.severity = Lp.Lint.Warning) ds then 1
+  else 0
+
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ] ~doc:"Exit 1 on warnings too, not only on errors")
 
 (* The [--lint] pre-pass of the solving subcommands: diagnostics go to stderr
    so stdout stays the solver's. *)
@@ -159,12 +191,12 @@ let exact_arg = Arg.(value & flag & info [ "exact" ] ~doc:"Exact rational arithm
 (* ----- lint -------------------------------------------------------------- *)
 
 let lint_cmd =
-  let run data bag json query =
+  let run data bag strict json query =
     let db = load_db data in
     match parse_query db query with
     | Error msg ->
       prerr_endline msg;
-      1
+      2
     | Ok q ->
       let sem = semantics_of_bag bag in
       let query_diags = Query_lint.lint_query sem q in
@@ -223,7 +255,7 @@ let lint_cmd =
         query_diags @ instance_diags
         @ match model_part with Some (md, _, _) -> md | None -> []
       in
-      if Lp.Lint.errors all <> [] then 1 else 0
+      diag_exit ~strict all
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output") in
   let query = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
@@ -231,9 +263,90 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:
          "Lint a query (and, with $(b,--data), an instance): structural defects, dichotomy \
-          advisories, ILP model diagnostics and the presolve summary. Exits 1 if any error \
-          is found.")
-    Term.(const run $ data_arg $ bag_arg $ json $ query)
+          advisories, ILP model diagnostics and the presolve summary. Exit codes: 0 clean, \
+          1 any error (or any warning with $(b,--strict)), 2 unparsable query.")
+    Term.(const run $ data_arg $ bag_arg $ strict_arg $ json $ query)
+
+(* ----- analyze ------------------------------------------------------------ *)
+
+let complexity_name = function
+  | Analysis.Ptime -> "ptime"
+  | Analysis.Npc -> "np-complete"
+  | Analysis.Unknown -> "unknown"
+
+let analyze_cmd =
+  let run data bag strict json query =
+    let db = load_db data in
+    match parse_query db query with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok q ->
+      let sem = semantics_of_bag bag in
+      let have_db = data <> None in
+      (* Cross-layer pass: dichotomy verdict vs matrix certificate. *)
+      let vreport = if have_db then Some (Validate.validate sem q db) else None in
+      let cert = Option.bind vreport (fun r -> r.Validate.cert) in
+      let complexity =
+        match vreport with
+        | Some r -> r.Validate.complexity
+        | None -> Analysis.res_complexity sem q
+      in
+      let query_diags = Validate.refine_query_diags cert (Query_lint.lint_query sem q) in
+      let instance_diags = if have_db then Query_lint.lint_instance sem q db else [] in
+      let model_part =
+        if not have_db then None
+        else
+          match Encode.res Encode.Ilp sem q db with
+          | Encode.Trivial _ | Encode.Impossible -> None
+          | Encode.Encoded enc ->
+            let m = Lp.Frozen.of_model enc.Encode.model in
+            Some (Lp.Lint.lint m, Lp.Lint.stats m)
+      in
+      let model_diags = match model_part with Some (md, _) -> md | None -> [] in
+      let vdiags = match vreport with Some r -> r.Validate.diags | None -> [] in
+      (* One merged report in the shared (severity, code, message) order. *)
+      let all = Lp.Lint.sort_diags (query_diags @ instance_diags @ model_diags @ vdiags) in
+      if json then
+        print_endline
+          (Printf.sprintf
+             {|{"query":"%s","semantics":"%s","complexity":"%s","dichotomy":"%s","certificate":%s,"model_stats":%s,"diagnostics":%s}|}
+             (json_escape (Cq.to_string q))
+             (if bag then "bag" else "set")
+             (complexity_name complexity)
+             (json_escape (Analysis.describe sem q))
+             (match cert with Some c -> cert_json c | None -> "null")
+             (match model_part with Some (_, st) -> stats_json st | None -> "null")
+             (diags_json all))
+      else begin
+        Printf.printf "query: %s\n" (Cq.to_string q);
+        Printf.printf "dichotomy: %s\n" (Analysis.describe sem q);
+        (match cert with
+        | Some c -> Printf.printf "matrix: %s\n" (Lp.Struct.describe c)
+        | None ->
+          if have_db then
+            print_endline "matrix: none (query trivial on the instance, or no contingency)"
+          else print_endline "matrix: none (no --data instance given)");
+        (match model_part with
+        | Some (_, st) ->
+          Printf.printf "model: %d vars (%d integer), %d rows, %d nonzeros%s\n"
+            st.Lp.Lint.nvars st.Lp.Lint.integer_count st.Lp.Lint.nconstrs st.Lp.Lint.nnz
+            (if st.Lp.Lint.unit_covering then ", unit covering" else "")
+        | None -> ());
+        pp_diags "diagnostics" all
+      end;
+      diag_exit ~strict all
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output") in
+  let query = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Unified static report: query/instance/model diagnostics, the dichotomy verdict, \
+          the matrix-structure integrality certificate, and their cross-layer consistency \
+          (V-codes). Exit codes as for $(b,lint): 0 clean, 1 any error (or any warning \
+          with $(b,--strict)), 2 unparsable query.")
+    Term.(const run $ data_arg $ bag_arg $ strict_arg $ json $ query)
 
 let resilience_cmd =
   let run data bag exact lp lint trace stats query =
@@ -258,10 +371,11 @@ let resilience_cmd =
       else begin
         match Solve.resilience ~exact sem q db with
         | Solve.Solved a ->
-          Printf.printf "RES* = %d  (root LP %g, %s, %d nodes)\n" a.Solve.res_value
+          Printf.printf "RES* = %d  (root LP %g, %s, %d nodes%s)\n" a.Solve.res_value
             a.Solve.res_stats.Solve.root_lp
             (if a.Solve.res_stats.Solve.root_integral then "integral" else "fractional")
-            a.Solve.res_stats.Solve.nodes;
+            a.Solve.res_stats.Solve.nodes
+            (if a.Solve.res_stats.Solve.certified then ", certified" else "");
           print_endline "contingency set:";
           pp_tuples db a.Solve.contingency;
           0
@@ -632,6 +746,7 @@ let () =
           [
             classify_cmd;
             lint_cmd;
+            analyze_cmd;
             resilience_cmd;
             responsibility_cmd;
             rank_cmd;

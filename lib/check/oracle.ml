@@ -283,6 +283,64 @@ let lp_float_vs_exact ({ frozen; deltas } : Gen.lp_case) =
   in
   all_of checks
 
+(* ----- certificate soundness ------------------------------------------------ *)
+
+(* Lp.Struct is advisory for performance but must never lie: its verify must
+   accept every certificate analyze emits, structural witnesses must
+   transfer to every delta (TU is closed under taking submatrices), and an
+   Integral verdict must imply the branch-and-bound finds the root LP
+   integral. *)
+let struct_soundness_lp ({ frozen; deltas } : Gen.lp_case) =
+  let cert = Lp.Struct.analyze ~probe_root:true frozen in
+  all_of
+    [
+      (fun () ->
+        if Lp.Struct.verify frozen cert then Pass
+        else failf "emitted %s certificate rejected by its own verify"
+               (Lp.Struct.verdict_name cert));
+      (fun () ->
+        if not (Lp.Struct.structural cert) then Pass
+        else if List.for_all (fun delta -> Lp.Struct.verify ~delta frozen cert) deltas then
+          Pass
+        else Fail "structural certificate does not transfer to a delta of its program");
+      (fun () ->
+        match cert.Lp.Struct.verdict with
+        | Lp.Struct.Integral _ -> (
+          let r = FB.solve_frozen frozen in
+          match r.FB.status with
+          | FB.Optimal when not r.FB.root_integral ->
+            Fail "certified integral but the branch-and-bound root was fractional"
+          | _ -> Pass)
+        | Lp.Struct.Fractional _ | Lp.Struct.Unknown -> Pass);
+    ]
+
+(* On database cases the certificate feeds the cross-layer validator: it
+   must never report a V101 contradiction, and an integral certificate must
+   mean LP[RES*] already attains RES*. *)
+let struct_soundness_db ({ sem; q; db } : Gen.db_case) =
+  let report = Validate.validate sem q db in
+  all_of
+    [
+      (fun () ->
+        match Lp.Lint.errors report.Validate.diags with
+        | [] -> Pass
+        | d :: _ -> failf "cross-layer validator: %s %s" d.Lp.Lint.code d.Lp.Lint.message);
+      (fun () ->
+        match report.Validate.cert with
+        | Some c when Lp.Struct.is_integral c -> (
+          match (Solve.resilience sem q db, Solve.resilience_lp sem q db) with
+          | Solve.Solved a, Some lp
+            when Float.abs (lp -. float_of_int a.Solve.res_value) > 1e-5 ->
+            failf "certified integral but LP[RES*] %g <> RES* %d" lp a.Solve.res_value
+          | _ -> Pass)
+        | _ -> Pass);
+    ]
+
+let struct_soundness case =
+  match case.Gen.shape with
+  | Gen.Db c -> struct_soundness_db c
+  | Gen.Lp c -> struct_soundness_lp c
+
 (* ----- the matrix ---------------------------------------------------------- *)
 
 let small_db case =
@@ -342,6 +400,12 @@ let all =
       descr = "LP[RES*] <= RES* <= flow/rounding upper bounds, with valid deletion sets";
       applies = db_only true;
       check = on_db sandwich;
+    };
+    {
+      name = "struct_soundness";
+      descr = "Lp.Struct certificates verify, transfer across deltas, never contradict solvers";
+      applies = (fun _ -> true);
+      check = struct_soundness;
     };
     {
       name = "lp_warm_vs_cold";

@@ -20,6 +20,15 @@ let pp_diag fmt d =
 
 let errors ds = List.filter (fun d -> d.severity = Error) ds
 
+let severity_rank = function Error -> 0 | Warning -> 1 | Note -> 2
+
+let compare_diag a b =
+  compare
+    (severity_rank a.severity, a.code, a.message)
+    (severity_rank b.severity, b.code, b.message)
+
+let sort_diags ds = List.stable_sort compare_diag ds
+
 (* Rows read once from the frozen CSR arrays; already in normal form. *)
 type row = { expr : (Model.var * int) list; sense : Model.sense; rhs : int }
 
@@ -270,5 +279,4 @@ let lint m =
   done;
   if Frozen.num_vars m > 0 && not !any_obj then
     emit "M302" Note "objective is identically zero; every feasible point is optimal";
-  let rank d = match d.severity with Error -> 0 | Warning -> 1 | Note -> 2 in
-  List.stable_sort (fun a b -> compare (rank a, a.code) (rank b, b.code)) (List.rev !diags)
+  sort_diags (List.rev !diags)

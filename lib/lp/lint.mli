@@ -62,6 +62,15 @@ val lint : Frozen.t -> diag list
 
 val errors : diag list -> diag list
 
+val compare_diag : diag -> diag -> int
+(** Stable report order shared by every layer (query, instance, model,
+    validator): severity first (errors, warnings, notes), then code, then
+    message — so merged multi-layer reports and their [--json] renderings
+    are deterministic. *)
+
+val sort_diags : diag list -> diag list
+(** [List.stable_sort compare_diag]. *)
+
 val severity_name : severity -> string
 
 val pp_diag : Format.formatter -> diag -> unit

@@ -3,15 +3,7 @@ open Lp.Lint
 
 let diag code severity message = { code; severity; message }
 
-let severity_rank = function Error -> 0 | Warning -> 1 | Note -> 2
-
-let sort diags =
-  List.stable_sort
-    (fun a b ->
-      match compare (severity_rank a.severity) (severity_rank b.severity) with
-      | 0 -> compare a.code b.code
-      | c -> c)
-    diags
+let sort = Lp.Lint.sort_diags
 
 let atom_to_string (a : Cq.atom) =
   let term = function Cq.Var v -> v | Cq.Const c -> string_of_int c in

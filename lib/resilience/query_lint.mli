@@ -25,7 +25,11 @@ open! Relalg
     - [Q302] (note) dichotomy advisory, PTIME side — LP[RES*] is integral
       (Theorems 8.6/8.7), branch-and-bound is unnecessary;
     - [Q303] (note) dichotomy advisory, NP-complete side — expect branching;
-    - [Q304] (note) self-join query outside the SJ-free dichotomy.
+    - [Q304] (note) self-join query outside the SJ-free dichotomy;
+    - [Q305] (note) instance-level downgrade of [Q304]: the query's
+      worst-case complexity is unknown, but {!Lp.Struct} certified the
+      instance's matrix integral, so this instance is PTIME (emitted by
+      {!Validate.refine_query_diags}, never by {!lint_query} itself).
 
     Instance-level codes (query plus database):
 

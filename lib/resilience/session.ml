@@ -4,11 +4,19 @@ type stats = {
   nodes : int;
   root_lp : float;
   root_integral : bool;
+  certified : bool;
   solve_time : float;
   prep_time : float;
   pivots : int;
   refactors : int;
 }
+
+(* Certificate-aware dispatch telemetry: solves settled by an integrality
+   certificate (no branch-and-bound), and the subset backed by a
+   delta-transferable structural witness rather than a per-solve root
+   vertex. *)
+let c_certified = Obs.Counter.create "solve.certified"
+let c_certified_structural = Obs.Counter.create "solve.certified_structural"
 
 type 'a outcome =
   | Solved of 'a
@@ -54,9 +62,19 @@ let fresh_acc () =
 type engine = Efloat of Lp.Solvers.Float_bb.session | Eexact of Lp.Solvers.Exact_bb.session
 
 (* Solver state over one frozen program: the presolved form (what per-domain
-   engines are created from), the presolve witness, and the submitter's own
-   warm engine. *)
-type prep = { pfz : Lp.Frozen.t; pvm : Lp.Presolve.vmap option; pengine : engine }
+   engines are created from), the presolve witness, the submitter's own
+   warm engine, and the structural integrality certificate.  The certificate
+   is computed eagerly with the prep (NOT lazily: preps are shared across
+   the domains of a parallel ranking, and [Lazy.force] is not domain-safe);
+   its witnesses are delta-transferable, so one analysis covers every
+   delta-solve of the session. *)
+type prep = {
+  pfz : Lp.Frozen.t;
+  pvm : Lp.Presolve.vmap option;
+  pengine : engine;
+  pcert : Lp.Struct.t;
+  pint : Lp.Model.var list;  (* integer variables of [pfz] *)
+}
 
 let engine_of ~exact fz =
   if exact then Eexact (Lp.Solvers.Exact_bb.create_session fz)
@@ -75,7 +93,16 @@ let prep_of_model ~exact ~presolve model =
       | Lp.Presolve.Infeasible | Lp.Presolve.Unbounded -> None
     else Some (raw, None)
   in
-  Option.map (fun (fz, vm) -> { pfz = fz; pvm = vm; pengine = engine_of ~exact fz }) prepared
+  Option.map
+    (fun (fz, vm) ->
+      {
+        pfz = fz;
+        pvm = vm;
+        pengine = engine_of ~exact fz;
+        pcert = Obs.Trace.with_span "session.struct" (fun () -> Lp.Struct.analyze fz);
+        pint = Lp.Frozen.integer_vars fz;
+      })
+    prepared
 
 type core = {
   cshared : Encode.shared;
@@ -213,55 +240,98 @@ let rsp_delta core t =
 
 (* --- Solving -------------------------------------------------------------- *)
 
-(* Branch-and-bound under the delta against [engine] — the submitter's warm
-   engine on the sequential paths, a per-domain engine over the same frozen
-   arrays on the parallel ones; mirrors Solve.run_bb but without re-freezing
-   or re-presolving. *)
+(* Certificate-aware dispatch + branch-and-bound under the delta against
+   [engine] — the submitter's warm engine on the sequential paths, a
+   per-domain engine over the same frozen arrays on the parallel ones;
+   mirrors Solve.run_bb but without re-freezing or re-presolving.
+
+   Every solve is relax-first: one warm-started LP relaxation under the
+   delta.  When its optimum is integral on the integer variables it {e is}
+   the ILP optimum (an integral feasible point meeting the LP lower bound)
+   — the solve is settled by that root-vertex certificate with {e zero}
+   branch-and-bound nodes, [certified = true].  This is guaranteed, not
+   luck, whenever the session's structural certificate holds: structural
+   witnesses survive delta bound fixes, so one [Lp.Struct.analyze] covers
+   every question the session answers.  Otherwise branch-and-bound runs as
+   before, warm-started from the relaxation's final basis (the root
+   re-solve costs a handful of pivots), so hard instances pay essentially
+   nothing for the probe. *)
 let run_engine ?node_limit ?time_limit prep engine delta =
   let t0 = Lp.Clock.now () in
   match translate prep.pvm delta with
   | None -> `Infeasible
   | Some d ->
     let foffset = float_of_int (offset_of prep.pvm) in
-    let finish nodes root_lp root_integral pivots refactors objective solution =
+    let finish ?(certified = false) nodes root_lp root_integral pivots refactors objective
+        solution =
       let solve_time = Lp.Clock.elapsed t0 in
+      if certified then begin
+        Obs.Counter.incr c_certified;
+        if Lp.Struct.structural prep.pcert then Obs.Counter.incr c_certified_structural
+      end;
       ( objective,
         solution,
-        { nodes; root_lp; root_integral; solve_time; prep_time = 0.; pivots; refactors } )
+        { nodes; root_lp; root_integral; certified; solve_time; prep_time = 0.; pivots; refactors }
+      )
     in
     (match engine with
     | Eexact s -> begin
       let open Lp.Solvers.Exact_bb in
-      let r = solve_session ?node_limit ?time_limit ~delta:d s in
-      let root =
-        match r.root_objective with Some o -> Numeric.Rat.to_float o +. foffset | None -> nan
+      let certified =
+        match relax ~delta:d s with
+        | `Optimal (obj, x) when Lp.Solvers.Exact_simplex.integral_on x prep.pint ->
+          Some (obj, x)
+        | `Optimal _ | `Infeasible | `Unbounded -> None
       in
-      match r.status with
-      | Optimal ->
-        let obj = Numeric.Rat.to_float (Option.get r.objective) +. foffset in
+      match certified with
+      | Some (obj, x) ->
+        let obj = Numeric.Rat.to_float obj +. foffset in
         let sol =
-          lift_sol prep.pvm ~of_int:Numeric.Rat.of_int (Option.get r.solution)
-          |> Array.map Numeric.Rat.to_float
+          lift_sol prep.pvm ~of_int:Numeric.Rat.of_int x |> Array.map Numeric.Rat.to_float
         in
-        `Ok (finish r.nodes root r.root_integral r.pivots r.refactors obj sol)
-      | Infeasible | Unbounded -> `Infeasible
-      | Feasible -> `Budget (Option.map (fun o -> Numeric.Rat.to_float o +. foffset) r.objective)
-      | Limit_no_solution -> `Budget None
+        `Ok (finish ~certified:true 0 obj true 0 0 obj sol)
+      | None -> (
+        let r = solve_session ?node_limit ?time_limit ~delta:d s in
+        let root =
+          match r.root_objective with Some o -> Numeric.Rat.to_float o +. foffset | None -> nan
+        in
+        match r.status with
+        | Optimal ->
+          let obj = Numeric.Rat.to_float (Option.get r.objective) +. foffset in
+          let sol =
+            lift_sol prep.pvm ~of_int:Numeric.Rat.of_int (Option.get r.solution)
+            |> Array.map Numeric.Rat.to_float
+          in
+          `Ok (finish r.nodes root r.root_integral r.pivots r.refactors obj sol)
+        | Infeasible | Unbounded -> `Infeasible
+        | Feasible -> `Budget (Option.map (fun o -> Numeric.Rat.to_float o +. foffset) r.objective)
+        | Limit_no_solution -> `Budget None)
     end
     | Efloat s -> begin
       let open Lp.Solvers.Float_bb in
-      let r = solve_session ?node_limit ?time_limit ~delta:d s in
-      let root = match r.root_objective with Some o -> o +. foffset | None -> nan in
-      match r.status with
-      | Optimal ->
-        let sol = lift_sol prep.pvm ~of_int:float_of_int (Option.get r.solution) in
-        `Ok
-          (finish r.nodes root r.root_integral r.pivots r.refactors
-             (Option.get r.objective +. foffset)
-             sol)
-      | Infeasible | Unbounded -> `Infeasible
-      | Feasible -> `Budget (Option.map (fun o -> o +. foffset) r.objective)
-      | Limit_no_solution -> `Budget None
+      let certified =
+        match relax ~delta:d s with
+        | `Optimal (obj, x) when Lp.Solvers.Float_simplex.integral_on x prep.pint ->
+          Some (obj, x)
+        | `Optimal _ | `Infeasible | `Unbounded -> None
+      in
+      match certified with
+      | Some (obj, x) ->
+        let sol = lift_sol prep.pvm ~of_int:float_of_int x in
+        `Ok (finish ~certified:true 0 (obj +. foffset) true 0 0 (obj +. foffset) sol)
+      | None -> (
+        let r = solve_session ?node_limit ?time_limit ~delta:d s in
+        let root = match r.root_objective with Some o -> o +. foffset | None -> nan in
+        match r.status with
+        | Optimal ->
+          let sol = lift_sol prep.pvm ~of_int:float_of_int (Option.get r.solution) in
+          `Ok
+            (finish r.nodes root r.root_integral r.pivots r.refactors
+               (Option.get r.objective +. foffset)
+               sol)
+        | Infeasible | Unbounded -> `Infeasible
+        | Feasible -> `Budget (Option.map (fun o -> o +. foffset) r.objective)
+        | Limit_no_solution -> `Budget None)
     end)
 
 let read_tuples core sol =

@@ -35,9 +35,20 @@ open! Relalg
 type t
 
 type stats = {
-  nodes : int;  (** Branch-and-bound nodes (LPs solved). *)
+  nodes : int;
+      (** Branch-and-bound nodes (LPs solved).  [0] when the solve was
+          settled by an integrality certificate without entering
+          branch-and-bound. *)
   root_lp : float;  (** Root relaxation objective. *)
   root_integral : bool;  (** Was the root LP already integral? *)
+  certified : bool;
+      (** The solve was settled by an integrality certificate: the
+          warm-started root relaxation's optimum was integral on the integer
+          variables (a root-vertex certificate — guaranteed whenever
+          {!Lp.Struct} certifies the session's matrix structurally) and was
+          accepted as the ILP optimum with zero branch-and-bound nodes.
+          Counted by the [solve.certified] / [solve.certified_structural]
+          {!Obs} counters. *)
   solve_time : float;
       (** Seconds of {e pure} branch-and-bound for this question — excludes
           encoding, freezing and presolve (see [prep_time]). *)

@@ -4,11 +4,15 @@ type stats = Session.stats = {
   nodes : int;
   root_lp : float;
   root_integral : bool;
+  certified : bool;
   solve_time : float;
   prep_time : float;
   pivots : int;
   refactors : int;
 }
+
+let c_certified = Obs.Counter.create "solve.certified"
+let c_certified_structural = Obs.Counter.create "solve.certified_structural"
 
 type 'a outcome = 'a Session.outcome =
   | Solved of 'a
@@ -47,58 +51,97 @@ let lift_sol vm ~of_int sol =
 
 let offset_of vm = match vm with Some vm -> Lp.Presolve.obj_offset vm | None -> 0
 
-(* Run branch-and-bound over the chosen field and normalise the result. *)
+(* Certificate-aware dispatch + branch-and-bound over the chosen field,
+   normalising the result.  Mirrors Session.run_engine on a cold program:
+   the root LP relaxation is solved first (branch-and-bound would start
+   there anyway), and an optimum integral on the integer variables is
+   accepted as the ILP optimum — a root-vertex certificate, zero
+   branch-and-bound nodes, guaranteed whenever Lp.Struct certifies the
+   matrix structurally.  Otherwise branch-and-bound runs on the same warm
+   session, re-solving the root from its final basis. *)
 let run_bb ~exact ~presolve ?node_limit ?time_limit (enc : Encode.encoding) =
   let tp0 = Lp.Clock.now () in
   match prepare ~presolve enc.Encode.model with
   | `Infeasible -> `Infeasible
   | `Frozen (fz, vm) ->
-    (* Freeze + presolve are preparation, not solving; the solver clock
-       starts only now, so [solve_time] is pure branch-and-bound. *)
+    (* The structural analysis is preparation too: it reads only the frozen
+       arrays, before any solve. *)
+    let cert = Lp.Struct.analyze fz in
+    let ivars = Lp.Frozen.integer_vars fz in
     let prep_time = Lp.Clock.elapsed tp0 in
     let t0 = Lp.Clock.now () in
     let offset = offset_of vm in
     let foffset = float_of_int offset in
-    let finish nodes root_lp root_integral pivots refactors objective solution =
+    let finish ?(certified = false) nodes root_lp root_integral pivots refactors objective
+        solution =
       let solve_time = Lp.Clock.elapsed t0 in
+      if certified then begin
+        Obs.Counter.incr c_certified;
+        if Lp.Struct.structural cert then Obs.Counter.incr c_certified_structural
+      end;
       ( objective,
         solution,
-        { nodes; root_lp; root_integral; solve_time; prep_time; pivots; refactors } )
+        { nodes; root_lp; root_integral; certified; solve_time; prep_time; pivots; refactors } )
     in
     if exact then begin
       let open Lp.Solvers.Exact_bb in
-      let r = solve_frozen ?node_limit ?time_limit fz in
-      let root =
-        match r.root_objective with Some o -> Numeric.Rat.to_float o +. foffset | None -> nan
+      let s = create_session fz in
+      let certified =
+        match relax s with
+        | `Optimal (obj, x) when Lp.Solvers.Exact_simplex.integral_on x ivars -> Some (obj, x)
+        | `Optimal _ | `Infeasible | `Unbounded -> None
       in
-      match r.status with
-      | Optimal ->
-        let obj = Numeric.Rat.to_float (Option.get r.objective) +. foffset in
+      match certified with
+      | Some (obj, x) ->
+        let obj = Numeric.Rat.to_float obj +. foffset in
         let sol =
-          lift_sol vm ~of_int:Numeric.Rat.of_int (Option.get r.solution)
-          |> Array.map Numeric.Rat.to_float
+          lift_sol vm ~of_int:Numeric.Rat.of_int x |> Array.map Numeric.Rat.to_float
         in
-        `Ok (finish r.nodes root r.root_integral r.pivots r.refactors obj sol)
-      | Infeasible -> `Infeasible
-      | Unbounded -> `Infeasible
-      | Feasible -> `Budget (Option.map (fun o -> Numeric.Rat.to_float o +. foffset) r.objective)
-      | Limit_no_solution -> `Budget None
+        `Ok (finish ~certified:true 0 obj true 0 0 obj sol)
+      | None -> (
+        let r = solve_session ?node_limit ?time_limit s in
+        let root =
+          match r.root_objective with Some o -> Numeric.Rat.to_float o +. foffset | None -> nan
+        in
+        match r.status with
+        | Optimal ->
+          let obj = Numeric.Rat.to_float (Option.get r.objective) +. foffset in
+          let sol =
+            lift_sol vm ~of_int:Numeric.Rat.of_int (Option.get r.solution)
+            |> Array.map Numeric.Rat.to_float
+          in
+          `Ok (finish r.nodes root r.root_integral r.pivots r.refactors obj sol)
+        | Infeasible -> `Infeasible
+        | Unbounded -> `Infeasible
+        | Feasible -> `Budget (Option.map (fun o -> Numeric.Rat.to_float o +. foffset) r.objective)
+        | Limit_no_solution -> `Budget None)
     end
     else begin
       let open Lp.Solvers.Float_bb in
-      let r = solve_frozen ?node_limit ?time_limit fz in
-      let root = match r.root_objective with Some o -> o +. foffset | None -> nan in
-      match r.status with
-      | Optimal ->
-        let sol = lift_sol vm ~of_int:float_of_int (Option.get r.solution) in
-        `Ok
-          (finish r.nodes root r.root_integral r.pivots r.refactors
-             (Option.get r.objective +. foffset)
-             sol)
-      | Infeasible -> `Infeasible
-      | Unbounded -> `Infeasible
-      | Feasible -> `Budget (Option.map (fun o -> o +. foffset) r.objective)
-      | Limit_no_solution -> `Budget None
+      let s = create_session fz in
+      let certified =
+        match relax s with
+        | `Optimal (obj, x) when Lp.Solvers.Float_simplex.integral_on x ivars -> Some (obj, x)
+        | `Optimal _ | `Infeasible | `Unbounded -> None
+      in
+      match certified with
+      | Some (obj, x) ->
+        let sol = lift_sol vm ~of_int:float_of_int x in
+        `Ok (finish ~certified:true 0 (obj +. foffset) true 0 0 (obj +. foffset) sol)
+      | None -> (
+        let r = solve_session ?node_limit ?time_limit s in
+        let root = match r.root_objective with Some o -> o +. foffset | None -> nan in
+        match r.status with
+        | Optimal ->
+          let sol = lift_sol vm ~of_int:float_of_int (Option.get r.solution) in
+          `Ok
+            (finish r.nodes root r.root_integral r.pivots r.refactors
+               (Option.get r.objective +. foffset)
+               sol)
+        | Infeasible -> `Infeasible
+        | Unbounded -> `Infeasible
+        | Feasible -> `Budget (Option.map (fun o -> o +. foffset) r.objective)
+        | Limit_no_solution -> `Budget None)
     end
 
 let round_value x = int_of_float (Float.round x)
@@ -207,6 +250,7 @@ let flow_stats t0 =
     nodes = 1;
     root_lp = nan;
     root_integral = true;
+    certified = false;
     solve_time = Lp.Clock.elapsed t0;
     prep_time = 0.;
     pivots = 0;

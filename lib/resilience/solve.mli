@@ -16,9 +16,15 @@ open! Relalg
     testing the presolver itself. *)
 
 type stats = Session.stats = {
-  nodes : int;  (** Branch-and-bound nodes (LPs solved). *)
+  nodes : int;
+      (** Branch-and-bound nodes (LPs solved); [0] on certificate-settled
+          solves. *)
   root_lp : float;  (** Root relaxation objective. *)
   root_integral : bool;  (** Was the root LP already integral? (Result 2) *)
+  certified : bool;
+      (** Settled by an integrality certificate (integral root-LP vertex —
+          guaranteed when {!Lp.Struct} certifies the matrix structurally)
+          with zero branch-and-bound nodes. *)
   solve_time : float;
       (** Seconds of pure branch-and-bound (encode, freeze and presolve
           excluded — see [prep_time]). *)

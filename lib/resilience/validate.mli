@@ -1,0 +1,48 @@
+open! Relalg
+
+(** Cross-layer consistency: does the query-level dichotomy verdict agree
+    with the matrix-level integrality certificate?
+
+    The paper proves its PTIME verdicts {e through} the LP relaxation:
+    RES* is PTIME exactly when LP[RES*] is integral (Theorems 8.6/8.7).
+    {!Analysis} decides the verdict from the query alone; {!Lp.Struct}
+    certifies (or refutes) integrality on the concrete constraint matrix.
+    The two must agree — whenever they do not, either the dichotomy
+    implementation, the encoder, or the analyzer is wrong, which is exactly
+    the kind of silent cross-layer drift this validator turns into a
+    diagnostic.
+
+    Codes (rendered through {!Lp.Lint.diag} like every other layer):
+
+    - [V101] (error) the dichotomy says PTIME but the root LP of this
+      instance has a {e fractional optimum value} — RES* is an integer, so
+      LP < ILP follows: a genuine contradiction with Theorems 8.6/8.7
+      somewhere in the pipeline;
+    - [V201] (warning) the dichotomy says PTIME but no integrality
+      certificate could be produced for this instance (analyzer
+      incompleteness, a degenerate fractional vertex at an integral
+      optimum, or an unbounded/infeasible probe) — the verdict stands but
+      is uncorroborated;
+    - [V301] (note) PTIME verdict confirmed by a matrix-level certificate
+      (names the witness kind);
+    - [V302] (note) the matrix is certified integral although the dichotomy
+      gives no PTIME guarantee — {e this instance} solves without branching
+      regardless of worst-case complexity. *)
+
+type report = {
+  complexity : Analysis.complexity;  (** Query-dichotomy verdict. *)
+  cert : Lp.Struct.t option;
+      (** Matrix certificate for ILP[RES*] on this instance; [None] when no
+          program exists (query false, or contingency impossible). *)
+  diags : Lp.Lint.diag list;  (** V-codes, in {!Lp.Lint.compare_diag} order. *)
+}
+
+val validate : Problem.semantics -> Cq.t -> Database.t -> report
+(** Encode ILP[RES*], analyze the frozen matrix (with a root-LP probe), and
+    compare against {!Analysis.res_complexity}. *)
+
+val refine_query_diags : Lp.Struct.t option -> Lp.Lint.diag list -> Lp.Lint.diag list
+(** Downgrade the [Q304] "complexity unknown" advisory to a definite [Q305]
+    PTIME advisory when the instance's matrix is certified integral: the
+    self-join query may sit outside the SJ-free dichotomy, but integrality
+    of this program settles this instance (re-sorted afterwards). *)

@@ -419,7 +419,10 @@ let test_root_integral_on_easy () =
   match Solve.resilience set q db with
   | Solve.Solved a ->
     Alcotest.(check bool) "root integral" true a.Solve.res_stats.Solve.root_integral;
-    Alcotest.(check int) "no branching" 1 a.Solve.res_stats.Solve.nodes
+    (* the integral root is now accepted as a certificate: the solve never
+       enters branch-and-bound at all *)
+    Alcotest.(check bool) "certified" true a.Solve.res_stats.Solve.certified;
+    Alcotest.(check int) "no branching" 0 a.Solve.res_stats.Solve.nodes
   | _ -> Alcotest.fail "expected solved"
 
 let test_fractional_on_composed_hard_instance () =

@@ -1,0 +1,369 @@
+(* Lp.Struct: the matrix-structure analyzer and its certificates.
+
+   Three layers:
+   - handcrafted matrices with known classification (network / bipartite /
+     interval incidence are TU; the odd-cycle incidence is the canonical
+     non-TU matrix), pinning which recognizer fires;
+   - certificate semantics: verify accepts every emitted certificate,
+     rejects targeted mutations, and structural certificates transfer
+     across deltas;
+   - soundness properties over random programs and the fuzz generator's
+     LP profiles: whenever Integral is emitted, branch-and-bound confirms
+     LP = ILP at the root. *)
+
+module M = Lp.Model
+module S = Lp.Struct
+module FB = Lp.Solvers.Float_bb
+
+let frozen_of rows ~nvars ~integer =
+  let m = M.create () in
+  let vars = Array.init nvars (fun _ -> M.add_var ~integer ~upper:1 ~obj:1 m) in
+  List.iter (fun (expr, sense, rhs) ->
+      M.add_constr m (List.map (fun (v, c) -> (vars.(v), c)) expr) sense rhs)
+    rows;
+  Lp.Frozen.of_model m
+
+let witness_of t =
+  match t.S.verdict with
+  | S.Integral w -> w
+  | S.Fractional _ -> Alcotest.fail "expected an integral verdict, got fractional"
+  | S.Unknown -> Alcotest.fail "expected an integral verdict, got unknown"
+
+let check_verifies fz t = Alcotest.(check bool) "verify accepts" true (S.verify fz t)
+
+(* --- Known-TU matrices --------------------------------------------------------- *)
+
+(* Digraph incidence (a network matrix): one +1 and one -1 per column.
+   Heller-Tompkins holds with every row in one part. *)
+let test_network_incidence () =
+  let edges = [ (0, 1); (1, 2); (2, 3); (3, 0); (0, 2) ] in
+  let rows =
+    List.init 4 (fun v ->
+        ( List.concat (List.mapi
+              (fun e (tail, head) ->
+                if head = v then [ (e, 1) ] else if tail = v then [ (e, -1) ] else [])
+              edges),
+          M.Eq, 0 ))
+  in
+  let fz = frozen_of rows ~nvars:(List.length edges) ~integer:true in
+  let t = S.analyze fz in
+  (match witness_of t with
+  | S.Row_partition _ -> ()
+  | w -> Alcotest.fail ("expected row-partition, got " ^ S.witness_name w));
+  Alcotest.(check bool) "structural" true (S.structural t);
+  check_verifies fz t
+
+(* Bipartite vertex-edge incidence (K_{2,3}): two +1s per column, one per
+   side.  The Heller-Tompkins bipartition is the two vertex classes. *)
+let test_bipartite_incidence () =
+  let lefts = [ 0; 1 ] and rights = [ 2; 3; 4 ] in
+  let edges = List.concat_map (fun u -> List.map (fun v -> (u, v)) rights) lefts in
+  let row v =
+    ( List.concat (List.mapi (fun e (u, w) -> if u = v || w = v then [ (e, 1) ] else []) edges),
+      M.Geq, 1 )
+  in
+  let fz = frozen_of (List.map row (lefts @ rights)) ~nvars:(List.length edges) ~integer:true in
+  let t = S.analyze fz in
+  (match witness_of t with
+  | S.Row_partition part ->
+      (* Same-sign two-entry columns straddle the parts, so the partition is
+         exactly the bipartition (up to global flip). *)
+      List.iter (fun u -> Alcotest.(check bool) "left side uniform" part.(0) part.(u)) lefts;
+      List.iter (fun v -> Alcotest.(check bool) "right side uniform" part.(2) part.(v)) rights;
+      Alcotest.(check bool) "sides differ" true (part.(0) <> part.(2))
+  | w -> Alcotest.fail ("expected row-partition, got " ^ S.witness_name w));
+  check_verifies fz t
+
+(* An interval matrix whose identity row order already works is recognised
+   by the consecutive-ones pass once both Heller-Tompkins orientations are
+   defeated (a 3-entry column and a 3-entry row). *)
+let test_interval_identity () =
+  let rows =
+    [
+      (* columns: A={0,1,2} B={1,2,3} C={0,1} D={2,3} — contiguous as given *)
+      ([ (0, 1); (2, 1) ], M.Geq, 1);
+      ([ (0, 1); (1, 1); (2, 1) ], M.Geq, 1);
+      ([ (0, 1); (1, 1); (3, 1) ], M.Geq, 1);
+      ([ (1, 1); (3, 1) ], M.Geq, 1);
+    ]
+  in
+  let fz = frozen_of rows ~nvars:4 ~integer:true in
+  let t = S.analyze fz in
+  (match witness_of t with
+  | S.Consecutive_rows _ -> ()
+  | w -> Alcotest.fail ("expected consecutive-rows, got " ^ S.witness_name w));
+  check_verifies fz t
+
+(* A scrambled staircase: contiguous only under a non-identity row order,
+   exercising the block-refinement search.  Supports (by row label):
+   S1 = all, S2 = {1,3}, S3 = {0,2}, S4 = {0,1} — contiguous under
+   [2;0;1;3]. *)
+let test_interval_scrambled () =
+  let cols = [ [ 0; 1; 2; 3 ]; [ 1; 3 ]; [ 0; 2 ]; [ 0; 1 ] ] in
+  let rows =
+    List.init 4 (fun r ->
+        ( List.concat (List.mapi (fun c s -> if List.mem r s then [ (c, 1) ] else []) cols),
+          M.Geq, 1 ))
+  in
+  let fz = frozen_of rows ~nvars:(List.length cols) ~integer:true in
+  let t = S.analyze fz in
+  (match witness_of t with
+  | S.Consecutive_rows order -> (
+      (* the emitted order really does make every support contiguous *)
+      let pos = Array.make 4 0 in
+      Array.iteri (fun p r -> pos.(r) <- p) order;
+      List.iter
+        (fun s ->
+          let ps = List.sort compare (List.map (fun r -> pos.(r)) s) in
+          Alcotest.(check int) "contiguous support" (List.length s)
+            (List.nth ps (List.length ps - 1) - List.hd ps + 1))
+        cols)
+  | w -> Alcotest.fail ("expected consecutive-rows, got " ^ S.witness_name w));
+  check_verifies fz t
+
+(* A network matrix with mixed signs (tree-path incidence: columns are ±
+   characteristic vectors of intervals): the signs defeat both
+   consecutive-ones passes, a 3-entry column and a 4-entry row defeat both
+   Heller-Tompkins orientations — only the exact Ghouila-Houri fallback is
+   left, and it must succeed because the matrix is TU. *)
+let gh_network_rows =
+  [
+    ([ (0, 1); (1, 1); (3, -1) ], M.Geq, 1);
+    ([ (0, 1); (1, 1); (2, 1); (3, -1) ], M.Geq, 1);
+    ([ (0, 1); (2, 1) ], M.Geq, 1);
+  ]
+
+let test_ghouila_houri_rescue () =
+  let fz = frozen_of gh_network_rows ~nvars:4 ~integer:true in
+  let t = S.analyze fz in
+  (match witness_of t with
+  | S.Ghouila_houri _ -> ()
+  | w -> Alcotest.fail ("expected ghouila-houri, got " ^ S.witness_name w));
+  check_verifies fz t
+
+(* --- Known-non-TU and vertex certificates -------------------------------------- *)
+
+(* C5 vertex-edge incidence: the canonical non-TU matrix (odd cycle,
+   determinant ±2).  No structural witness exists; the root-LP probe finds
+   the all-halves vertex of the covering program (LP 2.5 vs ILP 3). *)
+let c5_frozen () =
+  let edges = List.init 5 (fun i -> (i, (i + 1) mod 5)) in
+  let row v =
+    ( List.concat (List.mapi (fun e (a, b) -> if a = v || b = v then [ (e, 1) ] else []) edges),
+      M.Geq, 1 )
+  in
+  frozen_of (List.map row (List.init 5 Fun.id)) ~nvars:5 ~integer:true
+
+let test_odd_cycle_fractional () =
+  let fz = c5_frozen () in
+  let plain = S.analyze fz in
+  Alcotest.(check string) "no structural certificate" "unknown" (S.verdict_name plain);
+  let t = S.analyze ~probe_root:true fz in
+  (match t.S.verdict with
+  | S.Fractional x ->
+      Alcotest.(check (float 1e-6)) "all-halves vertex" 0.5 x.(0);
+      Alcotest.(check (float 1e-6)) "root LP optimum" 2.5 (Option.get t.S.features.S.root_lp)
+  | _ -> Alcotest.fail "expected a fractional certificate");
+  check_verifies fz t;
+  (* branch-and-bound agrees: root not integral, ILP strictly above LP *)
+  let r = FB.solve_frozen fz in
+  Alcotest.(check bool) "root not integral" false r.FB.root_integral;
+  Alcotest.(check (float 1e-6)) "ILP optimum 3" 3.0 (Option.get r.FB.objective)
+
+(* Non-unit coefficients defeat every structural recognizer (a lone ±2
+   entry already has a 1x1 submatrix of determinant 2); the probe settles
+   it per-objective. *)
+let test_root_vertex_on_non_unit () =
+  let integral = frozen_of [ ([ (0, 2) ], M.Geq, 2) ] ~nvars:1 ~integer:true in
+  let t = S.analyze ~probe_root:true integral in
+  (match witness_of t with
+  | S.Root_vertex _ -> Alcotest.(check bool) "not structural" false (S.structural t)
+  | w -> Alcotest.fail ("expected root-vertex, got " ^ S.witness_name w));
+  check_verifies integral t;
+  let fractional = frozen_of [ ([ (0, 2) ], M.Geq, 1) ] ~nvars:1 ~integer:true in
+  let t = S.analyze ~probe_root:true fractional in
+  Alcotest.(check string) "half is fractional" "fractional" (S.verdict_name t);
+  check_verifies fractional t
+
+(* --- Certificate semantics ------------------------------------------------------ *)
+
+(* verify is adversarial: targeted corruptions of genuine witnesses are
+   rejected. *)
+let test_verify_rejects_mutations () =
+  (* row partition: flip one endpoint of a constrained (two-entry) column *)
+  let fz = c5_frozen () in
+  ignore fz;
+  let bip =
+    frozen_of
+      [ ([ (0, 1) ], M.Geq, 1); ([ (0, 1); (1, 1) ], M.Geq, 1); ([ (1, 1) ], M.Geq, 1) ]
+      ~nvars:2 ~integer:true
+  in
+  (* column 0 spans rows 0,1; column 1 spans rows 1,2 — flipping row 1 breaks both *)
+  let t = S.analyze bip in
+  (match witness_of t with
+  | S.Row_partition part ->
+      let bad = Array.copy part in
+      bad.(1) <- not bad.(1);
+      Alcotest.(check bool) "flipped partition rejected" false
+        (S.verify bip { t with S.verdict = S.Integral (S.Row_partition bad) })
+  | w -> Alcotest.fail ("expected row-partition, got " ^ S.witness_name w));
+  (* consecutive-rows: a row order splitting a support is rejected *)
+  let iv =
+    frozen_of
+      [
+        ([ (0, 1); (2, 1) ], M.Geq, 1);
+        ([ (0, 1); (1, 1); (2, 1) ], M.Geq, 1);
+        ([ (0, 1); (1, 1); (3, 1) ], M.Geq, 1);
+        ([ (1, 1); (3, 1) ], M.Geq, 1);
+      ]
+      ~nvars:4 ~integer:true
+  in
+  let t = S.analyze iv in
+  (match witness_of t with
+  | S.Consecutive_rows order ->
+      Alcotest.(check int) "full permutation" 4 (Array.length order);
+      (* column A's support {0,1,2} is split by moving row 1 to the end *)
+      let bad = Array.of_list (List.filter (fun r -> r <> 1) (Array.to_list order) @ [ 1 ]) in
+      Alcotest.(check bool) "split support rejected" false
+        (S.verify iv { t with S.verdict = S.Integral (S.Consecutive_rows bad) });
+      (* a non-permutation is rejected outright *)
+      let dup = Array.copy order in
+      dup.(0) <- dup.(1);
+      Alcotest.(check bool) "non-permutation rejected" false
+        (S.verify iv { t with S.verdict = S.Integral (S.Consecutive_rows dup) })
+  | w -> Alcotest.fail ("expected consecutive-rows, got " ^ S.witness_name w));
+  (* ghouila-houri: a signing outside its row subset is rejected *)
+  let gh = frozen_of gh_network_rows ~nvars:4 ~integer:true in
+  let t = S.analyze gh in
+  (match witness_of t with
+  | S.Ghouila_houri signings ->
+      let bad = Array.copy signings in
+      bad.(0) <- 1 lsl 3;
+      (* mask {row0} signed on row3 *)
+      Alcotest.(check bool) "foreign signing rejected" false
+        (S.verify gh { t with S.verdict = S.Integral (S.Ghouila_houri bad) })
+  | w -> Alcotest.fail ("expected ghouila-houri, got " ^ S.witness_name w));
+  (* vertex certificates: rounding a fractional vertex always invalidates it
+     (it turns integral or infeasible), and a fractional coordinate
+     invalidates a root-vertex certificate *)
+  let c5 = c5_frozen () in
+  let t = S.analyze ~probe_root:true c5 in
+  (match t.S.verdict with
+  | S.Fractional x ->
+      let rounded = Array.map Float.round x in
+      Alcotest.(check bool) "rounded vertex rejected" false
+        (S.verify c5 { t with S.verdict = S.Fractional rounded })
+  | _ -> Alcotest.fail "expected fractional");
+  let unit = frozen_of [ ([ (0, 2) ], M.Geq, 2) ] ~nvars:1 ~integer:true in
+  let t = S.analyze ~probe_root:true unit in
+  match t.S.verdict with
+  | S.Integral (S.Root_vertex x) ->
+      let bad = Array.copy x in
+      bad.(0) <- 0.5;
+      Alcotest.(check bool) "fractional root-vertex rejected" false
+        (S.verify unit { t with S.verdict = S.Integral (S.Root_vertex bad) })
+  | _ -> Alcotest.fail "expected root-vertex"
+
+(* Structural certificates survive delta bound fixes; root-vertex ones are
+   delta-specific by construction (verify is told the delta). *)
+let test_delta_transfer () =
+  let lefts = [ 0; 1 ] and rights = [ 2; 3; 4 ] in
+  let edges = List.concat_map (fun u -> List.map (fun v -> (u, v)) rights) lefts in
+  let row v =
+    ( List.concat (List.mapi (fun e (u, w) -> if u = v || w = v then [ (e, 1) ] else []) edges),
+      M.Geq, 1 )
+  in
+  let fz = frozen_of (List.map row (lefts @ rights)) ~nvars:(List.length edges) ~integer:true in
+  let base = S.analyze fz in
+  Alcotest.(check bool) "base certified structurally" true (S.structural base);
+  let delta = Lp.Frozen.Delta.(empty |> force_one 0 |> fix_zero 3) in
+  (* the base certificate still verifies under the delta... *)
+  Alcotest.(check bool) "base witness transfers" true (S.verify ~delta fz base);
+  (* ...and re-analysis under the delta certifies on its own *)
+  let under = S.analyze ~delta fz in
+  Alcotest.(check bool) "delta view certified" true (S.structural under)
+
+(* An all-fixed delta leaves an empty view: trivially integral (the residual
+   polytope is a point or empty — a feasibility question, not a structure
+   question). *)
+let test_empty_view () =
+  let fz =
+    frozen_of [ ([ (0, 1); (1, 1) ], M.Geq, 1) ] ~nvars:2 ~integer:true
+  in
+  let delta = Lp.Frozen.Delta.(empty |> fix_zero 0 |> fix_zero 1) in
+  let t = S.analyze ~delta fz in
+  Alcotest.(check bool) "empty view is integral" true (S.is_integral t);
+  Alcotest.(check bool) "and verifies" true (S.verify ~delta fz t);
+  Alcotest.(check int) "no rows" 0 t.S.features.S.rows
+
+(* --- Soundness properties -------------------------------------------------------- *)
+
+(* On random covering programs: every emitted certificate verifies, and
+   Integral really means the ILP optimum is the root-LP optimum (zero
+   branching). *)
+let prop_random_covering_sound =
+  Harness.seeded_prop ~count:60 "struct: certificates sound on random covering programs"
+    (fun rng ->
+      let nvars = 2 + Random.State.int rng 6 in
+      let nrows = 1 + Random.State.int rng 8 in
+      let fz, _ = Harness.random_covering_frozen ~integer:true rng ~nvars ~nrows in
+      let t = S.analyze ~probe_root:true fz in
+      if not (S.verify fz t) then false
+      else
+        match t.S.verdict with
+        | S.Integral _ ->
+            let r = FB.solve_frozen fz in
+            r.FB.root_integral && r.FB.nodes = 1
+        | S.Fractional _ ->
+            let r = FB.solve_frozen fz in
+            not r.FB.root_integral
+        | S.Unknown -> true)
+
+(* The same, through the fuzz generator's LP profiles (the corpus shapes),
+   deltas included: structural certificates verify under every delta of the
+   case. *)
+let prop_gen_lp_cases_sound =
+  Harness.seeded_prop ~count:40 "struct: certificates sound on fuzz-generator LP cases"
+    (fun rng ->
+      let case = Check.Gen.of_seed (Random.State.int rng 1_000_000) in
+      match case.Check.Gen.shape with
+      | Check.Gen.Db _ -> true
+      | Check.Gen.Lp { Check.Gen.frozen; deltas } ->
+          let t = S.analyze ~probe_root:true frozen in
+          S.verify frozen t
+          && (not (S.structural t)
+             || List.for_all (fun delta -> S.verify ~delta frozen t) deltas)
+          &&
+          match t.S.verdict with
+          | S.Integral _ ->
+              let r = FB.solve_frozen frozen in
+              (match r.FB.status with
+              | FB.Optimal -> r.FB.root_integral
+              | _ -> true (* vertex certificates imply feasibility; limits don't apply here *))
+          | S.Fractional _ | S.Unknown -> true)
+
+let () =
+  Alcotest.run "struct"
+    [
+      ( "known-tu",
+        [
+          Alcotest.test_case "network incidence: row partition" `Quick test_network_incidence;
+          Alcotest.test_case "bipartite incidence: the two sides" `Quick test_bipartite_incidence;
+          Alcotest.test_case "interval matrix, identity order" `Quick test_interval_identity;
+          Alcotest.test_case "interval matrix, scrambled rows" `Quick test_interval_scrambled;
+          Alcotest.test_case "ghouila-houri rescues greedy C1P" `Quick test_ghouila_houri_rescue;
+        ] );
+      ( "known-hard",
+        [
+          Alcotest.test_case "odd cycle: fractional vertex" `Quick test_odd_cycle_fractional;
+          Alcotest.test_case "non-unit entries: root-vertex only" `Quick test_root_vertex_on_non_unit;
+        ] );
+      ( "certificates",
+        [
+          Alcotest.test_case "verify rejects mutated witnesses" `Quick test_verify_rejects_mutations;
+          Alcotest.test_case "structural witnesses transfer across deltas" `Quick test_delta_transfer;
+          Alcotest.test_case "all-fixed delta: empty view integral" `Quick test_empty_view;
+        ] );
+      ( "properties",
+        Harness.qtests [ prop_random_covering_sound; prop_gen_lp_cases_sound ] );
+    ]

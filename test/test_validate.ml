@@ -1,0 +1,94 @@
+(* Cross-layer consistency: the query dichotomy verdict versus the
+   matrix-structure certificate (Resilience.Validate), and the Q304 -> Q305
+   instance-level downgrade. *)
+
+open Relalg
+open Resilience
+
+let set = Problem.Set
+
+let has_code code ds = List.exists (fun d -> d.Lp.Lint.code = code) ds
+
+(* q2_chain on a small instance: PTIME side of the dichotomy, and the
+   incidence matrix is structurally TU — the validator must confirm. *)
+let test_ptime_confirmed () =
+  let db = Database.create () in
+  List.iter (fun a -> ignore (Database.add db "R" a)) [ [| 1; 1 |]; [| 2; 3 |] ];
+  List.iter (fun a -> ignore (Database.add db "S" a)) [ [| 1; 2 |]; [| 3; 4 |] ];
+  let q = Queries.q2_chain () in
+  let r = Validate.validate set q db in
+  Alcotest.(check bool) "ptime" true (r.Validate.complexity = Analysis.Ptime);
+  (match r.Validate.cert with
+  | Some c ->
+    Alcotest.(check bool) "integral" true (Lp.Struct.is_integral c);
+    Alcotest.(check bool) "structural" true (Lp.Struct.structural c)
+  | None -> Alcotest.fail "expected a certificate");
+  Alcotest.(check bool) "V301 emitted" true (has_code "V301" r.Validate.diags);
+  Alcotest.(check bool) "no V101" false (has_code "V101" r.Validate.diags)
+
+(* The NP-complete triangle query: whatever the certificate says, the
+   validator must not claim a PTIME confirmation. *)
+let test_npc_no_confirmation () =
+  let db = Database.create () in
+  List.iter (fun a -> ignore (Database.add db "R" a)) [ [| 1; 2 |]; [| 2; 1 |] ];
+  List.iter (fun a -> ignore (Database.add db "S" a)) [ [| 2; 1 |]; [| 1; 2 |] ];
+  List.iter (fun a -> ignore (Database.add db "T" a)) [ [| 1; 1 |]; [| 2; 2 |] ];
+  let q = Queries.q_triangle () in
+  let r = Validate.validate set q db in
+  Alcotest.(check bool) "npc" true (r.Validate.complexity = Analysis.Npc);
+  Alcotest.(check bool) "no V301" false (has_code "V301" r.Validate.diags);
+  Alcotest.(check bool) "no V101" false (has_code "V101" r.Validate.diags)
+
+(* Query false on the instance: no program, no certificate, no diagnostics. *)
+let test_trivial_instance () =
+  let db = Database.create () in
+  ignore (Database.add db "R" [| 1; 1 |]);
+  (* S empty: the chain is false. *)
+  let q = Queries.q2_chain () in
+  let r = Validate.validate set q db in
+  Alcotest.(check bool) "no cert" true (r.Validate.cert = None);
+  Alcotest.(check (list string)) "no diags" []
+    (List.map (fun d -> d.Lp.Lint.code) r.Validate.diags)
+
+(* Q304 downgrades to Q305 exactly when an integral certificate is in hand. *)
+let test_q304_downgrade () =
+  let q304 =
+    { Lp.Lint.code = "Q304"; severity = Lp.Lint.Note; message = "complexity unknown" }
+  in
+  let db = Database.create () in
+  List.iter (fun a -> ignore (Database.add db "R" a)) [ [| 1; 1 |]; [| 2; 3 |] ];
+  List.iter (fun a -> ignore (Database.add db "S" a)) [ [| 1; 2 |]; [| 3; 4 |] ];
+  let r = Validate.validate set (Queries.q2_chain ()) db in
+  let refined = Validate.refine_query_diags r.Validate.cert [ q304 ] in
+  Alcotest.(check bool) "Q304 rewritten" true (has_code "Q305" refined);
+  Alcotest.(check bool) "Q304 gone" false (has_code "Q304" refined);
+  let kept = Validate.refine_query_diags None [ q304 ] in
+  Alcotest.(check bool) "no cert: Q304 kept" true (has_code "Q304" kept)
+
+(* Merged multi-layer reports sort by (severity, code, message). *)
+let test_diag_order () =
+  let d code severity = { Lp.Lint.code; severity; message = "m" } in
+  let merged =
+    Lp.Lint.sort_diags
+      [ d "V301" Lp.Lint.Note; d "M203" Lp.Lint.Warning; d "I101" Lp.Lint.Error;
+        d "Q302" Lp.Lint.Note; d "V201" Lp.Lint.Warning ]
+  in
+  Alcotest.(check (list string)) "order" [ "I101"; "M203"; "V201"; "Q302"; "V301" ]
+    (List.map (fun x -> x.Lp.Lint.code) merged)
+
+let () =
+  Alcotest.run "validate"
+    [
+      ( "cross-layer",
+        [
+          Alcotest.test_case "PTIME verdict confirmed (V301)" `Quick test_ptime_confirmed;
+          Alcotest.test_case "NPC: no confirmation, no contradiction" `Quick
+            test_npc_no_confirmation;
+          Alcotest.test_case "trivial instance: empty report" `Quick test_trivial_instance;
+        ] );
+      ( "refinement",
+        [
+          Alcotest.test_case "Q304 -> Q305 with a certificate" `Quick test_q304_downgrade;
+          Alcotest.test_case "shared diagnostic order" `Quick test_diag_order;
+        ] );
+    ]
