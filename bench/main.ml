@@ -594,17 +594,43 @@ let cold_ranking sem q db =
            | Solve.Query_false | Solve.No_contingency | Solve.Budget_exhausted _ -> None)
   |> List.stable_sort (fun (_, a) (_, b) -> compare a b)
 
-let run_ranking ?(jobs = 1) ?(dense = false) ?trace scale json =
+(* Basis-kernel figures for one sequential ranking, from the Obs counter
+   snapshots around it: LU fill (high-water marks over the run), the eta
+   peak, refactorisation count, and the fraction of FTRAN result entries
+   that were nonzero (the quantity sparse pricing is supposed to shrink).
+   Counters only move while the sink is installed, so this is emitted on
+   --trace runs only. *)
+let basis_json snap0 snap1 =
+  let get snap name = Option.value ~default:0 (List.assoc_opt name snap) in
+  let delta name = get snap1 name - get snap0 name in
+  let ftran_len = delta "simplex.ftran_len" in
+  let ftran_frac =
+    if ftran_len > 0 then float_of_int (delta "simplex.ftran_nnz") /. float_of_int ftran_len
+    else 1.0
+  in
+  Printf.sprintf
+    "{\"lu_factor_nnz\":%d,\"lu_fill_pct\":%d,\"eta_peak\":%d,\"refactors\":%d,\"ftran_nnz_frac\":%.4f}"
+    (get snap1 "simplex.lu_factor_nnz")
+    (get snap1 "simplex.lu_fill_pct")
+    (get snap1 "simplex.eta_peak")
+    (delta "simplex.refactors") ftran_frac
+
+let run_ranking ?(jobs = 1) ?(dense = false) ?(basis = `Auto) ?(force_shared = false) ?trace
+    scale json =
   if trace <> None then Obs.Sink.install ();
   let rng = Random.State.make [| 808 |] in
   let q = Queries.q2_chain () in
   let regime = if dense then "dense joins" else "sparse joins" in
+  let mk_session db =
+    if force_shared then Session.create ~basis ~dense_rows_threshold:max_int set q db
+    else Session.create ~basis set q db
+  in
   if not json then
     header
       (Printf.sprintf
          "Ranking batch: one warm session vs cold per-tuple solves (2-chain, set, %s, jobs=%d)"
          regime jobs)
-      [ "tuples"; "witnesses"; "ranked"; "strategy"; "t_cold"; "t_session"; "t_par";
+      [ "tuples"; "witnesses"; "rows"; "ranked"; "strategy"; "t_cold"; "t_session"; "t_par";
         "speedup"; "par_speedup"; "identical" ];
   let entries = ref [] in
   List.iter
@@ -623,17 +649,26 @@ let run_ranking ?(jobs = 1) ?(dense = false) ?trace scale json =
       let db = Datagen.Random_inst.db rng ~domain specs in
       let witnesses = Eval.count q db in
       if witnesses > 0 then begin
+        (* Row count of the raw shared super-model — the axis the dense
+           crossover and the strategy threshold are phrased in. *)
+        let rows =
+          match Encode.shared_of_witnesses Encode.Ilp set q db (Eval.witnesses q db) with
+          | Encode.Shared s -> Lp.Frozen.num_rows (Lp.Frozen.of_model s.Encode.smodel)
+          | Encode.Shared_trivial | Encode.Shared_impossible -> 0
+        in
         let cold, t_cold = time (fun () -> cold_ranking set q db) in
-        let session = Session.create set q db in
+        let session = mk_session db in
         let strategy =
           match Session.batch_strategy session with
           | `Shared_delta -> "shared"
           | `Cold_per_tuple -> "cold"
         in
+        let snap0 = Obs.Counter.snapshot () in
         let ranked, t_session = time (fun () -> Session.ranking session) in
+        let snap1 = Obs.Counter.snapshot () in
         let par, t_par =
           if jobs > 1 then begin
-            let par_session = Session.create set q db in
+            let par_session = mk_session db in
             let par, t = time (fun () -> Session.ranking_par ~jobs par_session) in
             (Some par, t)
           end
@@ -649,18 +684,25 @@ let run_ranking ?(jobs = 1) ?(dense = false) ?trace scale json =
         (* Per-phase breakdown of the sequential session, from its own
            accumulator — where a ranking's time actually goes. *)
         let prof = Session.profile session in
+        (* Basis-kernel stats ride along on traced runs (the counters are
+           live exactly then); untraced JSON keeps the schema of old runs. *)
+        let basis =
+          if trace <> None then Printf.sprintf ",\"basis\":%s" (basis_json snap0 snap1) else ""
+        in
         entries :=
           Printf.sprintf
-            "{\"tuples\":%d,\"witnesses\":%d,\"ranked\":%d,\"strategy\":\"%s\",\"jobs\":%d,\"cold_s\":%.6f,\"session_s\":%.6f,\"par_s\":%.6f,\"speedup\":%.2f,\"par_speedup\":%.2f,\"identical\":%b,\"phases\":{\"witnesses_s\":%.6f,\"encode_s\":%.6f,\"lint_s\":%.6f,\"prep_s\":%.6f,\"solve_s\":%.6f,\"questions\":%d}}"
-            tuples witnesses (List.length ranked) strategy jobs t_cold t_session t_par
+            "{\"tuples\":%d,\"witnesses\":%d,\"rows\":%d,\"ranked\":%d,\"strategy\":\"%s\",\"jobs\":%d,\"cold_s\":%.6f,\"session_s\":%.6f,\"par_s\":%.6f,\"speedup\":%.2f,\"par_speedup\":%.2f,\"identical\":%b,\"phases\":{\"witnesses_s\":%.6f,\"encode_s\":%.6f,\"lint_s\":%.6f,\"prep_s\":%.6f,\"solve_s\":%.6f,\"questions\":%d}%s}"
+            tuples witnesses rows (List.length ranked) strategy jobs t_cold t_session t_par
             speedup par_speedup identical prof.Session.witnesses_s prof.Session.encode_s
             prof.Session.lint_s prof.Session.prep_s prof.Session.solve_s prof.Session.questions
+            basis
           :: !entries;
         if not json then
           row
             [
               string_of_int tuples;
               string_of_int witnesses;
+              string_of_int rows;
               string_of_int (List.length ranked);
               strategy;
               fmt_time t_cold;
@@ -781,14 +823,32 @@ let trace_arg =
           "Record solver telemetry for the whole run and write a Chrome trace-event JSON \
            (load in Perfetto; one track per domain)")
 
+let basis_arg =
+  Arg.(
+    value
+    & opt (enum [ ("auto", `Auto); ("dense", `Dense); ("sparse", `Sparse) ]) `Auto
+    & info [ "basis" ] ~docv:"KERNEL"
+        ~doc:
+          "Basis kernel for every session the benchmark opens: auto (= sparse LU), sparse, or \
+           dense (the reference inverse, for before/after comparisons)")
+
+let force_shared_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "force-shared" ]
+        ~doc:
+          "Disable the dense-regime fallback (dense_rows_threshold = max_int) so the shared \
+           super-model path runs at any row count — how the crossover itself is measured")
+
 let ranking_cmd =
   Cmd.v (Cmd.info "ranking" ~doc:"responsibility ranking: warm session vs cold per-tuple solves")
     Term.(
-      const (fun scale json jobs dense trace ->
+      const (fun scale json jobs dense basis force_shared trace ->
           let jobs = if jobs = 0 then Lp.Pool.default_jobs () else jobs in
-          run_ranking ~jobs ~dense ?trace scale json;
+          run_ranking ~jobs ~dense ~basis ~force_shared ?trace scale json;
           0)
-      $ scale_arg $ json_arg $ jobs_arg $ dense_arg $ trace_arg)
+      $ scale_arg $ json_arg $ jobs_arg $ dense_arg $ basis_arg $ force_shared_arg $ trace_arg)
 
 let run_all scale =
   run_table1 ();

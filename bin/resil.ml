@@ -460,7 +460,7 @@ let responsibility_cmd =
 (* ----- rank -------------------------------------------------------------- *)
 
 let rank_cmd =
-  let run data bag exact lint json jobs trace stats query =
+  let run data bag exact lint json jobs basis trace stats query =
     with_telemetry ~trace ~stats "resil.rank" @@ fun () ->
     let db = load_db data in
     match parse_query db query with
@@ -473,7 +473,7 @@ let rank_cmd =
       (* One session: witnesses, encoding and presolve are paid once, and
          every tuple's ILP[RSP*] is a warm-started delta-solve — spread
          over [jobs] domains when asked (output is identical). *)
-      let session = Session.create ~exact sem q db in
+      let session = Session.create ~exact ~basis sem q db in
       (* Always the pool path — at [jobs = 1] it degenerates to the
          sequential loop but emits the same telemetry shape, so --stats
          output is schema-identical for every N. *)
@@ -511,6 +511,18 @@ let rank_cmd =
             "Domains to spread the per-tuple solves over (0 = all recommended domains). The \
              ranking is identical for every N.")
   in
+  let basis =
+    let choice =
+      Arg.enum [ ("auto", `Auto); ("sparse", `Sparse); ("dense", `Dense) ]
+    in
+    Arg.(
+      value
+      & opt choice `Auto
+      & info [ "basis" ] ~docv:"KERNEL"
+          ~doc:
+            "Simplex basis kernel: $(b,sparse) LU (the default behind $(b,auto)) or the \
+             $(b,dense) reference inverse. The ranking is identical for either.")
+  in
   let query = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
   Cmd.v
     (Cmd.info "rank"
@@ -519,7 +531,7 @@ let rank_cmd =
           contingency size k, responsibility 1/(1+k), best first), batched through one \
           warm-started solve session")
     Term.(
-      const run $ data_arg $ bag_arg $ exact_arg $ lint_arg $ json $ jobs $ trace_arg
+      const run $ data_arg $ bag_arg $ exact_arg $ lint_arg $ json $ jobs $ basis $ trace_arg
       $ stats_arg $ query)
 
 (* ----- explain ----------------------------------------------------------- *)

@@ -283,6 +283,53 @@ let lp_float_vs_exact ({ frozen; deltas } : Gen.lp_case) =
   in
   all_of checks
 
+(* ----- basis-kernel differential -------------------------------------------- *)
+
+(* The sparse LU kernel vs the dense reference inverse, over the same warm
+   delta chain: identical outcome kinds, matching optima, and a
+   program-feasible sparse solution at every step.  Pivot sequences may
+   differ (pricing order is kernel-dependent), so only basis-independent
+   quantities are compared. *)
+let basis_lp ({ frozen; deltas } : Gen.lp_case) =
+  if not (FS.frozen_dual_applicable frozen) then Pass
+  else begin
+    let dense = FS.create_session ~kernel:`Dense frozen in
+    let sparse = FS.create_session ~kernel:`Sparse frozen in
+    let rec go i = function
+      | [] -> Pass
+      | delta :: rest -> (
+        match (FS.session_solve sparse delta, FS.session_solve dense delta) with
+        | FS.Optimal { objective = so; solution = ss }, FS.Optimal { objective = dobj; _ } ->
+          if Float.abs (so -. dobj) > 1e-7 then
+            failf "step %d: sparse objective %.9g <> dense %.9g" i so dobj
+          else if not (Lp.Frozen.check_feasible ~delta frozen ss) then
+            failf "step %d: sparse-kernel solution violates the program" i
+          else go (i + 1) rest
+        | FS.Infeasible, FS.Infeasible | FS.Unbounded, FS.Unbounded -> go (i + 1) rest
+        | _ -> failf "step %d: sparse and dense kernel outcome kinds differ" i)
+    in
+    go 0 deltas
+  end
+
+(* End to end on a database: rankings through a sparse-kernel session at
+   jobs 1/2/4 must be bit-identical to the dense-kernel reference ranking
+   (k values are integers and scores are derived from them, so equality is
+   exact, not approximate). *)
+let basis_db ({ sem; q; db } : Gen.db_case) =
+  let ranking basis jobs = Session.ranking_par ~jobs (Session.create ~basis sem q db) in
+  let dense = ranking `Dense 1 in
+  let rec go = function
+    | [] -> Pass
+    | jobs :: rest ->
+      if ranking `Sparse jobs <> dense then
+        failf "sparse-kernel ranking at %d jobs differs from the dense reference" jobs
+      else go rest
+  in
+  go [ 1; 2; 4 ]
+
+let dense_vs_sparse_basis case =
+  match case.Gen.shape with Gen.Db c -> basis_db c | Gen.Lp c -> basis_lp c
+
 (* ----- certificate soundness ------------------------------------------------ *)
 
 (* Lp.Struct is advisory for performance but must never lie: its verify must
@@ -406,6 +453,12 @@ let all =
       descr = "Lp.Struct certificates verify, transfer across deltas, never contradict solvers";
       applies = (fun _ -> true);
       check = struct_soundness;
+    };
+    {
+      name = "dense_vs_sparse_basis";
+      descr = "sparse LU kernel = dense reference inverse (optima; rankings at jobs 1/2/4)";
+      applies = (fun _ -> true);
+      check = dense_vs_sparse_basis;
     };
     {
       name = "lp_warm_vs_cold";

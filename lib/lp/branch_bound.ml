@@ -189,14 +189,17 @@ module Make (F : Numeric.Field.S) = struct
 
   type session = {
     sfz : Frozen.t;
+    skernel : Basis.choice;  (* inherited by per-domain sessions in _par *)
     slp : Lp.session option;  (* None: dual path inapplicable *)
     sfallback : Model.t Lazy.t;
   }
 
-  let create_session fz =
+  let create_session ?(kernel = `Auto) fz =
     {
       sfz = fz;
-      slp = (if Lp.frozen_dual_applicable fz then Some (Lp.create_session fz) else None);
+      skernel = kernel;
+      slp =
+        (if Lp.frozen_dual_applicable fz then Some (Lp.create_session ~kernel fz) else None);
       sfallback = lazy (Frozen.to_model fz);
     }
 
@@ -463,7 +466,7 @@ module Make (F : Numeric.Field.S) = struct
         let subtree_tick () = if Atomic.get unbounded then false else tick () in
         ignore
           (Pool.run_init pool
-             ~init:(fun () -> create_session fz)
+             ~init:(fun () -> create_session ~kernel:sess.skernel fz)
              ~tasks:(Array.length frontier)
              (fun dom_sess i ->
                if not (Atomic.get hit_limit || Atomic.get unbounded) then begin

@@ -53,7 +53,10 @@ module Make (F : Numeric.Field.S) : sig
 
   type session
 
-  val create_session : Frozen.t -> session
+  val create_session : ?kernel:Basis.choice -> Frozen.t -> session
+  (** [kernel] selects the basis representation of the warm LP session
+      ([`Auto] = sparse LU, see {!Basis.choice}); {!solve_session_par}'s
+      per-domain sessions inherit it. *)
 
   val solve_session :
     ?node_limit:int -> ?time_limit:float -> ?delta:Frozen.Delta.t -> session -> result

@@ -1,23 +1,24 @@
 module Delta = struct
-  (* Newest-first association list; [fix] drops older bindings of the same
-     variable so [bindings] is duplicate-free by construction.  Deltas stay
-     tiny relative to the matrix (a handful of branching fixes, or one
-     override per witness indicator), so lists beat maps here. *)
-  type t = (Model.var * int) list
+  (* Balanced map keyed by variable.  Responsibility deltas carry one
+     override per witness indicator — thousands of entries on large shared
+     programs — so [fix] must not pay a linear dedup (an association list
+     made building such a delta quadratic and every [find] linear). *)
+  module M = Map.Make (Int)
 
-  let empty = []
+  type t = int M.t
 
-  let release v d = List.filter (fun (u, _) -> u <> v) d
+  let empty = M.empty
+  let release = M.remove
 
   let fix v k d =
     if k < 0 then invalid_arg "Frozen.Delta.fix: negative value";
-    (v, k) :: release v d
+    M.add v k d
 
   let fix_zero v d = fix v 0 d
   let force_one v d = fix v 1 d
-  let is_empty d = d = []
-  let find d v = List.assoc_opt v d
-  let bindings d = d
+  let is_empty = M.is_empty
+  let find d v = M.find_opt v d
+  let bindings = M.bindings
 end
 
 type t = {
@@ -201,10 +202,10 @@ let check_feasible ?(eps = 1e-6) ?(delta = Delta.empty) t x =
     in
     if not sat then ok := false
   done;
+  List.iter
+    (fun (v, k) -> if Float.abs (x.(v) -. float_of_int k) > eps then ok := false)
+    (Delta.bindings delta);
   for v = 0 to t.nvars - 1 do
-    (match Delta.find delta v with
-    | Some k -> if Float.abs (x.(v) -. float_of_int k) > eps then ok := false
-    | None -> ());
     if x.(v) < -.eps then ok := false;
     if t.upper.(v) >= 0 && x.(v) > float_of_int t.upper.(v) +. eps then ok := false
   done;

@@ -41,7 +41,7 @@ module Delta : sig
   val find : t -> Model.var -> int option
 
   val bindings : t -> (Model.var * int) list
-  (** One entry per overridden variable, newest first. *)
+  (** One entry per overridden variable, in ascending variable order. *)
 end
 
 val of_model : Model.t -> t

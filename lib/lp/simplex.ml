@@ -1,5 +1,8 @@
-(* Revised simplex with an explicit dense basis inverse, parametric in the
-   number field.  Two algorithm paths share the state and helpers:
+(* Revised simplex over a pluggable basis-factorisation kernel ({!Basis}),
+   parametric in the number field.  The basis lives behind the kernel
+   signature — sparse LU with product-form eta updates by default, the
+   explicit dense inverse kept as a reference implementation — and two
+   algorithm paths share the state and helpers:
 
    - a *dual* simplex (the default whenever the model has no equality rows
      and a non-negative objective — true of every program this code base
@@ -11,10 +14,12 @@
    - a two-phase *primal* simplex for general models: slack/surplus per
      inequality plus phase-1 artificials, variable bounds handled natively
      by the ratio test (bound flips never touch the basis), Harris-lite
-     leaving-variable selection (widened tie window, largest pivot).
+     leaving-variable selection (widened tie window, largest pivot), and
+     partial pricing (round-robin column blocks) so an iteration prices a
+     slice of the columns rather than all of them.
 
-   Both paths eta-update the inverse each pivot and refactorise from
-   scratch periodically and before pivoting on noise-level elements;
+   Both paths update the kernel each pivot (an eta), refactorise on the
+   kernel's own cadence and before pivoting on noise-level elements;
    pricing is Dantzig with a permanent switch to Bland's rule after a
    degenerate streak (primal) or late in the iteration budget (dual). *)
 
@@ -28,6 +33,14 @@ let c_bland_falls = Obs.Counter.create "simplex.bland_falls"
 let c_refactors = Obs.Counter.create "simplex.refactors"
 let c_eta_peak = Obs.Counter.create "simplex.eta_peak"
 
+(* Basis-kernel telemetry: high-water factor size and fill ratio (percent of
+   the basis nonzero count), and the running FTRAN result sparsity
+   (nnz/length, accumulated so the trace consumer can form the fraction). *)
+let c_lu_factor_nnz = Obs.Counter.create "simplex.lu_factor_nnz"
+let c_lu_fill_pct = Obs.Counter.create "simplex.lu_fill_pct"
+let c_ftran_nnz = Obs.Counter.create "simplex.ftran_nnz"
+let c_ftran_len = Obs.Counter.create "simplex.ftran_len"
+
 module Make (F : Numeric.Field.S) = struct
   type outcome =
     | Optimal of { objective : F.t; solution : F.t array }
@@ -35,6 +48,52 @@ module Make (F : Numeric.Field.S) = struct
     | Unbounded
 
   let integral_on x vars = List.for_all (fun v -> F.is_integral x.(v)) vars
+
+  (* ----- Basis kernels -------------------------------------------------
+     Both kernel implementations are instantiated at this field; the choice
+     is per solve/session, packed existentially so every simplex path is
+     written once against the {!Basis.S} signature. *)
+
+  module Dense_kernel = Basis.Dense (F)
+  module Sparse_kernel = Basis.Sparse_lu (F)
+
+  type basis_kernel =
+    | K : (module Basis.S with type elt = F.t and type t = 'k) * 'k -> basis_kernel
+
+  let make_kernel (choice : Basis.choice) ~nrows ~col : basis_kernel =
+    match choice with
+    | `Dense -> K ((module Dense_kernel), Dense_kernel.create ~nrows ~col)
+    | `Sparse | `Auto -> K ((module Sparse_kernel), Sparse_kernel.create ~nrows ~col)
+
+  let k_refactor kern basis = match kern with K ((module B), k) -> B.refactor k basis
+  let k_ftran kern entries = match kern with K ((module B), k) -> B.ftran k entries
+  let k_ftran_dense kern rhs = match kern with K ((module B), k) -> B.ftran_dense k rhs
+  let k_btran kern c = match kern with K ((module B), k) -> B.btran k c
+  let k_btran_unit kern r = match kern with K ((module B), k) -> B.btran_unit k r
+  let k_update kern ~r ~wcol = match kern with K ((module B), k) -> B.update k ~r ~wcol
+  let k_ftran_pattern kern = match kern with K ((module B), k) -> B.ftran_pattern k
+  let k_ftran_pattern_len kern = match kern with K ((module B), k) -> B.ftran_pattern_len k
+  let k_should_refactor kern = match kern with K ((module B), k) -> B.should_refactor k
+  let k_etas kern = match kern with K ((module B), k) -> B.etas k
+  let k_stats kern = match kern with K ((module B), k) -> B.stats k
+  let kernel_name kern = match kern with K ((module B), _) -> B.name
+
+  let observe_factor kern =
+    if Obs.Sink.active () then begin
+      let st = k_stats kern in
+      Obs.Counter.record_max c_lu_factor_nnz st.Basis.factor_nnz;
+      if st.Basis.basis_nnz > 0 then
+        Obs.Counter.record_max c_lu_fill_pct
+          (100 * st.Basis.factor_nnz / st.Basis.basis_nnz)
+    end
+
+  let observe_ftran w =
+    if Obs.Sink.active () then begin
+      let nnz = ref 0 in
+      Array.iter (fun v -> if F.sign v <> 0 then incr nnz) w;
+      Obs.Counter.add c_ftran_nnz !nnz;
+      Obs.Counter.add c_ftran_len (Array.length w)
+    end
 
   type srow = { coeffs : (int * int) list; sense : Model.sense; rhs : int }
 
@@ -147,7 +206,7 @@ module Make (F : Numeric.Field.S) = struct
      k (for row k) is column w.ncols + k with unit coefficient in row k. *)
   type state = {
     w : work;
-    binv : F.t array array;  (* nrows x nrows *)
+    kern : basis_kernel;
     basis : int array;  (* row -> basic column *)
     xb : F.t array;  (* basic values *)
     at_upper : bool array;  (* nonbasic position per column (false=lower) *)
@@ -173,64 +232,12 @@ module Make (F : Numeric.Field.S) = struct
       match col_upper st j ~phase2 with Some u -> u | None -> F.zero
     else F.zero
 
-  (* Dense solve helpers. *)
-  let binv_times_col st j =
-    let w = Array.make st.w.nrows F.zero in
-    let entries = col_entries st j in
-    for r = 0 to st.w.nrows - 1 do
-      let row = st.binv.(r) in
-      let acc = ref F.zero in
-      List.iter (fun (i, c) -> acc := F.add !acc (F.mul row.(i) c)) entries;
-      w.(r) <- !acc
-    done;
-    w
-
-  (* Recompute the basis inverse from scratch by Gauss-Jordan with partial
-     pivoting, and the basic values from it. *)
-  exception Singular
-
+  (* Refactorise the kernel on the current basis and recompute the basic
+     values xb = Binv (b - N x_N).  Raises {!Basis.Singular} on a singular
+     basis (one-shot paths only reach this with floats; sessions recover
+     via the all-slack reset). *)
   let refactorize st ~phase2 =
-    let n = st.w.nrows in
-    let mat = Array.make_matrix n n F.zero in
-    for r = 0 to n - 1 do
-      List.iter (fun (i, c) -> mat.(i).(r) <- c) (col_entries st st.basis.(r))
-    done;
-    let inv = Array.init n (fun i -> Array.init n (fun j -> if i = j then F.one else F.zero)) in
-    for piv = 0 to n - 1 do
-      (* Partial pivot: largest magnitude in column piv. *)
-      let best = ref piv in
-      for r = piv + 1 to n - 1 do
-        if F.compare (F.abs mat.(r).(piv)) (F.abs mat.(!best).(piv)) > 0 then best := r
-      done;
-      if F.sign mat.(!best).(piv) = 0 then raise Singular;
-      (* Row swaps are pure left-multiplications: applied to both [mat] and
-         [inv] they leave inv = mat_original^-1 at the end.  The basis array
-         indexes *columns* of [mat] and must not be touched. *)
-      if !best <> piv then begin
-        let t = mat.(piv) in
-        mat.(piv) <- mat.(!best);
-        mat.(!best) <- t;
-        let t = inv.(piv) in
-        inv.(piv) <- inv.(!best);
-        inv.(!best) <- t
-      end;
-      let d = mat.(piv).(piv) in
-      F.div_inplace mat.(piv) d;
-      F.div_inplace inv.(piv) d;
-      for r = 0 to n - 1 do
-        if r <> piv then begin
-          let f = mat.(r).(piv) in
-          if F.sign f <> 0 then begin
-            F.axpy (F.neg f) mat.(piv) mat.(r);
-            F.axpy (F.neg f) inv.(piv) inv.(r)
-          end
-        end
-      done
-    done;
-    for r = 0 to n - 1 do
-      Array.blit inv.(r) 0 st.binv.(r) 0 n
-    done;
-    (* xb = Binv (b - N x_N) over nonbasic columns off their zero bound. *)
+    k_refactor st.kern st.basis;
     let rhs = Array.copy st.w.b in
     for j = 0 to st.w.ncols - 1 do
       if not st.in_basis.(j) then begin
@@ -239,9 +246,9 @@ module Make (F : Numeric.Field.S) = struct
           List.iter (fun (i, c) -> rhs.(i) <- F.sub rhs.(i) (F.mul c v)) (col_entries st j)
       end
     done;
-    for r = 0 to st.w.nrows - 1 do
-      st.xb.(r) <- F.dot st.binv.(r) rhs
-    done
+    let w = k_ftran_dense st.kern rhs in
+    Array.blit w 0 st.xb 0 st.w.nrows;
+    observe_factor st.kern
 
   (* One simplex phase.  Returns `Optimal or `Unbounded. *)
   let run_phase st ~phase1 =
@@ -252,23 +259,23 @@ module Make (F : Numeric.Field.S) = struct
     let degen = ref 0 in
     let iters = ref 0 in
     let max_iters = 20_000 + (60 * (st.w.ncols + n)) in
-    let since_refactor = ref 0 in
+    let price_from = ref 0 in
     let result = ref `Optimal in
     let continue = ref true in
     while !continue do
       incr iters;
       if !iters > max_iters then failwith "Simplex.solve: iteration limit";
-      if !since_refactor > 300 then begin
+      if k_should_refactor st.kern then begin
         refactorize st ~phase2;
-        Obs.Counter.incr c_refactors;
-        since_refactor := 0
+        Obs.Counter.incr c_refactors
       end;
-      (* Pricing: y = c_B Binv, then reduced costs of nonbasic columns. *)
-      let y = Array.make n F.zero in
+      (* Pricing: y = c_B Binv (one BTRAN), then reduced costs of nonbasic
+         columns against y — each column costs its nonzero count. *)
+      let cb = Array.make n F.zero in
       for r = 0 to n - 1 do
-        let cb = col_cost st st.basis.(r) ~phase1 in
-        if F.sign cb <> 0 then F.axpy cb st.binv.(r) y
+        cb.(r) <- col_cost st st.basis.(r) ~phase1
       done;
+      let y = k_btran st.kern cb in
       let reduced j =
         let acc = ref (col_cost st j ~phase1) in
         List.iter (fun (i, c) -> acc := F.sub !acc (F.mul y.(i) c)) (col_entries st j);
@@ -278,27 +285,51 @@ module Make (F : Numeric.Field.S) = struct
       let scan_limit = if phase1 then total_cols else st.w.ncols in
       let enter = ref (-1) in
       let enter_d = ref F.zero in
-      let j = ref 0 in
-      while !j < scan_limit && not (!bland && !enter >= 0) do
-        let jj = !j in
-        if not st.in_basis.(jj) then begin
-          let d = reduced jj in
-          let improving =
-            if st.at_upper.(jj) then F.sign d > 0
-            else F.sign d < 0
-          in
-          if improving then
-            if !bland then begin
+      if !bland then begin
+        (* Bland's rule: the smallest improving index, full scan — the
+           anti-cycling guarantee needs the total order, so no partial
+           pricing here. *)
+        let j = ref 0 in
+        while !j < scan_limit && !enter < 0 do
+          let jj = !j in
+          if not st.in_basis.(jj) then begin
+            let d = reduced jj in
+            let improving = if st.at_upper.(jj) then F.sign d > 0 else F.sign d < 0 in
+            if improving then begin
               enter := jj;
               enter_d := d
             end
-            else if F.compare (F.abs d) (F.abs !enter_d) > 0 then begin
-              enter := jj;
-              enter_d := d
-            end
-        end;
-        incr j
-      done;
+          end;
+          incr j
+        done
+      end
+      else begin
+        (* Partial pricing: scan round-robin blocks from a roving cursor
+           and settle for the Dantzig-best candidate of the first block
+           that has one.  Optimality is still certified by a full clean
+           sweep (the loop only stops early when a candidate exists). *)
+        let block = max 64 (scan_limit / 8) in
+        let scanned = ref 0 in
+        let cursor = ref (if !price_from >= scan_limit then 0 else !price_from) in
+        (try
+           while !scanned < scan_limit do
+             let jj = !cursor in
+             if not st.in_basis.(jj) then begin
+               let d = reduced jj in
+               let improving = if st.at_upper.(jj) then F.sign d > 0 else F.sign d < 0 in
+               if improving && F.compare (F.abs d) (F.abs !enter_d) > 0 then begin
+                 enter := jj;
+                 enter_d := d
+               end
+             end;
+             incr scanned;
+             cursor := !cursor + 1;
+             if !cursor >= scan_limit then cursor := 0;
+             if !enter >= 0 && !scanned mod block = 0 then raise Exit
+           done
+         with Exit -> ());
+        price_from := !cursor
+      end;
       if !enter < 0 then continue := false
       else begin
         let jj = !enter in
@@ -306,7 +337,8 @@ module Make (F : Numeric.Field.S) = struct
            decreases from upper (sigma=-1); basic values change by
            -sigma * w * t. *)
         let sigma = if st.at_upper.(jj) then F.neg F.one else F.one in
-        let wcol = binv_times_col st jj in
+        let wcol = k_ftran st.kern (col_entries st jj) in
+        observe_ftran wcol;
         (* Ratio test, Harris-lite: first find the binding step length over
            every row, then among (near-)minimal rows prefer the largest
            pivot magnitude for stability — or the smallest basis index when
@@ -377,14 +409,13 @@ module Make (F : Numeric.Field.S) = struct
           continue := false
         | Some (_, r)
           when r >= 0
-               && !since_refactor > 25
+               && k_etas st.kern > 25
                && F.compare (F.abs wcol.(r)) F.pivot_tol <= 0 ->
-          (* About to pivot on a noise-level element with a stale inverse:
+          (* About to pivot on a noise-level element with a stale basis:
              refactorise and re-price instead (if the tiny pivot is real, the
              next pass accepts it on fresh numbers). *)
           refactorize st ~phase2;
-          Obs.Counter.incr c_refactors;
-          since_refactor := 0
+          Obs.Counter.incr c_refactors
         | Some (t, r) ->
           if F.sign t = 0 then begin
             incr degen;
@@ -416,19 +447,9 @@ module Make (F : Numeric.Field.S) = struct
             st.in_basis.(jj) <- true;
             st.basis.(r) <- jj;
             st.xb.(r) <- entering_value;
-            (* Eta update of Binv: row r scaled, others eliminated. *)
-            let piv = wcol.(r) in
-            let browr = st.binv.(r) in
-            F.div_inplace browr piv;
-            for i = 0 to n - 1 do
-              if i <> r then begin
-                let f = wcol.(i) in
-                if F.sign f <> 0 then F.axpy (F.neg f) browr st.binv.(i)
-              end
-            done;
-            incr since_refactor;
+            k_update st.kern ~r ~wcol;
             Obs.Counter.incr c_pivots;
-            Obs.Counter.record_max c_eta_peak !since_refactor
+            Obs.Counter.record_max c_eta_peak (k_etas st.kern)
           end
       end
     done;
@@ -486,16 +507,15 @@ module Make (F : Numeric.Field.S) = struct
     let iters = ref 0 in
     let refactors = ref 0 in
     let max_iters = 20_000 + (60 * (st.w.ncols + n)) in
-    let since_refactor = ref 0 in
     (* Reduced costs of all columns, maintained incrementally across pivots
        and refreshed from scratch at every refactorisation. *)
     let darr = Array.make st.w.ncols F.zero in
     let refresh_reduced () =
-      let y = Array.make n F.zero in
+      let cb = Array.make n F.zero in
       for i = 0 to n - 1 do
-        let cb = col_cost st st.basis.(i) ~phase1:false in
-        if F.sign cb <> 0 then F.axpy cb st.binv.(i) y
+        cb.(i) <- col_cost st st.basis.(i) ~phase1:false
       done;
+      let y = k_btran st.kern cb in
       for j = 0 to st.w.ncols - 1 do
         if st.in_basis.(j) then darr.(j) <- F.zero
         else begin
@@ -515,12 +535,11 @@ module Make (F : Numeric.Field.S) = struct
         bland := true;
         Obs.Counter.incr c_bland_falls
       end;
-      if !since_refactor > 300 then begin
+      if k_should_refactor st.kern then begin
         refactorize st ~phase2:true;
         refresh_reduced ();
         incr refactors;
-        Obs.Counter.incr c_refactors;
-        since_refactor := 0
+        Obs.Counter.incr c_refactors
       end;
       (* Leaving row: a basic variable below its lower bound 0 (no basic has
          a finite upper here — bounds were turned into rows). *)
@@ -536,7 +555,7 @@ module Make (F : Numeric.Field.S) = struct
       if !leave < 0 then continue := false
       else begin
         let r = !leave in
-        let brow = st.binv.(r) in
+        let brow = k_btran_unit st.kern r in
         let alpha j =
           let acc = ref F.zero in
           List.iter (fun (i, c) -> acc := F.add !acc (F.mul brow.(i) c)) (col_entries st j);
@@ -580,15 +599,14 @@ module Make (F : Numeric.Field.S) = struct
         end
         else begin
           let jj = !enter in
-          let wcol = binv_times_col st jj in
-          if
-            !since_refactor > 25 && F.compare (F.abs wcol.(r)) F.pivot_tol <= 0
+          let wcol = k_ftran st.kern (col_entries st jj) in
+          observe_ftran wcol;
+          if k_etas st.kern > 25 && F.compare (F.abs wcol.(r)) F.pivot_tol <= 0
           then begin
             refactorize st ~phase2:true;
             refresh_reduced ();
             incr refactors;
-            Obs.Counter.incr c_refactors;
-            since_refactor := 0
+            Obs.Counter.incr c_refactors
           end
           else begin
             let delta = F.div st.xb.(r) wcol.(r) in
@@ -611,25 +629,16 @@ module Make (F : Numeric.Field.S) = struct
             st.in_basis.(jj) <- true;
             st.basis.(r) <- jj;
             st.xb.(r) <- delta;
-            let piv = wcol.(r) in
-            let browr = st.binv.(r) in
-            F.div_inplace browr piv;
-            for i = 0 to n - 1 do
-              if i <> r then begin
-                let f = wcol.(i) in
-                if F.sign f <> 0 then F.axpy (F.neg f) browr st.binv.(i)
-              end
-            done;
-            incr since_refactor;
+            k_update st.kern ~r ~wcol;
             Obs.Counter.incr c_pivots;
-            Obs.Counter.record_max c_eta_peak !since_refactor
+            Obs.Counter.record_max c_eta_peak (k_etas st.kern)
           end
         end
       end
     done;
     if debug then
-      Printf.eprintf "[dual] rows=%d cols=%d iters=%d refactors=%d\n%!" n st.w.ncols !iters
-        !refactors;
+      Printf.eprintf "[dual] rows=%d cols=%d iters=%d refactors=%d kernel=%s\n%!" n st.w.ncols
+        !iters !refactors (kernel_name st.kern);
     !result
 
   (* ----- Frozen sessions: bounded-variable dual simplex -----------------
@@ -650,27 +659,45 @@ module Make (F : Numeric.Field.S) = struct
      a universally available dual-feasible reset point. *)
 
   type session = {
-    fz : Frozen.t;
     snrows : int;
     sncols : int;  (* structural + one slack per row *)
     snstruct : int;
     scols : (int * F.t) list array;  (* sparse column entries (row, coeff) *)
+    srow_j : int array array;  (* CSR view of [scols] (slacks included): *)
+    srow_v : F.t array array;  (* column ids / coefficients per row *)
+    salpha : F.t array;  (* pivot-row scratch: alpha_j = brow · col_j *)
+    salpha_stamp : int array;  (* validity stamp per [salpha] slot *)
+    mutable salpha_stamp_val : int;
+    stouched : int array;  (* scratch: columns touched by the alpha pass *)
     scost : F.t array;
     sb : F.t array;
     base_lb : F.t array;
     base_ub : F.t option array;  (* None = +inf *)
     lb : F.t array;  (* after the current delta *)
     ub : F.t option array;
-    sbinv : F.t array array;
+    skern : basis_kernel;
     sbasis : int array;
     sxb : F.t array;
     s_in_basis : bool array;
     s_at_upper : bool array;
     sdarr : F.t array;  (* reduced costs, maintained across pivots/deltas *)
-    mutable spivots : int;
-        (* Pivots since binv was last rebuilt from scratch.  Lives on the
-           session, not the solve: warm-started batches run many short
-           solves, and drift accumulates across them, not within one. *)
+    (* Index of rows whose basic value violates a bound, maintained
+       incrementally from the FTRAN pattern so the leaving-row choice scans
+       candidates instead of every row.  [sviol_pos] maps a row to its slot
+       (-1 when inside bounds); rebuilt from scratch by
+       {!session_compute_xb}. *)
+    sviol : int array;
+    sviol_pos : int array;
+    mutable sviol_n : int;
+    (* Pricing skip set: basic columns and columns fixed by the current
+       delta can never enter, so the alpha pass does not price them.  The
+       cost is that a fixed column's reduced cost goes stale during a solve
+       (its incremental dual update is skipped too); [sdarr_stale] records
+       that, and the next solve entry recomputes darr from the basis before
+       trusting signs.  [sfixed] caches the per-delta fixed test. *)
+    sskip : bool array;
+    sfixed : bool array;
+    mutable sdarr_stale : bool;
     mutable stotal_pivots : int;
         (* Lifetime pivot count; never reset.  Per-session (not a global
            counter) so parallel batches can report per-solve deltas without
@@ -690,26 +717,24 @@ module Make (F : Numeric.Field.S) = struct
   let slack_sign fz i =
     match Frozen.row_sense fz i with Model.Leq | Model.Eq -> F.one | Model.Geq -> F.neg F.one
 
-  (* Reset to the all-slack basis: binv is its own inverse (diag of +-1),
-     reduced costs equal the raw costs (slack costs are zero), and every
-     structural column sits at its lower bound — dual feasible because all
-     costs are non-negative. *)
+  (* Reset to the all-slack basis: reduced costs equal the raw costs (slack
+     costs are zero) and every structural column sits at its lower bound —
+     dual feasible because all costs are non-negative.  The all-slack basis
+     matrix is diagonal (+-1), so the kernel refactor cannot fail. *)
   let session_reset s =
     let n = s.snrows in
     for i = 0 to n - 1 do
-      let row = s.sbinv.(i) in
-      Array.fill row 0 n F.zero;
-      row.(i) <- slack_sign s.fz i;
       s.sbasis.(i) <- s.snstruct + i
     done;
     Array.fill s.s_at_upper 0 s.sncols false;
     for j = 0 to s.sncols - 1 do
       s.s_in_basis.(j) <- j >= s.snstruct;
+      s.sskip.(j) <- s.sfixed.(j) || j >= s.snstruct;
       s.sdarr.(j) <- s.scost.(j)
     done;
-    s.spivots <- 0
+    k_refactor s.skern s.sbasis
 
-  let create_session fz =
+  let create_session ?(kernel = `Auto) fz =
     if not (frozen_dual_applicable fz) then
       invalid_arg "Simplex.create_session: negative objective coefficient";
     let nstruct = Frozen.num_vars fz in
@@ -724,6 +749,29 @@ module Make (F : Numeric.Field.S) = struct
     for i = 0 to nrows - 1 do
       scols.(nstruct + i) <- [ (i, slack_sign fz i) ]
     done;
+    (* The CSR transpose of [scols], for the dual pivot's row-wise alpha
+       pass.  Column ids come out ascending per row (j sweeps upward). *)
+    let row_counts = Array.make (max 1 nrows) 0 in
+    Array.iter (List.iter (fun (i, _) -> row_counts.(i) <- row_counts.(i) + 1)) scols;
+    let srow_j = Array.init (max 1 nrows) (fun i -> Array.make (max 1 row_counts.(i)) 0) in
+    let srow_v = Array.init (max 1 nrows) (fun i -> Array.make (max 1 row_counts.(i)) F.zero) in
+    let fill = Array.make (max 1 nrows) 0 in
+    Array.iteri
+      (fun j entries ->
+        List.iter
+          (fun (i, c) ->
+            srow_j.(i).(fill.(i)) <- j;
+            srow_v.(i).(fill.(i)) <- c;
+            fill.(i) <- fill.(i) + 1)
+          entries)
+      scols;
+    Array.iteri
+      (fun i filled ->
+        if filled < Array.length srow_j.(i) then begin
+          srow_j.(i) <- Array.sub srow_j.(i) 0 filled;
+          srow_v.(i) <- Array.sub srow_v.(i) 0 filled
+        end)
+      fill;
     let scost = Array.make (max 1 ncols) F.zero in
     for v = 0 to nstruct - 1 do
       scost.(v) <- F.of_int (Frozen.objective fz v)
@@ -738,24 +786,34 @@ module Make (F : Numeric.Field.S) = struct
     done;
     let s =
       {
-        fz;
         snrows = nrows;
         sncols = ncols;
         snstruct = nstruct;
         scols;
+        srow_j;
+        srow_v;
+        salpha = Array.make (max 1 ncols) F.zero;
+        salpha_stamp = Array.make (max 1 ncols) 0;
+        salpha_stamp_val = 0;
+        stouched = Array.make (max 1 ncols) 0;
         scost;
         sb = Array.init (max 1 nrows) (fun i -> if i < nrows then F.of_int (Frozen.row_rhs fz i) else F.zero);
         base_lb;
         base_ub;
         lb = Array.copy base_lb;
         ub = Array.copy base_ub;
-        sbinv = Array.init (max 1 nrows) (fun _ -> Array.make (max 1 nrows) F.zero);
+        skern = make_kernel kernel ~nrows ~col:(fun j -> scols.(j));
         sbasis = Array.make (max 1 nrows) 0;
         sxb = Array.make (max 1 nrows) F.zero;
         s_in_basis = Array.make (max 1 ncols) false;
         s_at_upper = Array.make (max 1 ncols) false;
         sdarr = Array.make (max 1 ncols) F.zero;
-        spivots = 0;
+        sviol = Array.make (max 1 nrows) 0;
+        sviol_pos = Array.make (max 1 nrows) (-1);
+        sviol_n = 0;
+        sskip = Array.make (max 1 ncols) false;
+        sfixed = Array.make (max 1 ncols) false;
+        sdarr_stale = false;
         stotal_pivots = 0;
         srefactors = 0;
       }
@@ -768,10 +826,44 @@ module Make (F : Numeric.Field.S) = struct
   let session_nb_value s j =
     if s.s_at_upper.(j) then match s.ub.(j) with Some u -> u | None -> s.lb.(j) else s.lb.(j)
 
-  (* xb = Binv (b - N x_N): valid whenever binv matches the basis. *)
+  let session_row_violated s r =
+    let jb = s.sbasis.(r) in
+    let x = s.sxb.(r) in
+    F.sign (F.sub s.lb.(jb) x) > 0
+    || (match s.ub.(jb) with Some u -> F.sign (F.sub x u) > 0 | None -> false)
+
+  let session_rebuild_viol s =
+    s.sviol_n <- 0;
+    for r = 0 to s.snrows - 1 do
+      if session_row_violated s r then begin
+        s.sviol_pos.(r) <- s.sviol_n;
+        s.sviol.(s.sviol_n) <- r;
+        s.sviol_n <- s.sviol_n + 1
+      end
+      else s.sviol_pos.(r) <- -1
+    done
+
+  (* Re-check one row after its basic value (or basis column) changed. *)
+  let session_update_viol s r =
+    let v = session_row_violated s r in
+    let p = s.sviol_pos.(r) in
+    if v && p < 0 then begin
+      s.sviol_pos.(r) <- s.sviol_n;
+      s.sviol.(s.sviol_n) <- r;
+      s.sviol_n <- s.sviol_n + 1
+    end
+    else if (not v) && p >= 0 then begin
+      let last = s.sviol.(s.sviol_n - 1) in
+      s.sviol.(p) <- last;
+      s.sviol_pos.(last) <- p;
+      s.sviol_pos.(r) <- -1;
+      s.sviol_n <- s.sviol_n - 1
+    end
+
+  (* xb = Binv (b - N x_N): valid whenever the kernel matches the basis. *)
   let session_compute_xb s =
     let n = s.snrows in
-    let rhs = Array.sub s.sb 0 (max 1 n) in
+    let rhs = Array.sub s.sb 0 n in
     for j = 0 to s.sncols - 1 do
       if not s.s_in_basis.(j) then begin
         let v = session_nb_value s j in
@@ -779,17 +871,17 @@ module Make (F : Numeric.Field.S) = struct
           List.iter (fun (i, c) -> rhs.(i) <- F.sub rhs.(i) (F.mul c v)) s.scols.(j)
       end
     done;
-    for r = 0 to n - 1 do
-      s.sxb.(r) <- F.dot s.sbinv.(r) rhs
-    done
+    let w = k_ftran_dense s.skern rhs in
+    Array.blit w 0 s.sxb 0 n;
+    session_rebuild_viol s
 
   let session_refresh_darr s =
     let n = s.snrows in
-    let y = Array.make (max 1 n) F.zero in
+    let cb = Array.make n F.zero in
     for i = 0 to n - 1 do
-      let cb = s.scost.(s.sbasis.(i)) in
-      if F.sign cb <> 0 then F.axpy cb s.sbinv.(i) y
+      cb.(i) <- s.scost.(s.sbasis.(i))
     done;
+    let y = k_btran s.skern cb in
     for j = 0 to s.sncols - 1 do
       if s.s_in_basis.(j) then s.sdarr.(j) <- F.zero
       else begin
@@ -802,57 +894,20 @@ module Make (F : Numeric.Field.S) = struct
   exception Session_singular
 
   let session_refactorize s =
-    let n = s.snrows in
-    let mat = Array.make_matrix (max 1 n) (max 1 n) F.zero in
-    for r = 0 to n - 1 do
-      List.iter (fun (i, c) -> mat.(i).(r) <- c) s.scols.(s.sbasis.(r))
-    done;
-    let inv = Array.init (max 1 n) (fun i -> Array.init (max 1 n) (fun j -> if i = j then F.one else F.zero)) in
-    (try
-       for piv = 0 to n - 1 do
-         let best = ref piv in
-         for r = piv + 1 to n - 1 do
-           if F.compare (F.abs mat.(r).(piv)) (F.abs mat.(!best).(piv)) > 0 then best := r
-         done;
-         if F.sign mat.(!best).(piv) = 0 then raise Session_singular;
-         if !best <> piv then begin
-           let t = mat.(piv) in
-           mat.(piv) <- mat.(!best);
-           mat.(!best) <- t;
-           let t = inv.(piv) in
-           inv.(piv) <- inv.(!best);
-           inv.(!best) <- t
-         end;
-         let d = mat.(piv).(piv) in
-         F.div_inplace mat.(piv) d;
-         F.div_inplace inv.(piv) d;
-         for r = 0 to n - 1 do
-           if r <> piv then begin
-             let f = mat.(r).(piv) in
-             if F.sign f <> 0 then begin
-               F.axpy (F.neg f) mat.(piv) mat.(r);
-               F.axpy (F.neg f) inv.(piv) inv.(r)
-             end
-           end
-         done
-       done
-     with Session_singular ->
+    (try k_refactor s.skern s.sbasis
+     with Basis.Singular ->
        (* A numerically singular basis (floats only): fall back to the
           always-valid all-slack start rather than failing the solve. *)
        session_reset s;
        session_compute_xb s;
        raise Session_singular);
-    for r = 0 to n - 1 do
-      Array.blit inv.(r) 0 s.sbinv.(r) 0 n
-    done;
     session_compute_xb s;
-    session_refresh_darr s;
-    s.spivots <- 0
+    session_refresh_darr s
 
   (* The bounded-variable dual simplex.  Invariants: darr is dual feasible
      for the nonbasic positions (at lower => d >= 0, at upper => d <= 0,
-     fixed => unconstrained), binv inverts the basis, xb holds the basic
-     values.  Returns when every basic value is within its bounds
+     fixed => unconstrained), the kernel factorises the basis, xb holds the
+     basic values.  Returns when every basic value is within its bounds
      (`Optimal) or a bound-violated row admits no entering column
      (`Infeasible — a valid Farkas certificate even with fixed columns
      excluded, since those sit at equal lower and upper bounds). *)
@@ -868,10 +923,16 @@ module Make (F : Numeric.Field.S) = struct
       end
     in
     let refactor () =
-      (match session_refactorize s with () -> () | exception Session_singular -> session_refresh_darr s);
+      (match session_refactorize s with
+      | () -> ()
+      | exception Session_singular ->
+        (* session_reset already restored the all-slack state (darr equals
+           the raw costs there), so the solve continues from the cold
+           start. *)
+        ());
       s.srefactors <- s.srefactors + 1;
       Obs.Counter.incr c_refactors;
-      s.spivots <- 0
+      observe_factor s.skern
     in
     let result = ref `Optimal in
     let continue = ref true in
@@ -879,19 +940,23 @@ module Make (F : Numeric.Field.S) = struct
       incr iters;
       if !iters > max_iters then failwith "Simplex.session_solve: dual iteration limit";
       if !iters > max_iters / 2 then fall_to_bland ();
-      (* Rebuild the inverse every ~max(300, n) pivots: the O(n^3) rebuild
-         then amortises to the O(n^2) cost of a single eta update, while
-         still bounding drift across the many short solves of a warm
-         batch. *)
-      if s.spivots > max 300 n then refactor ();
-      (* Leaving row: a basic value outside its bounds.  rho = +1 when the
+      (* Refactorise on the kernel's own cadence: the dense reference
+         bounds drift (~max(300, n) etas), the sparse kernel additionally
+         bounds eta fill.  The cadence lives on the kernel, so it carries
+         across the many short solves of a warm batch. *)
+      if k_should_refactor s.skern then refactor ();
+      (* Leaving row: a basic value outside its bounds, drawn from the
+         incrementally maintained violation index.  rho = +1 when the
          leaver must rise to its lower bound, -1 when it must drop to its
-         upper bound; largest violation wins (smallest basis index under
-         Bland). *)
+         upper bound; largest violation wins.  The index holds rows in
+         arbitrary order, so ties — equal violations, and Bland's
+         smallest-basis-index rule — break explicitly towards the choices
+         the old ascending full scan made. *)
       let leave = ref (-1) in
       let leave_rho = ref F.one in
       let best_viol = ref F.zero in
-      for r = 0 to n - 1 do
+      for vi = 0 to s.sviol_n - 1 do
+        let r = s.sviol.(vi) in
         let jb = s.sbasis.(r) in
         let x = s.sxb.(r) in
         let viol, rho =
@@ -917,22 +982,52 @@ module Make (F : Numeric.Field.S) = struct
               best_viol := viol
             end
           end
-          else if F.compare viol !best_viol > 0 then begin
-            leave := r;
-            leave_rho := rho;
-            best_viol := viol
+          else begin
+            let c = F.compare viol !best_viol in
+            if c > 0 || (c = 0 && r < !leave) then begin
+              leave := r;
+              leave_rho := rho;
+              best_viol := viol
+            end
           end
       done;
       if !leave < 0 then continue := false
       else begin
         let r = !leave in
         let rho = !leave_rho in
-        let brow = s.sbinv.(r) in
-        let alpha j =
-          let acc = ref F.zero in
-          List.iter (fun (i, c) -> acc := F.add !acc (F.mul brow.(i) c)) s.scols.(j);
-          !acc
-        in
+        let brow = k_btran_unit s.skern r in
+        (* One sparse row-wise pass computes every alpha_j = brow · col_j at
+           a cost proportional to the nonzero rows of [brow] (via the CSR
+           view), not to the matrix: only the touched columns can be
+           eligible below (alpha = 0 fails both sign tests), so the ratio
+           test and the dual update scan candidates, not all columns.  The
+           candidate list is sorted so the scan order — and hence every
+           tie-break, including Bland's smallest-index rule — matches the
+           plain column sweep it replaces. *)
+        s.salpha_stamp_val <- s.salpha_stamp_val + 1;
+        let stamp = s.salpha_stamp_val in
+        let ntouched = ref 0 in
+        for i = 0 to n - 1 do
+          let bi = brow.(i) in
+          if F.sign bi <> 0 then begin
+            let rj = s.srow_j.(i) and rv = s.srow_v.(i) in
+            for k = 0 to Array.length rj - 1 do
+              let jc = rj.(k) in
+              if not s.sskip.(jc) then begin
+                let contrib = F.mul bi rv.(k) in
+                if s.salpha_stamp.(jc) = stamp then s.salpha.(jc) <- F.add s.salpha.(jc) contrib
+                else begin
+                  s.salpha_stamp.(jc) <- stamp;
+                  s.salpha.(jc) <- contrib;
+                  s.stouched.(!ntouched) <- jc;
+                  incr ntouched
+                end
+              end
+            done
+          end
+        done;
+        let cand = Array.sub s.stouched 0 !ntouched in
+        Array.sort compare cand;
         (* Dual ratio test: an entering candidate must move x_B(r) towards
            its violated bound (sign of rho * alpha decides), and the one
            with the smallest |d / alpha| keeps every other reduced cost on
@@ -942,10 +1037,10 @@ module Make (F : Numeric.Field.S) = struct
         let enter_alpha = ref F.zero in
         let best_theta = ref F.zero in
         let j = ref 0 in
-        while !j < s.sncols && not (!bland && !enter >= 0) do
-          let jj = !j in
-          if (not s.s_in_basis.(jj)) && not (session_fixed s jj) then begin
-            let a = alpha jj in
+        while !j < Array.length cand && not (!bland && !enter >= 0) do
+          let jj = cand.(!j) in
+          if (not s.s_in_basis.(jj)) && not s.sfixed.(jj) then begin
+            let a = s.salpha.(jj) in
             let ra = F.mul rho a in
             let eligible, ratio =
               if s.s_at_upper.(jj) then
@@ -984,16 +1079,10 @@ module Make (F : Numeric.Field.S) = struct
         end
         else begin
           let q = !enter in
-          let wcol = Array.make (max 1 n) F.zero in
-          let entries = s.scols.(q) in
-          for i = 0 to n - 1 do
-            let row = s.sbinv.(i) in
-            let acc = ref F.zero in
-            List.iter (fun (k, c) -> acc := F.add !acc (F.mul row.(k) c)) entries;
-            wcol.(i) <- !acc
-          done;
-          if s.spivots > 25 && F.compare (F.abs wcol.(r)) F.pivot_tol <= 0 then
-            (* Noise-level pivot on a stale inverse: refactorise and retry
+          let wcol = k_ftran s.skern s.scols.(q) in
+          observe_ftran wcol;
+          if k_etas s.skern > 25 && F.compare (F.abs wcol.(r)) F.pivot_tol <= 0 then
+            (* Noise-level pivot on a stale basis: refactorise and retry
                on fresh numbers. *)
             refactor ()
           else begin
@@ -1004,35 +1093,52 @@ module Make (F : Numeric.Field.S) = struct
             in
             let step = F.div (F.sub s.sxb.(r) target) wcol.(r) in
             let entering_value = F.add (session_nb_value s q) step in
-            F.axpy (F.neg step) wcol s.sxb;
-            (* Dual update before the eta update (alpha reads the old row
-               of binv). *)
+            let plen = k_ftran_pattern_len s.skern in
+            let nstep = F.neg step in
+            (if plen >= 0 then begin
+               (* The pattern covers every nonzero of [wcol]: the basic
+                  values move only there (same guard as {!F.axpy} — skip a
+                  zero multiplier entirely). *)
+               if F.compare nstep F.zero <> 0 then begin
+                 let pat = k_ftran_pattern s.skern in
+                 for idx = 0 to plen - 1 do
+                   let i = pat.(idx) in
+                   s.sxb.(i) <- F.add s.sxb.(i) (F.mul nstep wcol.(i))
+                 done
+               end
+             end
+             else F.axpy nstep wcol s.sxb);
+            (* Dual update before the basis update (alpha reads the row of
+               the pre-pivot inverse, captured in [brow]). *)
             let theta = F.div s.sdarr.(q) wcol.(r) in
             if F.sign theta <> 0 then
-              for k = 0 to s.sncols - 1 do
-                if (not s.s_in_basis.(k)) && k <> q then
-                  s.sdarr.(k) <- F.sub s.sdarr.(k) (F.mul theta (alpha k))
-              done;
+              Array.iter
+                (fun k ->
+                  if (not s.s_in_basis.(k)) && k <> q then
+                    s.sdarr.(k) <- F.sub s.sdarr.(k) (F.mul theta s.salpha.(k)))
+                cand;
             s.sdarr.(jb_leave) <- F.neg theta;
             s.sdarr.(q) <- F.zero;
             s.s_in_basis.(jb_leave) <- false;
+            s.sskip.(jb_leave) <- s.sfixed.(jb_leave);
             s.s_at_upper.(jb_leave) <- F.sign rho < 0;
             s.s_in_basis.(q) <- true;
+            s.sskip.(q) <- true;
             s.sbasis.(r) <- q;
             s.sxb.(r) <- entering_value;
-            let piv = wcol.(r) in
-            let browr = s.sbinv.(r) in
-            F.div_inplace browr piv;
-            for i = 0 to n - 1 do
-              if i <> r then begin
-                let f = wcol.(i) in
-                if F.sign f <> 0 then F.axpy (F.neg f) browr s.sbinv.(i)
-              end
-            done;
-            s.spivots <- s.spivots + 1;
+            k_update s.skern ~r ~wcol;
+            (* Re-check the violation status of every row the pivot could
+               have moved (the pattern rows; [r] is among them). *)
+            if plen >= 0 then begin
+              let pat = k_ftran_pattern s.skern in
+              for idx = 0 to plen - 1 do
+                session_update_viol s pat.(idx)
+              done
+            end
+            else session_rebuild_viol s;
             s.stotal_pivots <- s.stotal_pivots + 1;
             Obs.Counter.incr c_pivots;
-            Obs.Counter.record_max c_eta_peak s.spivots
+            Obs.Counter.record_max c_eta_peak (k_etas s.skern)
           end
         end
       end
@@ -1058,6 +1164,7 @@ module Make (F : Numeric.Field.S) = struct
      enriched public stats records. *)
   let session_pivots s = s.stotal_pivots
   let session_refactors s = s.srefactors
+  let session_kernel s = kernel_name s.skern
 
   let session_solve s delta =
     (* Install the delta over the base bounds. *)
@@ -1086,6 +1193,17 @@ module Make (F : Numeric.Field.S) = struct
       Optimal { objective = !objective; solution = x }
     end
     else begin
+      (* The previous solve skipped dual updates on its fixed columns;
+         their reduced costs cannot be trusted until recomputed from the
+         basis. *)
+      if s.sdarr_stale then session_refresh_darr s;
+      let has_fixed = ref false in
+      for j = 0 to s.sncols - 1 do
+        let fx = session_fixed s j in
+        s.sfixed.(j) <- fx;
+        if fx then has_fixed := true
+      done;
+      s.sdarr_stale <- !has_fixed;
       (* Repair nonbasic positions for dual feasibility under the new
          bounds: fixed columns sit at their (single) bound, otherwise the
          reduced-cost sign picks the bound.  d < 0 with no finite upper can
@@ -1094,7 +1212,7 @@ module Make (F : Numeric.Field.S) = struct
       (try
          for j = 0 to s.sncols - 1 do
            if not s.s_in_basis.(j) then
-             if session_fixed s j then s.s_at_upper.(j) <- false
+             if s.sfixed.(j) then s.s_at_upper.(j) <- false
              else if F.sign s.sdarr.(j) >= 0 then s.s_at_upper.(j) <- false
              else
                match s.ub.(j) with
@@ -1102,24 +1220,53 @@ module Make (F : Numeric.Field.S) = struct
                | None -> raise Exit
          done
        with Exit -> session_reset s);
+      for j = 0 to s.sncols - 1 do
+        s.sskip.(j) <- s.sfixed.(j) || s.s_in_basis.(j)
+      done;
       session_compute_xb s;
       match session_run s with
       | `Optimal -> session_extract s
-      | `Infeasible when s.spivots = 0 -> Infeasible
+      | `Infeasible when k_etas s.skern = 0 ->
+        (* The verdict was reached on a freshly factorised basis — no update
+           drift to distrust. *)
+        Infeasible
       | `Infeasible ->
-        (* Never trust an infeasibility verdict reached on an inverse with
-           pivots on it: accumulated drift in binv/darr can hide every
-           eligible entering column.  Re-derive the verdict from the
-           all-slack basis — exactly the cold start — so warm and cold
-           sessions always agree on feasibility. *)
-        session_reset s;
-        session_compute_xb s;
+        (* Never trust an infeasibility verdict reached on a basis with
+           updates on it: accumulated drift in the factors/darr can hide
+           every eligible entering column.  Re-derive on a fresh
+           factorisation of the *current* basis — exact factors, exactly
+           recomputed duals and basics — which removes the drift while
+           keeping the warm start (an all-slack restart here would pay a
+           full cold solve per infeasible node). *)
+        (match session_refactorize s with
+        | () ->
+          (* The exact duals can flip a nonbasic bound status; repair it
+             exactly as the solve entry does, then rebuild the basics the
+             repair may have moved. *)
+          (try
+             for j = 0 to s.sncols - 1 do
+               if not s.s_in_basis.(j) then
+                 if s.sfixed.(j) then s.s_at_upper.(j) <- false
+                 else if F.sign s.sdarr.(j) >= 0 then s.s_at_upper.(j) <- false
+                 else
+                   match s.ub.(j) with
+                   | Some _ -> s.s_at_upper.(j) <- true
+                   | None -> raise Exit
+             done
+           with Exit -> session_reset s);
+          for j = 0 to s.sncols - 1 do
+            s.sskip.(j) <- s.sfixed.(j) || s.s_in_basis.(j)
+          done;
+          session_compute_xb s
+        | exception Session_singular ->
+          (* session_reset already restored the all-slack state. *)
+          ());
         (match session_run s with
         | `Infeasible -> Infeasible
         | `Optimal -> session_extract s)
     end
 
-  let solve ?(fixed = []) ?(method_ = `Auto) m =
+  let solve ?(fixed = []) ?(method_ = `Auto) ?(kernel = `Auto) m =
     match standardize m fixed with
     | exception Infeasible_fix -> Infeasible
     | var_of_col, fixed_val, srows
@@ -1130,18 +1277,18 @@ module Make (F : Numeric.Field.S) = struct
       let w = { w0 with upper = Array.map (fun _ -> None) w0.upper } in
       let n = w.nrows in
       let total_cols = w.ncols + n in
+      let col j = if j < w.ncols then w.cols.(j) else [ (j - w.ncols, F.one) ] in
       let st =
         {
           w;
-          binv =
-            Array.init (max 1 n) (fun i ->
-                Array.init (max 1 n) (fun j -> if i = j then F.one else F.zero));
+          kern = make_kernel kernel ~nrows:n ~col;
           basis = Array.init n (fun i -> w.nstruct + i);
           xb = Array.copy w.b;
           at_upper = Array.make total_cols false;
           in_basis = Array.init total_cols (fun j -> j >= w.nstruct && j < w.ncols);
         }
       in
+      refactorize st ~phase2:true;
       match run_dual st with
       | `Infeasible -> Infeasible
       | `Optimal ->
@@ -1163,10 +1310,11 @@ module Make (F : Numeric.Field.S) = struct
       let w = build_work m var_of_col srows in
       let n = w.nrows in
       let total_cols = w.ncols + n in
+      let col j = if j < w.ncols then w.cols.(j) else [ (j - w.ncols, F.one) ] in
       let st =
         {
           w;
-          binv = Array.init (max 1 n) (fun i -> Array.init (max 1 n) (fun j -> if i = j then F.one else F.zero));
+          kern = make_kernel kernel ~nrows:n ~col;
           basis = Array.init n (fun i -> w.ncols + i);
           xb = Array.copy w.b;
           at_upper = Array.make total_cols false;
@@ -1175,6 +1323,7 @@ module Make (F : Numeric.Field.S) = struct
         }
       in
       let needs_phase1 = n > 0 in
+      if needs_phase1 then refactorize st ~phase2:false;
       let feasible =
         if not needs_phase1 then true
         else begin
@@ -1219,9 +1368,9 @@ module Make (F : Numeric.Field.S) = struct
           Optimal { objective = !objective; solution = x }
       end
 
-  let solve_frozen ?(delta = Frozen.Delta.empty) fz =
-    if frozen_dual_applicable fz then session_solve (create_session fz) delta
+  let solve_frozen ?(delta = Frozen.Delta.empty) ?kernel fz =
+    if frozen_dual_applicable fz then session_solve (create_session ?kernel fz) delta
     else
       (* Negative costs: thaw and take the general primal path. *)
-      solve ~fixed:(Frozen.Delta.bindings delta) (Frozen.to_model fz)
+      solve ~fixed:(Frozen.Delta.bindings delta) ?kernel (Frozen.to_model fz)
 end

@@ -1,9 +1,16 @@
-(** Two-phase primal simplex over an arbitrary ordered field.
+(** Revised simplex over an arbitrary ordered field and a pluggable basis
+    kernel.
 
     The same algorithm instantiated at {!Numeric.Field.Float_field} gives the
     production solver, and at {!Numeric.Field.Rat_field} an exact-arithmetic
     oracle used in tests and to certify LP-relaxation integrality claims
     (Theorems 8.6–8.13 of the paper).
+
+    The basis representation lives behind {!Basis.S}: every entry point
+    takes [?kernel] selecting {!Basis.Sparse_lu} (the default — sparse LU
+    with product-form eta updates, iteration cost tracking nonzeros) or
+    {!Basis.Dense} (the reference explicit inverse, kept for differential
+    testing and as a fallback).  Both kernels instantiate at either field.
 
     The solver works on a {!Model.t}: minimize [c'x] subject to the model's
     constraints, [x >= 0] and the per-variable upper bounds (handled as
@@ -19,7 +26,11 @@ module Make (F : Numeric.Field.S) : sig
     | Unbounded
 
   val solve :
-    ?fixed:(Model.var * int) list -> ?method_:[ `Auto | `Primal | `Dual ] -> Model.t -> outcome
+    ?fixed:(Model.var * int) list ->
+    ?method_:[ `Auto | `Primal | `Dual ] ->
+    ?kernel:Basis.choice ->
+    Model.t ->
+    outcome
   (** [solve ~fixed m] solves the LP relaxation of [m] with the variables in
       [fixed] substituted by the given constant values (used by
       branch-and-bound to branch binary variables without growing the LP).
@@ -30,7 +41,8 @@ module Make (F : Numeric.Field.S) : sig
       objective — true of all of this paper's programs; covering LPs are
       much less degenerate dually) and the two-phase primal otherwise;
       [`Primal] forces the primal; [`Dual] forces the dual where
-      applicable. *)
+      applicable.  [kernel] selects the basis representation
+      ({!Basis.choice}; [`Auto] = sparse LU). *)
 
   val integral_on : F.t array -> Model.var list -> bool
   (** Are all listed coordinates integral (within the field tolerance)? *)
@@ -52,8 +64,11 @@ module Make (F : Numeric.Field.S) : sig
   (** Does the dual session apply — are all objective coefficients
       non-negative?  (True of every program this code base generates.) *)
 
-  val create_session : Frozen.t -> session
-  (** @raise Invalid_argument when {!frozen_dual_applicable} is false. *)
+  val create_session : ?kernel:Basis.choice -> Frozen.t -> session
+  (** The session's basis kernel is fixed at creation ([`Auto] = sparse
+      LU; [`Dense] forces the reference inverse, used by the
+      [dense_vs_sparse_basis] differential oracle).
+      @raise Invalid_argument when {!frozen_dual_applicable} is false. *)
 
   val session_pivots : session -> int
   (** Lifetime pivot count of the session (never reset).  Callers take
@@ -64,13 +79,16 @@ module Make (F : Numeric.Field.S) : sig
   val session_refactors : session -> int
   (** Lifetime basis-refactorisation count of the session. *)
 
+  val session_kernel : session -> string
+  (** Name of the session's basis kernel (["sparse-lu"] or ["dense"]). *)
+
   val session_solve : session -> Frozen.Delta.t -> outcome
   (** Solve the frozen program under the delta, warm-starting from
       whatever basis the previous call left behind.  [solution] is indexed
       by frozen variable; never returns [Unbounded] (costs are
       non-negative and variables are bounded below). *)
 
-  val solve_frozen : ?delta:Frozen.Delta.t -> Frozen.t -> outcome
+  val solve_frozen : ?delta:Frozen.Delta.t -> ?kernel:Basis.choice -> Frozen.t -> outcome
   (** One-shot convenience: a fresh session when applicable, otherwise the
       general primal path on the thawed model with the delta as fixes. *)
 end

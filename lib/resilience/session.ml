@@ -76,15 +76,15 @@ type prep = {
   pint : Lp.Model.var list;  (* integer variables of [pfz] *)
 }
 
-let engine_of ~exact fz =
-  if exact then Eexact (Lp.Solvers.Exact_bb.create_session fz)
-  else Efloat (Lp.Solvers.Float_bb.create_session fz)
+let engine_of ~exact ~kernel fz =
+  if exact then Eexact (Lp.Solvers.Exact_bb.create_session ~kernel fz)
+  else Efloat (Lp.Solvers.Float_bb.create_session ~kernel fz)
 
 (* Freeze + (optionally) presolve a model into a prep; [None] when presolve
    decides the program outright (the shared program is always feasible —
    delete everything, flag everything — and has non-negative costs, so a
    verdict to the contrary is treated as "no contingency" defensively). *)
-let prep_of_model ~exact ~presolve model =
+let prep_of_model ~exact ~presolve ~kernel model =
   let raw = Lp.Frozen.of_model model in
   let prepared =
     if presolve then
@@ -98,7 +98,7 @@ let prep_of_model ~exact ~presolve model =
       {
         pfz = fz;
         pvm = vm;
-        pengine = engine_of ~exact fz;
+        pengine = engine_of ~exact ~kernel fz;
         pcert = Obs.Trace.with_span "session.struct" (fun () -> Lp.Struct.analyze fz);
         pint = Lp.Frozen.integer_vars fz;
       })
@@ -121,19 +121,22 @@ type t = {
   switnesses : Eval.witness list;
   sexact : bool;
   spresolve : bool;
+  sbasis : Lp.Basis.choice;
   srelax : Encode.relaxation;
   sstrategy : strategy;
   state : state;
   sacc : acc;
 }
 
-(* Measured crossover (BENCH.md, PR 3): on dense q2_chain instances the
-   shared batch still wins at 1537 rows (2.0s vs 4.3s cold) and loses at
-   1915 rows (29.5s vs 11.4s) — the dense basis inverse makes each
-   shared-matrix pivot cost more than a whole small per-tuple program. *)
-let default_dense_rows_threshold = 1700
+(* Re-measured with the sparse LU kernel (BENCH.md, PR 7): the shared
+   batch now wins at every measured size of the dense q2_chain family —
+   2.0x at 2.6k rows, 3.8x at 5.1k, 4.2x at 10.3k — where the dense
+   inverse lost from ~1.9k rows on (the PR 3 crossover behind the old
+   1700 default).  No crossover was observed up to ~10^4 rows; the
+   threshold now only guards the regime beyond what was measured. *)
+let default_dense_rows_threshold = 10_000
 
-let create ?(exact = false) ?(presolve = true) ?(relaxation = Encode.Ilp)
+let create ?(exact = false) ?(presolve = true) ?(relaxation = Encode.Ilp) ?(basis = `Auto)
     ?(dense_rows_threshold = default_dense_rows_threshold) semantics q db =
   let acc = fresh_acc () in
   let tw0 = Lp.Clock.now () in
@@ -160,7 +163,9 @@ let create ?(exact = false) ?(presolve = true) ?(relaxation = Encode.Ilp)
                   lazy
                     (Obs.Trace.with_span "session.prep" (fun () ->
                          let t0 = Lp.Clock.now () in
-                         let p = prep_of_model ~exact ~presolve shared.Encode.smodel in
+                         let p =
+                           prep_of_model ~exact ~presolve ~kernel:basis shared.Encode.smodel
+                         in
                          acc.a_prep <- acc.a_prep +. Lp.Clock.elapsed t0;
                          p));
                 cdiags =
@@ -181,6 +186,7 @@ let create ?(exact = false) ?(presolve = true) ?(relaxation = Encode.Ilp)
     switnesses = witnesses;
     sexact = exact;
     spresolve = presolve;
+    sbasis = basis;
     srelax = relaxation;
     sstrategy = strategy;
     state;
@@ -400,7 +406,7 @@ let cold_responsibility ?node_limit ?time_limit t tid =
   | Encode.Trivial _ -> Query_false
   | Encode.Impossible -> No_contingency
   | Encode.Encoded enc -> (
-    match prep_of_model ~exact:t.sexact ~presolve:t.spresolve enc.Encode.model with
+    match prep_of_model ~exact:t.sexact ~presolve:t.spresolve ~kernel:t.sbasis enc.Encode.model with
     | None -> No_contingency
     | Some prep -> (
       (* Everything up to here — encode, freeze, presolve, engine build — is
@@ -516,7 +522,7 @@ let ranking_par ?node_limit ?time_limit ?(jobs = 0) t =
                per-tuple delta-solves. *)
             Lp.Pool.with_pool ~jobs (fun pool ->
                 Lp.Pool.run_init pool
-                  ~init:(fun () -> engine_of ~exact:t.sexact prep.pfz)
+                  ~init:(fun () -> engine_of ~exact:t.sexact ~kernel:t.sbasis prep.pfz)
                   ~tasks
                   (fun engine i ->
                     rsp_shared ?node_limit ?time_limit core prep engine cands.(i))))

@@ -19,10 +19,12 @@ open! Relalg
 
     {b Dense regime.}  The shared super-model has one row per (witness,
     member) pair plus indicator links, so on dense instances (many large
-    witnesses) its basis outgrows the per-tuple programs it replaces and
-    each warm pivot costs more than a cold solve of the small dedicated
-    encoding.  When the raw shared program exceeds a row threshold
-    (measured crossover; override with [dense_rows_threshold]) the session
+    witnesses) it grows far past the per-tuple programs it replaces.
+    Under the sparse LU basis kernel a warm pivot costs nonzeros, not
+    rows, and the shared batch wins at every size measured so far (PR 7:
+    up to ~10^4 rows, 1.4-4.2x over cold); the row threshold only guards
+    the unmeasured regime beyond that.  When the raw shared program
+    exceeds it (override with [dense_rows_threshold]) the session
     switches {!responsibility}, {!ranking} and {!ranking_par} to the cold
     per-tuple path: a fresh ILP[RSP*](t) encode + freeze + presolve +
     solve per tuple, exactly what {!Solve.responsibility} runs, minus the
@@ -99,6 +101,7 @@ val create :
   ?exact:bool ->
   ?presolve:bool ->
   ?relaxation:Encode.relaxation ->
+  ?basis:Lp.Basis.choice ->
   ?dense_rows_threshold:int ->
   Problem.semantics ->
   Cq.t ->
@@ -110,7 +113,11 @@ val create :
     solve).  [relaxation] (default {!Encode.Ilp}) fixes the integrality
     discipline of the shared program for the session's lifetime:
     {!Encode.Ilp} for exact answers, {!Encode.Milp}/{!Encode.Lp} for the
-    relaxations feeding {!Approx}. *)
+    relaxations feeding {!Approx}.  [basis] (default [`Auto] = sparse LU)
+    selects the simplex basis kernel for every engine the session opens —
+    the shared warm engine, each {!ranking_par} domain engine, and every
+    cold per-tuple solve; [`Dense] forces the reference dense inverse
+    (used by the [dense_vs_sparse_basis] differential oracle). *)
 
 val batch_strategy : t -> strategy
 (** The regime {!create} picked — [`Cold_per_tuple] iff the raw shared

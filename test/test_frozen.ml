@@ -154,7 +154,7 @@ let test_delta_persistence () =
   (* persistence: extending d1 must not mutate it *)
   Alcotest.(check (option int)) "parent unaffected by child" None (Frozen.Delta.find d1 1);
   Alcotest.(check (option int)) "child sees both" (Some 0) (Frozen.Delta.find d2 0);
-  Alcotest.(check (list (pair int int))) "bindings newest first" [ (1, 1); (0, 0) ]
+  Alcotest.(check (list (pair int int))) "bindings ascending by variable" [ (0, 0); (1, 1) ]
     (Frozen.Delta.bindings d2);
   let d3 = Frozen.Delta.fix 0 1 d2 in
   Alcotest.(check (option int)) "re-fix replaces the override" (Some 1)

@@ -149,8 +149,9 @@ let test_strategy_sparse () =
     (Session.batch_strategy session = `Shared_delta)
 
 let dense_db () =
-  (* R and S over a 2-value join domain: 60x60 tuples give ~1800 witnesses,
-     far past the ~1700-row crossover. *)
+  (* R and S over a 2-value join domain: 60x60 tuples give ~1800 witnesses —
+     past the old dense-inverse crossover (1700 rows), well below the
+     re-measured sparse-LU threshold (10^4 rows). *)
   let db = Database.create () in
   for i = 0 to 59 do
     ignore (Database.add db "R" [| i; i mod 2 |]);
@@ -162,8 +163,11 @@ let test_strategy_dense () =
   let q = Queries.q2_chain () in
   let db = dense_db () in
   let session = Session.create Problem.Set q db in
-  Alcotest.(check bool) "dense instance falls back to cold per-tuple" true
-    (Session.batch_strategy session = `Cold_per_tuple);
+  Alcotest.(check bool) "dense instance stays shared under the raised threshold" true
+    (Session.batch_strategy session = `Shared_delta);
+  Alcotest.(check bool) "a low threshold still falls back to cold per-tuple" true
+    (Session.batch_strategy (Session.create ~dense_rows_threshold:1700 Problem.Set q db)
+    = `Cold_per_tuple);
   (* The threshold override flips the decision both ways. *)
   Alcotest.(check bool) "max_int threshold forces shared" true
     (Session.batch_strategy (Session.create ~dense_rows_threshold:max_int Problem.Set q db)
