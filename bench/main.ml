@@ -723,6 +723,120 @@ let run_ranking ?(jobs = 1) ?(dense = false) ?(basis = `Auto) ?(force_shared = f
     Obs.Export.chrome_to_file path spans;
     if not json then Printf.printf "trace written to %s\n" path
 
+(* ---- serve: steady-state cached latency vs cold one-shot ----------------------- *)
+
+let percentile p samples =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then nan
+  else begin
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    a.(max 0 (min (n - 1) rank))
+  end
+
+(* The serve fast path in one number: a cached incremental session answers a
+   repeated resilience question without re-running the witness join, the
+   encode, or the presolve — only the warm solve.  The cold baseline is what
+   a one-shot CLI invocation pays per question (everything from the join
+   down, process startup excluded).  Mutate rows measure the delta path: one
+   fresh-tuple insert (delta-join + program append) followed by a warm
+   re-solve. *)
+let run_serve ?(jobs = 1) scale json =
+  let rng = Random.State.make [| 909 |] in
+  let q = Queries.q2_chain () in
+  if not json then
+    header
+      (Printf.sprintf
+         "Serve: steady-state cached latency vs cold one-shot (2-chain, set, jobs=%d)" jobs)
+      [ "tuples"; "witnesses"; "cold_p50"; "cold_p99"; "serve_p50"; "serve_p99"; "mutate_p50";
+        "rank_ms"; "speedup_p50" ];
+  let entries = ref [] in
+  List.iter
+    (fun count ->
+      let count = max 8 (int_of_float (float_of_int count *. scale)) in
+      let specs = Datagen.Random_inst.specs_of_query q ~count in
+      let db = Datagen.Random_inst.db rng ~domain:(max 4 count) specs in
+      let witnesses = Eval.count q db in
+      if witnesses > 0 then begin
+        let qtext = Cq.to_string q in
+        (* Cold baseline: the full per-question pipeline. *)
+        let cold =
+          List.init 12 (fun _ ->
+              let _, t = time (fun () -> Solve.resilience set q db) in
+              t *. 1000.0)
+        in
+        (* Serve path: load once, then repeated cached asks over loopback. *)
+        let engine = Serve.Engine.create () in
+        let data =
+          String.concat "\n"
+            (List.map (fun info -> Database_io.print_tuple db info.Database.id)
+               (Database.tuples db))
+        in
+        let request j = Serve.Engine.handle_line engine (Serve.Json.to_string j) in
+        let ask =
+          Serve.Json.Obj [ ("op", Serve.Json.Str "resilience"); ("query", Serve.Json.Str qtext) ]
+        in
+        ignore
+          (request
+             (Serve.Json.Obj [ ("op", Serve.Json.Str "load"); ("data", Serve.Json.Str data) ]));
+        ignore (request ask) (* warm the session: join + encode + first solve *);
+        let serve =
+          List.init 40 (fun _ ->
+              let _, t = time (fun () -> ignore (request ask)) in
+              t *. 1000.0)
+        in
+        (* Delta path: fresh-tuple insert, then the warm re-solve. *)
+        let mutate =
+          List.init 10 (fun i ->
+              let tuple = Printf.sprintf "R(%d, %d)" (100000 + i) (200000 + i) in
+              ignore
+                (request
+                   (Serve.Json.Obj
+                      [ ("op", Serve.Json.Str "insert"); ("tuple", Serve.Json.Str tuple) ]));
+              let _, t = time (fun () -> ignore (request ask)) in
+              t *. 1000.0)
+        in
+        (* One pool-fanned ranking request, exercising the jobs parameter. *)
+        let _, rank_t =
+          time (fun () ->
+              ignore
+                (request
+                   (Serve.Json.Obj
+                      [
+                        ("op", Serve.Json.Str "rank");
+                        ("query", Serve.Json.Str qtext);
+                        ("jobs", Serve.Json.Int jobs);
+                      ])))
+        in
+        let cold_p50 = percentile 50.0 cold and cold_p99 = percentile 99.0 cold in
+        let serve_p50 = percentile 50.0 serve and serve_p99 = percentile 99.0 serve in
+        let mutate_p50 = percentile 50.0 mutate in
+        let speedup = if serve_p50 > 0.0 then cold_p50 /. serve_p50 else nan in
+        let tuples = List.length (Database.tuples db) in
+        entries :=
+          Printf.sprintf
+            "{\"tuples\":%d,\"witnesses\":%d,\"jobs\":%d,\"cold_p50_ms\":%.4f,\"cold_p99_ms\":%.4f,\"serve_p50_ms\":%.4f,\"serve_p99_ms\":%.4f,\"mutate_p50_ms\":%.4f,\"rank_ms\":%.4f,\"speedup_p50\":%.1f}"
+            tuples witnesses jobs cold_p50 cold_p99 serve_p50 serve_p99 mutate_p50
+            (rank_t *. 1000.0) speedup
+          :: !entries;
+        if not json then
+          row
+            [
+              string_of_int tuples;
+              string_of_int witnesses;
+              Printf.sprintf "%.3fms" cold_p50;
+              Printf.sprintf "%.3fms" cold_p99;
+              Printf.sprintf "%.3fms" serve_p50;
+              Printf.sprintf "%.3fms" serve_p99;
+              Printf.sprintf "%.3fms" mutate_p50;
+              Printf.sprintf "%.3fms" (rank_t *. 1000.0);
+              Printf.sprintf "%.1fx" speedup;
+            ]
+      end)
+    [ 100; 200; 400 ];
+  if json then Printf.printf "[%s]\n" (String.concat "," (List.rev !entries))
+
 (* ---- certificate coverage ------------------------------------------------------ *)
 
 (* Which query classes get which Lp.Struct certificate, and does the
@@ -887,5 +1001,14 @@ let () =
             scaled "certify" "Lp.Struct certificate coverage per query class" run_certify;
             scaled "ablations" "design-choice ablations" run_ablations;
             ranking_cmd;
+            Cmd.v
+              (Cmd.info "serve"
+                 ~doc:"serve: steady-state cached latency vs cold one-shot solves")
+              Term.(
+                const (fun scale json jobs ->
+                    let jobs = if jobs = 0 then Lp.Pool.default_jobs () else jobs in
+                    run_serve ~jobs scale json;
+                    0)
+                $ scale_arg $ json_arg $ jobs_arg);
             simple "micro" "Bechamel micro-benchmarks" run_micro;
           ]))

@@ -749,6 +749,192 @@ let fuzz_cmd =
       const run $ seconds $ instances $ seed $ oracle_names $ json $ corpus $ no_shrink $ replay
       $ trace_arg $ stats_arg)
 
+(* ----- serve -------------------------------------------------------------- *)
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+  in
+  go 0
+
+(* One connected client: its fd plus the bytes of an incomplete line. *)
+type serve_client = { cfd : Unix.file_descr; cbuf : Buffer.t }
+
+(* Answer every complete line buffered for the client; keep the partial
+   tail.  Also used after shutdown to drain requests that were already on
+   the wire. *)
+let serve_process engine c =
+  let data = Buffer.contents c.cbuf in
+  Buffer.clear c.cbuf;
+  let rec go start =
+    if start <= String.length data then
+      match String.index_from_opt data start '\n' with
+      | Some i ->
+        let stop = if i > start && data.[i - 1] = '\r' then i - 1 else i in
+        let line = String.sub data start (stop - start) in
+        write_all c.cfd (Serve.Engine.handle_line engine line ^ "\n");
+        go (i + 1)
+      | None -> Buffer.add_substring c.cbuf data start (String.length data - start)
+  in
+  go 0
+
+let serve_stdio engine =
+  (try
+     while not (Serve.Engine.stopping engine) do
+       let line = input_line stdin in
+       print_string (Serve.Engine.handle_line engine line);
+       print_newline ();
+       flush stdout
+     done
+   with End_of_file -> ());
+  0
+
+let serve_socket engine listen_fd cleanup =
+  let clients = ref [] in
+  let close_client c =
+    (try Unix.close c.cfd with Unix.Unix_error _ -> ());
+    clients := List.filter (fun c' -> c' != c) !clients
+  in
+  (* The handler body is one atomic store — async-signal-safe; the loop
+     notices on its next select tick (<= 0.2s) and drains. *)
+  List.iter
+    (fun s ->
+      Sys.set_signal s (Sys.Signal_handle (fun _ -> Serve.Engine.request_stop engine)))
+    [ Sys.sigint; Sys.sigterm ];
+  let scratch = Bytes.create 4096 in
+  while not (Serve.Engine.stopping engine) do
+    let fds = listen_fd :: List.map (fun c -> c.cfd) !clients in
+    match Unix.select fds [] [] 0.2 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+      List.iter
+        (fun fd ->
+          if fd = listen_fd then begin
+            match Unix.accept fd with
+            | cfd, _ -> clients := { cfd; cbuf = Buffer.create 256 } :: !clients
+            | exception Unix.Unix_error _ -> ()
+          end
+          else
+            match List.find_opt (fun c -> c.cfd = fd) !clients with
+            | None -> ()
+            | Some c -> (
+              match Unix.read fd scratch 0 (Bytes.length scratch) with
+              | 0 -> close_client c
+              | n ->
+                Buffer.add_subbytes c.cbuf scratch 0 n;
+                serve_process engine c;
+                (* A partial line beyond the payload cap can never become a
+                   valid request: answer too_large and drop the client. *)
+                if Buffer.length c.cbuf > Serve.Engine.max_line engine then begin
+                  write_all c.cfd
+                    (Serve.Engine.handle_line engine (Buffer.contents c.cbuf) ^ "\n");
+                  close_client c
+                end
+              | exception Unix.Unix_error _ -> close_client c))
+        ready
+  done;
+  (* Graceful drain: requests already received in full are answered before
+     the sockets close (batches drain inside the engine too). *)
+  List.iter
+    (fun c ->
+      serve_process engine c;
+      try Unix.close c.cfd with Unix.Unix_error _ -> ())
+    !clients;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  cleanup ();
+  0
+
+let serve_cmd =
+  let run stdio socket port data max_sessions max_line trace stats =
+    with_telemetry ~trace ~stats "resil.serve" @@ fun () ->
+    let engine = Serve.Engine.create ~max_sessions ~max_line () in
+    let preload_failed =
+      match data with
+      | None -> false
+      | Some path -> (
+        let ic = open_in_bin path in
+        let contents = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let resp =
+          Serve.Engine.handle_line engine
+            (Serve.Json.to_string
+               (Serve.Json.Obj
+                  [ ("op", Serve.Json.Str "load"); ("data", Serve.Json.Str contents) ]))
+        in
+        match Serve.Json.(member "ok" (of_string resp)) with
+        | Some (Serve.Json.Bool true) -> false
+        | _ ->
+          Printf.eprintf "serve: preload failed: %s\n" resp;
+          true)
+    in
+    if preload_failed then 1
+    else if stdio then serve_stdio engine
+    else
+      match (socket, port) with
+      | Some path, _ ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 16;
+        Printf.eprintf "resil serve: listening on %s\n%!" path;
+        serve_socket engine fd (fun () ->
+            try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+      | None, Some p ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, p));
+        Unix.listen fd 16;
+        Printf.eprintf "resil serve: listening on 127.0.0.1:%d\n%!" p;
+        serve_socket engine fd (fun () -> ())
+      | None, None ->
+        prerr_endline "serve: pass --stdio, --socket PATH, or --port N";
+        124
+  in
+  let stdio =
+    Arg.(value & flag & info [ "stdio" ] ~doc:"Serve on stdin/stdout (one JSON line each way)")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix domain socket at PATH")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"N" ~doc:"Listen on TCP 127.0.0.1:N")
+  in
+  let max_sessions =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Cached incremental solve sessions kept alive (LRU eviction beyond N)")
+  in
+  let max_line =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "max-line" ] ~docv:"BYTES"
+          ~doc:"Reject request lines larger than BYTES with the too_large error")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived resilience service speaking line-oriented JSON over stdio, a Unix \
+          socket, or loopback TCP. Sessions are cached per (query, database fingerprint) \
+          and maintained incrementally under tuple inserts/deletes; SIGINT/SIGTERM or the \
+          shutdown op drain in-flight requests before exit. Try: echo \
+          '{\"op\":\"ping\"}' | resil serve --stdio")
+    Term.(
+      const run $ stdio $ socket $ port $ data_arg $ max_sessions $ max_line $ trace_arg
+      $ stats_arg)
+
 let () =
   let doc = "resilience and causal responsibility via ILP (SIGMOD 2023 reproduction)" in
   let info = Cmd.info "resil" ~version:"1.0.0" ~doc in
@@ -765,4 +951,5 @@ let () =
             explain_cmd;
             certificate_cmd;
             fuzz_cmd;
+            serve_cmd;
           ]))

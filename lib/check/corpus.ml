@@ -40,10 +40,30 @@ let row_line frozen i =
     (String.concat " "
        (List.map (fun (v, c) -> Printf.sprintf "%d:%d" v c) (Lp.Frozen.row_expr frozen i)))
 
+(* Bindings first, then appended columns and rows as [| c ...] / [| r ...]
+   segments (same field formats as the var/row header lines), so
+   append-carrying deltas round-trip. *)
 let delta_line d =
-  Printf.sprintf "# delta:%s"
-    (String.concat ""
-       (List.map (fun (v, k) -> Printf.sprintf " %d=%d" v k) (List.rev (Lp.Frozen.Delta.bindings d))))
+  let bindings =
+    List.map (fun (v, k) -> Printf.sprintf " %d=%d" v k) (List.rev (Lp.Frozen.Delta.bindings d))
+  in
+  let cols =
+    List.map
+      (fun (name, integer, upper, obj) ->
+        Printf.sprintf " | c %s %s %d %s"
+          (if integer then "int" else "cont")
+          (match upper with Some u -> string_of_int u | None -> "-")
+          obj name)
+      (Lp.Frozen.Delta.appended_cols d)
+  in
+  let rows =
+    List.map
+      (fun (sense, rhs, expr) ->
+        Printf.sprintf " | r %s %d%s" (sense_str sense) rhs
+          (String.concat "" (List.map (fun (v, c) -> Printf.sprintf " %d:%d" v c) expr)))
+      (Lp.Frozen.Delta.appended_rows d)
+  in
+  Printf.sprintf "# delta:%s" (String.concat "" (bindings @ cols @ rows))
 
 let lp_lines (c : Gen.lp_case) =
   let frozen = c.Gen.frozen in
@@ -111,11 +131,26 @@ let parse_row spec =
 
 let parse_delta spec =
   List.fold_left
-    (fun d e ->
-      match String.split_on_char '=' e with
-      | [ v; k ] -> Lp.Frozen.Delta.fix (int_of_string v) (int_of_string k) d
-      | _ -> invalid_arg ("corpus: bad delta entry " ^ e))
-    Lp.Frozen.Delta.empty (words spec)
+    (fun d seg ->
+      match words seg with
+      | [] -> d
+      | "c" :: rest -> (
+        let name, integer, upper, obj = parse_var (String.concat " " rest) in
+        match upper with
+        | Some u -> Lp.Frozen.Delta.append_col ~integer ~upper:u ~name ~obj d
+        | None -> Lp.Frozen.Delta.append_col ~integer ~name ~obj d)
+      | "r" :: rest ->
+        let sense, rhs, expr = parse_row (String.concat " " rest) in
+        Lp.Frozen.Delta.append_row sense rhs expr d
+      | entries ->
+        List.fold_left
+          (fun d e ->
+            match String.split_on_char '=' e with
+            | [ v; k ] -> Lp.Frozen.Delta.fix (int_of_string v) (int_of_string k) d
+            | _ -> invalid_arg ("corpus: bad delta entry " ^ e))
+          d entries)
+    Lp.Frozen.Delta.empty
+    (String.split_on_char '|' spec)
 
 let of_string text =
   let lines = String.split_on_char '\n' text in

@@ -221,6 +221,51 @@ let gen_lp_drift rng =
   let steps = Splitmix.in_range rng 300 600 in
   { frozen; deltas = init_seq steps (fun _ -> random_delta rng vars) }
 
+(* Row/column appends over a covering base: the incremental-service fast
+   path.  The deltas form a monotone append chain — each step derives from
+   the previous via [append_col]/[append_row], so a warm session absorbs
+   increments ([extends_appends]) while a cold rebuild re-extends from the
+   base.  Appended columns keep obj >= 0 (the warm-absorb contract) and
+   stay binary when integer; appended rows may reference appended columns.
+   Bound fixes ride along but only ever touch base variables. *)
+let gen_lp_append rng =
+  let nvars = Splitmix.in_range rng 3 7 in
+  let nrows = Splitmix.in_range rng 2 6 in
+  let frozen, vars = covering_model rng ~nvars ~nrows ~tie_costs:(Splitmix.bool rng) in
+  let steps = Splitmix.in_range rng 3 10 in
+  let total = ref (Lp.Frozen.num_vars frozen) in
+  let chain = ref Lp.Frozen.Delta.empty in
+  let deltas =
+    init_seq steps (fun i ->
+        if Splitmix.chance rng 2 3 then begin
+          chain :=
+            Lp.Frozen.Delta.append_col
+              ~integer:(Splitmix.bool rng)
+              ~upper:1
+              ~name:(Printf.sprintf "a%d" i)
+              ~obj:(Splitmix.int rng 5)
+              !chain;
+          incr total
+        end;
+        if Splitmix.chance rng 3 4 then begin
+          let width = Splitmix.in_range rng 1 3 in
+          let picked =
+            init_seq width (fun _ -> Splitmix.int rng !total) |> List.sort_uniq compare
+          in
+          chain :=
+            Lp.Frozen.Delta.append_row Lp.Model.Geq 1
+              (List.map (fun v -> (v, 1)) picked)
+              !chain
+        end;
+        if Splitmix.chance rng 1 4 then begin
+          let v = vars.(Splitmix.int rng (Array.length vars)) in
+          if Splitmix.bool rng then Lp.Frozen.Delta.fix_zero v !chain
+          else Lp.Frozen.Delta.force_one v !chain
+        end
+        else !chain)
+  in
+  { frozen; deltas }
+
 (* ----- profile table ------------------------------------------------------- *)
 
 let table =
@@ -234,6 +279,7 @@ let table =
     ("dense_ties", 1, `Db gen_dense_ties);
     ("lp_cover", 2, `Lp gen_lp_cover);
     ("lp_drift", 1, `Lp gen_lp_drift);
+    ("lp_append", 2, `Lp gen_lp_append);
   ]
 
 let profiles = List.map (fun (n, _, _) -> n) table

@@ -19,8 +19,9 @@ open! Resilience
     Generation is steered by named {e profiles}, each aimed at a corner the
     hand-written suites historically skipped: bag multiplicities > 1,
     self-joins, exogenous-heavy and empty relations, duplicate witnesses,
-    zero/tight upper bounds, near-tie ratio-test pivots, and long warm
-    solve sequences (drift). *)
+    zero/tight upper bounds, near-tie ratio-test pivots, long warm
+    solve sequences (drift), and monotone row/column append chains (the
+    incremental-service fast path). *)
 
 type db_case = {
   sem : Problem.semantics;

@@ -388,6 +388,115 @@ let struct_soundness case =
   | Gen.Db c -> struct_soundness_db c
   | Gen.Lp c -> struct_soundness_lp c
 
+(* ----- incremental service -------------------------------------------------- *)
+
+(* The delta-maintenance core behind [resil serve]: a random insert/delete
+   stream applied to an [Incremental.t] must leave it agreeing with
+   from-scratch enumeration + encode + solve after every mutation — the
+   witness set (as valuations), the RES* value and verdict, a sampled
+   tuple's RSP*, and any returned contingency must falsify the query.
+   The same stream is replayed at float and at exact-rational fields. *)
+
+let sorted_valuations ws = List.sort compare (List.map (fun w -> w.Eval.valuation) ws)
+
+let serve_incremental_step ~step sem q inc =
+  let db = Incremental.db inc in
+  let exact = Incremental.exact inc in
+  all_of
+    [
+      (fun () ->
+        let want = sorted_valuations (Eval.witnesses q db) in
+        let got = sorted_valuations (Incremental.witnesses inc) in
+        if got <> want then
+          failf "step %d: maintained witnesses diverge (%d vs %d)" step (List.length got)
+            (List.length want)
+        else Pass);
+      (fun () ->
+        match (Incremental.resilience inc, Solve.resilience ~exact sem q db) with
+        | Session.Solved a, Solve.Solved b when a.Session.res_value <> b.Solve.res_value ->
+          failf "step %d: incremental RES* %d <> cold %d" step a.Session.res_value
+            b.Solve.res_value
+        | Session.Solved a, Solve.Solved _
+          when not (Solve.verify_contingency sem q db a.Session.contingency) ->
+          failf "step %d: incremental contingency does not falsify the query" step
+        | i, c when kind i <> kind c ->
+          failf "step %d: RES* verdict: incremental %s <> cold %s" step (kind i) (kind c)
+        | _ -> Pass);
+      (fun () ->
+        match
+          List.find_opt (fun info -> not (Problem.tuple_exo q db info.Database.id)) (Database.tuples db)
+        with
+        | None -> Pass
+        | Some info -> (
+          let tid = info.Database.id in
+          match (Incremental.responsibility inc tid, Solve.responsibility ~exact sem q db tid) with
+          | Session.Solved a, Solve.Solved b when a.Session.rsp_value <> b.Solve.rsp_value ->
+            failf "step %d: incremental RSP*(t%d) %d <> cold %d" step tid a.Session.rsp_value
+              b.Solve.rsp_value
+          | i, c when kind i <> kind c ->
+            failf "step %d: RSP*(t%d) verdict: incremental %s <> cold %s" step tid (kind i)
+              (kind c)
+          | _ -> Pass));
+    ]
+
+let serve_incremental_db seed ({ sem; q; db } : Gen.db_case) =
+  let templates =
+    List.sort_uniq compare
+      (List.map (fun info -> (info.Database.rel, Array.length info.Database.args)) (Database.tuples db))
+  in
+  if templates = [] then Pass
+  else begin
+    (* The op stream is precomputed against a scratch copy so the float and
+       exact replays see identical mutations (ids stay in lockstep because
+       [Database.copy] preserves ids and the id counter). *)
+    let rng = Splitmix.of_seed (seed lxor 0x5e7f1e) in
+    let scratch = Database.copy db in
+    let steps = Splitmix.in_range rng 4 6 in
+    (* left-to-right: each op's draws must precede the next op's *)
+    let rec ops_seq acc i =
+      if i = steps then List.rev acc
+      else
+        let op =
+          let live = Database.tuples scratch in
+          if live <> [] && Splitmix.chance rng 2 5 then begin
+            let info = Splitmix.choose rng live in
+            Database.remove scratch info.Database.id;
+            `Del info.Database.id
+          end
+          else begin
+            let rel, arity = Splitmix.choose rng templates in
+            let args = Array.init arity (fun _ -> Splitmix.in_range rng 0 4) in
+            let mult = if sem = Problem.Bag && Splitmix.chance rng 1 4 then 2 else 1 in
+            let exo = Splitmix.chance rng 1 5 in
+            ignore (Database.add ~mult ~exo scratch rel args);
+            `Ins (rel, args, mult, exo)
+          end
+        in
+        ops_seq (op :: acc) (i + 1)
+    in
+    let ops = ops_seq [] 0 in
+    let replay exact =
+      let inc = Incremental.create ~exact sem q db in
+      let rec go step = function
+        | [] -> Pass
+        | op :: rest -> (
+          (match op with
+          | `Ins (rel, args, mult, exo) -> ignore (Incremental.insert ~mult ~exo inc rel args)
+          | `Del id -> Incremental.delete inc id);
+          match serve_incremental_step ~step sem q inc with
+          | Pass -> go (step + 1) rest
+          | Fail m -> Fail (Printf.sprintf "exact=%b %s" exact m))
+      in
+      go 0 ops
+    in
+    all_of [ (fun () -> replay false); (fun () -> replay true) ]
+  end
+
+let serve_incremental case =
+  match case.Gen.shape with
+  | Gen.Db c -> serve_incremental_db case.Gen.seed c
+  | Gen.Lp _ -> Pass
+
 (* ----- the matrix ---------------------------------------------------------- *)
 
 let small_db case =
@@ -471,6 +580,12 @@ let all =
       descr = "float branch-and-bound = exact rational branch-and-bound (small programs)";
       applies = small_lp;
       check = on_lp lp_float_vs_exact;
+    };
+    {
+      name = "serve_incremental";
+      descr = "incremental witness/program maintenance = from-scratch re-enumeration, under insert/delete streams";
+      applies = small_db;
+      check = serve_incremental;
     };
   ]
 

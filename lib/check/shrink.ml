@@ -93,6 +93,26 @@ let with_rows frozen row_ids =
             (fun i -> (Lp.Frozen.row_sense frozen i, Lp.Frozen.row_rhs frozen i, Lp.Frozen.row_expr frozen i))
             row_ids))
 
+(* Rebuild a delta carrying [d]'s appends but only the bindings [bs] —
+   thinning a binding must never silently drop the append chain the
+   failure may depend on. *)
+let with_bindings d bs =
+  let base =
+    List.fold_left
+      (fun acc (name, integer, upper, obj) ->
+        match upper with
+        | Some u -> Lp.Frozen.Delta.append_col ~integer ~upper:u ~name ~obj acc
+        | None -> Lp.Frozen.Delta.append_col ~integer ~name ~obj acc)
+      Lp.Frozen.Delta.empty
+      (Lp.Frozen.Delta.appended_cols d)
+  in
+  let base =
+    List.fold_left
+      (fun acc (sense, rhs, expr) -> Lp.Frozen.Delta.append_row sense rhs expr acc)
+      base (Lp.Frozen.Delta.appended_rows d)
+  in
+  List.fold_left (fun acc (v, k) -> Lp.Frozen.Delta.fix v k acc) base bs
+
 let shrink_lp ~fails (c : Gen.lp_case) =
   let fails_lp c' = fails (Gen.Lp c') in
   (* 1. drop constraint rows *)
@@ -108,8 +128,29 @@ let shrink_lp ~fails (c : Gen.lp_case) =
     reduce_list ~keeps_failing:(fun ds -> fails_lp { c with Gen.deltas = ds }) c.Gen.deltas
   in
   let c = { c with Gen.deltas = deltas } in
-  (* 3. thin each surviving delta's bindings *)
+  (* 3. drop whole append chains where the failure survives without them *)
   let nd = List.length c.Gen.deltas in
+  let rec strip c i =
+    if i >= nd then c
+    else
+      let d = List.nth c.Gen.deltas i in
+      let nbase = Lp.Frozen.num_vars c.Gen.frozen in
+      let c =
+        (* only when no binding touches an appended column: the stripped
+           delta must stay well-formed against the base program *)
+        if
+          (not (Lp.Frozen.Delta.has_appends d))
+          || List.exists (fun (v, _) -> v >= nbase) (Lp.Frozen.Delta.bindings d)
+        then c
+        else
+          let d' = Lp.Frozen.Delta.clear_appends d in
+          try_step ~keeps_failing:fails_lp c
+            { c with Gen.deltas = List.mapi (fun j dj -> if j = i then d' else dj) c.Gen.deltas }
+      in
+      strip c (i + 1)
+  in
+  let c = strip c 0 in
+  (* 4. thin each surviving delta's bindings (appends kept intact) *)
   let rec thin c i =
     if i >= nd then c
     else
@@ -117,11 +158,11 @@ let shrink_lp ~fails (c : Gen.lp_case) =
       let bindings =
         reduce_list
           ~keeps_failing:(fun bs ->
-            let d' = List.fold_left (fun acc (v, k) -> Lp.Frozen.Delta.fix v k acc) Lp.Frozen.Delta.empty bs in
+            let d' = with_bindings d bs in
             fails_lp { c with Gen.deltas = List.mapi (fun j dj -> if j = i then d' else dj) c.Gen.deltas })
           (Lp.Frozen.Delta.bindings d)
       in
-      let d' = List.fold_left (fun acc (v, k) -> Lp.Frozen.Delta.fix v k acc) Lp.Frozen.Delta.empty bindings in
+      let d' = with_bindings d bindings in
       thin { c with Gen.deltas = List.mapi (fun j dj -> if j = i then d' else dj) c.Gen.deltas } (i + 1)
   in
   thin c 0
@@ -132,7 +173,13 @@ let size = function
   | Gen.Db c -> Database.num_tuples c.Gen.db + Database.total_multiplicity c.Gen.db
   | Gen.Lp c ->
     Lp.Frozen.num_rows c.Gen.frozen
-    + List.fold_left (fun acc d -> acc + List.length (Lp.Frozen.Delta.bindings d)) (List.length c.Gen.deltas) c.Gen.deltas
+    + List.fold_left
+        (fun acc d ->
+          acc
+          + List.length (Lp.Frozen.Delta.bindings d)
+          + Lp.Frozen.Delta.num_appended_cols d
+          + Lp.Frozen.Delta.num_appended_rows d)
+        (List.length c.Gen.deltas) c.Gen.deltas
 
 let shrink ?(rounds = 8) (oracle : Oracle.t) (case : Gen.case) =
   match verdict_of oracle case with

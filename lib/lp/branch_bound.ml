@@ -192,6 +192,11 @@ module Make (F : Numeric.Field.S) = struct
     skernel : Basis.choice;  (* inherited by per-domain sessions in _par *)
     slp : Lp.session option;  (* None: dual path inapplicable *)
     sfallback : Model.t Lazy.t;
+    mutable sext : (Frozen.Delta.t * Frozen.t) option;
+        (* Cache of the last append extension: the delta whose appends were
+           materialised and the resulting frozen program.  A serve-style
+           batch replays the same grown delta many times; re-extending per
+           solve would re-copy the matrix every call. *)
   }
 
   let create_session ?(kernel = `Auto) fz =
@@ -201,13 +206,33 @@ module Make (F : Numeric.Field.S) = struct
       slp =
         (if Lp.frozen_dual_applicable fz then Some (Lp.create_session ~kernel fz) else None);
       sfallback = lazy (Frozen.to_model fz);
+      sext = None;
     }
+
+  (* The session's program with the delta's appends materialised (cached by
+     append identity). *)
+  let extended sess delta =
+    if not (Frozen.Delta.has_appends delta) then sess.sfz
+    else
+      match sess.sext with
+      | Some (d, fz) when Frozen.Delta.same_appends d delta -> fz
+      | _ ->
+        let fz = Frozen.extend sess.sfz delta in
+        sess.sext <- Some (delta, fz);
+        fz
 
   let relax ?(delta = Frozen.Delta.empty) sess =
     let outcome =
       match sess.slp with
       | Some s -> Lp.session_solve s delta
-      | None -> Lp.solve ~fixed:(Frozen.Delta.bindings delta) (Lazy.force sess.sfallback)
+      | None ->
+        (* The thawed fallback must carry the appends too; the cached
+           extension keeps repeat solves cheap. *)
+        let m =
+          if Frozen.Delta.has_appends delta then Frozen.to_model (extended sess delta)
+          else Lazy.force sess.sfallback
+        in
+        Lp.solve ~fixed:(Frozen.Delta.bindings delta) m
     in
     match outcome with
     | Lp.Optimal { objective; solution } -> `Optimal (objective, solution)
@@ -344,7 +369,7 @@ module Make (F : Numeric.Field.S) = struct
     match sess.slp with Some s -> (Lp.session_pivots s, Lp.session_refactors s) | None -> (0, 0)
 
   let solve_session ?node_limit ?time_limit ?(delta = Frozen.Delta.empty) sess =
-    let fz = sess.sfz in
+    let fz = extended sess delta in
     let nvars, int_vars, pure_int_obj = fz_meta fz in
     let span0 = Obs.Trace.begin_ () in
     let piv0, ref0 = session_work sess in
@@ -371,10 +396,15 @@ module Make (F : Numeric.Field.S) = struct
         incumbent_sol := Some sol
     in
     let root_objective, root_integral, on_solved = root_recorder int_vars in
+    (* [fz] is already the extended program, so the rounding check gets the
+       delta with its appends stripped — passing them again would apply
+       them twice. *)
     let hit_limit, unbounded =
       dfs
         ~relax:(fun d -> relax ~delta:d sess)
-        ~fz ~base_delta:delta ~nvars ~int_vars ~pure_int_obj
+        ~fz
+        ~base_delta:(Frozen.Delta.clear_appends delta)
+        ~nvars ~int_vars ~pure_int_obj
         ~best:(fun () -> !incumbent_obj)
         ~offer ~tick ~timed_out ~on_solved
         [ (delta, 0) ]
@@ -404,7 +434,8 @@ module Make (F : Numeric.Field.S) = struct
     if Pool.jobs pool <= 1 || par_depth <= 0 then
       solve_session ?node_limit ?time_limit ~delta sess
     else begin
-      let fz = sess.sfz in
+      let fz = extended sess delta in
+      let base_delta = Frozen.Delta.clear_appends delta in
       let nvars, int_vars, pure_int_obj = fz_meta fz in
       let span0 = Obs.Trace.begin_ () in
       let piv0, ref0 = session_work sess in
@@ -450,7 +481,7 @@ module Make (F : Numeric.Field.S) = struct
       let hit1, unb1 =
         dfs
           ~relax:(fun d -> relax ~delta:d sess)
-          ~fz ~base_delta:delta ~nvars ~int_vars ~pure_int_obj ~best ~offer ~tick ~timed_out
+          ~fz ~base_delta ~nvars ~int_vars ~pure_int_obj ~best ~offer ~tick ~timed_out
           ~on_solved ~frontier_depth:par_depth
           ~defer:(fun d -> frontier := d :: !frontier)
           [ (delta, 0) ]
@@ -466,7 +497,11 @@ module Make (F : Numeric.Field.S) = struct
         let subtree_tick () = if Atomic.get unbounded then false else tick () in
         ignore
           (Pool.run_init pool
-             ~init:(fun () -> create_session ~kernel:sess.skernel fz)
+             (* Domains open their session on the BASE program: frontier
+                deltas carry the appends, and each domain's LP session
+                absorbs them exactly once on its first solve.  Opening on
+                the extended program would extend again. *)
+             ~init:(fun () -> create_session ~kernel:sess.skernel sess.sfz)
              ~tasks:(Array.length frontier)
              (fun dom_sess i ->
                if not (Atomic.get hit_limit || Atomic.get unbounded) then begin
@@ -474,7 +509,7 @@ module Make (F : Numeric.Field.S) = struct
                  let hit, unb =
                    dfs
                      ~relax:(fun d -> relax ~delta:d dom_sess)
-                     ~fz ~base_delta:delta ~nvars ~int_vars ~pure_int_obj ~best ~offer
+                     ~fz ~base_delta ~nvars ~int_vars ~pure_int_obj ~best ~offer
                      ~tick:subtree_tick ~timed_out
                      ~on_solved:(fun _ _ -> ())
                      [ (frontier.(i), par_depth) ]

@@ -61,7 +61,11 @@ module Make (F : Numeric.Field.S) : sig
   val solve_session :
     ?node_limit:int -> ?time_limit:float -> ?delta:Frozen.Delta.t -> session -> result
   (** Branch-and-bound under the delta (the "base" fixes every node of this
-      tree respects).  Same contract as {!solve}. *)
+      tree respects).  Same contract as {!solve}.  A delta carrying
+      row/column appends solves the extended program — the warm LP session
+      absorbs the appends (see {!Simplex.session_solve}) and [solution] is
+      indexed by extended variable; appended integer columns must be
+      binary-compatible (upper bound 1 or none). *)
 
   val solve_session_par :
     ?node_limit:int ->

@@ -5,20 +5,73 @@ module Delta = struct
      made building such a delta quadratic and every [find] linear). *)
   module M = Map.Make (Int)
 
-  type t = int M.t
+  (* name, integer, upper (None = unbounded), objective *)
+  type col_spec = string * bool * int option * int
+  type row_spec = Model.sense * int * (Model.var * int) list
 
-  let empty = M.empty
-  let release = M.remove
+  (* Appends are kept as reversed cons-lists so that extending a delta is
+     O(1) and monotone chains of deltas share tails physically — which is
+     what lets [extends] and [same_appends] short-circuit on [==] in the
+     common warm-session case. *)
+  type t = {
+    fixes : int M.t;
+    rcols : col_spec list;  (* reversed *)
+    ncols : int;
+    rrows : row_spec list;  (* reversed *)
+    nrows : int;
+  }
+
+  let empty = { fixes = M.empty; rcols = []; ncols = 0; rrows = []; nrows = 0 }
+  let release v d = { d with fixes = M.remove v d.fixes }
 
   let fix v k d =
     if k < 0 then invalid_arg "Frozen.Delta.fix: negative value";
-    M.add v k d
+    { d with fixes = M.add v k d.fixes }
 
   let fix_zero v d = fix v 0 d
   let force_one v d = fix v 1 d
-  let is_empty = M.is_empty
-  let find d v = M.find_opt v d
-  let bindings = M.bindings
+  let is_empty d = M.is_empty d.fixes && d.ncols = 0 && d.nrows = 0
+  let find d v = M.find_opt v d.fixes
+  let bindings d = M.bindings d.fixes
+
+  let append_col ?(integer = false) ?upper ~name ~obj d =
+    (match upper with
+    | Some u when u < 0 -> invalid_arg "Frozen.Delta.append_col: negative upper bound"
+    | _ -> ());
+    { d with rcols = (name, integer, upper, obj) :: d.rcols; ncols = d.ncols + 1 }
+
+  let append_row sense rhs expr d =
+    let prev = ref (-1) in
+    List.iter
+      (fun (v, c) ->
+        if v < 0 then invalid_arg "Frozen.Delta.append_row: negative variable";
+        if v <= !prev then invalid_arg "Frozen.Delta.append_row: row not in normal form";
+        if c = 0 then invalid_arg "Frozen.Delta.append_row: zero coefficient";
+        prev := v)
+      expr;
+    { d with rrows = (sense, rhs, expr) :: d.rrows; nrows = d.nrows + 1 }
+
+  let num_appended_cols d = d.ncols
+  let num_appended_rows d = d.nrows
+  let has_appends d = d.ncols > 0 || d.nrows > 0
+  let appended_cols d = List.rev d.rcols
+  let appended_rows d = List.rev d.rrows
+  let clear_appends d = { d with rcols = []; ncols = 0; rrows = []; nrows = 0 }
+
+  let same_appends d1 d2 =
+    d1.ncols = d2.ncols && d1.nrows = d2.nrows
+    && (d1.rcols == d2.rcols || d1.rcols = d2.rcols)
+    && (d1.rrows == d2.rrows || d1.rrows = d2.rrows)
+
+  let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+
+  let extends ~prefix d =
+    d.ncols >= prefix.ncols && d.nrows >= prefix.nrows
+    && (let tc = drop (d.ncols - prefix.ncols) d.rcols in
+        tc == prefix.rcols || tc = prefix.rcols)
+    &&
+    let tr = drop (d.nrows - prefix.nrows) d.rrows in
+    tr == prefix.rrows || tr = prefix.rrows
 end
 
 type t = {
@@ -188,7 +241,25 @@ let to_model t =
   done;
   m
 
+let extend t (d : Delta.t) =
+  if not (Delta.has_appends d) then t
+  else begin
+    let acols = Array.of_list (Delta.appended_cols d) in
+    let names = Array.append t.names (Array.map (fun (n, _, _, _) -> n) acols) in
+    let integer = Array.append t.integer (Array.map (fun (_, i, _, _) -> i) acols) in
+    let upper =
+      Array.append
+        (Array.map (fun u -> if u < 0 then None else Some u) t.upper)
+        (Array.map (fun (_, _, u, _) -> u) acols)
+    in
+    let obj = Array.append t.obj (Array.map (fun (_, _, _, o) -> o) acols) in
+    let base_rows = Array.init t.nrows (fun i -> (t.sense.(i), t.rhs.(i), row_expr t i)) in
+    let rows = Array.append base_rows (Array.of_list (Delta.appended_rows d)) in
+    make ~names ~integer ~upper ~obj ~rows
+  end
+
 let check_feasible ?(eps = 1e-6) ?(delta = Delta.empty) t x =
+  let t = if Delta.has_appends delta then extend t delta else t in
   let ok = ref true in
   for i = 0 to t.nrows - 1 do
     let lhs = ref 0.0 in

@@ -18,11 +18,20 @@ type t
 
 module Delta : sig
   type t
-  (** A set of variable-bound overrides on top of a frozen program: each
-      entry fixes one variable to a constant (lower = upper = value).
-      Deltas are persistent and cheap — branch-and-bound extends its node's
-      delta per branch, and a responsibility batch replays many deltas
-      against one frozen program. *)
+  (** An overlay on top of a frozen program, in two parts:
+
+      - {e bound overrides}: each entry fixes one variable to a constant
+        (lower = upper = value).  Persistent and cheap — branch-and-bound
+        extends its node's delta per branch, and a responsibility batch
+        replays many deltas against one frozen program.
+      - {e appends}: extra columns and extra rows on top of the base
+        program, in order.  The incremental resilience service grows its
+        covering program this way when tuple inserts create new witnesses;
+        warm simplex sessions absorb appends without discarding the basis
+        (see {!Simplex.session_solve}).  Appended rows may reference both
+        base and appended variables (appended variable [k] has index
+        [num_vars base + k]); base rows are never altered, which is what
+        keeps the dual warm-start sound. *)
 
   val empty : t
 
@@ -37,11 +46,53 @@ module Delta : sig
   (** Removes any override on the variable, restoring its base bounds. *)
 
   val is_empty : t -> bool
+  (** No overrides and no appends. *)
 
   val find : t -> Model.var -> int option
 
   val bindings : t -> (Model.var * int) list
-  (** One entry per overridden variable, in ascending variable order. *)
+  (** One entry per overridden variable, in ascending variable order
+      (appends are not included; see {!appended_cols}/{!appended_rows}). *)
+
+  (** {2 Appends} *)
+
+  val append_col : ?integer:bool -> ?upper:int -> name:string -> obj:int -> t -> t
+  (** Appends one variable after all existing ones (base and previously
+      appended).  [integer] defaults to [false]; omitting [upper] leaves
+      the variable unbounded above.  @raise Invalid_argument if [upper] is
+      negative. *)
+
+  val append_row : Model.sense -> int -> (Model.var * int) list -> t -> t
+  (** Appends one row.  The expression must be in normal form (ascending
+      variables, non-zero coefficients) and may reference appended
+      variables by their extended index.  @raise Invalid_argument
+      otherwise. *)
+
+  val num_appended_cols : t -> int
+  val num_appended_rows : t -> int
+
+  val has_appends : t -> bool
+
+  val appended_cols : t -> (string * bool * int option * int) list
+  (** [(name, integer, upper, obj)] per appended column, in append order. *)
+
+  val appended_rows : t -> (Model.sense * int * (Model.var * int) list) list
+  (** Appended rows in append order. *)
+
+  val clear_appends : t -> t
+  (** The same bound overrides with no appends — what a caller passes
+      alongside a frozen program it has already {!extend}ed, to avoid
+      applying the appends twice. *)
+
+  val same_appends : t -> t -> bool
+  (** Do the two deltas carry exactly the same appends (bound overrides
+      ignored)?  Constant time when the deltas share structure. *)
+
+  val extends : prefix:t -> t -> bool
+  (** Is [prefix]'s append sequence a prefix of the delta's?  (True in
+      particular when {!same_appends}.)  Warm sessions use this to absorb
+      only the new suffix.  Constant time when the chains share structure,
+      which monotone growth through {!append_col}/{!append_row} ensures. *)
 end
 
 val of_model : Model.t -> t
@@ -65,6 +116,13 @@ val make :
     Every row's [expr] must be sorted by variable with non-zero
     coefficients and no duplicates. @raise Invalid_argument otherwise, or
     if the per-variable arrays disagree in length. *)
+
+val extend : t -> Delta.t -> t
+(** The base program with the delta's appended columns and rows
+    materialised (bound overrides are {e not} applied — pass them to the
+    solver as usual).  Returns the program unchanged when the delta has no
+    appends.  The result is a fresh frozen program sharing no arrays with
+    the base; appended variables keep their extended indices. *)
 
 (** {1 Shape} *)
 
@@ -103,4 +161,7 @@ val iter_col : t -> Model.var -> (int -> int -> unit) -> unit
 
 val check_feasible : ?eps:float -> ?delta:Delta.t -> t -> float array -> bool
 (** Do all rows, base bounds and delta overrides hold at the point (within
-    [eps], default [1e-6])?  Integrality flags are not checked. *)
+    [eps], default [1e-6])?  Integrality flags are not checked.  When the
+    delta carries appends, [t] must be the {e un-extended} base program —
+    the appends are materialised internally via {!extend} and [x] must be
+    indexed by extended variable. *)

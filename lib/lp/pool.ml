@@ -34,6 +34,10 @@ type t = {
   mutable workers : unit Domain.t list;
   mutable active : bool;
   njobs : int;
+  shutdown_req : bool Atomic.t;
+      (* Set by [request_shutdown] — the only pool operation safe from a
+         signal handler, where taking [mutex] could self-deadlock.  The
+         owner polls it from normal context and calls [shutdown]. *)
 }
 
 let default_jobs () = Domain.recommended_domain_count ()
@@ -74,6 +78,7 @@ let create ?(jobs = 0) () =
       workers = [];
       active = true;
       njobs;
+      shutdown_req = Atomic.make false;
     }
   in
   pool.workers <- List.init (njobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
@@ -193,10 +198,17 @@ let run_init ?chunk pool ~init ~tasks f =
 
 let run ?chunk pool ~tasks f = run_init ?chunk pool ~init:(fun () -> ()) ~tasks (fun () i -> f i)
 
+let request_shutdown pool = Atomic.set pool.shutdown_req true
+let shutdown_requested pool = Atomic.get pool.shutdown_req
+
 let shutdown pool =
+  Atomic.set pool.shutdown_req true;
   Mutex.lock pool.mutex;
   pool.stop <- true;
   pool.active <- false;
+  (* Taking the worker list under the mutex makes repeated and concurrent
+     shutdowns safe: exactly one caller joins each worker, later calls see
+     an empty list and return after the (idempotent) flag writes. *)
   let workers = pool.workers in
   pool.workers <- [];
   Condition.broadcast pool.wake;

@@ -52,7 +52,20 @@ val run_init : ?chunk:int -> t -> init:(unit -> 's) -> tasks:int -> ('s -> int -
 
 val shutdown : t -> unit
 (** Graceful shutdown: workers finish the batch in flight (if any), then
-    exit and are joined.  Idempotent; after shutdown, {!run} raises. *)
+    exit and are joined.  Idempotent — repeated and concurrent calls are
+    safe, and exactly one caller joins each worker.  After shutdown,
+    {!run} raises.  Not async-signal-safe (it takes the pool mutex); from
+    a signal handler use {!request_shutdown} instead. *)
+
+val request_shutdown : t -> unit
+(** Records a shutdown request without taking any lock — the only pool
+    operation safe to call from a signal handler (where {!shutdown}'s
+    mutex acquisition could self-deadlock against the interrupted
+    thread).  The pool keeps running; the owner is expected to poll
+    {!shutdown_requested} from normal context and call {!shutdown}. *)
+
+val shutdown_requested : t -> bool
+(** Has {!request_shutdown} (or {!shutdown}) been called? *)
 
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] over a fresh pool and shuts it down on the

@@ -656,9 +656,13 @@ module Make (F : Numeric.Field.S) = struct
 
      Requirement: every objective coefficient must be non-negative (true of
      all programs this code base generates), so that the all-slack basis is
-     a universally available dual-feasible reset point. *)
+     a universally available dual-feasible reset point.
 
-  type session = {
+     [sstate] is the compiled state for ONE matrix shape; the public
+     [session] wraps it and swaps in a re-compiled state when a delta
+     carries row/column appends (see [session_absorb] below). *)
+
+  type sstate = {
     snrows : int;
     sncols : int;  (* structural + one slack per row *)
     snstruct : int;
@@ -734,7 +738,7 @@ module Make (F : Numeric.Field.S) = struct
     done;
     k_refactor s.skern s.sbasis
 
-  let create_session ?(kernel = `Auto) fz =
+  let create_state ?(kernel = `Auto) fz =
     if not (frozen_dual_applicable fz) then
       invalid_arg "Simplex.create_session: negative objective coefficient";
     let nstruct = Frozen.num_vars fz in
@@ -1160,13 +1164,7 @@ module Make (F : Numeric.Field.S) = struct
     done;
     Optimal { objective = !objective; solution = x }
 
-  (* Lifetime work totals, for per-solve deltas in branch-and-bound and the
-     enriched public stats records. *)
-  let session_pivots s = s.stotal_pivots
-  let session_refactors s = s.srefactors
-  let session_kernel s = kernel_name s.skern
-
-  let session_solve s delta =
+  let state_solve s delta =
     (* Install the delta over the base bounds. *)
     Array.blit s.base_lb 0 s.lb 0 (max 1 s.sncols);
     Array.blit s.base_ub 0 s.ub 0 (max 1 s.sncols);
@@ -1265,6 +1263,79 @@ module Make (F : Numeric.Field.S) = struct
         | `Infeasible -> Infeasible
         | `Optimal -> session_extract s)
     end
+
+  (* ----- Public sessions: append absorption over the compiled state ----
+     A [session] remembers the base frozen program and which appends its
+     current [sstate] was compiled for.  Solving under a delta whose
+     appends differ re-compiles the state against [Frozen.extend base
+     delta]; when the new appends extend the absorbed ones the previous
+     optimal basis is re-seeded (old structurals keep their index, old
+     slack [i] becomes column [nstruct' + i], new rows enter slack-basic).
+     That seed is always dual feasible: appended rows have zero duals
+     (their slacks are basic with zero cost), so every old reduced cost is
+     unchanged, and appended columns — which by construction of frozen
+     rows cannot appear in base rows — price out at their own non-negative
+     objective.  Base rows are immutable, which is the invariant making
+     this sound. *)
+
+  type session = {
+    ses_base : Frozen.t;
+    ses_choice : Basis.choice;
+    mutable ses_st : sstate;
+    mutable ses_abs : Frozen.Delta.t;  (* appends the state was compiled for *)
+  }
+
+  let create_session ?(kernel = `Auto) fz =
+    {
+      ses_base = fz;
+      ses_choice = kernel;
+      ses_st = create_state ~kernel fz;
+      ses_abs = Frozen.Delta.empty;
+    }
+
+  (* Lifetime work totals, for per-solve deltas in branch-and-bound and the
+     enriched public stats records.  Totals survive append absorption (the
+     re-compiled state inherits them), so before/after deltas stay
+     monotone. *)
+  let session_pivots s = s.ses_st.stotal_pivots
+  let session_refactors s = s.ses_st.srefactors
+  let session_kernel s = kernel_name s.ses_st.skern
+
+  let session_absorb sess delta =
+    let fz' = Frozen.extend sess.ses_base delta in
+    if not (frozen_dual_applicable fz') then
+      invalid_arg "Simplex.session_solve: appended column with negative objective";
+    let old = sess.ses_st in
+    let st = create_state ~kernel:sess.ses_choice fz' in
+    st.stotal_pivots <- old.stotal_pivots;
+    st.srefactors <- old.srefactors;
+    if old.snrows > 0 && Frozen.Delta.extends ~prefix:sess.ses_abs delta then begin
+      (* Warm seed from the previous basis (see the block comment above).
+         With no old rows the all-slack start of [create_state] already is
+         the seed. *)
+      for i = 0 to old.snrows - 1 do
+        let jb = old.sbasis.(i) in
+        st.sbasis.(i) <- (if jb < old.snstruct then jb else st.snstruct + (jb - old.snstruct))
+      done;
+      for i = old.snrows to st.snrows - 1 do
+        st.sbasis.(i) <- st.snstruct + i
+      done;
+      Array.fill st.s_in_basis 0 st.sncols false;
+      for i = 0 to st.snrows - 1 do
+        st.s_in_basis.(st.sbasis.(i)) <- true
+      done;
+      (* Nonbasic bound statuses are re-derived from the refreshed reduced
+         costs at the next solve entry, so none are copied here. *)
+      match k_refactor st.skern st.sbasis with
+      | () -> st.sdarr_stale <- true
+      | exception Basis.Singular -> session_reset st
+    end;
+    sess.ses_st <- st;
+    sess.ses_abs <- delta
+
+  let session_solve sess delta =
+    if not (Frozen.Delta.same_appends delta sess.ses_abs) then session_absorb sess delta;
+    state_solve sess.ses_st delta
 
   let solve ?(fixed = []) ?(method_ = `Auto) ?(kernel = `Auto) m =
     match standardize m fixed with
@@ -1369,8 +1440,10 @@ module Make (F : Numeric.Field.S) = struct
       end
 
   let solve_frozen ?(delta = Frozen.Delta.empty) ?kernel fz =
-    if frozen_dual_applicable fz then session_solve (create_session ?kernel fz) delta
+    let fz_full = Frozen.extend fz delta in
+    if frozen_dual_applicable fz_full then session_solve (create_session ?kernel fz) delta
     else
-      (* Negative costs: thaw and take the general primal path. *)
-      solve ~fixed:(Frozen.Delta.bindings delta) ?kernel (Frozen.to_model fz)
+      (* Negative costs: thaw (appends included) and take the general
+         primal path with the delta's fixes as substitutions. *)
+      solve ~fixed:(Frozen.Delta.bindings delta) ?kernel (Frozen.to_model fz_full)
 end

@@ -86,7 +86,20 @@ module Make (F : Numeric.Field.S) : sig
   (** Solve the frozen program under the delta, warm-starting from
       whatever basis the previous call left behind.  [solution] is indexed
       by frozen variable; never returns [Unbounded] (costs are
-      non-negative and variables are bounded below). *)
+      non-negative and variables are bounded below).
+
+      When the delta carries row/column appends ({!Frozen.Delta.append_row},
+      {!Frozen.Delta.append_col}), the session absorbs them: the state is
+      re-compiled against [Frozen.extend base delta], and if the new
+      appends extend the previously absorbed ones the old optimal basis is
+      re-seeded with the new rows slack-basic — a dual-feasible warm start,
+      because base rows are immutable so appending never changes an
+      existing reduced cost.  [solution] is then indexed by extended
+      variable.  Deltas should grow appends monotonically (each derived
+      from the last via [append_*]); a delta whose appends are not an
+      extension of the absorbed ones triggers a cold re-compile.
+      @raise Invalid_argument if an appended column has a negative
+      objective coefficient. *)
 
   val solve_frozen : ?delta:Frozen.Delta.t -> ?kernel:Basis.choice -> Frozen.t -> outcome
   (** One-shot convenience: a fresh session when applicable, otherwise the

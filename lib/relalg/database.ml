@@ -110,6 +110,29 @@ let restrict t pred =
   List.iter (fun info -> if not (pred info) then remove fresh info.id) (tuples t);
   fresh
 
+(* FNV-1a over the live contents in insertion order.  Ids are mixed in
+   deliberately: a session cache keyed by fingerprint must not treat two
+   databases as interchangeable when their tuple ids differ, since answers
+   (contingency sets, responsibility targets) are phrased in ids. *)
+let fingerprint t =
+  let h = ref 0xcbf29ce484222325L in
+  let mix v = h := Int64.mul (Int64.logxor !h v) 0x100000001b3L in
+  let mix_int v = mix (Int64.of_int v) in
+  let mix_str s =
+    String.iter (fun c -> mix_int (Char.code c)) s;
+    mix_int (-1)
+  in
+  List.iter
+    (fun info ->
+      mix_int info.id;
+      mix_str info.rel;
+      Array.iter mix_int info.args;
+      mix_int info.mult;
+      mix_int (if info.exo then 1 else 0);
+      mix_int (-2))
+    (tuples t);
+  !h
+
 let max_const t =
   List.fold_left (fun acc info -> Array.fold_left max acc info.args) 0 (tuples t)
 

@@ -65,6 +65,14 @@ val copy : t -> t
 val restrict : t -> (tuple_info -> bool) -> t
 (** Copy containing only tuples satisfying the predicate (ids preserved). *)
 
+val fingerprint : t -> int64
+(** A 64-bit digest of the live contents (relations, args, multiplicities,
+    exogeneity flags and tuple ids, in insertion order).  Two databases
+    with equal fingerprints answer every resilience question identically —
+    ids included, so the serve session cache can key on (query,
+    fingerprint) and phrase answers in tuple ids.  Mutating the database
+    changes the fingerprint (modulo the usual 64-bit collision caveat). *)
+
 val max_const : t -> int
 (** Largest integer constant in use (0 for an empty database). *)
 

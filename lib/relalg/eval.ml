@@ -146,6 +146,86 @@ let witnesses q db =
 
 let holds q db = enumerate q db ~stop_after_first:true <> []
 
+(* Witnesses created by inserting tuple [id], without re-running the full
+   join: union over "pivot" atoms — for every atom unifiable with the new
+   tuple, pin that atom to it and backtrack the remaining atoms against the
+   full (post-insert) database.  A self-join witness using the tuple at
+   several atoms is found once per usable pivot; the valuation dedup
+   collapses those (a valuation determines the tuple array, since tuple
+   identity is (rel, args) and every atom's args are fixed by the
+   valuation). *)
+let delta_insert q db id =
+  match Database.tuple db id with
+  | exception Not_found -> []
+  | info ->
+    let span0 = Obs.Trace.begin_ () in
+    let qvars = Cq.vars q in
+    let natoms = Array.length q.Cq.atoms in
+    let seen = Hashtbl.create 16 in
+    let out = ref [] in
+    (* Bind one atom's terms against a tuple; returns [None] on a clash,
+       otherwise the variables newly bound (to undo on backtrack). *)
+    let bind (a : Cq.atom) (cand : Database.tuple_info) valuation =
+      let newly = ref [] in
+      let ok = ref true in
+      Array.iteri
+        (fun pos term ->
+          if !ok then
+            match term with
+            | Cq.Const c -> if cand.Database.args.(pos) <> c then ok := false
+            | Cq.Var v -> (
+              match Hashtbl.find_opt valuation v with
+              | Some value -> if cand.Database.args.(pos) <> value then ok := false
+              | None ->
+                Hashtbl.add valuation v cand.Database.args.(pos);
+                newly := v :: !newly))
+        a.Cq.terms;
+      if !ok then Some !newly
+      else begin
+        List.iter (Hashtbl.remove valuation) !newly;
+        None
+      end
+    in
+    for pivot = 0 to natoms - 1 do
+      let a0 = q.Cq.atoms.(pivot) in
+      if
+        a0.Cq.rel = info.Database.rel
+        && Array.length a0.Cq.terms = Array.length info.Database.args
+      then begin
+        let valuation = Hashtbl.create 16 in
+        let chosen = Array.make natoms (-1) in
+        match bind a0 info valuation with
+        | None -> ()
+        | Some _ ->
+          chosen.(pivot) <- id;
+          let rec go i =
+            if i = natoms then begin
+              let v = List.map (fun x -> (x, Hashtbl.find valuation x)) qvars in
+              if not (Hashtbl.mem seen v) then begin
+                Hashtbl.add seen v ();
+                out := { valuation = v; tuples = Array.copy chosen } :: !out
+              end
+            end
+            else if i = pivot then go (i + 1)
+            else begin
+              let a = q.Cq.atoms.(i) in
+              List.iter
+                (fun (cand : Database.tuple_info) ->
+                  match bind a cand valuation with
+                  | None -> ()
+                  | Some newly ->
+                    chosen.(i) <- cand.Database.id;
+                    go (i + 1);
+                    List.iter (Hashtbl.remove valuation) newly)
+                (Database.tuples_of db a.Cq.rel)
+            end
+          in
+          go 0
+      end
+    done;
+    Obs.Trace.end_ span0 "eval.delta_insert";
+    List.rev !out
+
 let tuple_set w = Array.to_list w.tuples |> List.sort_uniq compare
 
 let unique_tuple_sets ws =

@@ -20,6 +20,16 @@ val witnesses : Cq.t -> Database.t -> witness list
 val holds : Cq.t -> Database.t -> bool
 (** [true] iff the query has at least one witness (early exit). *)
 
+val delta_insert : Cq.t -> Database.t -> Database.tuple_id -> witness list
+(** [delta_insert q db id] — the witnesses that use tuple [id], computed by
+    pinning each unifiable atom to the tuple and joining only the remaining
+    atoms (never re-enumerating witnesses that avoid the tuple).  When [id]
+    was just inserted into [db] {e as a new tuple}, this is exactly the set
+    of witnesses the insert created, which is what the incremental
+    resilience service maintains.  Deduplicated by valuation; deterministic
+    order, but not the order of {!witnesses}.  Returns [[]] if the tuple is
+    not live. *)
+
 val tuple_set : witness -> Database.tuple_id list
 (** The witness's distinct tuple ids, sorted. *)
 

@@ -137,10 +137,14 @@ type t = {
 let default_dense_rows_threshold = 10_000
 
 let create ?(exact = false) ?(presolve = true) ?(relaxation = Encode.Ilp) ?(basis = `Auto)
-    ?(dense_rows_threshold = default_dense_rows_threshold) semantics q db =
+    ?(dense_rows_threshold = default_dense_rows_threshold) ?witnesses semantics q db =
   let acc = fresh_acc () in
   let tw0 = Lp.Clock.now () in
-  let witnesses = Obs.Trace.with_span "session.witnesses" (fun () -> Eval.witnesses q db) in
+  let witnesses =
+    match witnesses with
+    | Some ws -> ws  (* caller-maintained (incremental service); skip the join *)
+    | None -> Obs.Trace.with_span "session.witnesses" (fun () -> Eval.witnesses q db)
+  in
   acc.a_witnesses <- Lp.Clock.elapsed tw0;
   let te0 = Lp.Clock.now () in
   let state, strategy =

@@ -103,11 +103,16 @@ val create :
   ?relaxation:Encode.relaxation ->
   ?basis:Lp.Basis.choice ->
   ?dense_rows_threshold:int ->
+  ?witnesses:Eval.witness list ->
   Problem.semantics ->
   Cq.t ->
   Database.t ->
   t
-(** Enumerate witnesses, encode and freeze the shared program, pick the
+(** [witnesses], when given, must be exactly [Eval.witnesses q db] (any
+    order): the enumeration join is skipped and the caller's list is
+    encoded directly — how the incremental service reuses witnesses it
+    maintained under inserts/deletes instead of re-joining per question.
+    Enumerate witnesses, encode and freeze the shared program, pick the
     batching {!strategy} by its row count, and open the solver session
     (presolve and engine are built lazily, on the first shared-program
     solve).  [relaxation] (default {!Encode.Ilp}) fixes the integrality

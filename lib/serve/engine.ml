@@ -1,0 +1,335 @@
+open Relalg
+open Resilience
+
+(* The serve state machine: one mutable database plus a small cache of
+   maintained {!Resilience.Incremental} instances, driven line-by-line by
+   {!handle_line}.  The engine is transport-agnostic and never raises, so
+   the whole protocol is testable in-process over a string loopback —
+   [bin/resil] only adds the socket/stdio plumbing. *)
+
+type entry = {
+  ekey : string * bool * bool;  (* canonical query text, bag, exact *)
+  mutable efp : int64;  (* base-db fingerprint the instance is in sync with *)
+  einc : Incremental.t;
+  mutable elast : int;  (* LRU clock *)
+}
+
+type t = {
+  mutable db : Database.t;
+  mutable entries : entry list;
+  max_sessions : int;
+  max_line : int;
+  stop : bool Atomic.t;
+      (* The only field a signal handler may touch: admission control reads
+         it, [request_stop] sets it, nothing here takes a lock. *)
+  mutable tick : int;
+  mutable served : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+let create ?(max_sessions = 8) ?(max_line = 1 lsl 20) () =
+  {
+    db = Database.create ();
+    entries = [];
+    max_sessions = max 1 max_sessions;
+    max_line;
+    stop = Atomic.make false;
+    tick = 0;
+    served = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidations = 0;
+  }
+
+let request_stop t = Atomic.set t.stop true
+let stopping t = Atomic.get t.stop
+let max_line t = t.max_line
+
+(* --- session cache -------------------------------------------------------- *)
+
+let drop_entry t e =
+  t.entries <- List.filter (fun e' -> e' != e) t.entries
+
+let session t ~key q =
+  let fp = Database.fingerprint t.db in
+  t.tick <- t.tick + 1;
+  match List.find_opt (fun e -> e.ekey = key) t.entries with
+  | Some e when e.efp = fp ->
+    t.hits <- t.hits + 1;
+    e.elast <- t.tick;
+    e.einc
+  | found ->
+    (match found with
+    | Some stale ->
+      (* The base moved under the cached instance (e.g. a [load]): the
+         maintained witnesses no longer describe this database. *)
+      drop_entry t stale;
+      t.invalidations <- t.invalidations + 1
+    | None -> ());
+    t.misses <- t.misses + 1;
+    if List.length t.entries >= t.max_sessions then begin
+      let lru =
+        List.fold_left
+          (fun acc e -> match acc with Some a when a.elast <= e.elast -> acc | _ -> Some e)
+          None t.entries
+      in
+      match lru with
+      | Some victim ->
+        drop_entry t victim;
+        t.evictions <- t.evictions + 1
+      | None -> ()
+    end;
+    let _, _, exact = key in
+    let _, bag, _ = key in
+    let sem = if bag then Problem.Bag else Problem.Set in
+    let inc = Incremental.create ~exact sem q t.db in
+    t.entries <- { ekey = key; efp = fp; einc = inc; elast = t.tick } :: t.entries;
+    inc
+
+(* --- mutations ------------------------------------------------------------ *)
+
+(* Parse one tuple line into a scratch database sharing the symbol table, so
+   constants intern identically but the base is untouched by parsing. *)
+let parse_tuple t line =
+  let scratch = Database.create ~symbols:(Database.symbols t.db) () in
+  match Database_io.parse_line scratch line with
+  | Some tid -> Ok (Database.tuple scratch tid)
+  | None -> Error "blank tuple line"
+  | exception Invalid_argument msg -> Error msg
+
+(* After a mutation every cached instance must mirror the base exactly —
+   same tuples, same ids.  Ids stay in lockstep because [Database.copy]
+   preserves the id counter and every mutation goes through here; the
+   fingerprint re-check is the safety net that turns any drift into a cache
+   miss instead of a wrong answer. *)
+let resync t =
+  let fp = Database.fingerprint t.db in
+  t.entries <-
+    List.filter
+      (fun e ->
+        if Database.fingerprint (Incremental.db e.einc) = fp then begin
+          e.efp <- fp;
+          true
+        end
+        else begin
+          t.invalidations <- t.invalidations + 1;
+          false
+        end)
+      t.entries
+
+let do_load t data =
+  match Database_io.parse_string data with
+  | exception Invalid_argument msg -> Error msg
+  | db ->
+    t.db <- db;
+    t.invalidations <- t.invalidations + List.length t.entries;
+    t.entries <- [];
+    Ok (Json.Obj [ ("tuples", Json.Int (Database.num_tuples db)) ])
+
+let do_insert t line =
+  match parse_tuple t line with
+  | Error msg -> Error msg
+  | Ok info -> (
+    match Database.add ~mult:info.Database.mult ~exo:info.Database.exo t.db info.Database.rel
+            info.Database.args
+    with
+    | exception Invalid_argument msg -> Error msg
+    | id ->
+      List.iter
+        (fun e ->
+          ignore
+            (Incremental.insert ~mult:info.Database.mult ~exo:info.Database.exo e.einc
+               info.Database.rel info.Database.args))
+        t.entries;
+      resync t;
+      Ok (Json.Obj [ ("tuple_id", Json.Int id) ]))
+
+let do_delete t line =
+  match parse_tuple t line with
+  | Error msg -> Error msg
+  | Ok info -> (
+    match Database.find t.db info.Database.rel info.Database.args with
+    | None -> Error "tuple not found"
+    | Some id ->
+      Database.remove t.db id;
+      List.iter (fun e -> Incremental.delete e.einc id) t.entries;
+      resync t;
+      Ok (Json.Obj [ ("tuple_id", Json.Int id) ]))
+
+(* --- questions ------------------------------------------------------------ *)
+
+let stats_json (s : Session.stats) =
+  Json.Obj
+    [
+      ("nodes", Json.Int s.Session.nodes);
+      ("root_lp", Json.Float s.Session.root_lp);
+      ("root_integral", Json.Bool s.Session.root_integral);
+      ("certified", Json.Bool s.Session.certified);
+      ("pivots", Json.Int s.Session.pivots);
+      ("refactors", Json.Int s.Session.refactors);
+      ("solve_ms", Json.Float (1000. *. s.Session.solve_time));
+    ]
+
+let tuples_json t tids =
+  Json.List (List.map (fun tid -> Json.Str (Database_io.print_tuple t.db tid)) tids)
+
+type reply = Result of Json.t | Err of Protocol.error_code * string * Json.t option
+
+let timeout_err incumbent =
+  Err
+    ( Protocol.Timeout,
+      "deadline expired",
+      Some
+        (Json.Obj
+           [
+             ( "incumbent",
+               match incumbent with Some v -> Json.Int v | None -> Json.Null );
+           ]) )
+
+let res_reply t = function
+  | Session.Solved a ->
+    Result
+      (Json.Obj
+         [
+           ("status", Json.Str "solved");
+           ("value", Json.Int a.Session.res_value);
+           ("contingency", tuples_json t a.Session.contingency);
+           ("stats", stats_json a.Session.res_stats);
+         ])
+  | Session.Query_false ->
+    Result (Json.Obj [ ("status", Json.Str "query_false"); ("value", Json.Int 0) ])
+  | Session.No_contingency -> Result (Json.Obj [ ("status", Json.Str "no_contingency") ])
+  | Session.Budget_exhausted incumbent -> timeout_err incumbent
+
+let rsp_reply t = function
+  | Session.Solved a ->
+    Result
+      (Json.Obj
+         [
+           ("status", Json.Str "solved");
+           ("value", Json.Int a.Session.rsp_value);
+           ( "responsibility",
+             Json.Float (1.0 /. (1.0 +. float_of_int a.Session.rsp_value)) );
+           ("contingency", tuples_json t a.Session.responsibility_set);
+           ("stats", stats_json a.Session.rsp_stats);
+         ])
+  | Session.Query_false ->
+    Result (Json.Obj [ ("status", Json.Str "query_false") ])
+  | Session.No_contingency -> Result (Json.Obj [ ("status", Json.Str "no_contingency") ])
+  | Session.Budget_exhausted incumbent -> timeout_err incumbent
+
+let do_ask t (a : Protocol.ask) =
+  match Cq_parser.parse_with t.db a.Protocol.query with
+  | exception Invalid_argument msg -> Err (Protocol.Bad_query, msg, None)
+  | q -> (
+    let time_limit =
+      match a.Protocol.deadline_ms with
+      | Some ms -> Some (float_of_int ms /. 1000.)
+      | None -> None
+    in
+    match time_limit with
+    | Some budget when budget <= 0. -> timeout_err None
+    | _ -> (
+      let key = (Cq.to_string q, a.Protocol.bag, a.Protocol.exact) in
+      let inc = session t ~key q in
+      match a.Protocol.question with
+      | Protocol.Resilience -> res_reply t (Incremental.resilience ?time_limit inc)
+      | Protocol.Responsibility tuple -> (
+        match parse_tuple t tuple with
+        | Error msg -> Err (Protocol.Bad_request, msg, None)
+        | Ok info -> (
+          match Database.find t.db info.Database.rel info.Database.args with
+          | None -> Err (Protocol.Not_found, "tuple not found", None)
+          | Some tid -> rsp_reply t (Incremental.responsibility ?time_limit inc tid)))
+      | Protocol.Rank ->
+        let ranked =
+          Incremental.ranking_par ?time_limit ~jobs:a.Protocol.jobs inc
+        in
+        let row (tid, k, rho) =
+          Json.Obj
+            [
+              ("tuple", Json.Str (Database_io.print_tuple t.db tid));
+              ("k", Json.Int k);
+              ("responsibility", Json.Float rho);
+            ]
+        in
+        Result (Json.Obj [ ("ranking", Json.List (List.map row ranked)) ])))
+
+let do_stats t =
+  Json.Obj
+    [
+      ("served", Json.Int t.served);
+      ("sessions", Json.Int (List.length t.entries));
+      ("hits", Json.Int t.hits);
+      ("misses", Json.Int t.misses);
+      ("evictions", Json.Int t.evictions);
+      ("invalidations", Json.Int t.invalidations);
+      ( "db",
+        Json.Obj
+          [
+            ("tuples", Json.Int (Database.num_tuples t.db));
+            ("fingerprint", Json.Str (Printf.sprintf "%016Lx" (Database.fingerprint t.db)));
+          ] );
+    ]
+
+(* --- dispatch ------------------------------------------------------------- *)
+
+let finish ~id = function
+  | Result r -> Protocol.ok ~id r
+  | Err (code, msg, data) -> Protocol.error ?data ~id code msg
+
+(* [drain] marks requests admitted as part of a batch: once a batch is
+   admitted, every sub-request in the snapshot is served even if a shutdown
+   lands mid-batch — the graceful-drain contract. *)
+let rec respond t ~drain (env : Protocol.envelope) =
+  let id = env.Protocol.id in
+  if stopping t && not drain && env.Protocol.req <> Protocol.Shutdown then
+    Protocol.error ~id Protocol.Shutting_down "server is draining"
+  else
+    match env.Protocol.req with
+    | Protocol.Ping -> Protocol.ok ~id (Json.Obj [ ("pong", Json.Bool true) ])
+    | Protocol.Stats -> Protocol.ok ~id (do_stats t)
+    | Protocol.Shutdown ->
+      request_stop t;
+      Protocol.ok ~id (Json.Obj [ ("stopping", Json.Bool true) ])
+    | Protocol.Load data ->
+      finish ~id
+        (match do_load t data with
+        | Ok r -> Result r
+        | Error msg -> Err (Protocol.Bad_request, msg, None))
+    | Protocol.Insert line ->
+      finish ~id
+        (match do_insert t line with
+        | Ok r -> Result r
+        | Error msg -> Err (Protocol.Bad_request, msg, None))
+    | Protocol.Delete line ->
+      finish ~id
+        (match do_delete t line with
+        | Ok r -> Result r
+        | Error msg ->
+          if msg = "tuple not found" then Err (Protocol.Not_found, msg, None)
+          else Err (Protocol.Bad_request, msg, None))
+    | Protocol.Ask a -> finish ~id (do_ask t a)
+    | Protocol.Batch envs ->
+      let replies = List.map (fun e -> respond t ~drain:true e) envs in
+      Protocol.ok ~id (Json.Obj [ ("responses", Json.List replies) ])
+
+let handle_line t line =
+  t.served <- t.served + 1;
+  let response =
+    if String.length line > t.max_line then
+      Protocol.error ~id:Json.Null Protocol.Too_large
+        (Printf.sprintf "request line exceeds %d bytes" t.max_line)
+    else
+      match Protocol.parse_request line with
+      | Protocol.Invalid (id, code, msg) -> Protocol.error ~id code msg
+      | Protocol.Request env -> (
+        try respond t ~drain:false env
+        with e ->
+          Protocol.error ~id:env.Protocol.id Protocol.Bad_request (Printexc.to_string e))
+  in
+  Protocol.render response

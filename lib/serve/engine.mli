@@ -1,0 +1,40 @@
+(** The serve state machine: one mutable database plus a bounded cache of
+    maintained {!Resilience.Incremental} instances, driven one protocol
+    line at a time.
+
+    Transport-agnostic and exception-free: {!handle_line} maps any input
+    line — malformed JSON included — to exactly one response line, so the
+    whole protocol is exercised in-process by the test suite and
+    [bin/resil] only adds socket/stdio plumbing.
+
+    {b Session cache.}  Questions are answered by incremental instances
+    keyed by (canonical query text, semantics, exact), each pinned to the
+    base database fingerprint it is in sync with.  [insert]/[delete]
+    mutate the base {e and} every cached instance (the delta-maintenance
+    fast path); [load] replaces the base and drops the cache.  A
+    fingerprint mismatch — the safety net for any drift — invalidates the
+    entry instead of serving a stale answer.  The cache holds at most
+    [max_sessions] instances, evicting least-recently-used.
+
+    {b Shutdown.}  {!request_stop} only flips an atomic, so it is safe
+    from a signal handler.  Once stopping, new requests are refused with
+    the [shutting_down] error — but every sub-request of an
+    already-admitted batch is still served (graceful drain). *)
+
+type t
+
+val create : ?max_sessions:int -> ?max_line:int -> unit -> t
+(** Empty database, empty cache.  [max_sessions] defaults to 8 (min 1);
+    [max_line] (payload cap in bytes, rejected with [too_large]) defaults
+    to 1 MiB. *)
+
+val handle_line : t -> string -> string
+(** One request line in, one response line out (no trailing newline).
+    Never raises. *)
+
+val request_stop : t -> unit
+(** Flip the stop flag — async-signal-safe (one atomic store). *)
+
+val stopping : t -> bool
+
+val max_line : t -> int

@@ -1,0 +1,39 @@
+(** Minimal JSON values for the serve protocol (see {!Protocol}): parse one
+    request line, print one response line.  Self-contained — the server
+    adds no dependency for this.
+
+    Printing is deterministic: object members keep their construction
+    order, integers print as integers, and floats print with enough digits
+    to round-trip (integral floats as [x.0]).  Parsing accepts all of RFC
+    8259 except non-finite numbers; [\u] escapes are decoded to UTF-8. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** One line, no trailing newline. *)
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input (including trailing garbage). *)
+
+val of_string_opt : string -> t option
+
+(** {1 Accessors} — shape-tolerant reads used by request decoding. *)
+
+val member : string -> t -> t option
+(** Object member lookup; [None] on non-objects too. *)
+
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+(** Accepts integral floats (JSON has one number type). *)
+
+val to_bool_opt : t -> bool option
+val to_list_opt : t -> t list option

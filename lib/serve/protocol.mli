@@ -1,0 +1,73 @@
+(** The wire protocol of [resil serve]: line-oriented JSON.
+
+    One request object per line in, one response object per line out:
+
+    {v
+    -> {"id":1,"op":"load","data":"R(1,2)\nS(2,3)"}
+    <- {"id":1,"ok":true,"result":{"tuples":2}}
+    -> {"id":2,"op":"resilience","query":"R(x,y), S(y,z)"}
+    <- {"id":2,"ok":true,"result":{"status":"solved","value":1,...}}
+    -> {"id":3,"op":"nope"}
+    <- {"id":3,"ok":false,"error":{"code":"unknown_op","message":"..."}}
+    v}
+
+    Requests carry a free-form ["id"] member that is echoed verbatim in the
+    response (defaulting to [null]); a ["batch"] request carries sub-requests
+    (one nesting level only) whose responses come back in order inside one
+    response.  This module is pure decode/encode — the state machine lives
+    in {!Engine}. *)
+
+type question = Resilience | Responsibility of string | Rank
+
+type ask = {
+  query : string;  (** Conjunctive query text, e.g. ["R(x,y), S(y,z)"]. *)
+  bag : bool;
+  exact : bool;
+  deadline_ms : int option;
+      (** Per-request wall-clock budget.  A non-positive deadline is
+          rejected up front ([timeout]) without touching the solver. *)
+  jobs : int;  (** Pool fan-out for [rank] (0 = all domains). *)
+  question : question;
+}
+
+type request =
+  | Ping
+  | Load of string  (** Replace the database (text format of {!Relalg.Database_io}). *)
+  | Insert of string  (** One tuple line, e.g. ["S(1,1) x2"]. *)
+  | Delete of string
+  | Ask of ask
+  | Stats
+  | Shutdown
+  | Batch of envelope list
+
+and envelope = { id : Json.t; req : request }
+
+type error_code =
+  | Malformed  (** The line is not valid JSON. *)
+  | Too_large  (** The line exceeds the server's payload cap. *)
+  | Unknown_op
+  | Bad_request  (** Valid JSON, known op, but wrong/missing fields. *)
+  | Bad_query  (** The query text does not parse. *)
+  | Not_found  (** Tuple not present (delete/responsibility). *)
+  | Timeout  (** Deadline expired — carries the incumbent value if any. *)
+  | Shutting_down  (** Admission refused: the server is draining. *)
+
+val error_code_name : error_code -> string
+(** The stable wire name, e.g. ["too_large"] — locked by a golden test. *)
+
+type parse_result =
+  | Request of envelope
+  | Invalid of Json.t * error_code * string
+      (** Recovered request id (or [Null]), error code, human message. *)
+
+val parse_request : string -> parse_result
+(** Never raises: malformed lines come back as [Invalid]. *)
+
+val ok : id:Json.t -> Json.t -> Json.t
+(** [{"id":id,"ok":true,"result":...}]. *)
+
+val error : ?data:Json.t -> id:Json.t -> error_code -> string -> Json.t
+(** [{"id":id,"ok":false,"error":{"code":...,"message":...[,"data":...]}}]. *)
+
+val render : Json.t -> string
+(** One response line (no trailing newline). *)

@@ -3,6 +3,9 @@
 
 open Lp
 module FB = Lp.Solvers.Float_bb
+module FS = Lp.Solvers.Float_simplex
+module ES = Lp.Solvers.Exact_simplex
+module EB = Lp.Solvers.Exact_bb
 
 let expect_invalid name f =
   Alcotest.(check bool) name true
@@ -209,6 +212,167 @@ let prop_bb_respects_delta =
              (fun (v, k) -> Float.abs (x.(v) -. float_of_int k) < 1e-6)
              (Frozen.Delta.bindings delta))
 
+(* --- Row/column appends ------------------------------------------------------ *)
+
+(* A covering base plus one appended column and one appended row, written
+   out by hand — [Frozen.extend] must produce exactly the program that
+   [Frozen.make] builds from the combined data. *)
+let test_extend_equals_rebuild () =
+  let m = Model.create () in
+  let x = Model.add_var ~name:"x" ~integer:true ~upper:1 ~obj:2 m in
+  let y = Model.add_var ~name:"y" ~integer:true ~upper:1 ~obj:3 m in
+  Model.add_constr m [ (x, 1); (y, 1) ] Model.Geq 1;
+  let fz = Frozen.of_model m in
+  let d =
+    Frozen.Delta.empty
+    |> Frozen.Delta.append_col ~integer:true ~upper:1 ~name:"a" ~obj:1
+    |> Frozen.Delta.append_row Model.Geq 1 [ (y, 1); (2, 1) ]
+  in
+  Alcotest.(check int) "one appended col" 1 (Frozen.Delta.num_appended_cols d);
+  Alcotest.(check int) "one appended row" 1 (Frozen.Delta.num_appended_rows d);
+  let ext = Frozen.extend fz d in
+  let want =
+    Frozen.make
+      ~names:[| "x"; "y"; "a" |]
+      ~integer:[| true; true; true |]
+      ~upper:[| Some 1; Some 1; Some 1 |]
+      ~obj:[| 2; 3; 1 |]
+      ~rows:[| (Model.Geq, 1, [ (0, 1); (1, 1) ]); (Model.Geq, 1, [ (1, 1); (2, 1) ]) |]
+  in
+  Alcotest.(check bool) "extend = rebuild" true (programs_equal ext want);
+  (* CSR/CSC stay in lockstep on the extended program *)
+  Alcotest.(check (list (triple int int int))) "extended CSR = CSC"
+    (List.sort compare (row_entries ext))
+    (List.sort compare (col_entries ext));
+  (* no appends: extend is the identity *)
+  Alcotest.(check bool) "no-append extend is the same program" true
+    (fz == Frozen.extend fz (Frozen.Delta.fix_zero x Frozen.Delta.empty))
+
+let test_append_validation () =
+  expect_invalid "negative upper rejected" (fun () ->
+      Frozen.Delta.append_col ~upper:(-1) ~name:"bad" ~obj:0 Frozen.Delta.empty);
+  expect_invalid "zero coefficient rejected" (fun () ->
+      Frozen.Delta.append_row Model.Geq 1 [ (0, 0) ] Frozen.Delta.empty);
+  expect_invalid "negative var rejected" (fun () ->
+      Frozen.Delta.append_row Model.Geq 1 [ (-1, 1) ] Frozen.Delta.empty);
+  (* a row referencing a variable past base + appends fails at extend *)
+  let m = Model.create () in
+  ignore (Model.add_var ~upper:1 ~obj:1 m);
+  let fz = Frozen.of_model m in
+  expect_invalid "out-of-range row var rejected at extend" (fun () ->
+      Frozen.extend fz (Frozen.Delta.append_row Model.Geq 1 [ (5, 1) ] Frozen.Delta.empty))
+
+let test_append_chain_sharing () =
+  let d1 = Frozen.Delta.append_col ~name:"a" ~obj:1 Frozen.Delta.empty in
+  let d2 = Frozen.Delta.append_row Model.Geq 1 [ (0, 1) ] d1 in
+  Alcotest.(check bool) "has_appends" true (Frozen.Delta.has_appends d2);
+  Alcotest.(check bool) "chain extends its prefix" true (Frozen.Delta.extends ~prefix:d1 d2);
+  Alcotest.(check bool) "prefix does not extend the chain" false
+    (Frozen.Delta.extends ~prefix:d2 d1);
+  Alcotest.(check bool) "same_appends ignores bindings" true
+    (Frozen.Delta.same_appends d2 (Frozen.Delta.fix_zero 0 d2));
+  let cleared = Frozen.Delta.clear_appends d2 in
+  Alcotest.(check bool) "clear_appends drops the chain" false
+    (Frozen.Delta.has_appends cleared);
+  (* bindings survive the clearing *)
+  Alcotest.(check (option int)) "bindings kept" (Some 0)
+    (Frozen.Delta.find (Frozen.Delta.clear_appends (Frozen.Delta.fix_zero 0 d2)) 0)
+
+let test_append_check_feasible () =
+  let m = Model.create () in
+  let x = Model.add_var ~upper:1 ~obj:1 m in
+  let y = Model.add_var ~upper:1 ~obj:1 m in
+  Model.add_constr m [ (x, 1); (y, 1) ] Model.Geq 1;
+  let fz = Frozen.of_model m in
+  let d =
+    Frozen.Delta.empty
+    |> Frozen.Delta.append_col ~upper:1 ~name:"a" ~obj:1
+    |> Frozen.Delta.append_row Model.Geq 1 [ (y, 1); (2, 1) ]
+  in
+  (* x is indexed by extended variable: base point alone no longer typechecks
+     the appended row *)
+  Alcotest.(check bool) "appended row violated" false
+    (Frozen.check_feasible ~delta:d fz [| 1.0; 0.0; 0.0 |]);
+  Alcotest.(check bool) "appended col can cover the appended row" true
+    (Frozen.check_feasible ~delta:d fz [| 1.0; 0.0; 1.0 |]);
+  Alcotest.(check bool) "base solution with y covers both" true
+    (Frozen.check_feasible ~delta:d fz [| 0.0; 1.0; 0.0 |])
+
+(* A random monotone append chain over any covering base.  Built strictly
+   left to right so every draw order is deterministic per seed. *)
+let random_append_chain rng fz nsteps =
+  let total = ref (Frozen.num_vars fz) in
+  let d = ref Frozen.Delta.empty in
+  let acc = ref [] in
+  for i = 0 to nsteps - 1 do
+    if Random.State.bool rng then begin
+      d :=
+        Frozen.Delta.append_col
+          ~integer:(Random.State.bool rng)
+          ~upper:1
+          ~name:(Printf.sprintf "a%d" i)
+          ~obj:(Random.State.int rng 4)
+          !d;
+      incr total
+    end;
+    if Random.State.int rng 4 > 0 then begin
+      let width = 1 + Random.State.int rng 2 in
+      let picked = ref [] in
+      for _ = 1 to width do
+        picked := Random.State.int rng !total :: !picked
+      done;
+      let picked = List.sort_uniq compare !picked in
+      d := Frozen.Delta.append_row Model.Geq 1 (List.map (fun v -> (v, 1)) picked) !d
+    end;
+    acc := !d :: !acc
+  done;
+  List.rev !acc
+
+(* Warm absorb = cold re-freeze, at float and at exact rationals: a session
+   fed the growing chain must report the same LP optimum as a fresh session
+   on the materialised [Frozen.extend] program, and the same holds for the
+   integer optimum through branch-and-bound. *)
+let prop_append_warm_equals_refreeze =
+  Harness.seeded_prop ~count:150 "warm append absorb = cold re-freeze (float + exact)"
+    (fun rng ->
+      let nvars = 2 + Random.State.int rng 5 in
+      let nrows = 1 + Random.State.int rng 5 in
+      let fz, _ = Harness.random_covering_frozen ~integer:true rng ~nvars ~nrows in
+      (not (FS.frozen_dual_applicable fz))
+      ||
+      let chain = random_append_chain rng fz (1 + Random.State.int rng 4) in
+      let warm_f = FS.create_session fz in
+      let warm_e = ES.create_session fz in
+      List.for_all
+        (fun delta ->
+          let ext = Frozen.extend fz delta in
+          let flat = Frozen.Delta.clear_appends delta in
+          let float_ok =
+            match (FS.session_solve warm_f delta, FS.session_solve (FS.create_session ext) flat) with
+            | FS.Optimal { objective = wo; solution = ws }, FS.Optimal { objective = co; _ } ->
+              Float.abs (wo -. co) < 1e-7 && Frozen.check_feasible ~delta fz ws
+            | FS.Infeasible, FS.Infeasible | FS.Unbounded, FS.Unbounded -> true
+            | _ -> false
+          in
+          let exact_ok =
+            match (ES.session_solve warm_e delta, ES.session_solve (ES.create_session ext) flat) with
+            | ES.Optimal { objective = wo; _ }, ES.Optimal { objective = co; _ } ->
+              Numeric.Rat.equal wo co
+            | ES.Infeasible, ES.Infeasible | ES.Unbounded, ES.Unbounded -> true
+            | _ -> false
+          in
+          let bb_ok =
+            let w = FB.solve_frozen ~delta fz in
+            let c = EB.solve_frozen ~delta fz in
+            match (w.FB.status, w.FB.objective, c.EB.status, c.EB.objective) with
+            | FB.Optimal, Some fo, EB.Optimal, Some eo ->
+              Float.abs (fo -. Numeric.Rat.to_float eo) < 1e-6
+            | FB.Infeasible, _, EB.Infeasible, _ -> true
+            | _ -> false
+          in
+          float_ok && exact_ok && bb_ok)
+        chain)
+
 let () =
   Alcotest.run "frozen"
     [
@@ -231,5 +395,13 @@ let () =
           Alcotest.test_case "persistent overlays" `Quick test_delta_persistence;
           Alcotest.test_case "overlay feasibility" `Quick test_delta_overlay_feasibility;
           Harness.qtest prop_bb_respects_delta;
+        ] );
+      ( "appends",
+        [
+          Alcotest.test_case "extend = rebuild" `Quick test_extend_equals_rebuild;
+          Alcotest.test_case "append validation" `Quick test_append_validation;
+          Alcotest.test_case "chain sharing" `Quick test_append_chain_sharing;
+          Alcotest.test_case "check_feasible over appends" `Quick test_append_check_feasible;
+          Harness.qtest prop_append_warm_equals_refreeze;
         ] );
     ]

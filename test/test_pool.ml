@@ -124,6 +124,46 @@ let test_shutdown_idle () =
   Lp.Pool.shutdown pool;
   Lp.Pool.shutdown pool
 
+let test_request_shutdown () =
+  (* The signal-handler path: request_shutdown is a lock-free flag that must
+     not tear down anything by itself — a batch in flight still completes —
+     and the later shutdown from normal context is idempotent. *)
+  let pool = Lp.Pool.create ~jobs:4 () in
+  Alcotest.(check bool) "not requested initially" false (Lp.Pool.shutdown_requested pool);
+  Lp.Pool.request_shutdown pool;
+  Lp.Pool.request_shutdown pool;
+  Alcotest.(check bool) "requested" true (Lp.Pool.shutdown_requested pool);
+  Alcotest.(check (array int)) "batch still runs after request" (expected 30)
+    (Lp.Pool.run ~chunk:1 pool ~tasks:30 (fun i -> (i * i) + 1));
+  Lp.Pool.shutdown pool;
+  Alcotest.(check bool) "still requested after shutdown" true (Lp.Pool.shutdown_requested pool);
+  Lp.Pool.shutdown pool
+
+let test_concurrent_shutdown () =
+  (* Several domains racing shutdown with queued work: exactly one joins each
+     worker, nobody deadlocks, every slot of the in-flight batch is filled. *)
+  let pool = Lp.Pool.create ~jobs:4 () in
+  let started = Atomic.make false in
+  let submitter =
+    Domain.spawn (fun () ->
+        Lp.Pool.run ~chunk:1 pool ~tasks:48 (fun i ->
+            Atomic.set started true;
+            Unix.sleepf 0.001;
+            i * 2))
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  let closers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            Lp.Pool.request_shutdown pool;
+            Lp.Pool.shutdown pool))
+  in
+  let results = Domain.join submitter in
+  List.iter Domain.join closers;
+  Alcotest.(check (array int)) "in-flight batch completed" (Array.init 48 (fun i -> i * 2)) results
+
 (* --- Stress ------------------------------------------------------------------ *)
 
 let test_stress () =
@@ -172,6 +212,8 @@ let () =
         [
           test_case "graceful with tasks queued" `Quick test_shutdown_drains_queued_tasks;
           test_case "idle shutdown is idempotent" `Quick test_shutdown_idle;
+          test_case "request_shutdown is signal-safe flag" `Quick test_request_shutdown;
+          test_case "concurrent shutdown races" `Quick test_concurrent_shutdown;
         ] );
       ( "stress",
         [

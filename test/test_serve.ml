@@ -1,0 +1,244 @@
+(* In-process loopback suite for the serve layer: protocol parsing, the
+   session cache, deadlines, mutations and graceful shutdown — everything
+   [bin/resil serve] does minus the socket plumbing, so `dune runtest`
+   needs no network. *)
+
+module J = Serve.Json
+module E = Serve.Engine
+
+let feed engine line = J.of_string (E.handle_line engine line)
+
+let ok_of j =
+  match Option.bind (J.member "ok" j) J.to_bool_opt with
+  | Some b -> b
+  | None -> Alcotest.fail "response without \"ok\""
+
+let id_of j = Option.value (J.member "id" j) ~default:J.Null
+
+let result_of j =
+  match J.member "result" j with
+  | Some r -> r
+  | None -> Alcotest.fail "ok response without \"result\""
+
+let err_code j =
+  match Option.bind (Option.bind (J.member "error" j) (J.member "code")) J.to_string_opt with
+  | Some c -> c
+  | None -> Alcotest.fail "error response without \"error\".\"code\""
+
+let int_field name j =
+  match Option.bind (J.member name j) J.to_int_opt with
+  | Some n -> n
+  | None -> Alcotest.fail (Printf.sprintf "missing int field %S" name)
+
+let check_err name code j =
+  Alcotest.(check bool) (name ^ ": ok=false") false (ok_of j);
+  Alcotest.(check string) (name ^ ": code") code (err_code j)
+
+(* The running example: a 2-chain with RES* = 2. *)
+let data = "R(1, 2)\nR(1, 3)\nS(2, 3)\nS(3, 4)\n"
+let query = "Q :- R(x, y), S(y, z)"
+
+let load_req = J.to_string (J.Obj [ ("op", J.Str "load"); ("data", J.Str data) ])
+
+let ask_req ?(fields = []) op =
+  J.to_string (J.Obj ([ ("op", J.Str op); ("query", J.Str query) ] @ fields))
+
+let loaded () =
+  let e = E.create () in
+  Alcotest.(check int) "loaded 4 tuples" 4 (int_field "tuples" (result_of (feed e load_req)));
+  e
+
+(* --- protocol parsing ------------------------------------------------------- *)
+
+let test_ping_and_ids () =
+  let e = E.create () in
+  let r = feed e {|{"id":7,"op":"ping"}|} in
+  Alcotest.(check bool) "ok" true (ok_of r);
+  Alcotest.(check bool) "id echoed" true (id_of r = J.Int 7);
+  let r = feed e {|{"id":"abc","op":"ping"}|} in
+  Alcotest.(check bool) "string id echoed" true (id_of r = J.Str "abc");
+  let r = feed e {|{"op":"ping"}|} in
+  Alcotest.(check bool) "missing id is null" true (id_of r = J.Null)
+
+let test_malformed () =
+  let e = E.create () in
+  check_err "truncated json" "malformed" (feed e {|{"op": "ping"|});
+  check_err "not json at all" "malformed" (feed e "hello there");
+  check_err "trailing garbage" "malformed" (feed e {|{"op":"ping"} extra|});
+  (* id recovery: a parseable object with a bad body keeps its id *)
+  let r = feed e {|{"id":3,"op":"load"}|} in
+  check_err "missing field" "bad_request" r;
+  Alcotest.(check bool) "id recovered from invalid request" true (id_of r = J.Int 3)
+
+let test_oversized () =
+  let e = E.create ~max_line:64 () in
+  let big = Printf.sprintf {|{"op":"ping","pad":%S}|} (String.make 100 'x') in
+  check_err "oversized line" "too_large" (feed e big);
+  (* under the cap still works *)
+  Alcotest.(check bool) "small line fine" true (ok_of (feed e {|{"op":"ping"}|}))
+
+let test_unknown_and_bad () =
+  let e = E.create () in
+  check_err "unknown op" "unknown_op" (feed e {|{"op":"frobnicate"}|});
+  check_err "missing op" "bad_request" (feed e {|{"x":1}|});
+  check_err "non-object" "bad_request" (feed e "[1,2]");
+  check_err "non-string data" "bad_request" (feed e {|{"op":"load","data":5}|});
+  check_err "non-bool bag" "bad_request"
+    (feed e (ask_req ~fields:[ ("bag", J.Int 1) ] "resilience"));
+  check_err "negative jobs" "bad_request"
+    (feed e (ask_req ~fields:[ ("jobs", J.Int (-2)) ] "rank"));
+  check_err "nested batch" "bad_request"
+    (feed e
+       {|{"op":"batch","requests":[{"op":"batch","requests":[]}]}|});
+  let e = loaded () in
+  check_err "unparseable query" "bad_query" (feed e {|{"op":"resilience","query":"Q :- "}|})
+
+(* --- the cache -------------------------------------------------------------- *)
+
+let res_value j =
+  let r = result_of j in
+  Alcotest.(check string) "status solved" "solved"
+    (Option.get (Option.bind (J.member "status" r) J.to_string_opt));
+  int_field "value" r
+
+let stats_of e =
+  let j = feed e {|{"op":"stats"}|} in
+  result_of j
+
+let test_cache_hit () =
+  let e = loaded () in
+  Alcotest.(check int) "cold answer" 2 (res_value (feed e (ask_req "resilience")));
+  Alcotest.(check int) "warm answer" 2 (res_value (feed e (ask_req "resilience")));
+  let s = stats_of e in
+  Alcotest.(check int) "one session" 1 (int_field "sessions" s);
+  Alcotest.(check int) "one miss" 1 (int_field "misses" s);
+  Alcotest.(check int) "one hit" 1 (int_field "hits" s)
+
+let test_cache_evict () =
+  let e = E.create ~max_sessions:1 () in
+  ignore (feed e load_req);
+  ignore (feed e (ask_req "resilience"));
+  let other = J.to_string (J.Obj [ ("op", J.Str "resilience"); ("query", J.Str "Q :- R(x, y)") ]) in
+  Alcotest.(check bool) "second query answers" true (ok_of (feed e other));
+  let s = stats_of e in
+  Alcotest.(check int) "capped at one session" 1 (int_field "sessions" s);
+  Alcotest.(check int) "one eviction" 1 (int_field "evictions" s)
+
+let test_cache_invalidation () =
+  let e = loaded () in
+  ignore (feed e (ask_req "resilience"));
+  (* reloading moves the base under the cached instance *)
+  Alcotest.(check int) "reload" 4 (int_field "tuples" (result_of (feed e load_req)));
+  Alcotest.(check int) "answer after reload" 2 (res_value (feed e (ask_req "resilience")));
+  let s = stats_of e in
+  Alcotest.(check int) "reload invalidated the session" 1 (int_field "invalidations" s);
+  Alcotest.(check int) "two misses, no stale hit" 2 (int_field "misses" s)
+
+(* --- deadlines -------------------------------------------------------------- *)
+
+let test_deadline_expiry () =
+  let e = loaded () in
+  let r = feed e (ask_req ~fields:[ ("deadline_ms", J.Int 0) ] "resilience") in
+  check_err "zero deadline" "timeout" r;
+  (* structured timeout: the incumbent field is present (null here) *)
+  (match Option.bind (J.member "error" r) (J.member "data") with
+  | Some d -> Alcotest.(check bool) "incumbent present" true (J.member "incumbent" d <> None)
+  | None -> Alcotest.fail "timeout without data");
+  (* a generous deadline answers normally *)
+  Alcotest.(check int) "generous deadline" 2
+    (res_value (feed e (ask_req ~fields:[ ("deadline_ms", J.Int 60_000) ] "resilience")))
+
+(* --- mutations through live sessions ---------------------------------------- *)
+
+let test_insert_delete () =
+  let e = loaded () in
+  Alcotest.(check int) "before" 2 (res_value (feed e (ask_req "resilience")));
+  let r = feed e {|{"op":"insert","tuple":"R(9, 2)"}|} in
+  Alcotest.(check bool) "insert ok" true (ok_of r);
+  let tid = int_field "tuple_id" (result_of r) in
+  Alcotest.(check bool) "fresh id" true (tid >= 4);
+  Alcotest.(check int) "after insert" 2 (res_value (feed e (ask_req "resilience")));
+  let r = feed e {|{"op":"delete","tuple":"R(9, 2)"}|} in
+  Alcotest.(check int) "deleted the same tuple" tid (int_field "tuple_id" (result_of r));
+  check_err "delete twice" "not_found" (feed e {|{"op":"delete","tuple":"R(9, 2)"}|});
+  Alcotest.(check int) "after delete" 2 (res_value (feed e (ask_req "resilience")));
+  (* the cached session survived all three mutations: one miss total *)
+  Alcotest.(check int) "one miss across mutations" 1 (int_field "misses" (stats_of e))
+
+let test_responsibility_and_rank () =
+  let e = loaded () in
+  let r = feed e (ask_req ~fields:[ ("tuple", J.Str "S(2, 3)") ] "responsibility") in
+  Alcotest.(check bool) "responsibility ok" true (ok_of r);
+  Alcotest.(check int) "RSP* of S(2,3)" 1 (int_field "value" (result_of r));
+  check_err "responsibility of a ghost" "not_found"
+    (feed e (ask_req ~fields:[ ("tuple", J.Str "S(9, 9)") ] "responsibility"));
+  let r = feed e (ask_req "rank") in
+  match Option.bind (J.member "ranking" (result_of r)) J.to_list_opt with
+  | Some rows -> Alcotest.(check bool) "ranking non-empty" true (rows <> [])
+  | None -> Alcotest.fail "rank without ranking array"
+
+(* --- graceful shutdown ------------------------------------------------------- *)
+
+let test_shutdown_drains_batch () =
+  let e = loaded () in
+  let sub op = J.Obj [ ("op", J.Str op); ("query", J.Str query) ] in
+  let batch =
+    J.to_string
+      (J.Obj
+         [
+           ("id", J.Int 1);
+           ("op", J.Str "batch");
+           ( "requests",
+             J.List [ sub "resilience"; J.Obj [ ("op", J.Str "shutdown") ]; sub "resilience" ] );
+         ])
+  in
+  let r = feed e batch in
+  Alcotest.(check bool) "batch ok" true (ok_of r);
+  (match Option.bind (J.member "responses" (result_of r)) J.to_list_opt with
+  | Some replies ->
+    Alcotest.(check int) "all three served" 3 (List.length replies);
+    (* the ask AFTER the shutdown sub-request was drained, not refused *)
+    List.iter (fun reply -> Alcotest.(check bool) "sub ok" true (ok_of reply)) replies
+  | None -> Alcotest.fail "batch without responses");
+  Alcotest.(check bool) "engine stopping" true (E.stopping e);
+  (* new work is refused once draining... *)
+  check_err "post-shutdown request" "shutting_down" (feed e (ask_req "resilience"));
+  (* ...but shutdown itself stays answerable (idempotent stop) *)
+  Alcotest.(check bool) "shutdown idempotent" true (ok_of (feed e {|{"op":"shutdown"}|}))
+
+let test_engine_never_raises () =
+  let e = loaded () in
+  (* wrong arity for an existing relation: Database.add raises inside the
+     engine; the catch-all must turn it into an error response *)
+  let r = feed e {|{"op":"insert","tuple":"R(1)"}|} in
+  Alcotest.(check bool) "arity error is a response" false (ok_of r);
+  Alcotest.(check string) "as bad_request" "bad_request" (err_code r)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "ping and id echo" `Quick test_ping_and_ids;
+          Alcotest.test_case "malformed lines" `Quick test_malformed;
+          Alcotest.test_case "oversized payload" `Quick test_oversized;
+          Alcotest.test_case "unknown and bad requests" `Quick test_unknown_and_bad;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit on repeat ask" `Quick test_cache_hit;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_evict;
+          Alcotest.test_case "fingerprint invalidation" `Quick test_cache_invalidation;
+        ] );
+      ( "deadlines", [ Alcotest.test_case "expiry is structured" `Quick test_deadline_expiry ] );
+      ( "mutations",
+        [
+          Alcotest.test_case "insert/delete through live sessions" `Quick test_insert_delete;
+          Alcotest.test_case "responsibility and rank" `Quick test_responsibility_and_rank;
+        ] );
+      ( "shutdown",
+        [
+          Alcotest.test_case "batch drains past shutdown" `Quick test_shutdown_drains_batch;
+          Alcotest.test_case "engine never raises" `Quick test_engine_never_raises;
+        ] );
+    ]
