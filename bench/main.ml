@@ -837,6 +837,105 @@ let run_serve ?(jobs = 1) scale json =
     [ 100; 200; 400 ];
   if json then Printf.printf "[%s]\n" (String.concat "," (List.rev !entries))
 
+(* ---- enumerate: warm no-good cut chain vs cold re-solves ------------------------ *)
+
+(* The enumeration engine in two numbers: cut throughput (no-good cuts
+   appended and re-solved per second on the warm session) and the warm
+   re-solve's pivot bill relative to the cold reference, which re-solves the
+   whole ILP from scratch after every cut.  The 2-chain over a dense join
+   domain keeps the cut re-solves off the certificate fast path, so both
+   paths genuinely pivot (certificate-settled solves report zero pivots and
+   say nothing), while branch-and-bound stays shallow enough that the root
+   re-solve — the part the warm basis pays for — dominates the pivot bill.
+   The CI gate asserts the aggregate warm/cold pivots-per-cut ratio stays
+   small — the proof the appended cut is absorbed basis-intact rather than
+   paid for with a cold solve. *)
+let run_enumerate ?(jobs = 1) scale json =
+  let rng = Random.State.make [| 1010 |] in
+  let q = Queries.q2_chain () in
+  if not json then
+    header
+      (Printf.sprintf
+         "Enumerate: warm no-good cut chain vs cold re-solves (2-chain, set, jobs=%d)" jobs)
+      [ "tuples"; "witnesses"; "opt"; "sets"; "exhausted"; "cuts"; "cuts_per_s";
+        "warm_piv/cut"; "cold_piv/cut"; "ratio"; "identical" ];
+  let entries = ref [] in
+  let warm_pivots = ref 0 and cold_pivots = ref 0 in
+  let warm_cuts = ref 0 and cold_cuts = ref 0 in
+  let all_identical = ref true in
+  List.iter
+    (fun (count, domain) ->
+      let count = max 8 (int_of_float (float_of_int count *. scale)) in
+      let domain = max 4 (int_of_float (float_of_int domain *. scale)) in
+      let specs = Datagen.Random_inst.specs_of_query q ~count in
+      let db = Datagen.Random_inst.db rng ~domain specs in
+      let witnesses = Eval.count q db in
+      if witnesses > 0 then begin
+        let session = Session.create set q db in
+        let warm, t_warm = time (fun () -> Session.enumerate_resilience ~jobs session) in
+        let cold, t_cold = time (fun () -> Enumerate.resilience_cold set q db) in
+        match (warm, cold) with
+        | Session.Solved wf, Enumerate.Family cf ->
+          let ws = wf.Enumerate.fstats and cs = cf.Enumerate.fstats in
+          let identical = wf.Enumerate.opt = cf.Enumerate.opt && wf.Enumerate.sets = cf.Enumerate.sets in
+          if not identical then all_identical := false;
+          warm_pivots := !warm_pivots + ws.Enumerate.cut_pivots;
+          cold_pivots := !cold_pivots + cs.Enumerate.cut_pivots;
+          warm_cuts := !warm_cuts + ws.Enumerate.cuts;
+          cold_cuts := !cold_cuts + cs.Enumerate.cuts;
+          let per_cut pivots cuts =
+            if cuts > 0 then float_of_int pivots /. float_of_int cuts else 0.0
+          in
+          let warm_per_cut = per_cut ws.Enumerate.cut_pivots ws.Enumerate.cuts in
+          let cold_per_cut = per_cut cs.Enumerate.cut_pivots cs.Enumerate.cuts in
+          let ratio = if cold_per_cut > 0.0 then warm_per_cut /. cold_per_cut else nan in
+          let cuts_per_s =
+            if t_warm > 0.0 then float_of_int ws.Enumerate.cuts /. t_warm else nan
+          in
+          let tuples = List.length (Database.tuples db) in
+          entries :=
+            Printf.sprintf
+              "{\"tuples\":%d,\"witnesses\":%d,\"jobs\":%d,\"opt\":%d,\"sets\":%d,\"exhausted\":%b,\"cuts\":%d,\"warm_s\":%.6f,\"cold_s\":%.6f,\"cuts_per_s\":%.1f,\"warm_cut_pivots\":%d,\"cold_cut_pivots\":%d,\"warm_pivots_per_cut\":%.2f,\"cold_pivots_per_cut\":%.2f,\"identical\":%b}"
+              tuples witnesses jobs wf.Enumerate.opt
+              (List.length wf.Enumerate.sets)
+              wf.Enumerate.exhausted ws.Enumerate.cuts t_warm t_cold cuts_per_s
+              ws.Enumerate.cut_pivots cs.Enumerate.cut_pivots warm_per_cut cold_per_cut
+              identical
+            :: !entries;
+          if not json then
+            row
+              [
+                string_of_int tuples;
+                string_of_int witnesses;
+                string_of_int wf.Enumerate.opt;
+                string_of_int (List.length wf.Enumerate.sets);
+                string_of_bool wf.Enumerate.exhausted;
+                string_of_int ws.Enumerate.cuts;
+                Printf.sprintf "%.1f" cuts_per_s;
+                Printf.sprintf "%.2f" warm_per_cut;
+                Printf.sprintf "%.2f" cold_per_cut;
+                (if Float.is_nan ratio then "-" else Printf.sprintf "%.3f" ratio);
+                string_of_bool identical;
+              ]
+        | _ -> ()
+      end)
+    [ (200, 20); (320, 26); (480, 32) ];
+  let warm_per_cut =
+    if !warm_cuts > 0 then float_of_int !warm_pivots /. float_of_int !warm_cuts else 0.0
+  in
+  let cold_per_cut =
+    if !cold_cuts > 0 then float_of_int !cold_pivots /. float_of_int !cold_cuts else 0.0
+  in
+  let ratio = if cold_per_cut > 0.0 then warm_per_cut /. cold_per_cut else nan in
+  if json then
+    Printf.printf
+      "{\"rows\":[%s],\"aggregate\":{\"warm_cut_pivots\":%d,\"cold_cut_pivots\":%d,\"warm_pivots_per_cut\":%.3f,\"cold_pivots_per_cut\":%.3f,\"warm_vs_cold_ratio\":%.4f,\"identical\":%b}}\n"
+      (String.concat "," (List.rev !entries))
+      !warm_pivots !cold_pivots warm_per_cut cold_per_cut ratio !all_identical
+  else
+    Printf.printf "aggregate: warm %.2f pivots/cut vs cold %.2f pivots/cut (ratio %.3f), identical %b\n"
+      warm_per_cut cold_per_cut ratio !all_identical
+
 (* ---- certificate coverage ------------------------------------------------------ *)
 
 (* Which query classes get which Lp.Struct certificate, and does the
@@ -1008,6 +1107,17 @@ let () =
                 const (fun scale json jobs ->
                     let jobs = if jobs = 0 then Lp.Pool.default_jobs () else jobs in
                     run_serve ~jobs scale json;
+                    0)
+                $ scale_arg $ json_arg $ jobs_arg);
+            Cmd.v
+              (Cmd.info "enumerate"
+                 ~doc:
+                   "enumerate: warm no-good cut throughput and pivots-per-cut vs the cold \
+                    re-solve reference")
+              Term.(
+                const (fun scale json jobs ->
+                    let jobs = if jobs = 0 then Lp.Pool.default_jobs () else jobs in
+                    run_enumerate ~jobs scale json;
                     0)
                 $ scale_arg $ json_arg $ jobs_arg);
             simple "micro" "Bechamel micro-benchmarks" run_micro;

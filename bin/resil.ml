@@ -348,8 +348,112 @@ let analyze_cmd =
           with $(b,--strict)), 2 unparsable query.")
     Term.(const run $ data_arg $ bag_arg $ strict_arg $ json $ query)
 
+(* ----- solution enumeration (shared by resilience/responsibility) -------- *)
+
+let all_arg =
+  Arg.(
+    value & flag
+    & info [ "all-solutions" ]
+        ~doc:
+          "Enumerate $(i,every) minimum contingency set (warm no-good cut chain) and the \
+           per-tuple criticality table, instead of one optimal set")
+
+let nsets_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "n" ] ~docv:"N"
+        ~doc:
+          "Report only the first N sets (implies $(b,--all-solutions)). Truncation is \
+           presentation-level: the family is still enumerated and counted in full, so the \
+           output is a prefix of the unlimited one.")
+
+let diverse_arg =
+  Arg.(
+    value & flag
+    & info [ "diverse" ]
+        ~doc:
+          "Reorder the family by greedy max-min symmetric difference before truncating, so \
+           a $(b,-n) prefix spreads over the family instead of clustering")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Domains to spread the solves over (0 = all recommended domains). The output is \
+           identical for every N.")
+
+let crit_row_json db (c : Enumerate.criticality) =
+  Printf.sprintf {|{"tuple":"%s","count":%d,"total":%d,"criticality":%g,"exact":"%s"}|}
+    (json_escape (Database_io.print_tuple db c.Enumerate.crit_tuple))
+    c.Enumerate.crit_count c.Enumerate.crit_total c.Enumerate.crit_float
+    (Numeric.Rat.to_string c.Enumerate.crit_exact)
+
+let enum_stats_json (s : Enumerate.stats) =
+  Printf.sprintf
+    {|{"cuts":%d,"solves":%d,"nodes":%d,"first_pivots":%d,"cut_pivots":%d,"refactors":%d,"solve_ms":%g}|}
+    s.Enumerate.cuts s.Enumerate.solves s.Enumerate.nodes s.Enumerate.first_pivots
+    s.Enumerate.cut_pivots s.Enumerate.refactors
+    (s.Enumerate.time *. 1000.)
+
+(* The sets actually shown: optionally diversity-reordered, then the [-n]
+   prefix.  The count always reports the full family. *)
+let family_shown ~nsets ~diverse (fam : Enumerate.family) =
+  let sets = if diverse then Enumerate.diverse fam.Enumerate.sets else fam.Enumerate.sets in
+  match nsets with Some n -> Enumerate.take n sets | None -> sets
+
+let print_family_json db ~nsets ~diverse (fam : Enumerate.family) =
+  let set_json s =
+    "["
+    ^ String.concat ","
+        (List.map
+           (fun tid -> "\"" ^ json_escape (Database_io.print_tuple db tid) ^ "\"")
+           s)
+    ^ "]"
+  in
+  print_endline
+    (Printf.sprintf
+       {|{"status":"solved","value":%d,"count":%d,"exhausted":%b,"sets":[%s],"criticality":[%s],"stats":%s}|}
+       fam.Enumerate.opt
+       (List.length fam.Enumerate.sets)
+       fam.Enumerate.exhausted
+       (String.concat "," (List.map set_json (family_shown ~nsets ~diverse fam)))
+       (String.concat "," (List.map (crit_row_json db) (Enumerate.criticality fam)))
+       (enum_stats_json fam.Enumerate.fstats))
+
+let print_family_text db ~nsets ~diverse label (fam : Enumerate.family) =
+  let total = List.length fam.Enumerate.sets in
+  Printf.printf "%s = %d  (%d minimum contingency set%s%s; %d cuts, %d solves)\n" label
+    fam.Enumerate.opt total
+    (if total = 1 then "" else "s")
+    (if fam.Enumerate.exhausted then "" else ", family may be incomplete")
+    fam.Enumerate.fstats.Enumerate.cuts fam.Enumerate.fstats.Enumerate.solves;
+  let shown = family_shown ~nsets ~diverse fam in
+  List.iteri
+    (fun i s ->
+      Printf.printf "set %d:\n" (i + 1);
+      if s = [] then print_endline "  (empty set)" else pp_tuples db s)
+    shown;
+  if List.length shown < total then
+    Printf.printf "  ... %d more set%s not shown\n"
+      (total - List.length shown)
+      (if total - List.length shown = 1 then "" else "s");
+  (match Enumerate.criticality fam with
+  | [] -> ()
+  | crits ->
+    Printf.printf "%-44s %9s %14s\n" "tuple" "in-sets" "criticality";
+    List.iter
+      (fun (c : Enumerate.criticality) ->
+        Printf.printf "%-44s %4d/%-4d %14g  (= %s)\n"
+          (Database_io.print_tuple db c.Enumerate.crit_tuple)
+          c.Enumerate.crit_count c.Enumerate.crit_total c.Enumerate.crit_float
+          (Numeric.Rat.to_string c.Enumerate.crit_exact))
+      crits)
+
 let resilience_cmd =
-  let run data bag exact lp lint trace stats query =
+  let run data bag exact lp lint all nsets diverse json jobs trace stats query =
     with_telemetry ~trace ~stats "resil.resilience" @@ fun () ->
     let db = load_db data in
     match parse_query db query with
@@ -359,7 +463,26 @@ let resilience_cmd =
     | Ok q ->
       let sem = semantics_of_bag bag in
       if lint then lint_to_stderr sem q db;
-      if lp then begin
+      if all || nsets <> None then begin
+        match Solve.enumerate_resilience ~exact ~jobs sem q db with
+        | Solve.Solved fam ->
+          if json then print_family_json db ~nsets ~diverse fam
+          else print_family_text db ~nsets ~diverse "RES*" fam;
+          0
+        | Solve.Query_false ->
+          if json then print_endline {|{"status":"query_false","value":0}|}
+          else print_endline "query is false on this instance (resilience 0)";
+          0
+        | Solve.No_contingency ->
+          if json then print_endline {|{"status":"no_contingency"}|}
+          else print_endline "no contingency set exists (exogenous tuples block every option)";
+          1
+        | Solve.Budget_exhausted _ ->
+          if json then print_endline {|{"status":"budget_exhausted"}|}
+          else print_endline "budget exhausted";
+          1
+      end
+      else if lp then begin
         match Solve.resilience_lp ~exact sem q db with
         | Some v ->
           Printf.printf "LP[RES*] = %g\n" v;
@@ -391,16 +514,22 @@ let resilience_cmd =
       end
   in
   let lp = Arg.(value & flag & info [ "lp" ] ~doc:"Solve the LP relaxation only") in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Machine-readable JSON output (with $(b,--all-solutions))")
+  in
   let query = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
   Cmd.v
     (Cmd.info "resilience" ~doc:"Minimum tuple deletions falsifying the query (ILP[RES*])")
     Term.(
-      const run $ data_arg $ bag_arg $ exact_arg $ lp $ lint_arg $ trace_arg $ stats_arg $ query)
+      const run $ data_arg $ bag_arg $ exact_arg $ lp $ lint_arg $ all_arg $ nsets_arg
+      $ diverse_arg $ json $ jobs_arg $ trace_arg $ stats_arg $ query)
 
 (* ----- responsibility --------------------------------------------------- *)
 
 let responsibility_cmd =
-  let run data bag exact lint trace stats tuple query =
+  let run data bag exact lint all nsets diverse json jobs trace stats tuple query =
     with_telemetry ~trace ~stats "resil.responsibility" @@ fun () ->
     let db = load_db data in
     match parse_query db query with
@@ -423,6 +552,26 @@ let responsibility_cmd =
       | None ->
         prerr_endline "responsibility tuple not found in the instance";
         1
+      | Some tid when all || nsets <> None -> (
+        let sem = semantics_of_bag bag in
+        if lint then lint_to_stderr sem q db;
+        match Solve.enumerate_responsibility ~exact ~jobs sem q db tid with
+        | Solve.Solved fam ->
+          if json then print_family_json db ~nsets ~diverse fam
+          else print_family_text db ~nsets ~diverse "RSP*" fam;
+          0
+        | Solve.Query_false ->
+          if json then print_endline {|{"status":"query_false"}|}
+          else print_endline "query is false on this instance";
+          1
+        | Solve.No_contingency ->
+          if json then print_endline {|{"status":"no_contingency"}|}
+          else print_endline "tuple cannot be made counterfactual";
+          1
+        | Solve.Budget_exhausted _ ->
+          if json then print_endline {|{"status":"budget_exhausted"}|}
+          else print_endline "budget exhausted";
+          1)
       | Some tid -> (
         let sem = semantics_of_bag bag in
         if lint then lint_to_stderr sem q db;
@@ -450,17 +599,22 @@ let responsibility_cmd =
       & info [ "tuple"; "t" ] ~docv:"TUPLE" ~doc:"Responsibility tuple, e.g. \"S(1,1)\"")
   in
   let query = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Machine-readable JSON output (with $(b,--all-solutions))")
+  in
   Cmd.v
     (Cmd.info "responsibility"
        ~doc:"Minimum contingency set making a tuple counterfactual (ILP[RSP*])")
     Term.(
-      const run $ data_arg $ bag_arg $ exact_arg $ lint_arg $ trace_arg $ stats_arg $ tuple
-      $ query)
+      const run $ data_arg $ bag_arg $ exact_arg $ lint_arg $ all_arg $ nsets_arg
+      $ diverse_arg $ json $ jobs_arg $ trace_arg $ stats_arg $ tuple $ query)
 
 (* ----- rank -------------------------------------------------------------- *)
 
 let rank_cmd =
-  let run data bag exact lint json jobs basis trace stats query =
+  let run data bag exact lint all json jobs basis trace stats query =
     with_telemetry ~trace ~stats "resil.rank" @@ fun () ->
     let db = load_db data in
     match parse_query db query with
@@ -478,11 +632,35 @@ let rank_cmd =
          sequential loop but emits the same telemetry shape, so --stats
          output is schema-identical for every N. *)
       let ranked = Session.ranking_par ~jobs session in
+      (* [--all-solutions]: also enumerate the resilience family on the same
+         session and grade each ranked tuple by criticality — the fraction
+         of minimum contingency sets it appears in. *)
+      let crit_of =
+        if not all then fun _ -> None
+        else begin
+          let tbl = Hashtbl.create 16 in
+          (match Session.enumerate_resilience ~jobs session with
+          | Session.Solved fam ->
+            List.iter
+              (fun (c : Enumerate.criticality) ->
+                Hashtbl.replace tbl c.Enumerate.crit_tuple c.Enumerate.crit_float)
+              (Enumerate.criticality fam)
+          | Session.Query_false | Session.No_contingency | Session.Budget_exhausted _ ->
+            ());
+          fun tid -> Some (Option.value (Hashtbl.find_opt tbl tid) ~default:0.)
+        end
+      in
       if json then begin
         let row (tid, k, rho) =
-          Printf.sprintf {|{"tuple":"%s","k":%d,"responsibility":%g}|}
-            (json_escape (Database_io.print_tuple db tid))
-            k rho
+          match crit_of tid with
+          | Some c ->
+            Printf.sprintf {|{"tuple":"%s","k":%d,"responsibility":%g,"criticality":%g}|}
+              (json_escape (Database_io.print_tuple db tid))
+              k rho c
+          | None ->
+            Printf.sprintf {|{"tuple":"%s","k":%d,"responsibility":%g}|}
+              (json_escape (Database_io.print_tuple db tid))
+              k rho
         in
         print_endline ("[" ^ String.concat "," (List.map row ranked) ^ "]");
         0
@@ -493,11 +671,21 @@ let rank_cmd =
           print_endline "no rankable tuples (query false, or no endogenous witness tuple)";
           1
         | ranked ->
-          Printf.printf "%-44s %5s %14s\n" "tuple" "k" "responsibility";
-          List.iter
-            (fun (tid, k, rho) ->
-              Printf.printf "%-44s %5d %14g\n" (Database_io.print_tuple db tid) k rho)
-            ranked;
+          if all then begin
+            Printf.printf "%-44s %5s %14s %14s\n" "tuple" "k" "responsibility" "criticality";
+            List.iter
+              (fun (tid, k, rho) ->
+                Printf.printf "%-44s %5d %14g %14g\n" (Database_io.print_tuple db tid) k rho
+                  (Option.value (crit_of tid) ~default:0.))
+              ranked
+          end
+          else begin
+            Printf.printf "%-44s %5s %14s\n" "tuple" "k" "responsibility";
+            List.iter
+              (fun (tid, k, rho) ->
+                Printf.printf "%-44s %5d %14g\n" (Database_io.print_tuple db tid) k rho)
+              ranked
+          end;
           0
       end
   in
@@ -529,10 +717,12 @@ let rank_cmd =
        ~doc:
          "Rank every endogenous tuple by responsibility for the query answer (minimal \
           contingency size k, responsibility 1/(1+k), best first), batched through one \
-          warm-started solve session")
+          warm-started solve session. With $(b,--all-solutions), also enumerate the \
+          resilience family and add each tuple's criticality (fraction of minimum \
+          contingency sets containing it).")
     Term.(
-      const run $ data_arg $ bag_arg $ exact_arg $ lint_arg $ json $ jobs $ basis $ trace_arg
-      $ stats_arg $ query)
+      const run $ data_arg $ bag_arg $ exact_arg $ lint_arg $ all_arg $ json $ jobs $ basis
+      $ trace_arg $ stats_arg $ query)
 
 (* ----- explain ----------------------------------------------------------- *)
 

@@ -497,6 +497,109 @@ let serve_incremental case =
   | Gen.Db c -> serve_incremental_db case.Gen.seed c
   | Gen.Lp _ -> Pass
 
+(* ----- solution enumeration -------------------------------------------------- *)
+
+(* The enumeration engine vs exhaustive search: every path that streams
+   minimum contingency sets — the warm session (float, exact, parallel) and
+   the cold no-presolve reference — must return EXACTLY the brute-force
+   family, in canonical order, with a criticality table re-derivable from
+   the sets.  Small instances only: the brute force walks all 2^n subsets. *)
+let enumeration_complete ({ sem; q; db } : Gen.db_case) =
+  let crit_check label (f : Enumerate.family) =
+    let crits = Enumerate.criticality f in
+    let total = List.length f.Enumerate.sets in
+    let count_of tid = List.length (List.filter (List.mem tid) f.Enumerate.sets) in
+    let rec go = function
+      | [] ->
+        (* Every membership is counted exactly once: sum of per-tuple
+           counts = sum of set sizes. *)
+        let sum_counts =
+          List.fold_left (fun a (c : Enumerate.criticality) -> a + c.Enumerate.crit_count) 0 crits
+        in
+        let sum_sizes = List.fold_left (fun a s -> a + List.length s) 0 f.Enumerate.sets in
+        if sum_counts <> sum_sizes then
+          failf "%s: criticality counts sum to %d but set sizes sum to %d" label sum_counts
+            sum_sizes
+        else Pass
+      | (c : Enumerate.criticality) :: rest ->
+        if c.Enumerate.crit_total <> total then
+          failf "%s: criticality total %d <> family size %d" label c.Enumerate.crit_total total
+        else if c.Enumerate.crit_count <> count_of c.Enumerate.crit_tuple then
+          failf "%s: t%d criticality count %d <> recount %d" label c.Enumerate.crit_tuple
+            c.Enumerate.crit_count
+            (count_of c.Enumerate.crit_tuple)
+        else if c.Enumerate.crit_count <= 0 || c.Enumerate.crit_count > total then
+          failf "%s: t%d criticality count %d outside (0, %d]" label c.Enumerate.crit_tuple
+            c.Enumerate.crit_count total
+        else if
+          Float.abs
+            (c.Enumerate.crit_float
+            -. (float_of_int c.Enumerate.crit_count /. float_of_int total))
+          > 1e-9
+        then failf "%s: t%d criticality float %g <> %d/%d" label c.Enumerate.crit_tuple
+               c.Enumerate.crit_float c.Enumerate.crit_count total
+        else if
+          not (Numeric.Rat.equal c.Enumerate.crit_exact (Numeric.Rat.of_ints c.Enumerate.crit_count total))
+        then
+          failf "%s: t%d criticality exact %s <> %d/%d" label c.Enumerate.crit_tuple
+            (Numeric.Rat.to_string c.Enumerate.crit_exact)
+            c.Enumerate.crit_count total
+        else go rest
+    in
+    go crits
+  in
+  let check ~brute label outcome =
+    match (outcome, brute) with
+    | Solve.Solved f, Some (w, sets) ->
+      if f.Enumerate.opt <> w then failf "%s: opt %d <> brute force %d" label f.Enumerate.opt w
+      else if not f.Enumerate.exhausted then
+        failf "%s: not exhausted on an unbudgeted small instance" label
+      else if f.Enumerate.sets <> sets then
+        failf "%s: %d set(s) <> brute force %d (or the sets themselves differ)" label
+          (List.length f.Enumerate.sets)
+          (List.length sets)
+      else crit_check label f
+    | Solve.Solved f, None ->
+      failf "%s: enumerated %d set(s), brute force found none" label (List.length f.Enumerate.sets)
+    | (Solve.Query_false | Solve.No_contingency), Some (w, _) ->
+      failf "%s: says no family, brute force found opt %d" label w
+    | (Solve.Query_false | Solve.No_contingency), None -> Pass
+    | Solve.Budget_exhausted _, _ -> failf "%s: budget exhausted on an unbudgeted solve" label
+  in
+  let of_cold = function
+    | Enumerate.Family f -> Solve.Solved f
+    | Enumerate.Query_false -> Solve.Query_false
+    | Enumerate.No_contingency -> Solve.No_contingency
+    | Enumerate.Budget -> Solve.Budget_exhausted None
+  in
+  let bres = Bruteforce.resilience_family sem q db in
+  all_of
+    ([
+       (fun () -> check ~brute:bres "RES warm float" (Solve.enumerate_resilience sem q db));
+       (fun () ->
+         check ~brute:bres "RES warm exact" (Solve.enumerate_resilience ~exact:true sem q db));
+       (fun () ->
+         check ~brute:bres "RES warm jobs=2" (Solve.enumerate_resilience ~jobs:2 sem q db));
+       (fun () -> check ~brute:bres "RES cold" (of_cold (Enumerate.resilience_cold sem q db)));
+       (fun () ->
+         check ~brute:bres "RES cold exact"
+           (of_cold (Enumerate.resilience_cold ~exact:true sem q db)));
+     ]
+    @
+    match Problem.endogenous_tuples q db with
+    | [] -> []
+    | tid :: _ ->
+      let brsp = Bruteforce.responsibility_family sem q db tid in
+      [
+        (fun () ->
+          check ~brute:brsp "RSP warm float" (Solve.enumerate_responsibility sem q db tid));
+        (fun () ->
+          check ~brute:brsp "RSP warm exact"
+            (Solve.enumerate_responsibility ~exact:true sem q db tid));
+        (fun () ->
+          check ~brute:brsp "RSP cold" (of_cold (Enumerate.responsibility_cold sem q db tid)));
+      ])
+
 (* ----- the matrix ---------------------------------------------------------- *)
 
 let small_db case =
@@ -580,6 +683,14 @@ let all =
       descr = "float branch-and-bound = exact rational branch-and-bound (small programs)";
       applies = small_lp;
       check = on_lp lp_float_vs_exact;
+    };
+    {
+      name = "enumeration_complete";
+      descr =
+        "enumeration (warm float/exact/parallel, cold reference) = brute-force family, with \
+         criticality cross-check (small instances)";
+      applies = small_db;
+      check = on_db enumeration_complete;
     };
     {
       name = "serve_incremental";

@@ -93,10 +93,9 @@ let with_rows frozen row_ids =
             (fun i -> (Lp.Frozen.row_sense frozen i, Lp.Frozen.row_rhs frozen i, Lp.Frozen.row_expr frozen i))
             row_ids))
 
-(* Rebuild a delta carrying [d]'s appends but only the bindings [bs] —
-   thinning a binding must never silently drop the append chain the
-   failure may depend on. *)
-let with_bindings d bs =
+(* Rebuild a delta from [d]'s appended columns, the given appended rows and
+   the given bindings, in that order. *)
+let rebuild d ~rows ~bindings =
   let base =
     List.fold_left
       (fun acc (name, integer, upper, obj) ->
@@ -109,9 +108,14 @@ let with_bindings d bs =
   let base =
     List.fold_left
       (fun acc (sense, rhs, expr) -> Lp.Frozen.Delta.append_row sense rhs expr acc)
-      base (Lp.Frozen.Delta.appended_rows d)
+      base rows
   in
-  List.fold_left (fun acc (v, k) -> Lp.Frozen.Delta.fix v k acc) base bs
+  List.fold_left (fun acc (v, k) -> Lp.Frozen.Delta.fix v k acc) base bindings
+
+(* Rebuild a delta carrying [d]'s appends but only the bindings [bs] —
+   thinning a binding must never silently drop the append chain the
+   failure may depend on. *)
+let with_bindings d bs = rebuild d ~rows:(Lp.Frozen.Delta.appended_rows d) ~bindings:bs
 
 let shrink_lp ~fails (c : Gen.lp_case) =
   let fails_lp c' = fails (Gen.Lp c') in
@@ -150,6 +154,58 @@ let shrink_lp ~fails (c : Gen.lp_case) =
       strip c (i + 1)
   in
   let c = strip c 0 in
+  (* 3b. thin appended-row chains uniformly across the delta sequence.
+     Enumeration-style sequences are monotone cut chains — each delta
+     re-appends its predecessor's rows plus one more no-good cut — and the
+     warm engine's basis absorption keys on exactly that prefix structure.
+     Dropping a row from one delta but not its successors would break the
+     chain and change which solves warm-start (masking the failure, or
+     manufacturing a different one), so a candidate deletion removes the
+     same appended row from every chain delta that carries it: the
+     survivor is still a monotone chain over the surviving cuts. *)
+  let c =
+    let reference =
+      List.fold_left
+        (fun acc d ->
+          let r = Lp.Frozen.Delta.appended_rows d in
+          if List.length r > List.length acc then r else acc)
+        [] c.Gen.deltas
+    in
+    let napp = List.length reference in
+    if napp = 0 then c
+    else begin
+      let apply keep_idx =
+        let keep = Array.make napp false in
+        List.iter (fun i -> keep.(i) <- true) keep_idx;
+        {
+          c with
+          Gen.deltas =
+            List.map
+              (fun d ->
+                let rows = Lp.Frozen.Delta.appended_rows d in
+                (* only rewrite deltas that are prefixes of the reference
+                   chain; unrelated append lists are left untouched *)
+                let is_prefix =
+                  List.length rows <= napp
+                  && List.for_all2 (fun a b -> a = b) rows
+                       (List.filteri (fun i _ -> i < List.length rows) reference)
+                in
+                if not is_prefix then d
+                else
+                  rebuild d
+                    ~rows:(List.filteri (fun i _ -> keep.(i)) rows)
+                    ~bindings:(Lp.Frozen.Delta.bindings d))
+              c.Gen.deltas;
+        }
+      in
+      let kept =
+        reduce_list
+          ~keeps_failing:(fun keep -> fails_lp (apply keep))
+          (List.init napp (fun i -> i))
+      in
+      apply kept
+    end
+  in
   (* 4. thin each surviving delta's bindings (appends kept intact) *)
   let rec thin c i =
     if i >= nd then c

@@ -26,6 +26,45 @@ let subsets_best candidates cost accept =
   done;
   !best
 
+(* Family variant: collect *every* accepted subset of minimum total weight.
+   [subsets_best] prunes ties with a strict [w < b] test — correct for the
+   optimal value, but it silently drops equal-weight optima, so the family
+   collector must admit [w <= b] and reset/extend the accumulator. *)
+
+let subsets_family candidates cost accept =
+  let arr = Array.of_list candidates in
+  let n = Array.length arr in
+  let best = ref None in
+  let sets = ref [] in
+  let total = 1 lsl n in
+  for mask = 0 to total - 1 do
+    let rec weight i acc =
+      if i >= n then acc
+      else if mask land (1 lsl i) <> 0 then weight (i + 1) (acc + cost arr.(i))
+      else weight (i + 1) acc
+    in
+    let w = weight 0 0 in
+    let promising = match !best with Some b -> w <= b | None -> true in
+    if promising then begin
+      let chosen =
+        List.filteri (fun i _ -> mask land (1 lsl i) <> 0) (Array.to_list arr)
+      in
+      if accept chosen then
+        match !best with
+        | Some b when w = b -> sets := chosen :: !sets
+        | _ ->
+            best := Some w;
+            sets := [ chosen ]
+    end
+  done;
+  match !best with
+  | None -> None
+  | Some w ->
+      let canon =
+        List.sort_uniq compare (List.map (List.sort compare) !sets)
+      in
+      Some (w, canon)
+
 let resilience semantics q db =
   if not (Eval.holds q db) then None
   else begin
@@ -42,6 +81,29 @@ let responsibility semantics q db t =
     let endo = List.filter (fun tid -> tid <> t) (Problem.endogenous_tuples q db) in
     let cost tid = Problem.weight semantics (Database.tuple db tid) in
     subsets_best endo cost (fun gamma ->
+        let db' = Database.restrict db (fun info -> not (List.mem info.Database.id gamma)) in
+        Eval.holds q db'
+        &&
+        let db'' = Database.restrict db' (fun info -> info.Database.id <> t) in
+        not (Eval.holds q db''))
+  end
+
+let resilience_family semantics q db =
+  if not (Eval.holds q db) then None
+  else begin
+    let endo = Problem.endogenous_tuples q db in
+    let cost tid = Problem.weight semantics (Database.tuple db tid) in
+    subsets_family endo cost (fun gamma ->
+        let db' = Database.restrict db (fun info -> not (List.mem info.Database.id gamma)) in
+        not (Eval.holds q db'))
+  end
+
+let responsibility_family semantics q db t =
+  if not (Eval.holds q db) then None
+  else begin
+    let endo = List.filter (fun tid -> tid <> t) (Problem.endogenous_tuples q db) in
+    let cost tid = Problem.weight semantics (Database.tuple db tid) in
+    subsets_family endo cost (fun gamma ->
         let db' = Database.restrict db (fun info -> not (List.mem info.Database.id gamma)) in
         Eval.holds q db'
         &&

@@ -13,3 +13,17 @@ val resilience : Problem.semantics -> Cq.t -> Database.t -> int option
 val responsibility : Problem.semantics -> Cq.t -> Database.t -> Database.tuple_id -> int option
 (** Minimum total weight of a contingency set making the tuple
     counterfactual; [None] when impossible. *)
+
+val resilience_family :
+  Problem.semantics -> Cq.t -> Database.t ->
+  (int * Database.tuple_id list list) option
+(** The optimal value together with the {e complete} family of minimum-weight
+    contingency sets, each set sorted ascending and the family in canonical
+    (lexicographic, duplicate-free) order.  Ground truth for the enumeration
+    oracle; same exponential budget caveat as {!resilience}. *)
+
+val responsibility_family :
+  Problem.semantics -> Cq.t -> Database.t -> Database.tuple_id ->
+  (int * Database.tuple_id list list) option
+(** All minimum-weight contingency sets that make the tuple counterfactual,
+    in the same canonical order as {!resilience_family}. *)

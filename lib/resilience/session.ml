@@ -18,6 +18,13 @@ type stats = {
 let c_certified = Obs.Counter.create "solve.certified"
 let c_certified_structural = Obs.Counter.create "solve.certified_structural"
 
+(* Enumeration telemetry: no-good cuts appended, optimal sets streamed, and
+   enumerations that proved their family complete (final re-solve
+   infeasible) rather than stopping on a cap or budget. *)
+let c_enum_cuts = Obs.Counter.create "enum.cuts"
+let c_enum_solutions = Obs.Counter.create "enum.solutions"
+let c_enum_exhausted = Obs.Counter.create "enum.exhausted"
+
 type 'a outcome =
   | Solved of 'a
   | Query_false
@@ -220,6 +227,56 @@ let translate vm delta =
       (Some Lp.Frozen.Delta.empty)
       (Lp.Frozen.Delta.bindings delta)
 
+(* Appended rows (the enumeration pin and no-good cuts are phrased against
+   raw shared-model variables, like the bound fixes) are renumbered through
+   the presolve witness too: kept variables map to their reduced index,
+   eliminated variables fold their fixed value into the right-hand side.  A
+   row whose left-hand side vanishes entirely is checked as a constant —
+   dropped when satisfied, the whole delta infeasible otherwise.  The
+   translation is deterministic row by row, so a monotone chain of raw
+   appends translates to a monotone chain of reduced appends and the warm
+   engine still absorbs each new cut as a basis-intact suffix
+   ([Frozen.Delta.extends] compares structurally). *)
+let translate_row vm (sense, rhs, expr) =
+  let entries, rhs =
+    List.fold_left
+      (fun (es, rhs) (v, c) ->
+        match Lp.Presolve.var_image vm v with
+        | `Kept j -> ((j, c) :: es, rhs)
+        | `Fixed k -> (es, rhs - (c * k)))
+      ([], rhs) expr
+  in
+  match List.sort (fun (a, _) (b, _) -> compare a b) entries with
+  | [] ->
+    let sat =
+      match sense with
+      | Lp.Model.Leq -> 0 <= rhs
+      | Lp.Model.Geq -> 0 >= rhs
+      | Lp.Model.Eq -> rhs = 0
+    in
+    if sat then `Drop else `Infeasible
+  | entries -> `Row (sense, rhs, entries)
+
+let translate_full vm delta =
+  match vm with
+  | None -> Some delta
+  | Some vm_ -> (
+    match translate vm delta with
+    | None -> None
+    | Some d ->
+      List.fold_left
+        (fun acc row ->
+          match acc with
+          | None -> None
+          | Some d -> (
+            match translate_row vm_ row with
+            | `Drop -> Some d
+            | `Infeasible -> None
+            | `Row (sense, rhs, entries) ->
+              Some (Lp.Frozen.Delta.append_row sense rhs entries d)))
+        (Some d)
+        (Lp.Frozen.Delta.appended_rows delta))
+
 let offset_of vm = match vm with Some vm -> Lp.Presolve.obj_offset vm | None -> 0
 
 let lift_sol vm ~of_int sol =
@@ -268,7 +325,7 @@ let rsp_delta core t =
    nothing for the probe. *)
 let run_engine ?node_limit ?time_limit prep engine delta =
   let t0 = Lp.Clock.now () in
-  match translate prep.pvm delta with
+  match translate_full prep.pvm delta with
   | None -> `Infeasible
   | Some d ->
     let foffset = float_of_int (offset_of prep.pvm) in
@@ -535,6 +592,167 @@ let ranking_par ?node_limit ?time_limit ?(jobs = 0) t =
         (record_rankings t
            (List.mapi (fun i outcome -> (cands.(i), outcome)) (Array.to_list outcomes)))
     end
+
+(* --- Solution enumeration -------------------------------------------------- *)
+
+(* The pin row's left-hand side: every weighted tuple variable of the raw
+   shared program (witness indicators and the slack carry no weight), which
+   by construction is exactly the objective — so [sum w_t X(t) <= OPT]
+   confines every later solve to the optimal face. *)
+let enum_pin_expr t core =
+  Enumerate.pin_expr
+    (List.map
+       (fun (v, tid) -> (v, Problem.weight t.ssem (Database.tuple t.sdb tid)))
+       core.cshared.Encode.stuple_of_var)
+
+(* One warm ILP solve under the delta, shaped for [Enumerate.drive]: the
+   cut chain grows monotonically on one engine, so each re-solve absorbs
+   only the newest row and restarts from the previous optimal basis. *)
+let enum_run ?node_limit core prep engine time_left delta =
+  let time_limit =
+    match time_left with Some l -> Some (Float.max l 0.) | None -> None
+  in
+  match run_engine ?node_limit ?time_limit prep engine delta with
+  | `Infeasible -> `Infeasible
+  | `Budget _ -> `Budget
+  | `Ok (obj, sol, st) ->
+    `Ok (round_value obj, read_tuples core sol, (st.nodes, st.pivots, st.refactors))
+
+let var_of_tuple core tid = Hashtbl.find_opt core.cshared.Encode.svar_of_tuple tid
+
+(* Parallel enumeration by disjoint seed-split on the first optimum
+   S0 = {s_1 < ... < s_k} (Lawler/Murty partition): subspace i keeps
+   s_1..s_{i-1}, drops s_i — bound fixes, not cuts.  Any other optimal set
+   is no superset of S0 (equal weight, weights >= 1), so it misses some
+   s_i and lands in exactly the subspace of the first one it misses; the
+   subspaces are pairwise disjoint and none contains S0 itself.  Each
+   subspace runs its own pinned cut chain on a fresh warm engine over the
+   shared frozen arrays; the merge is concatenation + canonical sort, so
+   an exhausted enumeration is identical at every job count. *)
+let enum_par ?node_limit ?time_limit ?cap ~jobs t core prep ~pin ~cut base =
+  let t0 = Lp.Clock.now () in
+  match enum_run ?node_limit core prep prep.pengine time_limit base with
+  | `Infeasible -> `Infeasible
+  | `Budget -> `Budget
+  | `Ok (opt, s0, (n0, p0, r0)) ->
+    let s0 = List.sort compare s0 in
+    if s0 = [] then
+      `Family
+        Enumerate.
+          {
+            opt;
+            sets = [ [] ];
+            exhausted = true;
+            fstats =
+              {
+                cuts = 0;
+                solves = 1;
+                nodes = n0;
+                first_pivots = p0;
+                cut_pivots = 0;
+                refactors = r0;
+                time = Lp.Clock.elapsed t0;
+              };
+          }
+    else begin
+      let seeds = Array.of_list s0 in
+      let k = Array.length seeds in
+      let fix tid f d =
+        match var_of_tuple core tid with Some v -> f v d | None -> d
+      in
+      let results =
+        Lp.Pool.with_pool ~jobs (fun pool ->
+            Lp.Pool.run pool ~tasks:k (fun i ->
+                let engine = engine_of ~exact:t.sexact ~kernel:t.sbasis prep.pfz in
+                let sub = ref base in
+                for j = 0 to i - 1 do
+                  sub := fix seeds.(j) Lp.Frozen.Delta.force_one !sub
+                done;
+                sub := fix seeds.(i) Lp.Frozen.Delta.fix_zero !sub;
+                Enumerate.collect ?cap ?time_limit ~t0 ~opt ~cut
+                  ~run:(enum_run ?node_limit core prep engine)
+                  ~seen:[] (pin opt !sub)))
+      in
+      let sets = ref [ s0 ] and exhausted = ref true in
+      let cuts = ref 0 and solves = ref 1 and nodes = ref n0 in
+      let cut_pivots = ref 0 and refactors = ref r0 in
+      Array.iter
+        (fun (ss, ex, (c, s, n, p, r)) ->
+          sets := ss @ !sets;
+          exhausted := !exhausted && ex;
+          cuts := !cuts + c;
+          solves := !solves + s;
+          nodes := !nodes + n;
+          cut_pivots := !cut_pivots + p;
+          refactors := !refactors + r)
+        results;
+      `Family
+        Enumerate.
+          {
+            opt;
+            sets = canonical !sets;
+            exhausted = !exhausted;
+            fstats =
+              {
+                cuts = !cuts;
+                solves = !solves;
+                nodes = !nodes;
+                first_pivots = p0;
+                cut_pivots = !cut_pivots;
+                refactors = !refactors;
+                time = Lp.Clock.elapsed t0;
+              };
+          }
+    end
+
+let enum_question ?node_limit ?time_limit ?cap ~jobs t core prep base =
+  Obs.Trace.with_span "session.enumerate" (fun () ->
+      let pin opt d =
+        Lp.Frozen.Delta.append_row Lp.Model.Leq opt (enum_pin_expr t core) d
+      in
+      let cut = Enumerate.no_good (var_of_tuple core) in
+      let result =
+        if jobs <= 1 then
+          Enumerate.drive ?cap ?time_limit ~pin ~cut
+            ~run:(enum_run ?node_limit core prep prep.pengine)
+            base
+        else enum_par ?node_limit ?time_limit ?cap ~jobs t core prep ~pin ~cut base
+      in
+      match result with
+      | `Infeasible -> No_contingency
+      | `Budget -> Budget_exhausted None
+      | `Family fam ->
+        Obs.Counter.add c_enum_cuts fam.Enumerate.fstats.Enumerate.cuts;
+        Obs.Counter.add c_enum_solutions (List.length fam.Enumerate.sets);
+        if fam.Enumerate.exhausted then Obs.Counter.incr c_enum_exhausted;
+        t.sacc.a_solve <- t.sacc.a_solve +. fam.Enumerate.fstats.Enumerate.time;
+        Solved fam)
+
+let enumerate_resilience ?node_limit ?time_limit ?(jobs = 1) ?cap t =
+  let jobs = if jobs = 0 then Lp.Pool.default_jobs () else jobs in
+  note_question t;
+  match t.state with
+  | Sfalse -> Query_false
+  | Snone -> No_contingency
+  | Sactive core -> (
+    match Lazy.force core.cprep with
+    | None -> No_contingency
+    | Some prep ->
+      enum_question ?node_limit ?time_limit ?cap ~jobs t core prep (res_delta core))
+
+let enumerate_responsibility ?node_limit ?time_limit ?(jobs = 1) ?cap t tid =
+  let jobs = if jobs = 0 then Lp.Pool.default_jobs () else jobs in
+  note_question t;
+  match t.state with
+  | Sfalse -> Query_false
+  | Snone -> No_contingency
+  | Sactive core -> (
+    match Lazy.force core.cprep with
+    | None -> No_contingency
+    | Some prep -> (
+      match rsp_delta core tid with
+      | None -> No_contingency
+      | Some base -> enum_question ?node_limit ?time_limit ?cap ~jobs t core prep base))
 
 (* --- Relaxation views ----------------------------------------------------- *)
 

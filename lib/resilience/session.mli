@@ -162,6 +162,45 @@ val ranking_par :
     same shape at every job count.  The session's database must not be
     mutated during the call. *)
 
+val enumerate_resilience :
+  ?node_limit:int ->
+  ?time_limit:float ->
+  ?jobs:int ->
+  ?cap:int ->
+  t ->
+  Enumerate.family outcome
+(** Stream {e every} minimum contingency set (DESIGN.md §13): after the
+    first optimum, an optimal-cost pin row and one no-good cut per emitted
+    set are appended to the question's delta and the warm engine re-solves
+    — each cut is a single appended row the dual-simplex session absorbs
+    basis-intact, so a re-solve costs a handful of pivots, not a cold
+    solve.  Always runs on the shared program (enumeration is one cut
+    chain, not a per-tuple batch, so the dense-regime fallback does not
+    apply).  The family is returned in canonical order with
+    [exhausted = true] when the final re-solve proved it complete;
+    [time_limit] bounds the whole chain (wall clock), [node_limit] each
+    solve, and [cap] the number of sets as a safety valve (a capped result
+    has [exhausted = false]).  [jobs > 1] splits the search into the
+    |S0| disjoint subspaces of a Lawler/Murty partition of the first
+    optimum, each enumerated on its own warm engine over the shared frozen
+    arrays; an exhausted enumeration returns the {e identical} family at
+    every job count ([jobs = 0] means {!Lp.Pool.default_jobs}).
+    [Budget_exhausted] is returned only when the budget died before the
+    first optimum; later budget stops return the partial family with
+    [exhausted = false]. *)
+
+val enumerate_responsibility :
+  ?node_limit:int ->
+  ?time_limit:float ->
+  ?jobs:int ->
+  ?cap:int ->
+  t ->
+  Database.tuple_id ->
+  Enumerate.family outcome
+(** All minimum contingency sets of RSP*(Q, D, t), same contract as
+    {!enumerate_resilience}.  The [OPT = 0] family is [{[[]]}] (the empty
+    set is the unique zero-weight set). *)
+
 val resilience_solution : t -> (float * (Database.tuple_id * float) list) option
 (** The {e LP relaxation} optimum of the resilience delta (integrality
     ignored), with the per-tuple fractional values — input to the rounding

@@ -220,6 +220,16 @@ let responsibility_lp ?(exact = false) ?(presolve = true) semantics q db t =
   | Encode.Trivial _ | Encode.Impossible -> None
   | Encode.Encoded enc -> Option.map fst (lp_optimum ~exact ~presolve enc)
 
+let enumerate_resilience ?exact ?presolve ?node_limit ?time_limit ?jobs ?cap semantics q db =
+  Session.enumerate_resilience ?node_limit ?time_limit ?jobs ?cap
+    (Session.create ?exact ?presolve semantics q db)
+
+let enumerate_responsibility ?exact ?presolve ?node_limit ?time_limit ?jobs ?cap semantics q db
+    t =
+  Session.enumerate_responsibility ?node_limit ?time_limit ?jobs ?cap
+    (Session.create ?exact ?presolve semantics q db)
+    t
+
 let responsibility_ranking ?exact ?presolve semantics q db =
   Session.ranking (Session.create ?exact ?presolve semantics q db)
 

@@ -107,6 +107,35 @@ val responsibility_lp :
 (** LP[RSP*] — a lower bound that is {e not} exact even on easy queries
     (Example 4). *)
 
+val enumerate_resilience :
+  ?exact:bool ->
+  ?presolve:bool ->
+  ?node_limit:int ->
+  ?time_limit:float ->
+  ?jobs:int ->
+  ?cap:int ->
+  Problem.semantics ->
+  Cq.t ->
+  Database.t ->
+  Enumerate.family outcome
+(** Every minimum contingency set of RES*(Q, D), via a fresh
+    {!Session.enumerate_resilience} — pay witnesses/encode/presolve once,
+    then one warm no-good-cut chain. *)
+
+val enumerate_responsibility :
+  ?exact:bool ->
+  ?presolve:bool ->
+  ?node_limit:int ->
+  ?time_limit:float ->
+  ?jobs:int ->
+  ?cap:int ->
+  Problem.semantics ->
+  Cq.t ->
+  Database.t ->
+  Database.tuple_id ->
+  Enumerate.family outcome
+(** Every minimum contingency set of RSP*(Q, D, t), same contract. *)
+
 val responsibility_ranking :
   ?exact:bool ->
   ?presolve:bool ->

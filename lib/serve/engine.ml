@@ -222,6 +222,55 @@ let rsp_reply t = function
   | Session.No_contingency -> Result (Json.Obj [ ("status", Json.Str "no_contingency") ])
   | Session.Budget_exhausted incumbent -> timeout_err incumbent
 
+let enum_stats_json (s : Enumerate.stats) =
+  Json.Obj
+    [
+      ("cuts", Json.Int s.Enumerate.cuts);
+      ("solves", Json.Int s.Enumerate.solves);
+      ("nodes", Json.Int s.Enumerate.nodes);
+      ("first_pivots", Json.Int s.Enumerate.first_pivots);
+      ("cut_pivots", Json.Int s.Enumerate.cut_pivots);
+      ("refactors", Json.Int s.Enumerate.refactors);
+      ("solve_ms", Json.Float (1000. *. s.Enumerate.time));
+    ]
+
+(* The full family is enumerated and counted; [limit] only truncates the
+   reported sets (canonical order), so a limited reply is a prefix of the
+   unlimited one and ["count"] still reports the family size. *)
+let enum_reply t limit = function
+  | Session.Solved fam ->
+    let shown =
+      match limit with
+      | Some n -> Enumerate.take n fam.Enumerate.sets
+      | None -> fam.Enumerate.sets
+    in
+    let crit_row (c : Enumerate.criticality) =
+      Json.Obj
+        [
+          ("tuple", Json.Str (Database_io.print_tuple t.db c.Enumerate.crit_tuple));
+          ("count", Json.Int c.Enumerate.crit_count);
+          ("total", Json.Int c.Enumerate.crit_total);
+          ("criticality", Json.Float c.Enumerate.crit_float);
+          ("exact", Json.Str (Numeric.Rat.to_string c.Enumerate.crit_exact));
+        ]
+    in
+    Result
+      (Json.Obj
+         [
+           ("status", Json.Str "solved");
+           ("value", Json.Int fam.Enumerate.opt);
+           ("count", Json.Int (List.length fam.Enumerate.sets));
+           ("exhausted", Json.Bool fam.Enumerate.exhausted);
+           ("sets", Json.List (List.map (tuples_json t) shown));
+           ( "criticality",
+             Json.List (List.map crit_row (Enumerate.criticality fam)) );
+           ("stats", enum_stats_json fam.Enumerate.fstats);
+         ])
+  | Session.Query_false ->
+    Result (Json.Obj [ ("status", Json.Str "query_false"); ("value", Json.Int 0) ])
+  | Session.No_contingency -> Result (Json.Obj [ ("status", Json.Str "no_contingency") ])
+  | Session.Budget_exhausted incumbent -> timeout_err incumbent
+
 let do_ask t (a : Protocol.ask) =
   match Cq_parser.parse_with t.db a.Protocol.query with
   | exception Invalid_argument msg -> Err (Protocol.Bad_query, msg, None)
@@ -245,6 +294,25 @@ let do_ask t (a : Protocol.ask) =
           match Database.find t.db info.Database.rel info.Database.args with
           | None -> Err (Protocol.Not_found, "tuple not found", None)
           | Some tid -> rsp_reply t (Incremental.responsibility ?time_limit inc tid)))
+      | Protocol.Enumerate target -> (
+        (* Enumeration rides the same maintained incremental session the
+           point questions use: the warm engine, witnesses and presolve are
+           all reused, the cut chain is per-request delta state. *)
+        let ses = Incremental.session inc in
+        match target with
+        | None ->
+          enum_reply t a.Protocol.limit
+            (Session.enumerate_resilience ?time_limit ~jobs:a.Protocol.jobs ses)
+        | Some tuple -> (
+          match parse_tuple t tuple with
+          | Error msg -> Err (Protocol.Bad_request, msg, None)
+          | Ok info -> (
+            match Database.find t.db info.Database.rel info.Database.args with
+            | None -> Err (Protocol.Not_found, "tuple not found", None)
+            | Some tid ->
+              enum_reply t a.Protocol.limit
+                (Session.enumerate_responsibility ?time_limit ~jobs:a.Protocol.jobs ses
+                   tid))))
       | Protocol.Rank ->
         let ranked =
           Incremental.ranking_par ?time_limit ~jobs:a.Protocol.jobs inc

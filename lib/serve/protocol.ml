@@ -7,6 +7,7 @@ type question =
   | Resilience
   | Responsibility of string  (* tuple in text format, e.g. "S(1,1)" *)
   | Rank
+  | Enumerate of string option  (* None: resilience family; Some t: t's family *)
 
 type ask = {
   query : string;
@@ -14,6 +15,7 @@ type ask = {
   exact : bool;
   deadline_ms : int option;
   jobs : int;
+  limit : int option;  (* enumerate only: truncate the reported family *)
   question : question;
 }
 
@@ -75,7 +77,7 @@ let rec decode depth j =
     | "delete" ->
       let* tuple = str_field j "tuple" in
       Ok (Delete tuple)
-    | "resilience" | "responsibility" | "rank" ->
+    | "resilience" | "responsibility" | "rank" | "enumerate" ->
       let* query = str_field j "query" in
       let bool_field name default =
         match Json.member name j with
@@ -104,15 +106,32 @@ let rec decode depth j =
           | Some _ -> Error "negative \"jobs\" field"
           | None -> Error "non-integer \"jobs\" field")
       in
+      let* limit =
+        match Json.member "limit" j with
+        | None -> Ok None
+        | Some v -> (
+          match Json.to_int_opt v with
+          | Some n when n >= 0 -> Ok (Some n)
+          | Some _ -> Error "negative \"limit\" field"
+          | None -> Error "non-integer \"limit\" field")
+      in
       let* question =
         match op with
         | "resilience" -> Ok Resilience
         | "rank" -> Ok Rank
+        | "enumerate" ->
+          (* The tuple is optional: present means the responsibility family
+             of that tuple, absent the resilience family. *)
+          (match Json.member "tuple" j with
+          | None -> Ok (Enumerate None)
+          | Some _ ->
+            let* tuple = str_field j "tuple" in
+            Ok (Enumerate (Some tuple)))
         | _ ->
           let* tuple = str_field j "tuple" in
           Ok (Responsibility tuple)
       in
-      Ok (Ask { query; bag; exact; deadline_ms; jobs; question })
+      Ok (Ask { query; bag; exact; deadline_ms; jobs; limit; question })
     | "batch" ->
       if depth > 0 then Error "nested \"batch\" requests are not allowed"
       else
@@ -159,7 +178,7 @@ let parse_request line =
                  (List.mem op
                     [
                       "ping"; "stats"; "shutdown"; "load"; "insert"; "delete";
-                      "resilience"; "responsibility"; "rank"; "batch";
+                      "resilience"; "responsibility"; "rank"; "enumerate"; "batch";
                     ]) ->
           Unknown_op
         | _ -> Bad_request

@@ -17,7 +17,14 @@
     response.  This module is pure decode/encode — the state machine lives
     in {!Engine}. *)
 
-type question = Resilience | Responsibility of string | Rank
+type question =
+  | Resilience
+  | Responsibility of string
+  | Rank
+  | Enumerate of string option
+      (** [op:"enumerate"]: every minimum contingency set.  Without a
+          ["tuple"] field the resilience family; with one, that tuple's
+          responsibility family. *)
 
 type ask = {
   query : string;  (** Conjunctive query text, e.g. ["R(x,y), S(y,z)"]. *)
@@ -25,8 +32,15 @@ type ask = {
   exact : bool;
   deadline_ms : int option;
       (** Per-request wall-clock budget.  A non-positive deadline is
-          rejected up front ([timeout]) without touching the solver. *)
-  jobs : int;  (** Pool fan-out for [rank] (0 = all domains). *)
+          rejected up front ([timeout]) without touching the solver.  For
+          [enumerate] it bounds the whole cut chain: on expiry the partial
+          family streamed so far is returned with [exhausted:false]. *)
+  jobs : int;  (** Pool fan-out for [rank] and [enumerate] (0 = all domains). *)
+  limit : int option;
+      (** [enumerate] only: report at most this many sets.  Truncation is
+          presentation-level — the family is enumerated (and counted)
+          in full, then cut to the first [limit] sets of the canonical
+          order, so the reply is a prefix of the unlimited one. *)
   question : question;
 }
 

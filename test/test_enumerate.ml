@@ -1,0 +1,183 @@
+(* Enumeration engine: the streamed family of minimum contingency sets must
+   be a canonical, pairwise-distinct list of verified optima; complete
+   against the brute-force family on small instances; bit-identical across
+   jobs counts, warm vs cold re-encode, and float vs exact arithmetic; and
+   the derived surfaces (take, diverse, criticality) must respect the
+   family they were computed from. *)
+
+open Relalg
+open Resilience
+
+let set_weight sem db s =
+  List.fold_left (fun acc tid -> acc + Problem.weight sem (Database.tuple db tid)) 0 s
+
+let rec pairwise_distinct = function
+  | [] -> true
+  | s :: rest -> (not (List.mem s rest)) && pairwise_distinct rest
+
+(* Collapse an outcome to its comparable payload: stats carry wall-clock
+   time and may legitimately differ between two equal enumerations. *)
+let key = function
+  | Session.Solved f -> `Solved (f.Enumerate.opt, f.Enumerate.sets, f.Enumerate.exhausted)
+  | Session.Query_false -> `Query_false
+  | Session.No_contingency -> `No_contingency
+  | Session.Budget_exhausted _ -> `Budget
+
+let cold_key = function
+  | Enumerate.Family f -> `Solved (f.Enumerate.opt, f.Enumerate.sets, f.Enumerate.exhausted)
+  | Enumerate.Query_false -> `Query_false
+  | Enumerate.No_contingency -> `No_contingency
+  | Enumerate.Budget -> `Budget
+
+let first_endo q db =
+  match Problem.endogenous_tuples q db with [] -> None | tid :: _ -> Some tid
+
+(* 1. Every emitted set is a real contingency attaining the optimum, the
+   family is canonical, duplicate-free, and flagged exhausted. *)
+let prop_family_valid =
+  Harness.seeded_prop ~count:150 "every enumerated set verifies at the optimal weight"
+    (fun rng ->
+      let sem, q, db = Harness.random_case rng in
+      match Solve.enumerate_resilience sem q db with
+      | Session.Solved f ->
+        f.Enumerate.exhausted
+        && pairwise_distinct f.Enumerate.sets
+        && Enumerate.canonical f.Enumerate.sets = f.Enumerate.sets
+        && f.Enumerate.sets <> []
+        && List.for_all
+             (fun s ->
+               Solve.verify_contingency sem q db s
+               && set_weight sem db s = f.Enumerate.opt)
+             f.Enumerate.sets
+      | _ -> true)
+
+(* 2. On instances small enough to brute-force, the family is exactly the
+   exhaustive reference — no missing optimum, no extra set. *)
+let prop_exhaustive =
+  Harness.seeded_prop ~count:120 "family matches the brute-force reference on small instances"
+    (fun rng ->
+      let sem, q, db = Harness.random_case rng in
+      if List.length (Problem.endogenous_tuples q db) > 12 then true
+      else
+        match (Solve.enumerate_resilience sem q db, Bruteforce.resilience_family sem q db) with
+        | Session.Solved f, Some (w, sets) ->
+          f.Enumerate.opt = w && f.Enumerate.sets = sets && f.Enumerate.exhausted
+        | (Session.Query_false | Session.No_contingency), None -> true
+        | _ -> false)
+
+(* 3. Responsibility families: every set verifies via the counterfactual
+   check, and on small instances the family is the brute-force one. *)
+let prop_responsibility =
+  Harness.seeded_prop ~count:120 "responsibility family verifies and matches brute force"
+    (fun rng ->
+      let sem, q, db = Harness.random_case rng in
+      match first_endo q db with
+      | None -> true
+      | Some tid -> (
+        let brute =
+          if List.length (Problem.endogenous_tuples q db) > 12 then `Skip
+          else `Ref (Bruteforce.responsibility_family sem q db tid)
+        in
+        match Solve.enumerate_responsibility sem q db tid with
+        | Session.Solved f ->
+          f.Enumerate.exhausted
+          && pairwise_distinct f.Enumerate.sets
+          && List.for_all
+               (fun s ->
+                 Solve.verify_responsibility_set q db tid s
+                 && set_weight sem db s = f.Enumerate.opt)
+               f.Enumerate.sets
+          && (match brute with
+             | `Skip -> true
+             | `Ref (Some (w, sets)) -> f.Enumerate.opt = w && f.Enumerate.sets = sets
+             | `Ref None -> false)
+        | Session.Query_false | Session.No_contingency -> (
+          match brute with `Skip -> true | `Ref r -> r = None)
+        | Session.Budget_exhausted _ -> false))
+
+(* 4. [take n] is presentation-level truncation: an exact prefix of the full
+   order, and [diverse] is a permutation keeping the canonical head. *)
+let prop_take_diverse =
+  Harness.seeded_prop ~count:120 "take is a prefix; diverse is a head-preserving permutation"
+    (fun rng ->
+      let sem, q, db = Harness.random_case rng in
+      match Solve.enumerate_resilience sem q db with
+      | Session.Solved f ->
+        let sets = f.Enumerate.sets in
+        let len = List.length sets in
+        let n = Random.State.int rng (len + 2) in
+        Enumerate.take n sets = List.filteri (fun i _ -> i < n) sets
+        && Enumerate.take (-1) sets = sets
+        &&
+        let d = Enumerate.diverse sets in
+        List.length d = len
+        && List.sort compare d = List.sort compare sets
+        && List.hd d = List.hd sets
+      | _ -> true)
+
+(* 5. Criticality: counts bounded by the family size, floats agreeing with
+   the exact rational, and the counts summing to the total set mass. *)
+let prop_criticality =
+  Harness.seeded_prop ~count:120 "criticality fractions are consistent with the family"
+    (fun rng ->
+      let sem, q, db = Harness.random_case rng in
+      match Solve.enumerate_resilience sem q db with
+      | Session.Solved f ->
+        let total = List.length f.Enumerate.sets in
+        let crits = Enumerate.criticality f in
+        List.for_all
+          (fun c ->
+            c.Enumerate.crit_total = total
+            && c.Enumerate.crit_count > 0
+            && c.Enumerate.crit_count <= total
+            && c.Enumerate.crit_count
+               = List.length (List.filter (List.mem c.Enumerate.crit_tuple) f.Enumerate.sets)
+            && Numeric.Rat.equal c.Enumerate.crit_exact
+                 (Numeric.Rat.of_ints c.Enumerate.crit_count total)
+            && abs_float
+                 (c.Enumerate.crit_float
+                 -. (float_of_int c.Enumerate.crit_count /. float_of_int total))
+               < 1e-12
+            && c.Enumerate.crit_float > 0.
+            && c.Enumerate.crit_float <= 1.)
+          crits
+        && List.fold_left (fun a c -> a + c.Enumerate.crit_count) 0 crits
+           = List.fold_left (fun a s -> a + List.length s) 0 f.Enumerate.sets
+      | _ -> true)
+
+(* 6. The parallel seed-split merge is deterministic: jobs 1, 2 and 4 give
+   bit-identical families. *)
+let prop_jobs_identical =
+  Harness.seeded_prop ~count:100 "families are bit-identical at jobs 1, 2 and 4"
+    (fun rng ->
+      let sem, q, db = Harness.random_case rng in
+      let j1 = key (Solve.enumerate_resilience ~jobs:1 sem q db) in
+      let j2 = key (Solve.enumerate_resilience ~jobs:2 sem q db) in
+      let j4 = key (Solve.enumerate_resilience ~jobs:4 sem q db) in
+      j1 = j2 && j1 = j4)
+
+(* 7. The warm session chain, the cold fresh-solve reference, and the exact
+   rational engine all stream the same family. *)
+let prop_warm_cold_exact =
+  Harness.seeded_prop ~count:100 "warm, cold and exact enumerations agree"
+    (fun rng ->
+      let sem, q, db = Harness.random_case rng in
+      let warm = key (Solve.enumerate_resilience sem q db) in
+      let cold = cold_key (Enumerate.resilience_cold sem q db) in
+      let exact = key (Solve.enumerate_resilience ~exact:true sem q db) in
+      warm = cold && warm = exact)
+
+let () =
+  Alcotest.run "enumerate"
+    [ ("properties",
+       Harness.qtests
+         [
+           prop_family_valid;
+           prop_exhaustive;
+           prop_responsibility;
+           prop_take_diverse;
+           prop_criticality;
+           prop_jobs_identical;
+           prop_warm_cold_exact;
+         ]);
+    ]
