@@ -615,9 +615,12 @@ let basis_json snap0 snap1 =
     (get snap1 "simplex.eta_peak")
     (delta "simplex.refactors") ftran_frac
 
-let run_ranking ?(jobs = 1) ?(dense = false) ?(basis = `Auto) ?(force_shared = false) ?trace
-    scale json =
+let run_ranking ?(jobs = 1) ?(dense = false) ?(basis = `Auto) ?(force_shared = false)
+    ?(metrics = false) ?trace scale json =
   if trace <> None then Obs.Sink.install ();
+  (* [--metrics] arms the metrics plane for the whole run (no span
+     buffering): the CI overhead gate diffs session_s with and without it. *)
+  if metrics then Obs.Sink.arm_metrics ();
   let rng = Random.State.make [| 808 |] in
   let q = Queries.q2_chain () in
   let regime = if dense then "dense joins" else "sparse joins" in
@@ -715,6 +718,7 @@ let run_ranking ?(jobs = 1) ?(dense = false) ?(basis = `Auto) ?(force_shared = f
       end)
     [ 100; 200; 400 ];
   if json then Printf.printf "[%s]\n" (String.concat "," (List.rev !entries));
+  if metrics then Obs.Sink.disarm_metrics ();
   match trace with
   | None -> ()
   | Some path ->
@@ -725,15 +729,17 @@ let run_ranking ?(jobs = 1) ?(dense = false) ?(basis = `Auto) ?(force_shared = f
 
 (* ---- serve: steady-state cached latency vs cold one-shot ----------------------- *)
 
-let percentile p samples =
-  let a = Array.of_list samples in
-  Array.sort compare a;
-  let n = Array.length a in
-  if n = 0 then nan
-  else begin
-    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
-    a.(max 0 (min (n - 1) rank))
-  end
+(* Histogram-backed percentile reducer: samples feed a raw (ungated)
+   Obs.Histogram and quantiles come back within its bounded relative error
+   (~3.1%) — the same math the serve metrics plane reports, so bench
+   figures and production metrics agree on convention.  It also makes tail
+   quantiles (p999) meaningful without storing every sample. *)
+let hist_of samples =
+  let h = Obs.Histogram.create () in
+  List.iter (Obs.Histogram.observe h) samples;
+  h
+
+let percentile p h = Obs.Histogram.percentile h p
 
 (* The serve fast path in one number: a cached incremental session answers a
    repeated resilience question without re-running the witness join, the
@@ -749,8 +755,8 @@ let run_serve ?(jobs = 1) scale json =
     header
       (Printf.sprintf
          "Serve: steady-state cached latency vs cold one-shot (2-chain, set, jobs=%d)" jobs)
-      [ "tuples"; "witnesses"; "cold_p50"; "cold_p99"; "serve_p50"; "serve_p99"; "mutate_p50";
-        "rank_ms"; "speedup_p50" ];
+      [ "tuples"; "witnesses"; "cold_p50"; "cold_p99"; "serve_p50"; "serve_p99"; "serve_p999";
+        "mutate_p50"; "rank_ms"; "speedup_p50" ];
   let entries = ref [] in
   List.iter
     (fun count ->
@@ -809,15 +815,17 @@ let run_serve ?(jobs = 1) scale json =
                         ("jobs", Serve.Json.Int jobs);
                       ])))
         in
-        let cold_p50 = percentile 50.0 cold and cold_p99 = percentile 99.0 cold in
-        let serve_p50 = percentile 50.0 serve and serve_p99 = percentile 99.0 serve in
-        let mutate_p50 = percentile 50.0 mutate in
+        let cold_h = hist_of cold and serve_h = hist_of serve and mutate_h = hist_of mutate in
+        let cold_p50 = percentile 50.0 cold_h and cold_p99 = percentile 99.0 cold_h in
+        let serve_p50 = percentile 50.0 serve_h and serve_p99 = percentile 99.0 serve_h in
+        let serve_p999 = percentile 99.9 serve_h in
+        let mutate_p50 = percentile 50.0 mutate_h in
         let speedup = if serve_p50 > 0.0 then cold_p50 /. serve_p50 else nan in
         let tuples = List.length (Database.tuples db) in
         entries :=
           Printf.sprintf
-            "{\"tuples\":%d,\"witnesses\":%d,\"jobs\":%d,\"cold_p50_ms\":%.4f,\"cold_p99_ms\":%.4f,\"serve_p50_ms\":%.4f,\"serve_p99_ms\":%.4f,\"mutate_p50_ms\":%.4f,\"rank_ms\":%.4f,\"speedup_p50\":%.1f}"
-            tuples witnesses jobs cold_p50 cold_p99 serve_p50 serve_p99 mutate_p50
+            "{\"tuples\":%d,\"witnesses\":%d,\"jobs\":%d,\"cold_p50_ms\":%.4f,\"cold_p99_ms\":%.4f,\"serve_p50_ms\":%.4f,\"serve_p99_ms\":%.4f,\"serve_p999_ms\":%.4f,\"mutate_p50_ms\":%.4f,\"rank_ms\":%.4f,\"speedup_p50\":%.1f}"
+            tuples witnesses jobs cold_p50 cold_p99 serve_p50 serve_p99 serve_p999 mutate_p50
             (rank_t *. 1000.0) speedup
           :: !entries;
         if not json then
@@ -829,6 +837,7 @@ let run_serve ?(jobs = 1) scale json =
               Printf.sprintf "%.3fms" cold_p99;
               Printf.sprintf "%.3fms" serve_p50;
               Printf.sprintf "%.3fms" serve_p99;
+              Printf.sprintf "%.3fms" serve_p999;
               Printf.sprintf "%.3fms" mutate_p50;
               Printf.sprintf "%.3fms" (rank_t *. 1000.0);
               Printf.sprintf "%.1fx" speedup;
@@ -1054,14 +1063,25 @@ let force_shared_arg =
           "Disable the dense-regime fallback (dense_rows_threshold = max_int) so the shared \
            super-model path runs at any row count — how the crossover itself is measured")
 
+let metrics_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Arm the metrics plane (histograms, gauges, counters; no span buffering) for the \
+           whole run — the CI overhead gate compares session times with and without this \
+           flag")
+
 let ranking_cmd =
   Cmd.v (Cmd.info "ranking" ~doc:"responsibility ranking: warm session vs cold per-tuple solves")
     Term.(
-      const (fun scale json jobs dense basis force_shared trace ->
+      const (fun scale json jobs dense basis force_shared metrics trace ->
           let jobs = if jobs = 0 then Lp.Pool.default_jobs () else jobs in
-          run_ranking ~jobs ~dense ~basis ~force_shared ?trace scale json;
+          run_ranking ~jobs ~dense ~basis ~force_shared ~metrics ?trace scale json;
           0)
-      $ scale_arg $ json_arg $ jobs_arg $ dense_arg $ basis_arg $ force_shared_arg $ trace_arg)
+      $ scale_arg $ json_arg $ jobs_arg $ dense_arg $ basis_arg $ force_shared_arg
+      $ metrics_arg $ trace_arg)
 
 let run_all scale =
   run_table1 ();

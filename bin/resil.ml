@@ -128,19 +128,51 @@ let stats_arg =
           "Print flat telemetry JSON (counters and per-span totals) to stdout after the \
            command's own output")
 
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Arm the metrics plane for the command and print the Prometheus text exposition \
+           (latency histograms over a fixed bucket ladder, gauges, counters) to stdout \
+           after the command's own output")
+
+let runlog_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "runlog" ] ~docv:"FILE"
+        ~doc:
+          "Append one JSON line per ILP solve to FILE: the structural feature vector, the \
+           dispatch path taken (certified/relax/bb), and the observed cost — the training \
+           corpus for the adaptive portfolio")
+
 (* With [--trace]/[--stats] the whole command body runs under an installed
    sink and one top-level span, so the exported trace covers the command's
-   wall time; without either flag this is just [f ()] and every
-   instrumented site in the solve stack stays a single atomic load. *)
-let with_telemetry ~trace ~stats name f =
-  if trace = None && not stats then f ()
+   wall time.  [--metrics] arms the metrics plane (without span buffering)
+   and prints the Prometheus exposition at the end; [--runlog FILE] opens
+   the solve run-log for the command's duration.  With none of the flags
+   this is just [f ()] and every instrumented site in the solve stack stays
+   a single atomic load. *)
+let with_telemetry ?(metrics = false) ?(runlog = None) ~trace ~stats name f =
+  if trace = None && (not stats) && (not metrics) && runlog = None then f ()
   else begin
-    Obs.Sink.install ();
-    let code = Obs.Trace.with_span name f in
-    let spans = Obs.Trace.drain () in
-    Obs.Sink.uninstall ();
-    (match trace with Some path -> Obs.Export.chrome_to_file path spans | None -> ());
-    if stats then print_endline (Obs.Export.stats_json spans);
+    let sink = trace <> None || stats in
+    if sink then Obs.Sink.install ();
+    if metrics then Obs.Sink.arm_metrics ();
+    (match runlog with Some path -> Obs.Runlog.enable path | None -> ());
+    let code = if sink then Obs.Trace.with_span name f else f () in
+    (match runlog with Some _ -> Obs.Runlog.disable () | None -> ());
+    if sink then begin
+      let spans = Obs.Trace.drain () in
+      Obs.Sink.uninstall ();
+      (match trace with Some path -> Obs.Export.chrome_to_file path spans | None -> ());
+      if stats then print_endline (Obs.Export.stats_json spans)
+    end;
+    if metrics then begin
+      print_string (Obs.Metrics.prometheus ());
+      Obs.Sink.disarm_metrics ()
+    end;
     code
   end
 
@@ -191,7 +223,8 @@ let exact_arg = Arg.(value & flag & info [ "exact" ] ~doc:"Exact rational arithm
 (* ----- lint -------------------------------------------------------------- *)
 
 let lint_cmd =
-  let run data bag strict json query =
+  let run data bag strict json trace stats metrics query =
+    with_telemetry ~metrics ~trace ~stats "resil.lint" @@ fun () ->
     let db = load_db data in
     match parse_query db query with
     | Error msg ->
@@ -265,7 +298,9 @@ let lint_cmd =
          "Lint a query (and, with $(b,--data), an instance): structural defects, dichotomy \
           advisories, ILP model diagnostics and the presolve summary. Exit codes: 0 clean, \
           1 any error (or any warning with $(b,--strict)), 2 unparsable query.")
-    Term.(const run $ data_arg $ bag_arg $ strict_arg $ json $ query)
+    Term.(
+      const run $ data_arg $ bag_arg $ strict_arg $ json $ trace_arg $ stats_arg
+      $ metrics_arg $ query)
 
 (* ----- analyze ------------------------------------------------------------ *)
 
@@ -275,7 +310,8 @@ let complexity_name = function
   | Analysis.Unknown -> "unknown"
 
 let analyze_cmd =
-  let run data bag strict json query =
+  let run data bag strict json trace stats metrics query =
+    with_telemetry ~metrics ~trace ~stats "resil.analyze" @@ fun () ->
     let db = load_db data in
     match parse_query db query with
     | Error msg ->
@@ -346,7 +382,9 @@ let analyze_cmd =
           the matrix-structure integrality certificate, and their cross-layer consistency \
           (V-codes). Exit codes as for $(b,lint): 0 clean, 1 any error (or any warning \
           with $(b,--strict)), 2 unparsable query.")
-    Term.(const run $ data_arg $ bag_arg $ strict_arg $ json $ query)
+    Term.(
+      const run $ data_arg $ bag_arg $ strict_arg $ json $ trace_arg $ stats_arg
+      $ metrics_arg $ query)
 
 (* ----- solution enumeration (shared by resilience/responsibility) -------- *)
 
@@ -453,8 +491,8 @@ let print_family_text db ~nsets ~diverse label (fam : Enumerate.family) =
       crits)
 
 let resilience_cmd =
-  let run data bag exact lp lint all nsets diverse json jobs trace stats query =
-    with_telemetry ~trace ~stats "resil.resilience" @@ fun () ->
+  let run data bag exact lp lint all nsets diverse json jobs trace stats metrics runlog query =
+    with_telemetry ~metrics ~runlog ~trace ~stats "resil.resilience" @@ fun () ->
     let db = load_db data in
     match parse_query db query with
     | Error msg ->
@@ -524,13 +562,14 @@ let resilience_cmd =
     (Cmd.info "resilience" ~doc:"Minimum tuple deletions falsifying the query (ILP[RES*])")
     Term.(
       const run $ data_arg $ bag_arg $ exact_arg $ lp $ lint_arg $ all_arg $ nsets_arg
-      $ diverse_arg $ json $ jobs_arg $ trace_arg $ stats_arg $ query)
+      $ diverse_arg $ json $ jobs_arg $ trace_arg $ stats_arg $ metrics_arg $ runlog_arg
+      $ query)
 
 (* ----- responsibility --------------------------------------------------- *)
 
 let responsibility_cmd =
-  let run data bag exact lint all nsets diverse json jobs trace stats tuple query =
-    with_telemetry ~trace ~stats "resil.responsibility" @@ fun () ->
+  let run data bag exact lint all nsets diverse json jobs trace stats metrics runlog tuple query =
+    with_telemetry ~metrics ~runlog ~trace ~stats "resil.responsibility" @@ fun () ->
     let db = load_db data in
     match parse_query db query with
     | Error msg ->
@@ -609,13 +648,14 @@ let responsibility_cmd =
        ~doc:"Minimum contingency set making a tuple counterfactual (ILP[RSP*])")
     Term.(
       const run $ data_arg $ bag_arg $ exact_arg $ lint_arg $ all_arg $ nsets_arg
-      $ diverse_arg $ json $ jobs_arg $ trace_arg $ stats_arg $ tuple $ query)
+      $ diverse_arg $ json $ jobs_arg $ trace_arg $ stats_arg $ metrics_arg $ runlog_arg
+      $ tuple $ query)
 
 (* ----- rank -------------------------------------------------------------- *)
 
 let rank_cmd =
-  let run data bag exact lint all json jobs basis trace stats query =
-    with_telemetry ~trace ~stats "resil.rank" @@ fun () ->
+  let run data bag exact lint all json jobs basis trace stats metrics runlog query =
+    with_telemetry ~metrics ~runlog ~trace ~stats "resil.rank" @@ fun () ->
     let db = load_db data in
     match parse_query db query with
     | Error msg ->
@@ -722,7 +762,7 @@ let rank_cmd =
           contingency sets containing it).")
     Term.(
       const run $ data_arg $ bag_arg $ exact_arg $ lint_arg $ all_arg $ json $ jobs $ basis
-      $ trace_arg $ stats_arg $ query)
+      $ trace_arg $ stats_arg $ metrics_arg $ runlog_arg $ query)
 
 (* ----- explain ----------------------------------------------------------- *)
 
@@ -799,8 +839,8 @@ let fuzz_disc_json (d : Check.Fuzz.discrepancy) =
     | None -> "null")
 
 let fuzz_cmd =
-  let run seconds instances seed oracle_names json corpus no_shrink replay trace stats =
-    with_telemetry ~trace ~stats "resil.fuzz" @@ fun () ->
+  let run seconds instances seed oracle_names json corpus no_shrink replay trace stats metrics =
+    with_telemetry ~metrics ~trace ~stats "resil.fuzz" @@ fun () ->
     if List.exists (fun n -> n = "help" || n = "list") oracle_names then begin
       List.iter
         (fun (o : Check.Oracle.t) ->
@@ -937,7 +977,7 @@ let fuzz_cmd =
           Discrepancies are shrunk to minimal repros. Exits 1 if any discrepancy is found.")
     Term.(
       const run $ seconds $ instances $ seed $ oracle_names $ json $ corpus $ no_shrink $ replay
-      $ trace_arg $ stats_arg)
+      $ trace_arg $ stats_arg $ metrics_arg)
 
 (* ----- serve -------------------------------------------------------------- *)
 
@@ -954,10 +994,22 @@ let write_all fd s =
 (* One connected client: its fd plus the bytes of an incomplete line. *)
 type serve_client = { cfd : Unix.file_descr; cbuf : Buffer.t }
 
+(* Atomic-rename write of the Prometheus exposition, so a scraper never
+   reads a torn file. *)
+let write_metrics_file path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (Obs.Metrics.prometheus ());
+  close_out oc;
+  Sys.rename tmp path
+
 (* Answer every complete line buffered for the client; keep the partial
    tail.  Also used after shutdown to drain requests that were already on
-   the wire. *)
+   the wire.  [received_at] is the transport's read stamp: all lines of
+   this buffer arrived in the read that triggered us, so the gap to each
+   dispatch is genuine queueing (earlier requests of the same burst). *)
 let serve_process engine c =
+  let received_at = Obs.Clock.now () in
   let data = Buffer.contents c.cbuf in
   Buffer.clear c.cbuf;
   let rec go start =
@@ -966,24 +1018,28 @@ let serve_process engine c =
       | Some i ->
         let stop = if i > start && data.[i - 1] = '\r' then i - 1 else i in
         let line = String.sub data start (stop - start) in
-        write_all c.cfd (Serve.Engine.handle_line engine line ^ "\n");
+        write_all c.cfd (Serve.Engine.handle_line ~received_at engine line ^ "\n");
         go (i + 1)
       | None -> Buffer.add_substring c.cbuf data start (String.length data - start)
   in
   go 0
 
-let serve_stdio engine =
+(* [tick] runs once per loop iteration (each accepted line on stdio, each
+   select wakeup on sockets): the periodic metrics-file writer. *)
+let serve_stdio engine ~tick =
   (try
      while not (Serve.Engine.stopping engine) do
        let line = input_line stdin in
-       print_string (Serve.Engine.handle_line engine line);
+       let received_at = Obs.Clock.now () in
+       print_string (Serve.Engine.handle_line ~received_at engine line);
        print_newline ();
-       flush stdout
+       flush stdout;
+       tick ()
      done
    with End_of_file -> ());
   0
 
-let serve_socket engine listen_fd cleanup =
+let serve_socket engine ~tick listen_fd cleanup =
   let clients = ref [] in
   let close_client c =
     (try Unix.close c.cfd with Unix.Unix_error _ -> ());
@@ -997,6 +1053,7 @@ let serve_socket engine listen_fd cleanup =
     [ Sys.sigint; Sys.sigterm ];
   let scratch = Bytes.create 4096 in
   while not (Serve.Engine.stopping engine) do
+    tick ();
     let fds = listen_fd :: List.map (fun c -> c.cfd) !clients in
     match Unix.select fds [] [] 0.2 with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
@@ -1039,9 +1096,30 @@ let serve_socket engine listen_fd cleanup =
   0
 
 let serve_cmd =
-  let run stdio socket port data max_sessions max_line trace stats =
-    with_telemetry ~trace ~stats "resil.serve" @@ fun () ->
+  let run stdio socket port data max_sessions max_line trace stats metrics runlog
+      metrics_file metrics_every recorder_file =
+    with_telemetry ~metrics ~runlog ~trace ~stats "resil.serve" @@ fun () ->
     let engine = Serve.Engine.create ~max_sessions ~max_line () in
+    (* Periodic metrics-file writer, driven by the transport loop; plus a
+       final write and the flight-recorder dump on the way out, so a
+       post-mortem always has the last state. *)
+    let tick =
+      match metrics_file with
+      | None -> fun () -> ()
+      | Some path ->
+        let last = ref (Unix.gettimeofday ()) in
+        fun () ->
+          let now = Unix.gettimeofday () in
+          if now -. !last >= metrics_every then begin
+            last := now;
+            write_metrics_file path
+          end
+    in
+    let finish code =
+      (match metrics_file with Some path -> write_metrics_file path | None -> ());
+      (match recorder_file with Some path -> Obs.Recorder.dump_to_file path | None -> ());
+      code
+    in
     let preload_failed =
       match data with
       | None -> false
@@ -1061,8 +1139,8 @@ let serve_cmd =
           Printf.eprintf "serve: preload failed: %s\n" resp;
           true)
     in
-    if preload_failed then 1
-    else if stdio then serve_stdio engine
+    if preload_failed then finish 1
+    else if stdio then finish (serve_stdio engine ~tick)
     else
       match (socket, port) with
       | Some path, _ ->
@@ -1071,15 +1149,16 @@ let serve_cmd =
         Unix.bind fd (Unix.ADDR_UNIX path);
         Unix.listen fd 16;
         Printf.eprintf "resil serve: listening on %s\n%!" path;
-        serve_socket engine fd (fun () ->
-            try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+        finish
+          (serve_socket engine ~tick fd (fun () ->
+               try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ()))
       | None, Some p ->
         let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
         Unix.setsockopt fd Unix.SO_REUSEADDR true;
         Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, p));
         Unix.listen fd 16;
         Printf.eprintf "resil serve: listening on 127.0.0.1:%d\n%!" p;
-        serve_socket engine fd (fun () -> ())
+        finish (serve_socket engine ~tick fd (fun () -> ()))
       | None, None ->
         prerr_endline "serve: pass --stdio, --socket PATH, or --port N";
         124
@@ -1113,6 +1192,32 @@ let serve_cmd =
       & info [ "max-line" ] ~docv:"BYTES"
           ~doc:"Reject request lines larger than BYTES with the too_large error")
   in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-file" ] ~docv:"FILE"
+          ~doc:
+            "Write the Prometheus text exposition to FILE (atomic rename) every \
+             $(b,--metrics-every) seconds and once more at exit — a scrape target that \
+             needs no HTTP endpoint")
+  in
+  let metrics_every =
+    Arg.(
+      value
+      & opt float 10.
+      & info [ "metrics-every" ] ~docv:"S"
+          ~doc:"Seconds between $(b,--metrics-file) writes (default 10)")
+  in
+  let recorder_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "recorder-file" ] ~docv:"FILE"
+          ~doc:
+            "Dump the flight recorder (the last events of every domain) as JSON to FILE at \
+             exit — the post-mortem after a timeout, error or signal")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1123,7 +1228,7 @@ let serve_cmd =
           '{\"op\":\"ping\"}' | resil serve --stdio")
     Term.(
       const run $ stdio $ socket $ port $ data_arg $ max_sessions $ max_line $ trace_arg
-      $ stats_arg)
+      $ stats_arg $ metrics_arg $ runlog_arg $ metrics_file $ metrics_every $ recorder_file)
 
 let () =
   let doc = "resilience and causal responsibility via ILP (SIGMOD 2023 reproduction)" in

@@ -22,11 +22,11 @@ let create name =
   Mutex.unlock registry_mu;
   c
 
-let incr c = if Sink.active () then Atomic.incr c.cell
-let add c n = if Sink.active () then ignore (Atomic.fetch_and_add c.cell n)
+let incr c = if Sink.recording () then Atomic.incr c.cell
+let add c n = if Sink.recording () then ignore (Atomic.fetch_and_add c.cell n)
 
 let record_max c n =
-  if Sink.active () then begin
+  if Sink.recording () then begin
     let rec go () =
       let seen = Atomic.get c.cell in
       if n > seen && not (Atomic.compare_and_set c.cell seen n) then go ()

@@ -15,6 +15,7 @@ val chrome_to_file : string -> Trace.span list -> unit
 
 val stats_json : Trace.span list -> string
 (** [{"counters": {...}, "spans": {name: {"count": n, "total_s": s}},
-    "wall_s": s}] with keys sorted.  The counter key set is static (every
-    linked module registers its counters at init), so the schema does not
-    depend on the execution. *)
+    "wall_s": s}] with keys sorted.  The counter snapshot is live
+    ({!Counter.snapshot}); the solver's counters all register at
+    module-init time, so in practice the schema does not depend on the
+    execution. *)

@@ -1,0 +1,158 @@
+(* Log-linear bounded-relative-error histogram (HdrHistogram-style
+   buckets).  Each power-of-two octave of the value range is subdivided
+   into [sub] equal-width linear buckets, so reporting a bucket's midpoint
+   is off from any sample in the bucket by at most 1/(2*sub) relative — a
+   bound that holds at every quantile and survives merging, unlike a
+   sampled or sorted-array reducer.
+
+   Recording is sharded: each domain hashes to one of [nshards] shard
+   arrays of atomic cells, so concurrent observers contend only within a
+   shard.  Every cell is an integer and merging is integer addition —
+   commutative and associative — so a merged snapshot is bit-identical
+   regardless of how observations were spread over shards, i.e. identical
+   at every job count for the same multiset of values. *)
+
+let sub_bits = 4
+let sub = 1 lsl sub_bits (* 16 linear sub-buckets per octave *)
+
+(* frexp exponents covered: [e_min, e_max] spans ~2.3e-10 .. ~2.1e9, wide
+   enough for seconds-scale latencies and pivot/node counts alike.  Values
+   outside clamp to the first/last bucket. *)
+let e_min = -31
+let e_max = 31
+let nbuckets = (e_max - e_min + 1) * sub
+
+(* Relative half-width of one bucket: the error bound of [percentile]. *)
+let rel_error = 1. /. float_of_int (2 * sub)
+
+(* Fixed-point scale for the running sum (micro-units).  An integer sum
+   keeps the merge deterministic; saturating addition keeps overflow from
+   wrapping (saturation commutes for non-negative addends, so determinism
+   survives it). *)
+let sum_scale = 1e6
+
+let nshards = 8
+
+type shard = { counts : int Atomic.t array; total : int Atomic.t; sum_fp : int Atomic.t }
+
+type t = { shards : shard array }
+
+let create () =
+  {
+    shards =
+      Array.init nshards (fun _ ->
+          {
+            counts = Array.init nbuckets (fun _ -> Atomic.make 0);
+            total = Atomic.make 0;
+            sum_fp = Atomic.make 0;
+          });
+  }
+
+let index_of v =
+  if not (v > 0.) || Float.is_nan v then 0
+  else begin
+    let m, e = Float.frexp v in
+    (* v = m * 2^e with m in [0.5, 1) *)
+    if e < e_min then 0
+    else if e > e_max then nbuckets - 1
+    else begin
+      let s = int_of_float ((m -. 0.5) *. float_of_int (2 * sub)) in
+      let s = if s < 0 then 0 else if s >= sub then sub - 1 else s in
+      ((e - e_min) * sub) + s
+    end
+  end
+
+(* Bucket midpoint: the value reported for any sample in the bucket. *)
+let value_of idx =
+  let e = (idx / sub) + e_min and s = idx mod sub in
+  Float.ldexp (0.5 +. ((float_of_int s +. 0.5) /. float_of_int (2 * sub))) e
+
+let upper_of idx =
+  let e = (idx / sub) + e_min and s = idx mod sub in
+  Float.ldexp (0.5 +. (float_of_int (s + 1) /. float_of_int (2 * sub))) e
+
+let rec add_sat cell d =
+  let v = Atomic.get cell in
+  let nv = if v > max_int - d then max_int else v + d in
+  if not (Atomic.compare_and_set cell v nv) then add_sat cell d
+
+let fixed_point v =
+  if not (v > 0.) || Float.is_nan v then 0
+  else int_of_float (Float.min v 1e12 *. sum_scale)
+
+let observe t v =
+  let s = t.shards.((Domain.self () :> int) land (nshards - 1)) in
+  Atomic.incr s.counts.(index_of v);
+  Atomic.incr s.total;
+  add_sat s.sum_fp (fixed_point v)
+
+let reset t =
+  Array.iter
+    (fun s ->
+      Array.iter (fun c -> Atomic.set c 0) s.counts;
+      Atomic.set s.total 0;
+      Atomic.set s.sum_fp 0)
+    t.shards
+
+(* A snapshot is all integers, so [=] decides bit-identity of merges. *)
+type snapshot = { total : int; sum_fp : int; buckets : (int * int) list }
+
+let snapshot t =
+  let total = ref 0 and sum_fp = ref 0 in
+  let buckets = ref [] in
+  for idx = nbuckets - 1 downto 0 do
+    let c =
+      Array.fold_left (fun acc s -> acc + Atomic.get s.counts.(idx)) 0 t.shards
+    in
+    if c > 0 then buckets := (idx, c) :: !buckets
+  done;
+  Array.iter
+    (fun (s : shard) ->
+      total := !total + Atomic.get s.total;
+      let f = Atomic.get s.sum_fp in
+      sum_fp := (if !sum_fp > max_int - f then max_int else !sum_fp + f))
+    t.shards;
+  { total = !total; sum_fp = !sum_fp; buckets = !buckets }
+
+let count t = (snapshot t).total
+let sum_of (s : snapshot) = float_of_int s.sum_fp /. sum_scale
+let sum t = sum_of (snapshot t)
+
+let merge a b =
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] -> rest
+    | (i, c) :: xs', (j, d) :: ys' ->
+      if i < j then (i, c) :: go xs' ys
+      else if j < i then (j, d) :: go xs ys'
+      else (i, c + d) :: go xs' ys'
+  in
+  {
+    total = a.total + b.total;
+    sum_fp = (if a.sum_fp > max_int - b.sum_fp then max_int else a.sum_fp + b.sum_fp);
+    buckets = go a.buckets b.buckets;
+  }
+
+(* Quantile by rank: the reported value is the midpoint of the bucket
+   holding the ceil(p/100 * n)-th smallest sample (1-based), the same
+   convention as a no-interpolation sorted-array oracle. *)
+let percentile_of (s : snapshot) p =
+  if s.total = 0 then nan
+  else begin
+    let rank =
+      let r = int_of_float (ceil (p /. 100. *. float_of_int s.total)) in
+      if r < 1 then 1 else if r > s.total then s.total else r
+    in
+    let rec walk cum = function
+      | [] -> value_of (nbuckets - 1)
+      | (idx, c) :: rest -> if cum + c >= rank then value_of idx else walk (cum + c) rest
+    in
+    walk 0 s.buckets
+  end
+
+let percentile t p = percentile_of (snapshot t) p
+
+(* Cumulative count of samples at or below [v] (by bucket upper edge) —
+   the reading behind Prometheus [le] buckets. *)
+let cumulative_le (s : snapshot) v =
+  List.fold_left (fun acc (idx, c) -> if upper_of idx <= v then acc + c else acc) 0 s.buckets

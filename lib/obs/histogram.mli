@@ -1,0 +1,72 @@
+(** Mergeable log-linear latency/size histograms with a bounded relative
+    error (HdrHistogram-style buckets).
+
+    Values are binned into power-of-two octaves, each split into 16 linear
+    sub-buckets, so any reported quantile is within {!rel_error} (= 1/32,
+    ~3.1%) relative of the sample that holds that rank — at every
+    quantile, for any distribution, with no per-value storage.  The
+    covered range is ~2.3e-10 .. ~2.1e9 (values outside clamp to the edge
+    buckets), wide enough for seconds-scale latencies and pivot/node
+    counts alike.
+
+    Recording is lock-free and sharded per domain; all state is integer
+    counters, so a {!snapshot} is a deterministic merge: the same multiset
+    of observed values yields a bit-identical snapshot regardless of which
+    domains (or how many pool jobs) recorded them.
+
+    This module is a pure data structure — {!observe} always records.
+    Gating against the global switch lives in {!Metrics}, which wraps
+    histograms as registered instruments; [bench] uses raw histograms as
+    its percentile reducer. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> float -> unit
+(** Record one value.  Non-positive and NaN values land in the lowest
+    bucket.  Safe from any domain; two atomic increments and one
+    saturating atomic add. *)
+
+val count : t -> int
+val sum : t -> float
+(** Total of observed values, in fixed-point micro-units internally —
+    exact merge, ~1e-6 absolute granularity, saturating at the top. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0..100]: the midpoint of the bucket
+    holding the [ceil (p/100 * n)]-th smallest sample — the convention of
+    a no-interpolation sorted-array oracle.  NaN when empty. *)
+
+val reset : t -> unit
+(** Zero every cell.  Quiescent-time operation (concurrent observers may
+    straddle the reset). *)
+
+val rel_error : float
+(** Guaranteed bound on the relative error of {!percentile}. *)
+
+(** {2 Snapshots}
+
+    An immutable, all-integer view: [=] decides bit-identity, merging is
+    associative/commutative integer addition. *)
+
+type snapshot = {
+  total : int;
+  sum_fp : int;  (** fixed-point micro-units *)
+  buckets : (int * int) list;  (** (bucket index, count), ascending, sparse *)
+}
+
+val snapshot : t -> snapshot
+val merge : snapshot -> snapshot -> snapshot
+val percentile_of : snapshot -> float -> float
+val sum_of : snapshot -> float
+
+val value_of : int -> float
+(** Midpoint of a bucket index (the value quantiles report). *)
+
+val upper_of : int -> float
+(** Exclusive upper edge of a bucket index. *)
+
+val cumulative_le : snapshot -> float -> int
+(** Samples in buckets whose upper edge is at most [v] — the reading
+    behind Prometheus [le] buckets. *)

@@ -1,0 +1,68 @@
+(** Typed metric registry with Prometheus and JSON exposition.
+
+    Three instrument kinds — monotone counters, gauges, and
+    {!Histogram}-backed latency/size distributions — registered once per
+    (name, static label set) at module-init time, recorded from any
+    domain, and exported with a {e run-independent shape}: every
+    registered instrument is always exposed (zero-valued when untouched)
+    and histograms render against a fixed bucket ladder, so
+    digit-normalized goldens are stable across runs and job counts.
+
+    Recording is gated on {!Sink.recording} (the trace sink {e or} the
+    metrics plane): an un-armed process pays exactly one atomic load per
+    instrumented site.  [Sink.install] resets all instruments along with
+    the counters; [Sink.arm_metrics] does not (services accumulate). *)
+
+type counter
+type gauge
+type histogram = Histogram.t
+
+val counter : ?help:string -> ?labels:(string * string) list -> string -> counter
+(** Idempotent per (name, labels), like {!Counter.create}.  Registering an
+    existing (name, labels) under a different kind raises
+    [Invalid_argument]. *)
+
+val gauge : ?help:string -> ?labels:(string * string) list -> string -> gauge
+val histogram : ?help:string -> ?labels:(string * string) list -> string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+(** All no-ops while nothing is armed (one atomic load). *)
+
+(** {2 Snapshot isolation}
+
+    A snapshot reads each cell exactly once into an immutable view;
+    renderers below consume snapshots, so one exposition never mixes
+    states from different instants of the same instrument. *)
+
+type value = Vcounter of int | Vgauge of float | Vhist of Histogram.snapshot
+
+type series = {
+  sname : string;
+  shelp : string;
+  slabels : (string * string) list;  (** sorted by key *)
+  svalue : value;
+}
+
+val snapshot : unit -> series list
+(** Sorted by (name, labels). *)
+
+val prometheus : unit -> string
+(** Prometheus text exposition (format 0.0.4): HELP/TYPE headers, one
+    line per series, histograms as cumulative [le] buckets over a fixed
+    ladder plus [_sum]/[_count].  Metric names have non-identifier
+    characters mapped to ['_'].  Plain {!Counter.snapshot} counters are
+    merged in as counter series, as in {!json}. *)
+
+val prometheus_of : series list -> string
+
+val json : unit -> string
+(** Flat JSON: [{"counters": {...}, "gauges": {...}, "histograms":
+    {name: {"count", "sum", "p50", "p90", "p99", "p999"}}}] with keys
+    sorted and every float printed ["%.6f"].  The counters object merges
+    {!Counter.snapshot} (the plain counter registry) with metric
+    counters.  Quantiles of an empty histogram read 0. *)
+
+val json_of : series list -> string

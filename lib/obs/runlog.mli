@@ -1,0 +1,31 @@
+(** Append-only JSONL run-log of per-solve records — the
+    feature→runtime corpus for the adaptive solver portfolio (ROADMAP).
+
+    Schema: each [enable] appends one {e versioned header line}
+    [{"runlog":"resil-solve","version":N}] marking a run boundary, then
+    the solve paths ([Resilience.Session.run_engine],
+    [Resilience.Solve.run_bb]) append one record per solve: the
+    [Lp.Struct] feature vector of the solved program, the dispatch path
+    taken (certified / branch-and-bound / relaxation), and the outcome
+    (status, objective, nodes, pivots, refactors, wall seconds).
+    Consumers must skip records from header versions they do not know.
+
+    While disabled, an instrumented site costs one atomic load and builds
+    nothing ({!record} takes a thunk).  Writing is mutex-serialized and
+    line-buffered, so records from parallel rankings interleave whole. *)
+
+val schema_version : int
+
+type field = I of int | F of float | B of bool | S of string
+
+val enable : string -> unit
+(** Open [path] for append (creating it if needed) and write the header
+    line.  Replaces any previously enabled log. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+val path : unit -> string option
+
+val record : (unit -> (string * field) list) -> unit
+(** Append one record; the thunk runs only when enabled.  Fields render
+    in the given order; floats as ["%.6f"] (non-finite as [null]). *)

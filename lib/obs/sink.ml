@@ -1,14 +1,38 @@
-let flag = Atomic.make false
+(* Two independently-armed planes share one atomic word, so every
+   instrumented site keeps its single-load off path: bit 0 is the trace
+   sink (spans), bit 1 the metrics plane (histograms, gauges, flight
+   recorder).  Counters feed both consumers, so they record under either
+   bit. *)
+let flag = Atomic.make 0
 
-(* Reset hooks are registered by Counter and Trace at module-init time; the
-   indirection avoids a dependency cycle (they read [active], we clear
-   them). *)
+let trace_bit = 1
+let metrics_bit = 2
+
+(* Reset hooks are registered by Counter, Trace and Metrics at module-init
+   time; the indirection avoids a dependency cycle (they read [active], we
+   clear them). *)
 let reset_hooks : (unit -> unit) list ref = ref []
 let on_install f = reset_hooks := f :: !reset_hooks
-let active () = Atomic.get flag
+
+let active () = Atomic.get flag land trace_bit <> 0
+let recording () = Atomic.get flag <> 0
+let metrics_active () = Atomic.get flag land metrics_bit <> 0
+
+let rec set_bit b =
+  let v = Atomic.get flag in
+  if not (Atomic.compare_and_set flag v (v lor b)) then set_bit b
+
+let rec clear_bit b =
+  let v = Atomic.get flag in
+  if not (Atomic.compare_and_set flag v (v land lnot b)) then clear_bit b
 
 let install () =
   List.iter (fun f -> f ()) !reset_hooks;
-  Atomic.set flag true
+  set_bit trace_bit
 
-let uninstall () = Atomic.set flag false
+let uninstall () = clear_bit trace_bit
+
+(* Arming the metrics plane deliberately does not reset: a long-running
+   service arms once at startup and keeps accumulating across requests. *)
+let arm_metrics () = set_bit metrics_bit
+let disarm_metrics () = clear_bit metrics_bit

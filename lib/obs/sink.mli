@@ -1,22 +1,41 @@
-(** The global telemetry switch.
+(** The global telemetry switches.
 
-    All instrumentation in the repo — counters and spans alike — is guarded
-    by one atomic boolean.  With no sink installed every instrumented site
-    reduces to a single non-allocating atomic load, so tracing support costs
-    nothing in production runs; installing the sink (e.g. via
-    [resil … --trace]) turns collection on for the whole process. *)
+    All instrumentation in the repo is guarded by one atomic word holding
+    two independent plane bits: the {e trace sink} (spans, installed by
+    [resil … --trace]/[--stats]) and the {e metrics plane} (histograms,
+    gauges, the flight recorder — armed by [resil … --metrics] and by
+    [resil serve]).  With neither armed every instrumented site reduces to
+    a single non-allocating atomic load, so telemetry support costs
+    nothing in production runs.  Counters serve both consumers and record
+    whenever either plane is on. *)
 
 val install : unit -> unit
-(** Enable collection.  Resets all counters and clears any buffered spans so
-    the subsequent drain reflects exactly the traced region. *)
+(** Enable span collection.  Resets all counters, metric instruments and
+    buffered spans so the subsequent drain reflects exactly the traced
+    region. *)
 
 val uninstall : unit -> unit
-(** Disable collection.  Buffered spans and counter values are kept until the
-    next [install] so they can still be drained/snapshotted. *)
+(** Disable span collection.  Buffered spans and counter values are kept
+    until the next [install] so they can still be drained/snapshotted. *)
 
 val active : unit -> bool
-(** Cheap (single atomic load) check used by every instrumented site. *)
+(** The trace sink is installed (single atomic load).  Guards span
+    recording. *)
+
+val arm_metrics : unit -> unit
+(** Enable the metrics plane.  Unlike [install] this does {e not} reset:
+    a long-running service arms once and accumulates across requests. *)
+
+val disarm_metrics : unit -> unit
+
+val metrics_active : unit -> bool
+(** The metrics plane is armed (single atomic load). *)
+
+val recording : unit -> bool
+(** Either plane is on (single atomic load) — the guard used by counters
+    and metric instruments, which feed both exposition paths. *)
 
 val on_install : (unit -> unit) -> unit
-(** Register a reset hook run by [install].  Internal to [Obs]: [Counter]
-    and [Trace] use it to clear their state without a dependency cycle. *)
+(** Register a reset hook run by [install].  Internal to [Obs]: [Counter],
+    [Trace] and [Metrics] use it to clear their state without a dependency
+    cycle. *)

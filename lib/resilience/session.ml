@@ -25,6 +25,18 @@ let c_enum_cuts = Obs.Counter.create "enum.cuts"
 let c_enum_solutions = Obs.Counter.create "enum.solutions"
 let c_enum_exhausted = Obs.Counter.create "enum.exhausted"
 
+(* Metrics-plane distributions: what the old counters reduce to a single
+   sum, kept as full per-solve histograms when a plane is armed. *)
+let h_solve_seconds =
+  Obs.Metrics.histogram ~help:"Wall seconds per ILP solve (certificate-aware dispatch)"
+    "session.solve.seconds"
+
+let h_solve_pivots =
+  Obs.Metrics.histogram ~help:"Simplex pivots per ILP solve" "session.solve.pivots"
+
+let h_solve_nodes =
+  Obs.Metrics.histogram ~help:"Branch-and-bound nodes per ILP solve" "session.solve.nodes"
+
 type 'a outcome =
   | Solved of 'a
   | Query_false
@@ -323,7 +335,7 @@ let rsp_delta core t =
    before, warm-started from the relaxation's final basis (the root
    re-solve costs a handful of pivots), so hard instances pay essentially
    nothing for the probe. *)
-let run_engine ?node_limit ?time_limit prep engine delta =
+let run_engine_raw ?node_limit ?time_limit prep engine delta =
   let t0 = Lp.Clock.now () in
   match translate_full prep.pvm delta with
   | None -> `Infeasible
@@ -401,6 +413,69 @@ let run_engine ?node_limit ?time_limit prep engine delta =
         | Limit_no_solution -> `Budget None)
     end)
 
+(* One run-log line: the solved program's structural feature vector, the
+   dispatch path taken, and the outcome — the schema shared by every solve
+   site (here and Solve.run_bb), versioned by the run-log header. *)
+let runlog_solve_fields ~op ~status ~path:dispatch ~cert ?stats:st ~wall () =
+  let f = cert.Lp.Struct.features in
+  let sti g = match st with Some s -> g s | None -> 0 in
+  let open Obs.Runlog in
+  [
+    ("op", S op);
+    ("status", S status);
+    ("path", S dispatch);
+    ("verdict", S (Lp.Struct.verdict_name cert));
+    ("structural", B (Lp.Struct.structural cert));
+    ("rows", I f.Lp.Struct.rows);
+    ("cols", I f.Lp.Struct.cols);
+    ("nnz", I f.Lp.Struct.nnz);
+    ("unit_coeffs", B f.Lp.Struct.unit_coeffs);
+    ("zero_one", B f.Lp.Struct.zero_one);
+    ("neg_entries", I f.Lp.Struct.neg_entries);
+    ("max_col_nnz", I f.Lp.Struct.max_col_nnz);
+    ("max_row_nnz", I f.Lp.Struct.max_row_nnz);
+    ("avg_col_nnz", F f.Lp.Struct.avg_col_nnz);
+    ("geq_rows", I f.Lp.Struct.geq_rows);
+    ("leq_rows", I f.Lp.Struct.leq_rows);
+    ("eq_rows", I f.Lp.Struct.eq_rows);
+    ("certified", B (match st with Some s -> s.certified | None -> false));
+    ("nodes", I (sti (fun s -> s.nodes)));
+    ("pivots", I (sti (fun s -> s.pivots)));
+    ("refactors", I (sti (fun s -> s.refactors)));
+    ("root_lp", F (match st with Some s -> s.root_lp | None -> nan));
+    ("solve_s", F (match st with Some s -> s.solve_time | None -> wall));
+    ("wall_s", F wall);
+  ]
+
+(* Instrumentation wrapper around every engine solve: one observation per
+   metrics-plane distribution and one run-log record per solve — the
+   session's [Lp.Struct] feature vector alongside the dispatch path taken
+   and the outcome, i.e. one line of the portfolio training corpus.  With
+   nothing armed this is the raw solve plus two atomic loads. *)
+let run_engine ?node_limit ?time_limit ?(op = "solve") prep engine delta =
+  if not (Obs.Sink.recording () || Obs.Runlog.enabled ()) then
+    run_engine_raw ?node_limit ?time_limit prep engine delta
+  else begin
+    let t0 = Lp.Clock.now () in
+    let r = run_engine_raw ?node_limit ?time_limit prep engine delta in
+    let wall = Lp.Clock.elapsed t0 in
+    (match r with
+    | `Ok (_, _, st) ->
+      Obs.Metrics.observe h_solve_seconds st.solve_time;
+      Obs.Metrics.observe h_solve_pivots (float_of_int st.pivots);
+      Obs.Metrics.observe h_solve_nodes (float_of_int st.nodes)
+    | `Infeasible | `Budget _ -> ());
+    Obs.Runlog.record (fun () ->
+        let status, path, st =
+          match r with
+          | `Ok (_, _, st) -> ("optimal", (if st.certified then "certified" else "bb"), Some st)
+          | `Infeasible -> ("infeasible", "relax", None)
+          | `Budget _ -> ("budget", "bb", None)
+        in
+        runlog_solve_fields ~op ~status ~path ~cert:prep.pcert ?stats:st ~wall ());
+    r
+  end
+
 let read_tuples core sol =
   List.filter_map
     (fun (v, tid) -> if sol.(v) > 0.5 then Some tid else None)
@@ -425,7 +500,7 @@ let resilience_body ?node_limit ?time_limit t =
     match Lazy.force core.cprep with
     | None -> No_contingency
     | Some prep -> (
-      match run_engine ?node_limit ?time_limit prep prep.pengine (res_delta core) with
+      match run_engine ?node_limit ?time_limit ~op:"resilience" prep prep.pengine (res_delta core) with
       | `Infeasible -> No_contingency
       | `Budget incumbent -> Budget_exhausted (Option.map round_value incumbent)
       | `Ok (obj, sol, st) ->
@@ -445,7 +520,7 @@ let rsp_shared ?node_limit ?time_limit core prep engine tid =
   match rsp_delta core tid with
   | None -> No_contingency
   | Some delta -> (
-    match run_engine ?node_limit ?time_limit prep engine delta with
+    match run_engine ?node_limit ?time_limit ~op:"responsibility" prep engine delta with
     | `Infeasible -> No_contingency
     | `Budget incumbent -> Budget_exhausted (Option.map round_value incumbent)
     | `Ok (obj, sol, st) ->
@@ -473,7 +548,7 @@ let cold_responsibility ?node_limit ?time_limit t tid =
       (* Everything up to here — encode, freeze, presolve, engine build — is
          preparation, not solving; stats keep the two apart. *)
       let prep_time = Lp.Clock.elapsed tp0 in
-      match run_engine ?node_limit ?time_limit prep prep.pengine Lp.Frozen.Delta.empty with
+      match run_engine ?node_limit ?time_limit ~op:"responsibility" prep prep.pengine Lp.Frozen.Delta.empty with
       | `Infeasible -> No_contingency
       | `Budget incumbent -> Budget_exhausted (Option.map round_value incumbent)
       | `Ok (obj, sol, st) ->
@@ -612,7 +687,7 @@ let enum_run ?node_limit core prep engine time_left delta =
   let time_limit =
     match time_left with Some l -> Some (Float.max l 0.) | None -> None
   in
-  match run_engine ?node_limit ?time_limit prep engine delta with
+  match run_engine ?node_limit ?time_limit ~op:"enumerate" prep engine delta with
   | `Infeasible -> `Infeasible
   | `Budget _ -> `Budget
   | `Ok (obj, sol, st) ->
@@ -799,7 +874,7 @@ let responsibility_solution t tid =
       match rsp_delta core tid with
       | None -> None
       | Some delta -> (
-        match run_engine prep prep.pengine delta with
+        match run_engine ~op:"solution" prep prep.pengine delta with
         | `Infeasible | `Budget _ -> None
         | `Ok (obj, sol, _) -> Some (obj, read_values core sol))))
 

@@ -222,3 +222,18 @@ val profile : t -> profile
     accumulator); call it again after more questions for updated sums.
     Accounting happens on the submitting domain only, so it is safe to call
     between (not during) {!ranking_par} batches. *)
+
+val runlog_solve_fields :
+  op:string ->
+  status:string ->
+  path:string ->
+  cert:Lp.Struct.t ->
+  ?stats:stats ->
+  wall:float ->
+  unit ->
+  (string * Obs.Runlog.field) list
+(** One {!Obs.Runlog} record for a solve: the program's [Lp.Struct]
+    feature vector plus dispatch path ([certified]/[bb]/[relax]) and
+    outcome.  The schema every solve site (the session engine and
+    [Solve.run_bb]) appends under the run-log's versioned header; exposed
+    so they stay identical. *)

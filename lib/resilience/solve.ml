@@ -14,6 +14,19 @@ type stats = Session.stats = {
 let c_certified = Obs.Counter.create "solve.certified"
 let c_certified_structural = Obs.Counter.create "solve.certified_structural"
 
+(* Same metrics-plane distributions as Session: both paths are "one ILP
+   solve" to the registry, so the instruments are shared by name
+   (registration is idempotent). *)
+let h_solve_seconds =
+  Obs.Metrics.histogram ~help:"Wall seconds per ILP solve (certificate-aware dispatch)"
+    "session.solve.seconds"
+
+let h_solve_pivots =
+  Obs.Metrics.histogram ~help:"Simplex pivots per ILP solve" "session.solve.pivots"
+
+let h_solve_nodes =
+  Obs.Metrics.histogram ~help:"Branch-and-bound nodes per ILP solve" "session.solve.nodes"
+
 type 'a outcome = 'a Session.outcome =
   | Solved of 'a
   | Query_false
@@ -59,7 +72,7 @@ let offset_of vm = match vm with Some vm -> Lp.Presolve.obj_offset vm | None -> 
    branch-and-bound nodes, guaranteed whenever Lp.Struct certifies the
    matrix structurally.  Otherwise branch-and-bound runs on the same warm
    session, re-solving the root from its final basis. *)
-let run_bb ~exact ~presolve ?node_limit ?time_limit (enc : Encode.encoding) =
+let run_bb ?(op = "solve") ~exact ~presolve ?node_limit ?time_limit (enc : Encode.encoding) =
   let tp0 = Lp.Clock.now () in
   match prepare ~presolve enc.Encode.model with
   | `Infeasible -> `Infeasible
@@ -79,9 +92,17 @@ let run_bb ~exact ~presolve ?node_limit ?time_limit (enc : Encode.encoding) =
         Obs.Counter.incr c_certified;
         if Lp.Struct.structural cert then Obs.Counter.incr c_certified_structural
       end;
-      ( objective,
-        solution,
-        { nodes; root_lp; root_integral; certified; solve_time; prep_time; pivots; refactors } )
+      let st =
+        { nodes; root_lp; root_integral; certified; solve_time; prep_time; pivots; refactors }
+      in
+      Obs.Metrics.observe h_solve_seconds solve_time;
+      Obs.Metrics.observe h_solve_pivots (float_of_int pivots);
+      Obs.Metrics.observe h_solve_nodes (float_of_int nodes);
+      Obs.Runlog.record (fun () ->
+          Session.runlog_solve_fields ~op ~status:"optimal"
+            ~path:(if certified then "certified" else "bb")
+            ~cert ~stats:st ~wall:solve_time ());
+      (objective, solution, st)
     in
     if exact then begin
       let open Lp.Solvers.Exact_bb in
@@ -154,7 +175,7 @@ let resilience ?(exact = false) ?(presolve = true) ?node_limit ?time_limit seman
     | Encode.Trivial _ -> Query_false
     | Encode.Impossible -> No_contingency
     | Encode.Encoded enc -> (
-      match run_bb ~exact ~presolve ?node_limit ?time_limit enc with
+      match run_bb ~op:"resilience" ~exact ~presolve ?node_limit ?time_limit enc with
       | `Infeasible -> No_contingency
       | `Budget incumbent -> Budget_exhausted (Option.map round_value incumbent)
       | `Ok (obj, sol, stats) ->
@@ -203,7 +224,7 @@ let responsibility ?(exact = false) ?(presolve = true) ?node_limit ?time_limit
     | Encode.Trivial _ -> Query_false
     | Encode.Impossible -> No_contingency
     | Encode.Encoded enc -> (
-      match run_bb ~exact ~presolve ?node_limit ?time_limit enc with
+      match run_bb ~op:"responsibility" ~exact ~presolve ?node_limit ?time_limit enc with
       | `Infeasible -> No_contingency
       | `Budget incumbent -> Budget_exhausted (Option.map round_value incumbent)
       | `Ok (obj, sol, stats) ->

@@ -14,6 +14,65 @@ type entry = {
   mutable elast : int;  (* LRU clock *)
 }
 
+(* --- metrics-plane instruments -------------------------------------------- *)
+
+(* Registered eagerly for the full (finite) op vocabulary, never lazily per
+   request: the exposition's key set is a property of the build, not of
+   which ops a run happened to serve, so metrics goldens are stable across
+   runs and job counts. *)
+let op_names =
+  [
+    "ping"; "stats"; "metrics"; "shutdown"; "load"; "insert"; "delete";
+    "resilience"; "responsibility"; "rank"; "enumerate"; "batch"; "invalid";
+  ]
+
+let ask_ops = [ "resilience"; "responsibility"; "rank"; "enumerate" ]
+
+let h_request =
+  List.map
+    (fun op ->
+      ( op,
+        Obs.Metrics.histogram ~help:"End-to-end seconds per request line" ~labels:[ ("op", op) ]
+          "serve.request.seconds" ))
+    op_names
+
+let h_solve =
+  List.map
+    (fun op ->
+      ( op,
+        Obs.Metrics.histogram ~help:"Solver seconds per question" ~labels:[ ("op", op) ]
+          "serve.solve.seconds" ))
+    ask_ops
+
+let h_queue =
+  Obs.Metrics.histogram ~help:"Seconds between transport receipt and dispatch"
+    "serve.queue.seconds"
+
+let g_sessions = Obs.Metrics.gauge ~help:"Cached incremental sessions" "serve.cache.sessions"
+let g_hit_ratio = Obs.Metrics.gauge ~help:"Session cache hit ratio" "serve.cache.hit_ratio"
+let g_db_tuples = Obs.Metrics.gauge ~help:"Tuples in the base database" "serve.db.tuples"
+let c_requests = Obs.Metrics.counter ~help:"Request lines handled" "serve.requests.total"
+
+let c_timeouts =
+  Obs.Metrics.counter ~help:"Questions ended by an expired deadline" "serve.timeouts.total"
+
+let op_of_question = function
+  | Protocol.Resilience -> "resilience"
+  | Protocol.Responsibility _ -> "responsibility"
+  | Protocol.Rank -> "rank"
+  | Protocol.Enumerate _ -> "enumerate"
+
+let op_name = function
+  | Protocol.Ping -> "ping"
+  | Protocol.Stats -> "stats"
+  | Protocol.Metrics _ -> "metrics"
+  | Protocol.Shutdown -> "shutdown"
+  | Protocol.Load _ -> "load"
+  | Protocol.Insert _ -> "insert"
+  | Protocol.Delete _ -> "delete"
+  | Protocol.Batch _ -> "batch"
+  | Protocol.Ask a -> op_of_question a.Protocol.question
+
 type t = {
   mutable db : Database.t;
   mutable entries : entry list;
@@ -30,7 +89,14 @@ type t = {
   mutable invalidations : int;
 }
 
-let create ?(max_sessions = 8) ?(max_line = 1 lsl 20) () =
+let create ?(metrics = true) ?(max_sessions = 8) ?(max_line = 1 lsl 20) () =
+  (* A server is long-running: arm the metrics plane and the flight
+     recorder at startup and leave them on.  Neither enables span
+     buffering (that stays behind [--trace]), so memory is bounded. *)
+  if metrics then begin
+    Obs.Sink.arm_metrics ();
+    Obs.Recorder.arm ()
+  end;
   {
     db = Database.create ();
     entries = [];
@@ -327,6 +393,93 @@ let do_ask t (a : Protocol.ask) =
         in
         Result (Json.Obj [ ("ranking", Json.List (List.map row ranked)) ])))
 
+(* --- ask instrumentation --------------------------------------------------- *)
+
+let cnt_pivots = Obs.Counter.create "simplex.pivots"
+let cnt_nodes = Obs.Counter.create "bb.nodes"
+
+(* Last retained flight-recorder events, rendered for a [timeout] error's
+   ["data"].  Every field the engine records is a decimal-numeric string
+   (the fingerprint is written in unsigned decimal, not hex, for exactly
+   this reason), so all values render as JSON numbers and the serve goldens'
+   digit normalization keeps the exposition deterministic. *)
+let recorder_events_json () =
+  let evs = Obs.Recorder.dump () in
+  let n = List.length evs in
+  let evs = if n > 16 then List.filteri (fun i _ -> i >= n - 16) evs else evs in
+  Json.List
+    (List.map
+       (fun (e : Obs.Recorder.event) ->
+         let field (k, v) =
+           match float_of_string_opt v with
+           | Some f -> (k, Json.Float f)
+           | None -> (k, Json.Str v)
+         in
+         Json.Obj
+           (("t", Json.Float e.Obs.Recorder.ev_t)
+           :: ("dom", Json.Int e.Obs.Recorder.ev_dom)
+           :: ("op", Json.Str e.Obs.Recorder.ev_op)
+           :: List.map field e.Obs.Recorder.ev_fields))
+       evs)
+
+let attach_recorder data =
+  let base =
+    match data with
+    | Some (Json.Obj fields) -> fields
+    | Some d -> [ ("incumbent", d) ]
+    | None -> []
+  in
+  Some (Json.Obj (base @ [ ("flight_recorder", recorder_events_json ()) ]))
+
+(* Wrap a question with the per-op solve histogram, a flight-recorder
+   event, and — on a deadline expiry — the recorder dump attached to the
+   error payload.  One atomic load when nothing is armed. *)
+let timed_ask t (a : Protocol.ask) =
+  if not (Obs.Sink.recording () || Obs.Recorder.armed ()) then do_ask t a
+  else begin
+    let op = op_of_question a.Protocol.question in
+    let t0 = Obs.Clock.now () in
+    let p0 = Obs.Counter.value cnt_pivots and n0 = Obs.Counter.value cnt_nodes in
+    let reply = do_ask t a in
+    let dt = Obs.Clock.elapsed t0 in
+    (match List.assoc_opt op h_solve with
+    | Some h -> Obs.Metrics.observe h dt
+    | None -> ());
+    let timed_out =
+      match reply with Err (Protocol.Timeout, _, _) -> true | _ -> false
+    in
+    if timed_out then Obs.Metrics.incr c_timeouts;
+    let outcome =
+      match reply with
+      | Result _ -> "ok"
+      | Err (code, _, _) -> Protocol.error_code_name code
+    in
+    Obs.Recorder.note
+      ~fields:
+        [
+          ("fingerprint", Printf.sprintf "%Lu" (Database.fingerprint t.db));
+          ("solve_ms", Printf.sprintf "%.3f" (1000. *. dt));
+          ("pivots", string_of_int (Obs.Counter.value cnt_pivots - p0));
+          ("nodes", string_of_int (Obs.Counter.value cnt_nodes - n0));
+          ("outcome", outcome);
+        ]
+      op;
+    match reply with
+    | Err (Protocol.Timeout, msg, data) when Obs.Recorder.armed () ->
+      Err (Protocol.Timeout, msg, attach_recorder data)
+    | reply -> reply
+  end
+
+let do_metrics fmt =
+  match fmt with
+  | `Prometheus ->
+    Json.Obj
+      [
+        ("format", Json.Str "prometheus");
+        ("text", Json.Str (Obs.Metrics.prometheus ()));
+      ]
+  | `Json -> Json.of_string (Obs.Metrics.json_of (Obs.Metrics.snapshot ()))
+
 let do_stats t =
   Json.Obj
     [
@@ -361,6 +514,7 @@ let rec respond t ~drain (env : Protocol.envelope) =
     match env.Protocol.req with
     | Protocol.Ping -> Protocol.ok ~id (Json.Obj [ ("pong", Json.Bool true) ])
     | Protocol.Stats -> Protocol.ok ~id (do_stats t)
+    | Protocol.Metrics fmt -> Protocol.ok ~id (do_metrics fmt)
     | Protocol.Shutdown ->
       request_stop t;
       Protocol.ok ~id (Json.Obj [ ("stopping", Json.Bool true) ])
@@ -381,23 +535,44 @@ let rec respond t ~drain (env : Protocol.envelope) =
         | Error msg ->
           if msg = "tuple not found" then Err (Protocol.Not_found, msg, None)
           else Err (Protocol.Bad_request, msg, None))
-    | Protocol.Ask a -> finish ~id (do_ask t a)
+    | Protocol.Ask a -> finish ~id (timed_ask t a)
     | Protocol.Batch envs ->
       let replies = List.map (fun e -> respond t ~drain:true e) envs in
       Protocol.ok ~id (Json.Obj [ ("responses", Json.List replies) ])
 
-let handle_line t line =
+let handle_line ?received_at t line =
   t.served <- t.served + 1;
-  let response =
+  let live = Obs.Sink.recording () in
+  let t0 = if live then Obs.Clock.now () else 0. in
+  if live then begin
+    Obs.Metrics.incr c_requests;
+    match received_at with
+    | Some r -> Obs.Metrics.observe h_queue (Float.max 0. (t0 -. r))
+    | None -> ()
+  end;
+  let op, response =
     if String.length line > t.max_line then
-      Protocol.error ~id:Json.Null Protocol.Too_large
-        (Printf.sprintf "request line exceeds %d bytes" t.max_line)
+      ( "invalid",
+        Protocol.error ~id:Json.Null Protocol.Too_large
+          (Printf.sprintf "request line exceeds %d bytes" t.max_line) )
     else
       match Protocol.parse_request line with
-      | Protocol.Invalid (id, code, msg) -> Protocol.error ~id code msg
-      | Protocol.Request env -> (
-        try respond t ~drain:false env
-        with e ->
-          Protocol.error ~id:env.Protocol.id Protocol.Bad_request (Printexc.to_string e))
+      | Protocol.Invalid (id, code, msg) -> ("invalid", Protocol.error ~id code msg)
+      | Protocol.Request env ->
+        ( op_name env.Protocol.req,
+          try respond t ~drain:false env
+          with e ->
+            Protocol.error ~id:env.Protocol.id Protocol.Bad_request (Printexc.to_string e)
+        )
   in
+  if live then begin
+    (match List.assoc_opt op h_request with
+    | Some h -> Obs.Metrics.observe h (Obs.Clock.elapsed t0)
+    | None -> ());
+    Obs.Metrics.set g_sessions (float_of_int (List.length t.entries));
+    let asks = t.hits + t.misses in
+    Obs.Metrics.set g_hit_ratio
+      (if asks = 0 then 0. else float_of_int t.hits /. float_of_int asks);
+    Obs.Metrics.set g_db_tuples (float_of_int (Database.num_tuples t.db))
+  end;
   Protocol.render response

@@ -19,18 +19,29 @@
     {b Shutdown.}  {!request_stop} only flips an atomic, so it is safe
     from a signal handler.  Once stopping, new requests are refused with
     the [shutting_down] error — but every sub-request of an
-    already-admitted batch is still served (graceful drain). *)
+    already-admitted batch is still served (graceful drain).
+
+    {b Metrics.}  Unless created with [~metrics:false] the engine arms the
+    metrics plane ({!Obs.Sink.arm_metrics}) and the flight recorder
+    ({!Obs.Recorder.arm}) at startup: per-op request/solve latency
+    histograms, queue-wait, cache gauges and request/timeout counters are
+    maintained, the [metrics] protocol op exposes them (JSON or Prometheus
+    text), and a [timeout] error's ["data"] carries the last
+    flight-recorder events under ["flight_recorder"]. *)
 
 type t
 
-val create : ?max_sessions:int -> ?max_line:int -> unit -> t
-(** Empty database, empty cache.  [max_sessions] defaults to 8 (min 1);
-    [max_line] (payload cap in bytes, rejected with [too_large]) defaults
-    to 1 MiB. *)
+val create : ?metrics:bool -> ?max_sessions:int -> ?max_line:int -> unit -> t
+(** Empty database, empty cache.  [metrics] (default [true]) arms the
+    process-wide metrics plane and flight recorder — it never enables span
+    buffering, so memory stays bounded.  [max_sessions] defaults to 8
+    (min 1); [max_line] (payload cap in bytes, rejected with [too_large])
+    defaults to 1 MiB. *)
 
-val handle_line : t -> string -> string
+val handle_line : ?received_at:float -> t -> string -> string
 (** One request line in, one response line out (no trailing newline).
-    Never raises. *)
+    Never raises.  [received_at] (an {!Obs.Clock.now} stamp taken by the
+    transport when the line arrived) feeds the queue-wait histogram. *)
 
 val request_stop : t -> unit
 (** Flip the stop flag — async-signal-safe (one atomic store). *)

@@ -26,6 +26,7 @@ type request =
   | Delete of string
   | Ask of ask
   | Stats
+  | Metrics of [ `Json | `Prometheus ]  (* metrics-plane snapshot exposition *)
   | Shutdown
   | Batch of envelope list
 
@@ -67,6 +68,15 @@ let rec decode depth j =
     match op with
     | "ping" -> Ok Ping
     | "stats" -> Ok Stats
+    | "metrics" -> (
+      match Json.member "format" j with
+      | None -> Ok (Metrics `Json)
+      | Some v -> (
+        match Json.to_string_opt v with
+        | Some "json" -> Ok (Metrics `Json)
+        | Some "prometheus" -> Ok (Metrics `Prometheus)
+        | Some f -> Error (Printf.sprintf "unknown metrics format %S" f)
+        | None -> Error "non-string \"format\" field"))
     | "shutdown" -> Ok Shutdown
     | "load" ->
       let* data = str_field j "data" in
@@ -177,7 +187,7 @@ let parse_request line =
           when not
                  (List.mem op
                     [
-                      "ping"; "stats"; "shutdown"; "load"; "insert"; "delete";
+                      "ping"; "stats"; "metrics"; "shutdown"; "load"; "insert"; "delete";
                       "resilience"; "responsibility"; "rank"; "enumerate"; "batch";
                     ]) ->
           Unknown_op

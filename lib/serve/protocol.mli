@@ -51,6 +51,12 @@ type request =
   | Delete of string
   | Ask of ask
   | Stats
+  | Metrics of [ `Json | `Prometheus ]
+      (** [op:"metrics"]: snapshot of the metrics plane (per-op latency
+          histograms, cache gauges, counters).  The optional ["format"]
+          field selects the exposition: ["json"] (default, structured
+          result) or ["prometheus"] (text format 0.0.4 in a ["text"]
+          member). *)
   | Shutdown
   | Batch of envelope list
 

@@ -226,6 +226,277 @@ let test_stats_json () =
   (* fixed-width floats only: %g would break digit-normalized goldens *)
   Alcotest.(check bool) "no scientific notation" true (not (has "e-") && not (has "e+"))
 
+(* --- Counter registry is live (regression) ------------------------------------ *)
+
+let test_counter_snapshot_live () =
+  (* A counter registered after a snapshot was taken must appear in every
+     later snapshot — the registry is live, not frozen at first export.
+     (Regression: an earlier doc claimed the key set was static per build,
+     which a dynamically created counter silently violated.) *)
+  let k0 = List.map fst (Obs.Counter.snapshot ()) in
+  Alcotest.(check bool) "not yet present" false (List.mem "test.late_registered" k0);
+  let late = Obs.Counter.create "test.late_registered" in
+  with_sink (fun () -> Obs.Counter.incr late);
+  ignore (Obs.Trace.drain ());
+  let snap = Obs.Counter.snapshot () in
+  Alcotest.(check bool) "late counter visible" true (List.mem_assoc "test.late_registered" snap);
+  Alcotest.(check bool) "still sorted" true
+    (let keys = List.map fst snap in
+     List.sort compare keys = keys)
+
+(* --- Histograms ---------------------------------------------------------------- *)
+
+(* The no-interpolation sorted-array oracle Histogram.percentile is
+   specified against. *)
+let oracle_percentile p samples =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
+  a.(max 0 (min (n - 1) rank))
+
+let adversarial_distributions =
+  [
+    ("uniform", List.init 1000 (fun i -> float_of_int (i + 1) /. 100.));
+    (* ~13 decades, 1e-6 up to ~7e6 — inside the summable range *)
+    ("exponential", List.init 1000 (fun i -> 1e-6 *. (1.03 ** float_of_int i)));
+    ("bimodal", List.init 1000 (fun i -> if i mod 2 = 0 then 0.001 else 1000.));
+    ("heavy-tail", List.init 1000 (fun i -> 1. /. (1. -. (float_of_int i /. 1001.))));
+    ("constant", List.init 1000 (fun _ -> 3.141592));
+    ("outliers", (1e9 :: 1e-9 :: List.init 998 (fun i -> float_of_int (i + 1))));
+  ]
+
+let test_histogram_bre_vs_oracle () =
+  List.iter
+    (fun (name, samples) ->
+      let h = Obs.Histogram.create () in
+      List.iter (Obs.Histogram.observe h) samples;
+      Alcotest.(check int) (name ^ ": count") (List.length samples) (Obs.Histogram.count h);
+      let true_sum = List.fold_left ( +. ) 0. samples in
+      Alcotest.(check bool)
+        (name ^ ": sum within fixed-point granularity")
+        true
+        (Float.abs (Obs.Histogram.sum h -. true_sum)
+        <= (1e-6 *. float_of_int (List.length samples)) +. (1e-9 *. Float.abs true_sum));
+      List.iter
+        (fun p ->
+          let got = Obs.Histogram.percentile h p in
+          let want = oracle_percentile p samples in
+          let err = Float.abs (got -. want) /. want in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s p%g: |%g - %g| / %g within bound" name p got want want)
+            true
+            (err <= Obs.Histogram.rel_error +. 1e-12))
+        [ 0.1; 1.; 10.; 25.; 50.; 75.; 90.; 99.; 99.9; 100. ])
+    adversarial_distributions
+
+let test_histogram_empty_and_clamp () =
+  let h = Obs.Histogram.create () in
+  Alcotest.(check int) "empty count" 0 (Obs.Histogram.count h);
+  Alcotest.(check bool) "empty percentile is NaN" true
+    (Float.is_nan (Obs.Histogram.percentile h 50.));
+  (* Non-positive, NaN and out-of-range values clamp instead of crashing. *)
+  List.iter (Obs.Histogram.observe h) [ 0.; -5.; Float.nan; 1e300; infinity; 1e-300 ];
+  Alcotest.(check int) "clamped values all recorded" 6 (Obs.Histogram.count h);
+  let s = Obs.Histogram.snapshot h in
+  Alcotest.(check int) "snapshot total agrees" 6 s.Obs.Histogram.total
+
+let test_histogram_merge_bit_identical () =
+  (* The same multiset of samples must yield a bit-identical snapshot no
+     matter which domains recorded them: all state is integers, so the
+     shard merge is commutative/associative addition. *)
+  let samples =
+    Array.init 5000 (fun i -> 1e-4 *. float_of_int (((i * 7919) mod 100_000) + 1))
+  in
+  let snap_at jobs =
+    let h = Obs.Histogram.create () in
+    Lp.Pool.with_pool ~jobs (fun pool ->
+        ignore
+          (Lp.Pool.run ~chunk:13 pool ~tasks:(Array.length samples) (fun i ->
+               Obs.Histogram.observe h samples.(i))));
+    Obs.Histogram.snapshot h
+  in
+  let s1 = snap_at 1 in
+  Alcotest.(check int) "all samples recorded" (Array.length samples) s1.Obs.Histogram.total;
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d snapshot bit-identical to jobs=1" jobs)
+        true
+        (snap_at jobs = s1))
+    [ 2; 4 ];
+  (* Explicit merge agrees with recording everything into one histogram. *)
+  let ha = Obs.Histogram.create () and hb = Obs.Histogram.create () in
+  Array.iteri
+    (fun i v -> Obs.Histogram.observe (if i mod 2 = 0 then ha else hb) v)
+    samples;
+  Alcotest.(check bool) "merge of halves = whole" true
+    (Obs.Histogram.merge (Obs.Histogram.snapshot ha) (Obs.Histogram.snapshot hb) = s1)
+
+(* --- Metrics registry and exposition ------------------------------------------- *)
+
+let m_c = Obs.Metrics.counter ~help:"test metric counter" "test.metrics.count"
+let m_g = Obs.Metrics.gauge ~help:"test metric gauge" "test.metrics.gauge"
+let m_h = Obs.Metrics.histogram ~help:"test latency" ~labels:[ ("op", "x") ] "test.metrics.lat"
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_metrics_gated_off () =
+  Obs.Sink.uninstall ();
+  Obs.Sink.disarm_metrics ();
+  Obs.Metrics.incr m_c;
+  Obs.Metrics.add m_c 10;
+  Obs.Metrics.set m_g 5.;
+  Obs.Metrics.observe m_h 1.;
+  let series = Obs.Metrics.snapshot () in
+  let find name =
+    List.find (fun s -> s.Obs.Metrics.sname = name) series
+  in
+  (match (find "test.metrics.count").Obs.Metrics.svalue with
+  | Obs.Metrics.Vcounter v -> Alcotest.(check int) "counter dropped" 0 v
+  | _ -> Alcotest.fail "wrong kind");
+  match (find "test.metrics.lat").Obs.Metrics.svalue with
+  | Obs.Metrics.Vhist h -> Alcotest.(check int) "histogram dropped" 0 h.Obs.Histogram.total
+  | _ -> Alcotest.fail "wrong kind"
+
+let test_metrics_idempotent_and_kinds () =
+  let again = Obs.Metrics.counter "test.metrics.count" in
+  Obs.Sink.arm_metrics ();
+  Fun.protect ~finally:Obs.Sink.disarm_metrics @@ fun () ->
+  Obs.Metrics.incr m_c;
+  Obs.Metrics.incr again;
+  (match
+     (List.find
+        (fun s -> s.Obs.Metrics.sname = "test.metrics.count")
+        (Obs.Metrics.snapshot ()))
+       .Obs.Metrics.svalue
+   with
+  | Obs.Metrics.Vcounter v -> Alcotest.(check int) "same cell" 2 v
+  | _ -> Alcotest.fail "wrong kind");
+  Alcotest.check_raises "kind mismatch rejected"
+    (Invalid_argument "Obs.Metrics: \"test.metrics.count\" re-registered with a different kind")
+    (fun () -> ignore (Obs.Metrics.gauge "test.metrics.count"))
+
+let test_metrics_exposition () =
+  (* install resets every instrument, then arm the metrics plane alone. *)
+  Obs.Sink.install ();
+  Obs.Sink.uninstall ();
+  ignore (Obs.Trace.drain ());
+  Obs.Sink.arm_metrics ();
+  Fun.protect ~finally:Obs.Sink.disarm_metrics @@ fun () ->
+  Obs.Metrics.add m_c 3;
+  Obs.Metrics.set m_g 2.5;
+  List.iter (Obs.Metrics.observe m_h) [ 0.0005; 0.05; 0.05; 5. ];
+  let prom = Obs.Metrics.prometheus () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "prometheus has %S" needle) true
+        (contains prom needle))
+    [
+      "# HELP test_metrics_count test metric counter";
+      "# TYPE test_metrics_count counter";
+      "test_metrics_count 3";
+      "# TYPE test_metrics_gauge gauge";
+      "test_metrics_gauge 2.500000";
+      "# TYPE test_metrics_lat histogram";
+      "test_metrics_lat_bucket{op=\"x\",le=\"0.001\"} 1";
+      "test_metrics_lat_bucket{op=\"x\",le=\"0.1\"} 3";
+      "test_metrics_lat_bucket{op=\"x\",le=\"+Inf\"} 4";
+      "test_metrics_lat_count{op=\"x\"} 4";
+    ];
+  let js = Obs.Metrics.json () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "json has %S" needle) true (contains js needle))
+    [
+      "\"counters\":{"; "\"test.metrics.count\":3"; "\"test.metrics.gauge\":2.500000";
+      "\"test.metrics.lat{op=x}\":{\"count\":4"; "\"p50\":"; "\"p999\":";
+    ];
+  (* Quantiles of an empty histogram read 0.0, never NaN, so the JSON
+     stays parseable and digit-normalizable. *)
+  Alcotest.(check bool) "no NaN in json" true (not (contains js "nan"))
+
+(* --- Flight recorder ------------------------------------------------------------ *)
+
+let test_recorder_ring () =
+  Obs.Recorder.clear ();
+  Obs.Recorder.disarm ();
+  Obs.Recorder.note ~fields:[ ("k", "1") ] "dropped";
+  Alcotest.(check int) "disarmed notes nothing" 0 (List.length (Obs.Recorder.dump ()));
+  Obs.Recorder.arm ();
+  Fun.protect ~finally:Obs.Recorder.disarm @@ fun () ->
+  for i = 1 to 100 do
+    Obs.Recorder.note ~fields:[ ("i", string_of_int i) ] "op"
+  done;
+  let evs = Obs.Recorder.dump () in
+  Alcotest.(check int) "ring keeps the last 64" 64 (List.length evs);
+  let is = List.map (fun e -> int_of_string (List.assoc "i" e.Obs.Recorder.ev_fields)) evs in
+  Alcotest.(check (list int)) "oldest-first, newest retained" (List.init 64 (fun k -> 37 + k)) is;
+  let js = Obs.Recorder.dump_json () in
+  Alcotest.(check bool) "json envelope" true (contains js "\"flight_recorder\":[");
+  Obs.Recorder.clear ();
+  Alcotest.(check int) "clear empties" 0 (List.length (Obs.Recorder.dump ()))
+
+(* --- Runlog --------------------------------------------------------------------- *)
+
+let test_runlog_records () =
+  let path = Filename.temp_file "runlog" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Obs.Runlog.record (fun () -> Alcotest.fail "thunk must not run while disabled");
+  Obs.Runlog.enable path;
+  Alcotest.(check bool) "enabled" true (Obs.Runlog.enabled ());
+  Obs.Runlog.record (fun () ->
+      [
+        ("op", Obs.Runlog.S "test");
+        ("rows", Obs.Runlog.I 7);
+        ("wall_s", Obs.Runlog.F 0.25);
+        ("certified", Obs.Runlog.B true);
+        ("bad", Obs.Runlog.F Float.nan);
+      ]);
+  Obs.Runlog.disable ();
+  Alcotest.(check bool) "disabled again" false (Obs.Runlog.enabled ());
+  let ic = open_in path in
+  let header = input_line ic in
+  let line = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "versioned header"
+    (Printf.sprintf {|{"runlog":"resil-solve","version":%d}|} Obs.Runlog.schema_version)
+    header;
+  Alcotest.(check string) "record line"
+    {|{"op":"test","rows":7,"wall_s":0.250000,"certified":true,"bad":null}|} line
+
+let test_runlog_from_solve () =
+  (* End to end: a solve through Resilience.Solve with the runlog enabled
+     appends one schema-versioned record carrying features and outcome. *)
+  let path = Filename.temp_file "runlog" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let q = Relalg.Cq_parser.parse "Q :- R(x, y), S(y)" in
+  let db = Relalg.Database.create () in
+  List.iter
+    (fun (r, args) -> ignore (Relalg.Database.add db r args))
+    [ ("R", [| 1; 2 |]); ("R", [| 2; 2 |]); ("S", [| 2 |]) ];
+  Obs.Runlog.enable path;
+  (match Resilience.Solve.resilience Resilience.Problem.Set q db with
+  | Resilience.Solve.Solved _ -> ()
+  | _ -> Alcotest.fail "expected a solved instance");
+  Obs.Runlog.disable ();
+  let ic = open_in path in
+  let header = input_line ic in
+  let record = input_line ic in
+  close_in ic;
+  Alcotest.(check bool) "header line" true (contains header "\"runlog\":\"resil-solve\"");
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "record has %S" needle) true
+        (contains record needle))
+    [
+      "\"op\":\"resilience\""; "\"status\":\"optimal\""; "\"path\":"; "\"rows\":";
+      "\"cols\":"; "\"nnz\":"; "\"certified\":"; "\"wall_s\":";
+    ]
+
 let () =
   let open Alcotest in
   run "obs"
@@ -244,8 +515,30 @@ let () =
         [
           test_case "idempotent create" `Quick test_counter_idempotent_create;
           test_case "static key set" `Quick test_counter_snapshot_static;
+          test_case "late registration appears in snapshots" `Quick test_counter_snapshot_live;
           test_case "atomic under 10k-task stress, 2..8 domains" `Quick
             test_counter_atomic_under_stress;
+        ] );
+      ( "histograms",
+        [
+          test_case "bounded relative error vs sorted oracle" `Quick test_histogram_bre_vs_oracle;
+          test_case "empty and clamped inputs" `Quick test_histogram_empty_and_clamp;
+          test_case "bit-identical shard merge, jobs 1/2/4" `Quick
+            test_histogram_merge_bit_identical;
+        ] );
+      ( "metrics",
+        [
+          test_case "gated off while unarmed" `Quick test_metrics_gated_off;
+          test_case "idempotent registration, kind mismatch" `Quick
+            test_metrics_idempotent_and_kinds;
+          test_case "prometheus and json exposition" `Quick test_metrics_exposition;
+        ] );
+      ( "recorder",
+        [ test_case "ring wrap, arming, dump" `Quick test_recorder_ring ] );
+      ( "runlog",
+        [
+          test_case "header and field rendering" `Quick test_runlog_records;
+          test_case "one record per solve" `Quick test_runlog_from_solve;
         ] );
       ( "spans",
         [

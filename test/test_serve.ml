@@ -177,6 +177,89 @@ let test_responsibility_and_rank () =
   | Some rows -> Alcotest.(check bool) "ranking non-empty" true (rows <> [])
   | None -> Alcotest.fail "rank without ranking array"
 
+(* --- the metrics plane -------------------------------------------------------- *)
+
+let test_metrics_op () =
+  let e = loaded () in
+  ignore (feed e (ask_req "resilience"));
+  let r = feed e {|{"op":"metrics"}|} in
+  Alcotest.(check bool) "metrics ok" true (ok_of r);
+  let res = result_of r in
+  Alcotest.(check bool) "counters object" true (J.member "counters" res <> None);
+  Alcotest.(check bool) "gauges object" true (J.member "gauges" res <> None);
+  let hists =
+    match J.member "histograms" res with
+    | Some h -> h
+    | None -> Alcotest.fail "metrics without histograms"
+  in
+  (* Per-op series are pre-registered, so both the touched and the
+     untouched series are present — the exposition's shape never depends
+     on traffic. *)
+  let series key =
+    match J.member key hists with
+    | Some s -> s
+    | None -> Alcotest.fail (Printf.sprintf "missing histogram series %S" key)
+  in
+  let req_res = series "serve.request.seconds{op=resilience}" in
+  Alcotest.(check bool) "resilience requests counted" true (int_field "count" req_res >= 1);
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) (q ^ " present") true (J.member q req_res <> None))
+    [ "p50"; "p90"; "p99"; "p999" ];
+  Alcotest.(check bool) "untouched op series still exposed" true
+    (J.member "serve.request.seconds{op=enumerate}" hists <> None);
+  ignore (series "serve.solve.seconds{op=resilience}");
+  ignore (series "serve.queue.seconds");
+  (match J.member "gauges" res with
+  | Some g -> Alcotest.(check bool) "cache gauge" true (J.member "serve.cache.sessions" g <> None)
+  | None -> ());
+  (* Prometheus text rides in a "text" member. *)
+  let r = feed e {|{"op":"metrics","format":"prometheus"}|} in
+  Alcotest.(check bool) "prometheus ok" true (ok_of r);
+  (match Option.bind (J.member "text" (result_of r)) J.to_string_opt with
+  | Some text ->
+    let contains needle =
+      let n = String.length needle and m = String.length text in
+      let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "TYPE header" true
+      (contains "# TYPE serve_request_seconds histogram");
+    Alcotest.(check bool) "le buckets" true (contains "serve_request_seconds_bucket");
+    Alcotest.(check bool) "cache gauge exported" true (contains "serve_cache_sessions")
+  | None -> Alcotest.fail "prometheus without text");
+  check_err "unknown format" "bad_request" (feed e {|{"op":"metrics","format":"xml"}|})
+
+let test_timeout_carries_flight_recorder () =
+  let e = loaded () in
+  ignore (feed e (ask_req "resilience"));
+  let r = feed e (ask_req ~fields:[ ("deadline_ms", J.Int 0) ] "resilience") in
+  check_err "forced timeout" "timeout" r;
+  match Option.bind (J.member "error" r) (J.member "data") with
+  | None -> Alcotest.fail "timeout without data"
+  | Some d -> (
+    Alcotest.(check bool) "incumbent still present" true (J.member "incumbent" d <> None);
+    match Option.bind (J.member "flight_recorder" d) J.to_list_opt with
+    | None -> Alcotest.fail "timeout without flight_recorder events"
+    | Some evs ->
+      Alcotest.(check bool) "has events" true (evs <> []);
+      let last = List.nth evs (List.length evs - 1) in
+      (match Option.bind (J.member "op" last) J.to_string_opt with
+      | Some op -> Alcotest.(check string) "last event is this ask" "resilience" op
+      | None -> Alcotest.fail "event without op");
+      (match Option.bind (J.member "outcome" last) J.to_string_opt with
+      | Some o -> Alcotest.(check string) "outcome timeout" "timeout" o
+      | None -> Alcotest.fail "event without outcome");
+      (* numeric fields render as JSON numbers (so digit normalization
+         keeps serve goldens deterministic), never digit-bearing strings *)
+      List.iter
+        (fun key ->
+          match J.member key last with
+          | Some (J.Str _) -> Alcotest.fail (Printf.sprintf "%S is a string" key)
+          | Some _ -> ()
+          | None -> Alcotest.fail (Printf.sprintf "event without %S" key))
+        [ "t"; "dom"; "fingerprint"; "solve_ms"; "pivots"; "nodes" ])
+
 (* --- graceful shutdown ------------------------------------------------------- *)
 
 let test_shutdown_drains_batch () =
@@ -231,6 +314,12 @@ let () =
           Alcotest.test_case "fingerprint invalidation" `Quick test_cache_invalidation;
         ] );
       ( "deadlines", [ Alcotest.test_case "expiry is structured" `Quick test_deadline_expiry ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "metrics op, json and prometheus" `Quick test_metrics_op;
+          Alcotest.test_case "timeout carries flight recorder" `Quick
+            test_timeout_carries_flight_recorder;
+        ] );
       ( "mutations",
         [
           Alcotest.test_case "insert/delete through live sessions" `Quick test_insert_delete;
